@@ -1,0 +1,47 @@
+/// Ablation: the hybrid engine's parallel segment scanning (§3.4: the
+/// branch-segment bitmap "enables a scanner to skip segments with no
+/// active records and allows for parallelization of segment scanning").
+///
+/// Runs Q4 over a many-branch science workload with increasing worker
+/// counts. Expected shape: wall-clock drops until per-segment work is too
+/// small to amortize coordination.
+
+#include "bench_common.h"
+
+namespace decibel {
+namespace bench {
+namespace {
+
+void Run() {
+  const int num_branches = EnvInt("DECIBEL_BRANCHES", 16);
+  const std::vector<int> thread_counts = {0, 2, 4, 8};
+
+  printf("=== Ablation: hybrid parallel segment scan (science, %d branches) "
+         "===\n",
+         num_branches);
+  printf("%-10s %16s %16s\n", "threads", "Q4 (ms)", "rows");
+
+  for (int threads : thread_counts) {
+    BENCH_ASSIGN_OR_DIE(ScopedDb scoped,
+                        FreshDb(EngineType::kHybrid, "ab_par", threads));
+    WorkloadConfig config = BaseConfig(Strategy::kScience, num_branches);
+    BENCH_ASSIGN_OR_DIE(LoadedWorkload w,
+                        LoadWorkload(scoped.db.get(), config));
+    (void)w;
+    // Two runs, report the second (first warms file handles).
+    BENCH_ASSIGN_OR_DIE(TimedQuery warmup, TimedQ4(scoped.db.get()));
+    (void)warmup;
+    BENCH_ASSIGN_OR_DIE(TimedQuery q4, TimedQ4(scoped.db.get()));
+    printf("%-10d %16.2f %16llu\n", threads, q4.seconds * 1e3,
+           static_cast<unsigned long long>(q4.stats.rows_scanned));
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace decibel
+
+int main() {
+  decibel::bench::Run();
+  return 0;
+}

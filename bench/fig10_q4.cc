@@ -1,0 +1,53 @@
+/// Figure 10: Query 4 (scan all branch heads with a non-selective
+/// predicate, branch-annotated output) across the four strategies.
+///
+/// Expected shape (§5.2): tuple-first and hybrid are comparable and best
+/// (one pass with bitmap annotations); version-first is worst, especially
+/// under curation where merges force its two-pass winner machinery; on
+/// flat, hybrid edges out tuple-first thanks to its smaller per-segment
+/// indexes.
+
+#include "bench_common.h"
+
+namespace decibel {
+namespace bench {
+namespace {
+
+void Run() {
+  const int num_branches = EnvInt("DECIBEL_BRANCHES", 10);
+  const std::vector<std::pair<const char*, Strategy>> cases = {
+      {"deep", Strategy::kDeep},
+      {"flat", Strategy::kFlat},
+      {"sci", Strategy::kScience},
+      {"cur", Strategy::kCuration},
+  };
+
+  printf("=== Figure 10: Query 4 (all-heads scan) latency (%d branches) "
+         "===\n",
+         num_branches);
+  printf("%-8s %12s %12s %12s\n", "case", "VF (ms)", "TF (ms)", "HY (ms)");
+
+  for (const auto& [label, strategy] : cases) {
+    double ms[3];
+    for (size_t e = 0; e < AllEngines().size(); ++e) {
+      BENCH_ASSIGN_OR_DIE(ScopedDb scoped,
+                          FreshDb(AllEngines()[e], "fig10"));
+      WorkloadConfig config = BaseConfig(strategy, num_branches);
+      BENCH_ASSIGN_OR_DIE(LoadedWorkload w,
+                          LoadWorkload(scoped.db.get(), config));
+      (void)w;
+      BENCH_ASSIGN_OR_DIE(TimedQuery q4, TimedQ4(scoped.db.get()));
+      ms[e] = q4.seconds * 1e3;
+    }
+    printf("%-8s %12.2f %12.2f %12.2f\n", label, ms[0], ms[1], ms[2]);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace decibel
+
+int main() {
+  decibel::bench::Run();
+  return 0;
+}

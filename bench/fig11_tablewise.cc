@@ -1,0 +1,67 @@
+/// Figure 11 + Table 4: table-wise updates. For each strategy (10
+/// branches, as the paper does for clarity), measure Q1 before and after
+/// an update touching every record of the scanned branch, plus the
+/// dataset-size growth the copies cause (Table 4).
+///
+/// Expected shape (§5.5): version-first degrades in proportion to the new
+/// data; the bitmap engines do not — and tuple-first actually *improves*
+/// because the rewrite re-clusters the branch at the end of its heap file.
+
+#include "bench_common.h"
+
+namespace decibel {
+namespace bench {
+namespace {
+
+void Run() {
+  const int num_branches = 10;
+  const std::vector<std::pair<const char*, Strategy>> cases = {
+      {"deep", Strategy::kDeep},
+      {"flat", Strategy::kFlat},
+      {"sci", Strategy::kScience},
+      {"cur", Strategy::kCuration},
+  };
+
+  printf("=== Figure 11: Query 1 before/after a table-wise update "
+         "(10 branches) ===\n");
+  printf("%-8s %-6s %14s %14s %14s %14s\n", "case", "eng", "before (ms)",
+         "after (ms)", "pre-size (MB)", "post-size (MB)");
+
+  for (const auto& [label, strategy] : cases) {
+    for (EngineType engine : AllEngines()) {
+      BENCH_ASSIGN_OR_DIE(ScopedDb scoped, FreshDb(engine, "fig11"));
+      WorkloadConfig config = BaseConfig(strategy, num_branches);
+      BENCH_ASSIGN_OR_DIE(LoadedWorkload w,
+                          LoadWorkload(scoped.db.get(), config));
+      Random rng(7);
+      const BranchId target = SelectQ1Target(w, &rng);
+
+      BENCH_ASSIGN_OR_DIE(TimedQuery before,
+                          TimedQ1(scoped.db.get(), target));
+      const uint64_t pre_bytes =
+          scoped.db->engine()->Stats().data_bytes;
+
+      BENCH_ASSIGN_OR_DIE(LoadStats update,
+                          TableWiseUpdate(scoped.db.get(), target));
+      (void)update;
+      BENCH_ASSIGN_OR_DIE(TimedQuery after,
+                          TimedQ1(scoped.db.get(), target));
+      const uint64_t post_bytes =
+          scoped.db->engine()->Stats().data_bytes;
+
+      printf("%-8s %-6s %14.2f %14.2f %14.2f %14.2f\n", label,
+             ShortName(engine), before.seconds * 1e3, after.seconds * 1e3,
+             Mb(pre_bytes), Mb(post_bytes));
+    }
+  }
+  printf("\n(Table 4 is the pre-size/post-size column pair.)\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace decibel
+
+int main() {
+  decibel::bench::Run();
+  return 0;
+}

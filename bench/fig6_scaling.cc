@@ -1,0 +1,77 @@
+/// Figure 6: "The Impact of Scaling Branches" — Q1 (single-branch scan)
+/// and Q4 (all-branches scan) latency as the branch count grows under the
+/// flat strategy, with the total dataset size held fixed (the paper scales
+/// 10/50/100 branches over 100 GB; we scale branch counts over a fixed
+/// operation budget).
+///
+/// Expected shape (§5.1): tuple-first Q1 degrades with more branches (its
+/// single heap file interleaves everything); version-first and hybrid Q1
+/// *improve* (fixed total size => less data per branch); version-first Q4
+/// is uniformly worst; tuple-first and hybrid Q4 are comparable.
+
+#include "bench_common.h"
+
+namespace decibel {
+namespace bench {
+namespace {
+
+void Run() {
+  const std::vector<int> branch_counts = {5, 10, 20};
+  // Fixed total budget across branch counts, like the paper's fixed 100GB.
+  const uint64_t total_ops =
+      BaseOps() * 20 * static_cast<uint64_t>(ScaleFactor());
+
+  struct Row {
+    int branches;
+    double q1[3];
+    double q4[3];
+  };
+  std::vector<Row> rows;
+
+  for (int num_branches : branch_counts) {
+    Row row;
+    row.branches = num_branches;
+    for (size_t e = 0; e < AllEngines().size(); ++e) {
+      const EngineType engine = AllEngines()[e];
+      BENCH_ASSIGN_OR_DIE(ScopedDb scoped, FreshDb(engine, "fig6"));
+      WorkloadConfig config = BaseConfig(Strategy::kFlat, num_branches);
+      config.ops_per_branch = total_ops / num_branches;
+      BENCH_ASSIGN_OR_DIE(LoadedWorkload w,
+                          LoadWorkload(scoped.db.get(), config));
+      Random rng(7);
+      BENCH_ASSIGN_OR_DIE(
+          TimedQuery q1,
+          TimedQ1(scoped.db.get(), SelectQ1Target(w, &rng)));
+      BENCH_ASSIGN_OR_DIE(TimedQuery q4, TimedQ4(scoped.db.get()));
+      row.q1[e] = q1.seconds * 1e3;
+      row.q4[e] = q4.seconds * 1e3;
+    }
+    rows.push_back(row);
+  }
+
+  printf("=== Figure 6a: Query 1 latency vs #branches (flat, fixed total "
+         "size) ===\n");
+  printf("%-10s %12s %12s %12s\n", "branches", "VF (ms)", "TF (ms)",
+         "HY (ms)");
+  for (const Row& row : rows) {
+    printf("%-10d %12.2f %12.2f %12.2f\n", row.branches, row.q1[0],
+           row.q1[1], row.q1[2]);
+  }
+  printf("\n=== Figure 6b: Query 4 latency vs #branches (flat, fixed total "
+         "size) ===\n");
+  printf("%-10s %12s %12s %12s\n", "branches", "VF (ms)", "TF (ms)",
+         "HY (ms)");
+  for (const Row& row : rows) {
+    printf("%-10d %12.2f %12.2f %12.2f\n", row.branches, row.q4[0],
+           row.q4[1], row.q4[2]);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace decibel
+
+int main() {
+  decibel::bench::Run();
+  return 0;
+}

@@ -1,0 +1,116 @@
+/// Figure 7: Query 1 (single-branch scan) across branching strategies and
+/// scanned branches. The bars of the paper: deep/tail, flat/child (plus a
+/// clustered-load tuple-first variant), science young/old active branch,
+/// curation feature/dev/mainline.
+///
+/// Expected shape (§5.2): tuple-first pays for interleaving on flat and
+/// science; version-first and hybrid degrade as merge complexity grows in
+/// curation (feature < dev < mainline); hybrid is best-or-tied everywhere.
+
+#include "bench_common.h"
+
+namespace decibel {
+namespace bench {
+namespace {
+
+struct Case {
+  const char* label;
+  Strategy strategy;
+  int which;  // strategy-specific target selector
+};
+
+BranchId PickTarget(const LoadedWorkload& w, int which, Random* rng) {
+  switch (w.config.strategy) {
+    case Strategy::kDeep:
+      return w.tail;
+    case Strategy::kFlat:
+      return w.children.empty()
+                 ? w.mainline
+                 : w.children[rng->Uniform(w.children.size())];
+    case Strategy::kScience:
+      if (w.active.empty()) return w.mainline;
+      return which == 0 ? w.active.back() : w.active.front();
+    case Strategy::kCuration:
+      switch (which) {
+        case 0:  // random feature branch
+          return w.feature_branches.empty()
+                     ? w.mainline
+                     : w.feature_branches[rng->Uniform(
+                           w.feature_branches.size())];
+        case 1:  // random dev branch
+          return w.dev_branches.empty()
+                     ? w.mainline
+                     : w.dev_branches[rng->Uniform(w.dev_branches.size())];
+        default:
+          return w.mainline;
+      }
+  }
+  return w.mainline;
+}
+
+void Run() {
+  const int num_branches = EnvInt("DECIBEL_BRANCHES", 10);
+  const std::vector<Case> cases = {
+      {"deep/tail", Strategy::kDeep, 0},
+      {"flat/child", Strategy::kFlat, 0},
+      {"sci/young", Strategy::kScience, 0},
+      {"sci/old", Strategy::kScience, 1},
+      {"cur/feature", Strategy::kCuration, 0},
+      {"cur/dev", Strategy::kCuration, 1},
+      {"cur/mainline", Strategy::kCuration, 2},
+  };
+
+  printf("=== Figure 7: Query 1 latency by strategy/branch (%d branches) "
+         "===\n",
+         num_branches);
+  printf("%-14s %10s %10s %10s %12s\n", "case", "VF (ms)", "TF (ms)",
+         "HY (ms)", "TF-clust(ms)");
+
+  for (const Case& c : cases) {
+    double ms[3] = {0, 0, 0};
+    double clustered_ms = -1;
+    for (size_t e = 0; e < AllEngines().size(); ++e) {
+      BENCH_ASSIGN_OR_DIE(ScopedDb scoped,
+                          FreshDb(AllEngines()[e], "fig7"));
+      WorkloadConfig config = BaseConfig(c.strategy, num_branches);
+      BENCH_ASSIGN_OR_DIE(LoadedWorkload w,
+                          LoadWorkload(scoped.db.get(), config));
+      Random rng(7);
+      BENCH_ASSIGN_OR_DIE(
+          TimedQuery q1,
+          TimedQ1(scoped.db.get(), PickTarget(w, c.which, &rng)));
+      ms[e] = q1.seconds * 1e3;
+    }
+    // The clustered-load variant of tuple-first (flat only: the other
+    // strategies define their own operation order).
+    if (c.strategy == Strategy::kFlat) {
+      BENCH_ASSIGN_OR_DIE(ScopedDb scoped,
+                          FreshDb(EngineType::kTupleFirst, "fig7c"));
+      WorkloadConfig config = BaseConfig(c.strategy, num_branches);
+      config.clustered_load = true;
+      BENCH_ASSIGN_OR_DIE(LoadedWorkload w,
+                          LoadWorkload(scoped.db.get(), config));
+      Random rng(7);
+      BENCH_ASSIGN_OR_DIE(
+          TimedQuery q1,
+          TimedQ1(scoped.db.get(), PickTarget(w, c.which, &rng)));
+      clustered_ms = q1.seconds * 1e3;
+    }
+    if (clustered_ms >= 0) {
+      printf("%-14s %10.2f %10.2f %10.2f %12.2f\n", c.label, ms[0], ms[1],
+             ms[2], clustered_ms);
+    } else {
+      printf("%-14s %10.2f %10.2f %10.2f %12s\n", c.label, ms[0], ms[1],
+             ms[2], "-");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace decibel
+
+int main() {
+  decibel::bench::Run();
+  return 0;
+}

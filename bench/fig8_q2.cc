@@ -1,0 +1,53 @@
+/// Figure 8: Query 2 (multi-version positive diff) across the four
+/// branching strategies — deep tail vs parent, flat child vs parent,
+/// science oldest-active vs mainline, curation mainline vs dev.
+///
+/// Expected shape (§5.2): version-first uniformly worst (it rebuilds
+/// winner tables over both ancestries); tuple-first and hybrid answer from
+/// bitmaps; hybrid edges out tuple-first as interleaving grows because its
+/// segment skipping touches fewer records.
+
+#include "bench_common.h"
+
+namespace decibel {
+namespace bench {
+namespace {
+
+void Run() {
+  const int num_branches = EnvInt("DECIBEL_BRANCHES", 10);
+  const std::vector<std::pair<const char*, Strategy>> cases = {
+      {"deep", Strategy::kDeep},
+      {"flat", Strategy::kFlat},
+      {"sci", Strategy::kScience},
+      {"cur", Strategy::kCuration},
+  };
+
+  printf("=== Figure 8: Query 2 (positive diff) latency (%d branches) ===\n",
+         num_branches);
+  printf("%-8s %12s %12s %12s\n", "case", "VF (ms)", "TF (ms)", "HY (ms)");
+
+  for (const auto& [label, strategy] : cases) {
+    double ms[3];
+    for (size_t e = 0; e < AllEngines().size(); ++e) {
+      BENCH_ASSIGN_OR_DIE(ScopedDb scoped,
+                          FreshDb(AllEngines()[e], "fig8"));
+      WorkloadConfig config = BaseConfig(strategy, num_branches);
+      BENCH_ASSIGN_OR_DIE(LoadedWorkload w,
+                          LoadWorkload(scoped.db.get(), config));
+      Random rng(7);
+      const auto [a, b] = SelectQ2Pair(w, &rng);
+      BENCH_ASSIGN_OR_DIE(TimedQuery q2, TimedQ2(scoped.db.get(), a, b));
+      ms[e] = q2.seconds * 1e3;
+    }
+    printf("%-8s %12.2f %12.2f %12.2f\n", label, ms[0], ms[1], ms[2]);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace decibel
+
+int main() {
+  decibel::bench::Run();
+  return 0;
+}

@@ -1,0 +1,217 @@
+#ifndef DECIBEL_BENCH_GIT_BENCH_COMMON_H_
+#define DECIBEL_BENCH_GIT_BENCH_COMMON_H_
+
+/// Shared harness for Tables 6 and 7: the git-storage-manager baseline of
+/// §5.7 versus Decibel (hybrid) on the deep structure — N branches, many
+/// evenly spaced commits. Reports data size, repository size, repack time,
+/// and commit/checkout latency mean +/- stddev, exactly the columns of the
+/// paper's tables.
+
+#include <cmath>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "gitlike/repo.h"
+
+namespace decibel {
+namespace bench {
+
+struct GitBenchResult {
+  std::string system;
+  double data_mb = 0;
+  double repo_mb = 0;
+  double repack_seconds = -1;  // n/a for Decibel
+  double commit_mean_ms = 0;
+  double commit_stddev_ms = 0;
+  double checkout_mean_ms = 0;
+  double checkout_stddev_ms = 0;
+};
+
+struct MeanStddev {
+  double mean = 0;
+  double stddev = 0;
+};
+
+inline MeanStddev Summarize(const std::vector<double>& xs) {
+  MeanStddev out;
+  if (xs.empty()) return out;
+  for (double x : xs) out.mean += x;
+  out.mean /= xs.size();
+  double var = 0;
+  for (double x : xs) var += (x - out.mean) * (x - out.mean);
+  out.stddev = std::sqrt(var / xs.size());
+  return out;
+}
+
+struct GitBenchConfig {
+  int num_branches = 10;
+  uint64_t total_ops = 3000;
+  int num_commits = 60;
+  double update_fraction = 0.0;  // Table 6: inserts only; Table 7: 50%
+  int checkout_trials = 30;
+  uint64_t seed = 42;
+};
+
+/// Runs the workload against one git-layout/format combination.
+inline GitBenchResult RunGitMode(const GitBenchConfig& config,
+                                 gitlike::Layout layout,
+                                 gitlike::Format format) {
+  static int counter = 0;
+  const std::string dir = "/tmp/decibel_gitbench_" +
+                          std::to_string(::getpid()) + "_" +
+                          std::to_string(counter++);
+  RemoveDirRecursive(dir).ok();
+  const Schema schema = BenchSchema();
+  BENCH_ASSIGN_OR_DIE(auto repo,
+                      gitlike::GitRepo::Open(dir, schema, layout, format));
+
+  Random rng(config.seed);
+  const uint64_t ops_per_branch = config.total_ops / config.num_branches;
+  const uint64_t commit_every =
+      std::max<uint64_t>(1, config.total_ops / config.num_commits);
+  std::vector<double> commit_ms;
+  std::vector<std::string> commits;
+  std::vector<int64_t> pks;
+  int64_t next_pk = 0;
+  uint64_t since_commit = 0;
+
+  BranchId branch = kMasterBranch;
+  for (int b = 0; b < config.num_branches; ++b) {
+    if (b > 0) {
+      BENCH_CHECK_OK(repo->CreateBranch(static_cast<BranchId>(b), branch));
+      branch = static_cast<BranchId>(b);
+    }
+    for (uint64_t i = 0; i < ops_per_branch; ++i) {
+      Record rec(&schema);
+      const bool update =
+          !pks.empty() && rng.NextDouble() < config.update_fraction;
+      rec.SetPk(update ? pks[rng.Uniform(pks.size())] : next_pk);
+      if (!update) pks.push_back(next_pk++);
+      for (size_t c = 1; c < schema.num_columns(); ++c) {
+        rec.SetInt32(c, static_cast<int32_t>(rng.Next()));
+      }
+      BENCH_CHECK_OK(repo->Insert(branch, rec));
+      if (++since_commit >= commit_every) {
+        since_commit = 0;
+        Stopwatch timer;
+        BENCH_ASSIGN_OR_DIE(std::string commit, repo->Commit(branch));
+        commit_ms.push_back(timer.ElapsedMillis());
+        commits.push_back(commit);
+      }
+    }
+  }
+
+  GitBenchResult result;
+  result.system = std::string("git ") + gitlike::LayoutName(layout) + " (" +
+                  gitlike::FormatName(format) + ")";
+  result.data_mb = Mb(repo->DataSizeBytes());
+  BENCH_ASSIGN_OR_DIE(double repack_s, repo->Repack());
+  result.repack_seconds = repack_s;
+  result.repo_mb = Mb(repo->RepoSizeBytes());
+
+  std::vector<double> checkout_ms;
+  for (int t = 0; t < config.checkout_trials; ++t) {
+    const std::string& commit = commits[rng.Uniform(commits.size())];
+    Stopwatch timer;
+    BENCH_ASSIGN_OR_DIE(uint64_t n, repo->Checkout(commit));
+    (void)n;
+    checkout_ms.push_back(timer.ElapsedMillis());
+  }
+  const MeanStddev cm = Summarize(commit_ms);
+  const MeanStddev xm = Summarize(checkout_ms);
+  result.commit_mean_ms = cm.mean;
+  result.commit_stddev_ms = cm.stddev;
+  result.checkout_mean_ms = xm.mean;
+  result.checkout_stddev_ms = xm.stddev;
+  RemoveDirRecursive(dir).ok();
+  return result;
+}
+
+/// Runs the same workload against Decibel's hybrid engine.
+inline GitBenchResult RunDecibelMode(const GitBenchConfig& config) {
+  BENCH_ASSIGN_OR_DIE(ScopedDb scoped,
+                      FreshDb(EngineType::kHybrid, "gitbench"));
+  Decibel* db = scoped.db.get();
+  const Schema& schema = db->schema();
+
+  Random rng(config.seed);
+  const uint64_t ops_per_branch = config.total_ops / config.num_branches;
+  const uint64_t commit_every =
+      std::max<uint64_t>(1, config.total_ops / config.num_commits);
+  std::vector<double> commit_ms;
+  std::vector<CommitId> commits;
+  std::vector<int64_t> pks;
+  int64_t next_pk = 0;
+  uint64_t since_commit = 0;
+
+  BranchId branch = kMasterBranch;
+  for (int b = 0; b < config.num_branches; ++b) {
+    if (b > 0) {
+      Session s = db->NewSession();
+      BENCH_CHECK_OK(db->Use(&s, branch));
+      BENCH_ASSIGN_OR_DIE(branch,
+                          db->Branch("deep_" + std::to_string(b), &s));
+    }
+    for (uint64_t i = 0; i < ops_per_branch; ++i) {
+      Record rec(&schema);
+      const bool update =
+          !pks.empty() && rng.NextDouble() < config.update_fraction;
+      rec.SetPk(update ? pks[rng.Uniform(pks.size())] : next_pk);
+      if (!update) pks.push_back(next_pk++);
+      for (size_t c = 1; c < schema.num_columns(); ++c) {
+        rec.SetInt32(c, static_cast<int32_t>(rng.Next()));
+      }
+      BENCH_CHECK_OK(update ? db->UpdateIn(branch, rec)
+                            : db->InsertInto(branch, rec));
+      if (++since_commit >= commit_every) {
+        since_commit = 0;
+        Stopwatch timer;
+        BENCH_ASSIGN_OR_DIE(CommitId commit, db->CommitBranch(branch));
+        commit_ms.push_back(timer.ElapsedMillis());
+        commits.push_back(commit);
+      }
+    }
+  }
+
+  GitBenchResult result;
+  result.system = "Decibel (hybrid)";
+  const EngineStats stats = db->engine()->Stats();
+  result.data_mb = Mb(stats.data_bytes);
+  result.repo_mb = Mb(stats.data_bytes + stats.commit_store_bytes);
+
+  std::vector<double> checkout_ms;
+  for (int t = 0; t < config.checkout_trials; ++t) {
+    const CommitId commit = commits[rng.Uniform(commits.size())];
+    Stopwatch timer;
+    BENCH_CHECK_OK(db->engine()->Checkout(commit));
+    checkout_ms.push_back(timer.ElapsedMillis());
+  }
+  const MeanStddev cm = Summarize(commit_ms);
+  const MeanStddev xm = Summarize(checkout_ms);
+  result.commit_mean_ms = cm.mean;
+  result.commit_stddev_ms = cm.stddev;
+  result.checkout_mean_ms = xm.mean;
+  result.checkout_stddev_ms = xm.stddev;
+  return result;
+}
+
+inline void PrintGitBench(const std::vector<GitBenchResult>& rows) {
+  printf("%-22s %10s %10s %12s %18s %18s\n", "system", "data MB", "repo MB",
+         "repack (s)", "commit ms (u+-s)", "checkout ms (u+-s)");
+  for (const GitBenchResult& r : rows) {
+    char repack[32];
+    if (r.repack_seconds < 0) {
+      snprintf(repack, sizeof(repack), "%s", "N/A");
+    } else {
+      snprintf(repack, sizeof(repack), "%.2f", r.repack_seconds);
+    }
+    printf("%-22s %10.2f %10.2f %12s %9.2f +- %5.2f %9.2f +- %5.2f\n",
+           r.system.c_str(), r.data_mb, r.repo_mb, repack, r.commit_mean_ms,
+           r.commit_stddev_ms, r.checkout_mean_ms, r.checkout_stddev_ms);
+  }
+}
+
+}  // namespace bench
+}  // namespace decibel
+
+#endif  // DECIBEL_BENCH_GIT_BENCH_COMMON_H_

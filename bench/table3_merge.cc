@@ -1,0 +1,55 @@
+/// Table 3: merge throughput (MB/s relative to the size of the two-sided
+/// diff) for two-way and three-way merges, per engine, aggregated across
+/// the merge operations performed during the curation build phase — the
+/// paper's own methodology ("Numbers are in aggregate across the (approx.
+/// 30) merge operations performed during the build phase", §5.4).
+///
+/// Expected shape: version-first slowest (full winner-table scans, and the
+/// lca scanned in its entirety for three-way); the bitmap engines restrict
+/// the lca work with bitmap algebra. Hybrid's clustering keeps its scans
+/// local to the affected segments, tuple-first reads interleaved pages.
+
+#include "bench_common.h"
+
+namespace decibel {
+namespace bench {
+namespace {
+
+void Run() {
+  const int num_branches = EnvInt("DECIBEL_BRANCHES", 16);
+
+  printf("=== Table 3: merge throughput during curation build (%d "
+         "branches) ===\n",
+         num_branches);
+  printf("%-4s %18s %18s %12s\n", "eng", "two-way (MB/s)",
+         "three-way (MB/s)", "merges");
+
+  for (EngineType engine : AllEngines()) {
+    double throughput[2] = {0, 0};
+    uint64_t merges = 0;
+    for (int mode = 0; mode < 2; ++mode) {
+      BENCH_ASSIGN_OR_DIE(ScopedDb scoped, FreshDb(engine, "table3"));
+      WorkloadConfig config = BaseConfig(Strategy::kCuration, num_branches);
+      config.merge_policy = mode == 0 ? MergePolicy::kTwoWayLeft
+                                      : MergePolicy::kThreeWayLeft;
+      BENCH_ASSIGN_OR_DIE(LoadedWorkload w,
+                          LoadWorkload(scoped.db.get(), config));
+      throughput[mode] = w.stats.merge_seconds > 0
+                             ? Mb(w.stats.merge_diff_bytes) /
+                                   w.stats.merge_seconds
+                             : 0;
+      merges = w.stats.merges;
+    }
+    printf("%-4s %18.1f %18.1f %12llu\n", ShortName(engine), throughput[0],
+           throughput[1], static_cast<unsigned long long>(merges));
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace decibel
+
+int main() {
+  decibel::bench::Run();
+  return 0;
+}

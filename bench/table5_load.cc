@@ -1,0 +1,50 @@
+/// Table 5: build (load) times — the full benchmark build phase (inserts,
+/// updates, branch creation, merges, commits) per strategy, branch count
+/// and engine, with the resulting dataset sizes.
+///
+/// Expected shape (§5.6): version-first loads fastest (no bitmap
+/// maintenance) except under curation's complex branching; hybrid loads
+/// faster than tuple-first thanks to its smaller per-segment indexes.
+
+#include "bench_common.h"
+
+namespace decibel {
+namespace bench {
+namespace {
+
+void Run() {
+  const std::vector<int> branch_counts = {10, 25};
+  const std::vector<std::pair<const char*, Strategy>> cases = {
+      {"deep", Strategy::kDeep},
+      {"flat", Strategy::kFlat},
+      {"sci", Strategy::kScience},
+      {"cur", Strategy::kCuration},
+  };
+
+  printf("=== Table 5: build times ===\n");
+  printf("%-8s %-10s %-4s %14s %14s\n", "case", "branches", "eng",
+         "load (s)", "data (MB)");
+
+  for (const auto& [label, strategy] : cases) {
+    for (int num_branches : branch_counts) {
+      for (EngineType engine : AllEngines()) {
+        BENCH_ASSIGN_OR_DIE(ScopedDb scoped, FreshDb(engine, "table5"));
+        WorkloadConfig config = BaseConfig(strategy, num_branches);
+        BENCH_ASSIGN_OR_DIE(LoadedWorkload w,
+                            LoadWorkload(scoped.db.get(), config));
+        const EngineStats stats = scoped.db->engine()->Stats();
+        printf("%-8s %-10d %-4s %14.2f %14.2f\n", label, num_branches,
+               ShortName(engine), w.stats.seconds, Mb(stats.data_bytes));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace decibel
+
+int main() {
+  decibel::bench::Run();
+  return 0;
+}

@@ -1,0 +1,46 @@
+/// Table 6: git as a Decibel storage manager vs Decibel (hybrid) on the
+/// deep structure, 100% inserts, 10 branches, evenly spaced commits.
+///
+/// Expected shape (§5.7): Decibel's commits and checkouts are orders of
+/// magnitude faster than any git mode; the one-file modes pay per-commit
+/// whole-table hashing; the file-per-tuple modes pay slow checkouts; repack
+/// shrinks the repo but takes a long time; CSV inflates everything.
+
+#include "git_bench_common.h"
+
+namespace decibel {
+namespace bench {
+namespace {
+
+void Run() {
+  GitBenchConfig config;
+  config.num_branches = EnvInt("DECIBEL_BRANCHES", 10);
+  config.total_ops = 3000 * static_cast<uint64_t>(ScaleFactor());
+  config.num_commits = 60;
+  config.update_fraction = 0.0;
+
+  printf("=== Table 6: git vs Decibel, deep structure, 100%% inserts, "
+         "%d branches, %d commits ===\n",
+         config.num_branches, config.num_commits);
+
+  std::vector<GitBenchResult> rows;
+  rows.push_back(RunGitMode(config, gitlike::Layout::kOneFile,
+                            gitlike::Format::kBinary));
+  rows.push_back(RunGitMode(config, gitlike::Layout::kOneFile,
+                            gitlike::Format::kCsv));
+  rows.push_back(RunGitMode(config, gitlike::Layout::kFilePerTuple,
+                            gitlike::Format::kBinary));
+  rows.push_back(RunGitMode(config, gitlike::Layout::kFilePerTuple,
+                            gitlike::Format::kCsv));
+  rows.push_back(RunDecibelMode(config));
+  PrintGitBench(rows);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace decibel
+
+int main() {
+  decibel::bench::Run();
+  return 0;
+}

@@ -1,0 +1,95 @@
+/// A tiny interactive shell for the VQuel-flavoured query language (§2.3):
+/// pipe statements in, or run with no stdin redirection for a REPL. With
+/// no input at all it executes a short demo script.
+///
+///   $ ./vquel_shell /tmp/mydb
+///   vquel> INSERT master 1 10 20
+///   vquel> BRANCH dev FROM master
+///   vquel> SCAN dev WHERE c1 > 5
+///   vquel> MERGE master dev THREEWAY LEFT
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/io.h"
+#include "core/decibel.h"
+#include "query/vquel.h"
+
+using namespace decibel;
+
+namespace {
+
+const char* kDemo[] = {
+    "INSERT master 1 10 100",
+    "INSERT master 2 20 200",
+    "COMMIT master",
+    "BRANCH dev FROM master",
+    "UPDATE dev 1 11 100",
+    "INSERT dev 3 30 300",
+    "SCAN dev",
+    "DIFF dev master",
+    "JOIN master dev WHERE c1 > 5",
+    "MERGE master dev THREEWAY LEFT",
+    "SCAN master",
+    "HEADS",
+    "BRANCHES",
+    "LOG master",
+};
+
+void RunOne(Decibel* db, const std::string& line, bool echo) {
+  if (line.empty() || line[0] == '#') return;
+  if (echo) printf("vquel> %s\n", line.c_str());
+  auto result = vquel::Execute(db, line);
+  if (result.ok()) {
+    printf("%s\n", result->output.c_str());
+  } else {
+    printf("error: %s\n", result.status().ToString().c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "/tmp/decibel_vquel";
+  if (argc <= 1) RemoveDirRecursive(path).ok();
+
+  // pk + two int columns; adjust to taste.
+  const Schema schema = Schema::MakeBenchmark(2);
+  auto db_result = Decibel::Open(path, schema, DecibelOptions{});
+  if (!db_result.ok()) {
+    fprintf(stderr, "open failed: %s\n",
+            db_result.status().ToString().c_str());
+    return 1;
+  }
+  auto db = std::move(db_result).MoveValueUnsafe();
+
+  if (isatty(STDIN_FILENO)) {
+    printf("Decibel VQuel shell — schema: pk, c1, c2. Ctrl-D to exit.\n");
+    std::string line;
+    while (true) {
+      printf("vquel> ");
+      fflush(stdout);
+      if (!std::getline(std::cin, line)) break;
+      RunOne(db.get(), line, /*echo=*/false);
+    }
+    printf("\n");
+    return 0;
+  }
+
+  // Piped input, or the built-in demo when stdin is empty.
+  std::string line;
+  bool any = false;
+  while (std::getline(std::cin, line)) {
+    any = true;
+    RunOne(db.get(), line, /*echo=*/true);
+  }
+  if (!any) {
+    for (const char* statement : kDemo) {
+      RunOne(db.get(), statement, /*echo=*/true);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,130 @@
+#ifndef DECIBEL_BENCHLIB_WORKLOAD_H_
+#define DECIBEL_BENCHLIB_WORKLOAD_H_
+
+/// \file workload.h
+/// The versioning benchmark of §4: a YCSB-inspired single-threaded driver
+/// that loads a synthetic versioned dataset under one of four branching
+/// strategies (deep / flat / science / curation) and then measures the
+/// latency of the four query families (§4.3).
+///
+/// All randomness comes from one seeded generator so every storage engine
+/// replays the identical operation stream (§5.6).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/decibel.h"
+#include "query/queries.h"
+
+namespace decibel {
+namespace bench {
+
+/// §4.1's four branching strategies.
+enum class Strategy { kDeep, kFlat, kScience, kCuration };
+
+const char* StrategyName(Strategy s);
+
+struct WorkloadConfig {
+  Strategy strategy = Strategy::kDeep;
+  /// Total branches to create (the paper runs 10 / 50 / 100).
+  int num_branches = 10;
+  /// Insert/update operations charged to each branch. The paper fixes the
+  /// total dataset size (100 GB) and divides by branch count; callers can
+  /// do the same by setting ops_per_branch = total_ops / num_branches.
+  uint64_t ops_per_branch = 1000;
+  /// §4.2: "20% updates and 80% inserts by default".
+  double update_fraction = 0.2;
+  /// §4.2: "create commits at regular intervals (every 10,000
+  /// insert/update operations per branch)" — scaled down by default.
+  uint64_t commit_every = 500;
+  uint64_t seed = 42;
+
+  /// §4.2 loading modes: interleaved (default) scatters operations across
+  /// eligible branches; clustered batches each branch's inserts.
+  bool clustered_load = false;
+
+  // --- science strategy knobs (§4.1/§4.2)
+  /// A branch stops being updated after this many newer branches exist.
+  int science_lifetime = 3;
+  /// "our evaluation of the scientific strategy favors the mainline
+  /// branch with a 2-to-1 skew".
+  int science_mainline_skew = 2;
+  /// Probability (out of 100) that a new branch forks off mainline rather
+  /// than an active working branch.
+  int science_mainline_fork_pct = 60;
+
+  // --- curation strategy knobs (§4.1)
+  /// Every n-th branch event creates a development branch (the others are
+  /// short-lived feature/fix branches).
+  int curation_dev_every = 3;
+  /// Merge policy used when development/feature branches land.
+  MergePolicy merge_policy = MergePolicy::kThreeWayLeft;
+};
+
+struct LoadStats {
+  double seconds = 0;
+  uint64_t inserts = 0;
+  uint64_t updates = 0;
+  uint64_t commits = 0;
+  uint64_t merges = 0;
+  uint64_t bytes_written = 0;  ///< logical record bytes pushed
+  /// Merge accounting across the build phase (Table 3 reports merge
+  /// throughput "in aggregate across the merge operations performed
+  /// during the build phase", §5.4).
+  double merge_seconds = 0;
+  uint64_t merge_diff_bytes = 0;
+  uint64_t merge_conflicts = 0;
+};
+
+/// The shape of the loaded version graph, for query-target selection (§5.2
+/// picks e.g. "the oldest active science branch" or "a random feature
+/// branch").
+struct LoadedWorkload {
+  WorkloadConfig config;
+  LoadStats stats;
+  BranchId mainline = kMasterBranch;
+  /// Deep: the last branch in the chain.
+  BranchId tail = kMasterBranch;
+  /// Flat: the children (mainline is the common parent).
+  std::vector<BranchId> children;
+  /// Science/curation: branches still active at the end of the load, in
+  /// creation order (front = oldest).
+  std::vector<BranchId> active;
+  /// Curation: development vs feature branches (historical union).
+  std::vector<BranchId> dev_branches;
+  std::vector<BranchId> feature_branches;
+};
+
+/// Runs the build phase of the benchmark against \p db.
+Result<LoadedWorkload> LoadWorkload(Decibel* db, const WorkloadConfig& config);
+
+// ---------------------------------------------------------------- queries
+
+struct TimedQuery {
+  double seconds = 0;
+  query::QueryStats stats;
+};
+
+/// Each runner drops the engine's caches first (§5 flushes disk caches
+/// before each measured operation) and consumes rows without materializing
+/// them.
+Result<TimedQuery> TimedQ1(Decibel* db, BranchId branch);
+Result<TimedQuery> TimedQ2(Decibel* db, BranchId a, BranchId b);
+Result<TimedQuery> TimedQ3(Decibel* db, BranchId a, BranchId b);
+Result<TimedQuery> TimedQ4(Decibel* db);
+
+/// Query target selection per strategy (§5.2). \p rng drives the random
+/// choices the paper makes ("a random child", "the oldest active", ...).
+BranchId SelectQ1Target(const LoadedWorkload& w, Random* rng);
+std::pair<BranchId, BranchId> SelectQ2Pair(const LoadedWorkload& w,
+                                           Random* rng);
+
+/// §5.5: updates every live record of \p branch (new versions of all).
+Result<LoadStats> TableWiseUpdate(Decibel* db, BranchId branch);
+
+}  // namespace bench
+}  // namespace decibel
+
+#endif  // DECIBEL_BENCHLIB_WORKLOAD_H_

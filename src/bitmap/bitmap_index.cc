@@ -1,0 +1,210 @@
+#include "bitmap/bitmap_index.h"
+
+#include "common/coding.h"
+#include "common/logging.h"
+
+namespace decibel {
+
+std::unique_ptr<BitmapIndex> BitmapIndex::Make(
+    BitmapOrientation orientation) {
+  if (orientation == BitmapOrientation::kBranchOriented) {
+    return std::make_unique<BranchOrientedIndex>();
+  }
+  return std::make_unique<TupleOrientedIndex>();
+}
+
+// --------------------------------------------------------- branch-oriented
+
+void BranchOrientedIndex::AddBranch(uint32_t branch) {
+  columns_.try_emplace(branch);
+}
+
+void BranchOrientedIndex::CloneBranch(uint32_t parent, uint32_t child) {
+  auto it = columns_.find(parent);
+  DECIBEL_DCHECK(it != columns_.end());
+  columns_[child] = it->second;  // straightforward memory copy (§3.2)
+}
+
+void BranchOrientedIndex::Set(uint64_t tuple, uint32_t branch, bool value) {
+  auto it = columns_.find(branch);
+  DECIBEL_DCHECK(it != columns_.end());
+  it->second.SetTo(tuple, value);
+}
+
+bool BranchOrientedIndex::Test(uint64_t tuple, uint32_t branch) const {
+  auto it = columns_.find(branch);
+  if (it == columns_.end()) return false;
+  return it->second.Test(tuple);
+}
+
+Bitmap BranchOrientedIndex::MaterializeBranch(uint32_t branch) const {
+  auto it = columns_.find(branch);
+  if (it == columns_.end()) return Bitmap();
+  return it->second;
+}
+
+const Bitmap* BranchOrientedIndex::BranchView(uint32_t branch) const {
+  auto it = columns_.find(branch);
+  return it == columns_.end() ? nullptr : &it->second;
+}
+
+void BranchOrientedIndex::RestoreBranch(uint32_t branch, const Bitmap& bits) {
+  columns_[branch] = bits;
+}
+
+uint64_t BranchOrientedIndex::MemoryBytes() const {
+  uint64_t total = 0;
+  for (const auto& [id, bm] : columns_) total += bm.MemoryBytes();
+  return total;
+}
+
+void BranchOrientedIndex::EncodeTo(std::string* dst) const {
+  dst->push_back(static_cast<char>(BitmapOrientation::kBranchOriented));
+  PutVarint64(dst, num_tuples_);
+  PutVarint64(dst, columns_.size());
+  for (const auto& [id, bm] : columns_) {
+    PutVarint32(dst, id);
+    bm.EncodeTo(dst);
+  }
+}
+
+// ---------------------------------------------------------- tuple-oriented
+
+void TupleOrientedIndex::EnsureRowWidth(uint32_t branch) {
+  const uint64_t needed_bits = static_cast<uint64_t>(branch) + 1;
+  if (needed_bits <= words_per_row_ * 64) return;
+  // Double the row width and rewrite the whole matrix — the expansion cost
+  // the paper attributes to tuple-oriented growth (§3.2).
+  uint64_t new_wpr = words_per_row_;
+  while (needed_bits > new_wpr * 64) new_wpr *= 2;
+  std::vector<uint64_t> wide(num_tuples_ * new_wpr, 0);
+  for (uint64_t t = 0; t < num_tuples_; ++t) {
+    for (uint64_t w = 0; w < words_per_row_; ++w) {
+      wide[t * new_wpr + w] = matrix_[t * words_per_row_ + w];
+    }
+  }
+  matrix_ = std::move(wide);
+  words_per_row_ = new_wpr;
+}
+
+void TupleOrientedIndex::AddBranch(uint32_t branch) {
+  EnsureRowWidth(branch);
+}
+
+void TupleOrientedIndex::CloneBranch(uint32_t parent, uint32_t child) {
+  EnsureRowWidth(child);
+  // Copy one bit in every row: tuple-oriented branching touches the whole
+  // matrix (§3.2).
+  const uint64_t pw = parent >> 6, pb = parent & 63;
+  const uint64_t cw = child >> 6, cb = child & 63;
+  for (uint64_t t = 0; t < num_tuples_; ++t) {
+    uint64_t* row = &matrix_[t * words_per_row_];
+    const uint64_t bit = (row[pw] >> pb) & 1;
+    row[cw] = (row[cw] & ~(uint64_t{1} << cb)) | (bit << cb);
+  }
+}
+
+void TupleOrientedIndex::AppendTuples(uint64_t count) {
+  num_tuples_ += count;
+  matrix_.resize(num_tuples_ * words_per_row_, 0);
+}
+
+void TupleOrientedIndex::Set(uint64_t tuple, uint32_t branch, bool value) {
+  DECIBEL_DCHECK(tuple < num_tuples_);
+  EnsureRowWidth(branch);
+  uint64_t& word = matrix_[tuple * words_per_row_ + (branch >> 6)];
+  const uint64_t mask = uint64_t{1} << (branch & 63);
+  word = value ? (word | mask) : (word & ~mask);
+}
+
+bool TupleOrientedIndex::Test(uint64_t tuple, uint32_t branch) const {
+  if (tuple >= num_tuples_ ||
+      static_cast<uint64_t>(branch) >= words_per_row_ * 64) {
+    return false;
+  }
+  return (matrix_[tuple * words_per_row_ + (branch >> 6)] >> (branch & 63)) &
+         1;
+}
+
+Bitmap TupleOrientedIndex::MaterializeBranch(uint32_t branch) const {
+  // "the entire bitmap must be scanned" (§3.2).
+  Bitmap out(num_tuples_);
+  if (static_cast<uint64_t>(branch) >= words_per_row_ * 64) return out;
+  const uint64_t bw = branch >> 6, bb = branch & 63;
+  for (uint64_t t = 0; t < num_tuples_; ++t) {
+    if ((matrix_[t * words_per_row_ + bw] >> bb) & 1) out.Set(t);
+  }
+  return out;
+}
+
+void TupleOrientedIndex::RestoreBranch(uint32_t branch, const Bitmap& bits) {
+  EnsureRowWidth(branch);
+  for (uint64_t t = 0; t < num_tuples_; ++t) {
+    Set(t, branch, bits.Test(t));
+  }
+}
+
+void TupleOrientedIndex::DropBranch(uint32_t branch) {
+  if (static_cast<uint64_t>(branch) >= words_per_row_ * 64) return;
+  for (uint64_t t = 0; t < num_tuples_; ++t) Set(t, branch, false);
+}
+
+uint64_t TupleOrientedIndex::MemoryBytes() const {
+  return matrix_.capacity() * 8;
+}
+
+void TupleOrientedIndex::EncodeTo(std::string* dst) const {
+  dst->push_back(static_cast<char>(BitmapOrientation::kTupleOriented));
+  PutVarint64(dst, num_tuples_);
+  PutVarint64(dst, words_per_row_);
+  const size_t nbytes = matrix_.size() * 8;
+  PutVarint64(dst, nbytes);
+  dst->append(reinterpret_cast<const char*>(matrix_.data()), nbytes);
+}
+
+// ------------------------------------------------------------ persistence
+
+Result<std::unique_ptr<BitmapIndex>> BitmapIndex::DecodeFrom(Slice* input) {
+  if (input->empty()) return Status::Corruption("bitmap index: empty blob");
+  const auto orientation = static_cast<BitmapOrientation>((*input)[0]);
+  input->RemovePrefix(1);
+  if (orientation == BitmapOrientation::kBranchOriented) {
+    auto idx = std::make_unique<BranchOrientedIndex>();
+    uint64_t num_tuples, num_branches;
+    if (!GetVarint64(input, &num_tuples) ||
+        !GetVarint64(input, &num_branches)) {
+      return Status::Corruption("bitmap index: truncated header");
+    }
+    idx->num_tuples_ = num_tuples;
+    for (uint64_t i = 0; i < num_branches; ++i) {
+      uint32_t id;
+      Bitmap bm;
+      if (!GetVarint32(input, &id) || !Bitmap::DecodeFrom(input, &bm)) {
+        return Status::Corruption("bitmap index: truncated column");
+      }
+      idx->columns_[id] = std::move(bm);
+    }
+    return std::unique_ptr<BitmapIndex>(std::move(idx));
+  }
+  if (orientation == BitmapOrientation::kTupleOriented) {
+    auto idx = std::make_unique<TupleOrientedIndex>();
+    uint64_t num_tuples, wpr, nbytes;
+    if (!GetVarint64(input, &num_tuples) || !GetVarint64(input, &wpr) ||
+        !GetVarint64(input, &nbytes) || nbytes > input->size() ||
+        nbytes % 8 != 0) {
+      return Status::Corruption("bitmap index: truncated matrix");
+    }
+    idx->num_tuples_ = num_tuples;
+    idx->words_per_row_ = wpr;
+    idx->matrix_.resize(nbytes / 8);
+    memcpy(idx->matrix_.data(), input->data(), nbytes);
+    input->RemovePrefix(nbytes);
+    if (idx->matrix_.size() != num_tuples * wpr) {
+      return Status::Corruption("bitmap index: matrix size mismatch");
+    }
+    return std::unique_ptr<BitmapIndex>(std::move(idx));
+  }
+  return Status::Corruption("bitmap index: bad orientation byte");
+}
+
+}  // namespace decibel

@@ -1,0 +1,108 @@
+#ifndef DECIBEL_BITMAP_COMMIT_HISTORY_H_
+#define DECIBEL_BITMAP_COMMIT_HISTORY_H_
+
+/// \file commit_history.h
+/// On-disk history of a branch's bitmap snapshots (§3.2): each commit is
+/// stored as the XOR delta from the previous commit, RLE-compressed. To
+/// keep checkout from replaying arbitrarily long delta chains, every
+/// kCompositeEvery commits a second-layer *composite* delta (the XOR from
+/// the bitmap kCompositeEvery commits earlier) is also written, so a
+/// checkout replays O(chain/K + K) deltas. The paper uses exactly two
+/// layers; so do we.
+///
+/// The tuple-first engine keeps one history file per branch; the hybrid
+/// engine keeps one per (branch, segment) pair (§5.3, Table 2).
+///
+/// Record format (append-only file):
+///   layer u8 | seq varint | nbits varint | len varint | payload | crc32
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bitmap/bitmap.h"
+#include "common/io.h"
+#include "common/result.h"
+
+namespace decibel {
+
+class CommitHistory {
+ public:
+  struct Options {
+    /// Write a composite (layer-1) delta every this many commits.
+    uint32_t composite_every = 16;
+  };
+
+  /// Creates a new, empty history file (truncates an existing one).
+  static Result<std::unique_ptr<CommitHistory>> Create(
+      const std::string& path, const Options& options);
+  static Result<std::unique_ptr<CommitHistory>> Create(
+      const std::string& path) {
+    return Create(path, Options{});
+  }
+
+  /// Opens an existing history, rebuilding the in-memory record index by
+  /// scanning the file.
+  static Result<std::unique_ptr<CommitHistory>> Open(const std::string& path,
+                                                     const Options& options);
+  static Result<std::unique_ptr<CommitHistory>> Open(
+      const std::string& path) {
+    return Open(path, Options{});
+  }
+
+  /// Records the bitmap state at commit \p seq. Sequence numbers must be
+  /// strictly increasing.
+  Status AppendCommit(uint64_t seq, const Bitmap& bitmap);
+
+  /// Reconstructs the bitmap at the latest commit whose seq <= \p seq
+  /// ("floor" semantics — hybrid segments only write deltas when dirty).
+  /// NotFound if there is no such commit.
+  Result<Bitmap> Checkout(uint64_t seq) const;
+
+  /// True if some commit with seq' <= seq exists.
+  bool HasCommitAtOrBefore(uint64_t seq) const;
+
+  uint64_t num_commits() const { return layer0_.size(); }
+  /// Compressed on-disk size (Table 2's "Agg. Pack File Size").
+  uint64_t SizeBytes() const;
+  const std::string& path() const { return path_; }
+
+ private:
+  struct Entry {
+    uint64_t seq;
+    uint64_t nbits;     // bitmap size at this commit
+    uint64_t offset;    // payload offset in file
+    uint32_t length;    // payload length
+  };
+
+  explicit CommitHistory(std::string path, const Options& options)
+      : path_(std::move(path)), options_(options) {}
+
+  Status WriteRecord(uint8_t layer, uint64_t seq, uint64_t nbits,
+                     Slice payload);
+  Status ReadPayload(const Entry& e, std::string* out) const;
+  /// Replays deltas to produce the raw bitmap bytes at layer-0 position
+  /// \p pos (inclusive).
+  Status ReplayTo(size_t pos, std::string* bytes) const;
+
+  const std::string path_;
+  const Options options_;
+
+  std::optional<WritableFile> writer_;
+  mutable std::optional<RandomAccessFile> reader_;
+
+  std::vector<Entry> layer0_;
+  // layer1_[i] covers layer-0 records [0, (i+1)*composite_every).
+  std::vector<Entry> layer1_;
+
+  // Writer state.
+  std::string last_bytes_;        // raw bitmap bytes at the last commit
+  std::string composite_base_;    // raw bytes at the last composite boundary
+  bool writer_state_valid_ = true;
+};
+
+}  // namespace decibel
+
+#endif  // DECIBEL_BITMAP_COMMIT_HISTORY_H_

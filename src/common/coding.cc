@@ -1,0 +1,98 @@
+#include "common/coding.h"
+
+namespace decibel {
+
+void PutVarint32(std::string* dst, uint32_t value) {
+  unsigned char buf[5];
+  int n = 0;
+  while (value >= 0x80) {
+    buf[n++] = static_cast<unsigned char>(value) | 0x80;
+    value >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(value);
+  dst->append(reinterpret_cast<char*>(buf), n);
+}
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  unsigned char buf[10];
+  int n = 0;
+  while (value >= 0x80) {
+    buf[n++] = static_cast<unsigned char>(value) | 0x80;
+    value >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(value);
+  dst->append(reinterpret_cast<char*>(buf), n);
+}
+
+void PutLengthPrefixed(std::string* dst, Slice value) {
+  PutVarint64(dst, value.size());
+  dst->append(value.data(), value.size());
+}
+
+namespace {
+
+bool GetVarintImpl(Slice* input, uint64_t* value, int max_bytes) {
+  uint64_t result = 0;
+  const uint8_t* p = input->udata();
+  const uint8_t* limit = p + input->size();
+  for (int shift = 0; shift < max_bytes * 7 && p < limit; shift += 7) {
+    uint64_t byte = *p++;
+    if (byte & 0x80) {
+      result |= (byte & 0x7F) << shift;
+    } else {
+      result |= byte << shift;
+      *value = result;
+      input->RemovePrefix(p - input->udata());
+      return true;
+    }
+  }
+  return false;  // truncated or overlong
+}
+
+}  // namespace
+
+bool GetVarint32(Slice* input, uint32_t* value) {
+  uint64_t v;
+  if (!GetVarintImpl(input, &v, 5)) return false;
+  if (v > UINT32_MAX) return false;
+  *value = static_cast<uint32_t>(v);
+  return true;
+}
+
+bool GetVarint64(Slice* input, uint64_t* value) {
+  return GetVarintImpl(input, value, 10);
+}
+
+bool GetLengthPrefixed(Slice* input, Slice* result) {
+  uint64_t len;
+  if (!GetVarint64(input, &len)) return false;
+  if (len > input->size()) return false;
+  *result = Slice(input->data(), static_cast<size_t>(len));
+  input->RemovePrefix(static_cast<size_t>(len));
+  return true;
+}
+
+bool GetFixed32(Slice* input, uint32_t* value) {
+  if (input->size() < sizeof(uint32_t)) return false;
+  *value = DecodeFixed32(input->data());
+  input->RemovePrefix(sizeof(uint32_t));
+  return true;
+}
+
+bool GetFixed64(Slice* input, uint64_t* value) {
+  if (input->size() < sizeof(uint64_t)) return false;
+  *value = DecodeFixed64(input->data());
+  input->RemovePrefix(sizeof(uint64_t));
+  return true;
+}
+
+int VarintLength(uint64_t value) {
+  int len = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+}  // namespace decibel

@@ -1,0 +1,90 @@
+#ifndef DECIBEL_COMMON_CODING_H_
+#define DECIBEL_COMMON_CODING_H_
+
+/// \file coding.h
+/// Fixed-width and variable-width integer encoding, little-endian, used by
+/// all on-disk formats in Decibel.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/slice.h"
+
+namespace decibel {
+
+inline void EncodeFixed16(char* dst, uint16_t value) {
+  memcpy(dst, &value, sizeof(value));
+}
+inline void EncodeFixed32(char* dst, uint32_t value) {
+  memcpy(dst, &value, sizeof(value));
+}
+inline void EncodeFixed64(char* dst, uint64_t value) {
+  memcpy(dst, &value, sizeof(value));
+}
+
+inline uint16_t DecodeFixed16(const char* src) {
+  uint16_t v;
+  memcpy(&v, src, sizeof(v));
+  return v;
+}
+inline uint32_t DecodeFixed32(const char* src) {
+  uint32_t v;
+  memcpy(&v, src, sizeof(v));
+  return v;
+}
+inline uint64_t DecodeFixed64(const char* src) {
+  uint64_t v;
+  memcpy(&v, src, sizeof(v));
+  return v;
+}
+
+inline void PutFixed16(std::string* dst, uint16_t value) {
+  char buf[sizeof(value)];
+  EncodeFixed16(buf, value);
+  dst->append(buf, sizeof(buf));
+}
+inline void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[sizeof(value)];
+  EncodeFixed32(buf, value);
+  dst->append(buf, sizeof(buf));
+}
+inline void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[sizeof(value)];
+  EncodeFixed64(buf, value);
+  dst->append(buf, sizeof(buf));
+}
+
+/// Appends \p value varint-encoded (LEB128) to \p dst.
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+
+/// Appends a varint length prefix followed by the bytes of \p value.
+void PutLengthPrefixed(std::string* dst, Slice value);
+
+/// Parses a varint from the front of \p input, advancing it. Returns false
+/// on malformed/truncated input.
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+
+/// Parses a length-prefixed blob from the front of \p input, advancing it.
+bool GetLengthPrefixed(Slice* input, Slice* result);
+
+/// Reads a fixed32/64 from the front of \p input, advancing it.
+bool GetFixed32(Slice* input, uint32_t* value);
+bool GetFixed64(Slice* input, uint64_t* value);
+
+/// ZigZag maps signed to unsigned so small magnitudes varint-encode small.
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+/// Number of bytes PutVarint64 would emit for \p value.
+int VarintLength(uint64_t value);
+
+}  // namespace decibel
+
+#endif  // DECIBEL_COMMON_CODING_H_

@@ -1,0 +1,31 @@
+#ifndef DECIBEL_COMMON_CRC32_H_
+#define DECIBEL_COMMON_CRC32_H_
+
+/// \file crc32.h
+/// CRC-32 (IEEE 802.3 polynomial) used to checksum pages, commit-history
+/// records and git-like objects so corruption surfaces as Status errors
+/// instead of silent wrong answers.
+
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace decibel {
+
+/// Computes the CRC-32 of \p data, continuing from \p seed (0 for a fresh
+/// checksum).
+uint32_t Crc32(Slice data, uint32_t seed = 0);
+
+/// Masked CRC in the RocksDB style: storing a CRC of data that itself
+/// contains CRCs is error-prone, so persisted checksums are masked.
+inline uint32_t MaskCrc(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+inline uint32_t UnmaskCrc(uint32_t masked) {
+  uint32_t rot = masked - 0xa282ead8u;
+  return (rot << 15) | (rot >> 17);
+}
+
+}  // namespace decibel
+
+#endif  // DECIBEL_COMMON_CRC32_H_

@@ -1,0 +1,14 @@
+#include "common/hash.h"
+
+namespace decibel {
+
+uint64_t Fnv1a64(Slice data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < data.size(); ++i) {
+    h ^= static_cast<uint8_t>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace decibel

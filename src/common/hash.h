@@ -1,0 +1,36 @@
+#ifndef DECIBEL_COMMON_HASH_H_
+#define DECIBEL_COMMON_HASH_H_
+
+/// \file hash.h
+/// Non-cryptographic hashing used by hash joins, primary-key indexes and
+/// the git-like object store's delta index.
+
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace decibel {
+
+/// 64-bit FNV-1a over a byte range. Stable across platforms/runs, so safe
+/// to persist.
+uint64_t Fnv1a64(Slice data);
+
+/// xxHash64-style avalanche mix of a single 64-bit value. Used for integer
+/// keys (primary keys) where byte-stream hashing is overkill.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Combines two hashes (boost::hash_combine flavoured, 64-bit).
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+}  // namespace decibel
+
+#endif  // DECIBEL_COMMON_HASH_H_

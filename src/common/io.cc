@@ -1,0 +1,331 @@
+#include "common/io.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace decibel {
+
+namespace {
+
+constexpr size_t kWriteBufferSize = 1 << 20;  // 1 MiB
+
+Status ErrnoStatus(const std::string& context) {
+  return Status::IOError(context + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Writable
+
+WritableFile::~WritableFile() {
+  if (fd_ >= 0) {
+    Close().ok();  // best effort on destruction
+  }
+}
+
+WritableFile::WritableFile(WritableFile&& other) noexcept
+    : fd_(other.fd_),
+      path_(std::move(other.path_)),
+      size_(other.size_),
+      buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+Result<WritableFile> WritableFile::Open(const std::string& path,
+                                        bool truncate) {
+  int flags = O_WRONLY | O_CREAT | (truncate ? O_TRUNC : O_APPEND);
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) return ErrnoStatus("open " + path);
+  uint64_t size = 0;
+  if (!truncate) {
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      return ErrnoStatus("fstat " + path);
+    }
+    size = static_cast<uint64_t>(st.st_size);
+  }
+  WritableFile f(fd, path, size);
+  f.buffer_.reserve(kWriteBufferSize);
+  return f;
+}
+
+Status WritableFile::Append(Slice data) {
+  size_ += data.size();
+  if (buffer_.size() + data.size() <= kWriteBufferSize) {
+    buffer_.append(data.data(), data.size());
+    return Status::OK();
+  }
+  DECIBEL_RETURN_NOT_OK(Flush());
+  if (data.size() >= kWriteBufferSize) {
+    // Large write: bypass the buffer.
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("write " + path_);
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+  buffer_.append(data.data(), data.size());
+  return Status::OK();
+}
+
+Status WritableFile::Flush() {
+  const char* p = buffer_.data();
+  size_t left = buffer_.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write " + path_);
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status WritableFile::Sync() {
+  DECIBEL_RETURN_NOT_OK(Flush());
+  if (::fdatasync(fd_) != 0) return ErrnoStatus("fdatasync " + path_);
+  return Status::OK();
+}
+
+Status WritableFile::Close() {
+  if (fd_ < 0) return Status::OK();
+  Status s = Flush();
+  if (::close(fd_) != 0 && s.ok()) s = ErrnoStatus("close " + path_);
+  fd_ = -1;
+  return s;
+}
+
+// ------------------------------------------------------------ RandomAccess
+
+RandomAccessFile::~RandomAccessFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+RandomAccessFile::RandomAccessFile(RandomAccessFile&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)), size_(other.size_) {
+  other.fd_ = -1;
+}
+
+Result<RandomAccessFile> RandomAccessFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return ErrnoStatus("open " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return ErrnoStatus("fstat " + path);
+  }
+  return RandomAccessFile(fd, path, static_cast<uint64_t>(st.st_size));
+}
+
+Status RandomAccessFile::Read(uint64_t offset, size_t n,
+                              std::string* scratch) const {
+  scratch->resize(n);
+  char* p = scratch->data();
+  size_t left = n;
+  uint64_t off = offset;
+  while (left > 0) {
+    ssize_t r = ::pread(fd_, p, left, static_cast<off_t>(off));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("pread " + path_);
+    }
+    if (r == 0) {
+      return Status::IOError("short read at offset " + std::to_string(offset) +
+                             " in " + path_);
+    }
+    p += r;
+    left -= static_cast<size_t>(r);
+    off += static_cast<uint64_t>(r);
+  }
+  return Status::OK();
+}
+
+// ------------------------------------------------------------ RandomWrite
+
+RandomWriteFile::~RandomWriteFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+RandomWriteFile::RandomWriteFile(RandomWriteFile&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+}
+
+Result<RandomWriteFile> RandomWriteFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd < 0) return ErrnoStatus("open " + path);
+  return RandomWriteFile(fd, path);
+}
+
+Status RandomWriteFile::WriteAt(uint64_t offset, Slice data) {
+  const char* p = data.data();
+  size_t left = data.size();
+  uint64_t off = offset;
+  while (left > 0) {
+    ssize_t n = ::pwrite(fd_, p, left, static_cast<off_t>(off));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("pwrite " + path_);
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+    off += static_cast<uint64_t>(n);
+  }
+  return Status::OK();
+}
+
+Status RandomWriteFile::Sync() {
+  if (::fdatasync(fd_) != 0) return ErrnoStatus("fdatasync " + path_);
+  return Status::OK();
+}
+
+Status RandomWriteFile::Close() {
+  if (fd_ < 0) return Status::OK();
+  Status s = Status::OK();
+  if (::close(fd_) != 0) s = ErrnoStatus("close " + path_);
+  fd_ = -1;
+  return s;
+}
+
+// ------------------------------------------------------------- filesystem
+
+Status CreateDir(const std::string& path) {
+  std::string partial;
+  size_t pos = 0;
+  while (pos < path.size()) {
+    size_t next = path.find('/', pos + 1);
+    partial = path.substr(0, next == std::string::npos ? path.size() : next);
+    if (!partial.empty() && ::mkdir(partial.c_str(), 0755) != 0 &&
+        errno != EEXIST) {
+      return ErrnoStatus("mkdir " + partial);
+    }
+    if (next == std::string::npos) break;
+    pos = next;
+  }
+  return Status::OK();
+}
+
+Status RemoveDirRecursive(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) {
+    if (errno == ENOENT) return Status::OK();
+    return ErrnoStatus("opendir " + path);
+  }
+  Status result = Status::OK();
+  struct dirent* entry;
+  while ((entry = ::readdir(dir)) != nullptr) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    const std::string child = JoinPath(path, name);
+    struct stat st;
+    if (::lstat(child.c_str(), &st) != 0) {
+      result = ErrnoStatus("lstat " + child);
+      break;
+    }
+    Status s = S_ISDIR(st.st_mode) ? RemoveDirRecursive(child)
+                                   : RemoveFile(child);
+    if (!s.ok()) {
+      result = s;
+      break;
+    }
+  }
+  ::closedir(dir);
+  DECIBEL_RETURN_NOT_OK(result);
+  if (::rmdir(path.c_str()) != 0 && errno != ENOENT) {
+    return ErrnoStatus("rmdir " + path);
+  }
+  return Status::OK();
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return ErrnoStatus("unlink " + path);
+  }
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Result<uint64_t> FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return ErrnoStatus("stat " + path);
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return ErrnoStatus("opendir " + path);
+  std::vector<std::string> names;
+  struct dirent* entry;
+  while ((entry = ::readdir(dir)) != nullptr) {
+    const std::string name = entry->d_name;
+    if (name != "." && name != "..") names.push_back(name);
+  }
+  ::closedir(dir);
+  return names;
+}
+
+uint64_t DirSizeBytes(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return 0;
+  uint64_t total = 0;
+  struct dirent* entry;
+  while ((entry = ::readdir(dir)) != nullptr) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    const std::string child = JoinPath(path, name);
+    struct stat st;
+    if (::lstat(child.c_str(), &st) != 0) continue;
+    if (S_ISDIR(st.st_mode)) {
+      total += DirSizeBytes(child);
+    } else {
+      total += static_cast<uint64_t>(st.st_size);
+    }
+  }
+  ::closedir(dir);
+  return total;
+}
+
+Status WriteStringToFile(const std::string& path, Slice data) {
+  DECIBEL_ASSIGN_OR_RETURN(WritableFile f, WritableFile::Open(path, true));
+  DECIBEL_RETURN_NOT_OK(f.Append(data));
+  return f.Close();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  DECIBEL_ASSIGN_OR_RETURN(RandomAccessFile f, RandomAccessFile::Open(path));
+  std::string out;
+  if (f.Size() > 0) {
+    DECIBEL_RETURN_NOT_OK(f.Read(0, f.Size(), &out));
+  }
+  return out;
+}
+
+std::string JoinPath(const std::string& a, const std::string& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  if (a.back() == '/') return a + b;
+  return a + "/" + b;
+}
+
+}  // namespace decibel

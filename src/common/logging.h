@@ -1,0 +1,29 @@
+#ifndef DECIBEL_COMMON_LOGGING_H_
+#define DECIBEL_COMMON_LOGGING_H_
+
+/// \file logging.h
+/// Internal-invariant checking. DCHECKs document programmer contracts and
+/// compile out of release builds; user-facing errors always travel through
+/// Status, never through aborts.
+
+#include <cstdio>
+#include <cstdlib>
+
+#define DECIBEL_CHECK(cond)                                            \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                   \
+      std::abort();                                                    \
+    }                                                                  \
+  } while (0)
+
+#ifndef NDEBUG
+#define DECIBEL_DCHECK(cond) DECIBEL_CHECK(cond)
+#else
+#define DECIBEL_DCHECK(cond) \
+  do {                       \
+  } while (0)
+#endif
+
+#endif  // DECIBEL_COMMON_LOGGING_H_

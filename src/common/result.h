@@ -1,0 +1,87 @@
+#ifndef DECIBEL_COMMON_RESULT_H_
+#define DECIBEL_COMMON_RESULT_H_
+
+/// \file result.h
+/// Result<T>: a value-or-Status, in the style of arrow::Result /
+/// absl::StatusOr. Returned by fallible operations that produce a value.
+
+#include <cassert>
+#include <type_traits>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace decibel {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent. Accessing the value of an errored Result aborts in
+/// debug builds (programmer error).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Constructs an errored Result. \p status must not be OK.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT implicit
+    assert(!std::get<Status>(repr_).ok());
+  }
+  /// Constructs a Result holding \p value.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT implicit
+
+  Result(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(const Result&) = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The status: OK if a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// Moves the value out of the Result.
+  T MoveValueUnsafe() {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace decibel
+
+/// Evaluates an expression returning Result<T>; on error propagates the
+/// Status, otherwise assigns the value to `lhs`.
+#define DECIBEL_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).MoveValueUnsafe();
+
+#define DECIBEL_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define DECIBEL_ASSIGN_OR_RETURN_NAME(x, y) \
+  DECIBEL_ASSIGN_OR_RETURN_CONCAT(x, y)
+
+#define DECIBEL_ASSIGN_OR_RETURN(lhs, rexpr) \
+  DECIBEL_ASSIGN_OR_RETURN_IMPL(             \
+      DECIBEL_ASSIGN_OR_RETURN_NAME(_result_tmp_, __COUNTER__), lhs, rexpr)
+
+#endif  // DECIBEL_COMMON_RESULT_H_

@@ -1,0 +1,65 @@
+#ifndef DECIBEL_COMMON_SLICE_H_
+#define DECIBEL_COMMON_SLICE_H_
+
+/// \file slice.h
+/// A non-owning view over a byte range, in the RocksDB tradition. Used at
+/// storage-layer boundaries where std::string_view's char orientation is
+/// awkward and we want explicit byte semantics.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace decibel {
+
+class Slice {
+ public:
+  Slice() : data_(nullptr), size_(0) {}
+  Slice(const char* data, size_t size) : data_(data), size_(size) {}
+  Slice(const uint8_t* data, size_t size)
+      : data_(reinterpret_cast<const char*>(data)), size_(size) {}
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}  // NOLINT
+  Slice(std::string_view s) : data_(s.data()), size_(s.size()) {}    // NOLINT
+  Slice(const char* s) : data_(s), size_(s ? strlen(s) : 0) {}       // NOLINT
+
+  const char* data() const { return data_; }
+  const uint8_t* udata() const {
+    return reinterpret_cast<const uint8_t*>(data_);
+  }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t i) const { return data_[i]; }
+
+  /// Drops the first \p n bytes from the view.
+  void RemovePrefix(size_t n) {
+    data_ += n;
+    size_ -= n;
+  }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view ToView() const { return std::string_view(data_, size_); }
+
+  int Compare(const Slice& other) const {
+    const size_t min_len = size_ < other.size_ ? size_ : other.size_;
+    int r = (min_len == 0) ? 0 : memcmp(data_, other.data_, min_len);
+    if (r == 0) {
+      if (size_ < other.size_) return -1;
+      if (size_ > other.size_) return 1;
+    }
+    return r;
+  }
+
+  bool operator==(const Slice& other) const { return Compare(other) == 0; }
+  bool operator!=(const Slice& other) const { return !(*this == other); }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+}  // namespace decibel
+
+#endif  // DECIBEL_COMMON_SLICE_H_

@@ -1,0 +1,41 @@
+#include "common/status.h"
+
+namespace decibel {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kNotSupported:
+      return "NotSupported";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kConflict:
+      return "Conflict";
+    case StatusCode::kAborted:
+      return "Aborted";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kUnknown:
+      return "Unknown";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result = StatusCodeToString(code());
+  result += ": ";
+  result += state_->msg;
+  return result;
+}
+
+}  // namespace decibel

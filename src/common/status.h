@@ -1,0 +1,139 @@
+#ifndef DECIBEL_COMMON_STATUS_H_
+#define DECIBEL_COMMON_STATUS_H_
+
+/// \file status.h
+/// Error handling for Decibel. Library code does not throw exceptions;
+/// every fallible operation returns a Status (or Result<T>, see result.h)
+/// in the style of RocksDB / Apache Arrow.
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace decibel {
+
+/// Machine-readable classification of an error.
+enum class StatusCode : unsigned char {
+  kOk = 0,
+  kNotFound = 1,
+  kCorruption = 2,
+  kNotSupported = 3,
+  kInvalidArgument = 4,
+  kIOError = 5,
+  kAlreadyExists = 6,
+  kConflict = 7,        ///< Versioning conflict (merge / concurrent commit).
+  kAborted = 8,         ///< Operation aborted (e.g. lock timeout).
+  kOutOfRange = 9,
+  kUnknown = 10,
+};
+
+/// Returns a human-readable name for \p code ("OK", "NotFound", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A Status encapsulates the result of an operation: success, or an error
+/// code plus message. The OK state carries no allocation.
+class Status {
+ public:
+  /// Creates a success status.
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string msg)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_unique<State>(State{code, std::move(msg)})) {}
+
+  Status(const Status& other)
+      : state_(other.state_ ? std::make_unique<State>(*other.state_)
+                            : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+    }
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory helpers, one per StatusCode.
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Conflict(std::string msg) {
+    return Status(StatusCode::kConflict, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unknown(std::string msg) {
+    return Status(StatusCode::kUnknown, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsNotSupported() const { return code() == StatusCode::kNotSupported; }
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsConflict() const { return code() == StatusCode::kConflict; }
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+
+  StatusCode code() const {
+    return state_ ? state_->code : StatusCode::kOk;
+  }
+
+  /// The error message, or empty for OK.
+  std::string_view message() const {
+    return state_ ? std::string_view(state_->msg) : std::string_view();
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  // nullptr means OK; keeps sizeof(Status) == sizeof(void*).
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace decibel
+
+/// Propagates a non-OK Status to the caller. Usable in any function that
+/// returns Status or Result<T>.
+#define DECIBEL_RETURN_NOT_OK(expr)                   \
+  do {                                                \
+    ::decibel::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                        \
+  } while (0)
+
+#endif  // DECIBEL_COMMON_STATUS_H_

@@ -1,0 +1,33 @@
+#ifndef DECIBEL_COMMON_STOPWATCH_H_
+#define DECIBEL_COMMON_STOPWATCH_H_
+
+/// \file stopwatch.h
+/// Wall-clock timing for the benchmark harness.
+
+#include <chrono>
+#include <cstdint>
+
+namespace decibel {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  uint64_t ElapsedMicros() const {
+    return static_cast<uint64_t>(ElapsedSeconds() * 1e6);
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace decibel
+
+#endif  // DECIBEL_COMMON_STOPWATCH_H_

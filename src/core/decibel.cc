@@ -1,0 +1,293 @@
+#include "core/decibel.h"
+
+#include "common/coding.h"
+#include "common/crc32.h"
+#include "common/io.h"
+
+namespace decibel {
+
+namespace {
+/// Lock-owner id used by facade-internal one-shot operations.
+constexpr uint64_t kInternalOwner = 0;
+}  // namespace
+
+Result<std::unique_ptr<Decibel>> Decibel::Open(const std::string& path,
+                                               const Schema& schema,
+                                               const DecibelOptions& options) {
+  std::unique_ptr<Decibel> db(new Decibel(path, schema, options));
+  DECIBEL_RETURN_NOT_OK(CreateDir(path));
+
+  EngineOptions engine_options;
+  engine_options.directory = JoinPath(path, EngineTypeName(options.engine));
+  engine_options.page_size = options.page_size;
+  engine_options.buffer_pool_bytes = options.buffer_pool_bytes;
+  engine_options.orientation = options.orientation;
+  engine_options.composite_every = options.composite_every;
+  engine_options.verify_checksums = options.verify_checksums;
+  engine_options.scan_threads = options.scan_threads;
+  DECIBEL_ASSIGN_OR_RETURN(db->engine_,
+                           MakeEngine(options.engine, schema, engine_options));
+
+  if (FileExists(db->GraphPath())) {
+    DECIBEL_ASSIGN_OR_RETURN(std::string blob,
+                             ReadFileToString(db->GraphPath()));
+    if (blob.size() < sizeof(uint32_t)) {
+      return Status::Corruption("version graph file truncated");
+    }
+    const uint32_t stored =
+        UnmaskCrc(DecodeFixed32(blob.data() + blob.size() - 4));
+    blob.resize(blob.size() - 4);
+    if (stored != Crc32(blob)) {
+      return Status::Corruption("version graph checksum mismatch");
+    }
+    DECIBEL_ASSIGN_OR_RETURN(db->graph_, VersionGraph::DecodeFrom(blob));
+  } else {
+    // Init (§2.2.3): create the master branch and its initial commit.
+    DECIBEL_ASSIGN_OR_RETURN(CommitId init, db->graph_.Init());
+    DECIBEL_RETURN_NOT_OK(db->engine_->Commit(kMasterBranch, init));
+    DECIBEL_RETURN_NOT_OK(db->PersistGraph());
+  }
+  return db;
+}
+
+Decibel::~Decibel() {
+  // Best-effort flush; engine_ is null when Open failed part-way through.
+  if (engine_ != nullptr) {
+    engine_->Flush().ok();
+    PersistGraph().ok();
+  }
+}
+
+std::string Decibel::GraphPath() const {
+  return JoinPath(path_, "graph.bin");
+}
+
+Status Decibel::PersistGraph() {
+  // "this graph is updated and persisted on disk as a part of each branch
+  // or commit operation" (§3). Write-then-rename keeps it atomic.
+  std::string blob;
+  graph_.EncodeTo(&blob);
+  PutFixed32(&blob, MaskCrc(Crc32(blob)));
+  const std::string tmp = GraphPath() + ".tmp";
+  DECIBEL_RETURN_NOT_OK(WriteStringToFile(tmp, blob));
+  if (::rename(tmp.c_str(), GraphPath().c_str()) != 0) {
+    return Status::IOError("rename " + tmp);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------- sessions
+
+Session Decibel::NewSession() {
+  Session s;
+  std::lock_guard<std::mutex> guard(mu_);
+  s.id_ = next_session_++;
+  return s;
+}
+
+Status Decibel::Use(Session* session, BranchId branch) {
+  if (!graph_.HasBranch(branch)) {
+    return Status::NotFound("no branch " + std::to_string(branch));
+  }
+  session->branch_ = branch;
+  session->checked_out_ = kInvalidCommit;
+  return Status::OK();
+}
+
+Status Decibel::Use(Session* session, const std::string& branch_name) {
+  DECIBEL_ASSIGN_OR_RETURN(BranchId b, graph_.FindBranchByName(branch_name));
+  return Use(session, b);
+}
+
+Status Decibel::Checkout(Session* session, CommitId commit) {
+  DECIBEL_ASSIGN_OR_RETURN(CommitInfo info, graph_.GetCommit(commit));
+  DECIBEL_RETURN_NOT_OK(engine_->Checkout(commit));
+  session->branch_ = info.branch;
+  session->checked_out_ = commit;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------- version control
+
+Result<CommitId> Decibel::CommitLocked(BranchId branch) {
+  DECIBEL_ASSIGN_OR_RETURN(CommitId commit, graph_.AddCommit(branch));
+  DECIBEL_RETURN_NOT_OK(engine_->Commit(branch, commit));
+  dirty_.erase(branch);
+  DECIBEL_RETURN_NOT_OK(PersistGraph());
+  return commit;
+}
+
+Result<CommitId> Decibel::EnsureCommitted(BranchId branch) {
+  if (dirty_.count(branch) != 0) {
+    return CommitLocked(branch);
+  }
+  return graph_.Head(branch);
+}
+
+Result<CommitId> Decibel::Commit(Session* session) {
+  if (!session->at_head()) {
+    return Status::InvalidArgument(
+        "commits are not allowed to non-head versions (§2.2.3)");
+  }
+  return CommitBranch(session->branch_);
+}
+
+Result<CommitId> Decibel::CommitBranch(BranchId branch) {
+  DECIBEL_RETURN_NOT_OK(
+      locks_.Acquire(kInternalOwner, branch, LockMode::kExclusive));
+  ScopedLock guard(&locks_, kInternalOwner, branch);
+  std::lock_guard<std::mutex> lock(mu_);
+  return CommitLocked(branch);
+}
+
+Result<BranchId> Decibel::Branch(const std::string& name, Session* session) {
+  if (!session->at_head()) {
+    // Branching from a checkout = branching at that commit.
+    return BranchAt(name, session->checked_out_);
+  }
+  const BranchId parent = session->branch_;
+  DECIBEL_RETURN_NOT_OK(
+      locks_.Acquire(kInternalOwner, parent, LockMode::kExclusive));
+  ScopedLock guard(&locks_, kInternalOwner, parent);
+  std::lock_guard<std::mutex> lock(mu_);
+  DECIBEL_ASSIGN_OR_RETURN(CommitId base, EnsureCommitted(parent));
+  DECIBEL_ASSIGN_OR_RETURN(BranchId child, graph_.CreateBranch(name, base));
+  DECIBEL_RETURN_NOT_OK(
+      engine_->CreateBranch(child, parent, base, /*at_head=*/true));
+  DECIBEL_RETURN_NOT_OK(PersistGraph());
+  return child;
+}
+
+Result<BranchId> Decibel::BranchAt(const std::string& name, CommitId commit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DECIBEL_ASSIGN_OR_RETURN(CommitInfo info, graph_.GetCommit(commit));
+  const bool at_head =
+      graph_.Head(info.branch) == commit && dirty_.count(info.branch) == 0;
+  DECIBEL_ASSIGN_OR_RETURN(BranchId child, graph_.CreateBranch(name, commit));
+  DECIBEL_RETURN_NOT_OK(
+      engine_->CreateBranch(child, info.branch, commit, at_head));
+  DECIBEL_RETURN_NOT_OK(PersistGraph());
+  return child;
+}
+
+Result<MergeInfo> Decibel::Merge(BranchId into, BranchId from,
+                                 MergePolicy policy) {
+  DECIBEL_RETURN_NOT_OK(
+      locks_.Acquire(kInternalOwner, into, LockMode::kExclusive));
+  ScopedLock guard_into(&locks_, kInternalOwner, into);
+  DECIBEL_RETURN_NOT_OK(
+      locks_.Acquire(kInternalOwner, from, LockMode::kShared));
+  ScopedLock guard_from(&locks_, kInternalOwner, from);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  // Both heads must be committed so the lca and the merge commit are
+  // well-defined versions.
+  DECIBEL_ASSIGN_OR_RETURN(CommitId head_into, EnsureCommitted(into));
+  DECIBEL_ASSIGN_OR_RETURN(CommitId head_from, EnsureCommitted(from));
+  DECIBEL_ASSIGN_OR_RETURN(CommitId lca, graph_.Lca(head_into, head_from));
+  DECIBEL_ASSIGN_OR_RETURN(CommitId commit,
+                           graph_.AddMergeCommit(into, from));
+  auto merged = engine_->Merge(into, from, lca, commit, policy);
+  if (!merged.ok()) return merged.status();
+  DECIBEL_RETURN_NOT_OK(PersistGraph());
+  MergeInfo info;
+  info.commit = commit;
+  info.result = *merged;
+  return info;
+}
+
+// ----------------------------------------------------------------- mutation
+
+Status Decibel::WriteGuard(const Session& session) const {
+  if (!session.at_head()) {
+    return Status::InvalidArgument(
+        "session has a historical checkout; writes must target a branch "
+        "head");
+  }
+  return Status::OK();
+}
+
+Status Decibel::Insert(Session& session, const Record& record) {
+  DECIBEL_RETURN_NOT_OK(WriteGuard(session));
+  return InsertInto(session.branch_, record);
+}
+
+Status Decibel::Update(Session& session, const Record& record) {
+  DECIBEL_RETURN_NOT_OK(WriteGuard(session));
+  return UpdateIn(session.branch_, record);
+}
+
+Status Decibel::Delete(Session& session, int64_t pk) {
+  DECIBEL_RETURN_NOT_OK(WriteGuard(session));
+  return DeleteFrom(session.branch_, pk);
+}
+
+Status Decibel::InsertInto(BranchId branch, const Record& record) {
+  DECIBEL_RETURN_NOT_OK(engine_->Insert(branch, record));
+  std::lock_guard<std::mutex> lock(mu_);
+  dirty_.insert(branch);
+  return Status::OK();
+}
+
+Status Decibel::UpdateIn(BranchId branch, const Record& record) {
+  DECIBEL_RETURN_NOT_OK(engine_->Update(branch, record));
+  std::lock_guard<std::mutex> lock(mu_);
+  dirty_.insert(branch);
+  return Status::OK();
+}
+
+Status Decibel::DeleteFrom(BranchId branch, int64_t pk) {
+  DECIBEL_RETURN_NOT_OK(engine_->Delete(branch, pk));
+  std::lock_guard<std::mutex> lock(mu_);
+  dirty_.insert(branch);
+  return Status::OK();
+}
+
+bool Decibel::IsDirty(BranchId branch) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dirty_.count(branch) != 0;
+}
+
+// ------------------------------------------------------------------ queries
+
+Result<std::unique_ptr<RecordIterator>> Decibel::Scan(const Session& session) {
+  if (session.at_head()) return ScanBranch(session.branch_);
+  return ScanCommit(session.checked_out_);
+}
+
+Result<std::unique_ptr<RecordIterator>> Decibel::ScanBranch(BranchId branch) {
+  return engine_->ScanBranch(branch);
+}
+
+Result<std::unique_ptr<RecordIterator>> Decibel::ScanCommit(CommitId commit) {
+  return engine_->ScanCommit(commit);
+}
+
+Status Decibel::ScanMulti(const std::vector<BranchId>& branches,
+                          const MultiScanCallback& callback) {
+  return engine_->ScanMulti(branches, callback);
+}
+
+Status Decibel::ScanHeads(const MultiScanCallback& callback,
+                          std::vector<BranchId>* branches_out) {
+  std::vector<BranchId> heads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    heads = graph_.ActiveBranches();
+  }
+  if (branches_out != nullptr) *branches_out = heads;
+  return engine_->ScanMulti(heads, callback);
+}
+
+Status Decibel::Diff(BranchId a, BranchId b, DiffMode mode,
+                     const DiffCallback& pos, const DiffCallback& neg) {
+  return engine_->Diff(a, b, mode, pos, neg);
+}
+
+Status Decibel::Flush() {
+  DECIBEL_RETURN_NOT_OK(engine_->Flush());
+  std::lock_guard<std::mutex> lock(mu_);
+  return PersistGraph();
+}
+
+}  // namespace decibel

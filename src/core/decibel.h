@@ -1,0 +1,183 @@
+#ifndef DECIBEL_CORE_DECIBEL_H_
+#define DECIBEL_CORE_DECIBEL_H_
+
+/// \file decibel.h
+/// The public Decibel API (§2): a branched-versioned relational dataset.
+/// The facade owns the version graph, the session registry and the lock
+/// manager, and drives one of the three storage engines underneath.
+///
+/// Typical flow (see examples/quickstart.cc):
+///
+///   auto db = Decibel::Open("/tmp/db", schema, {});
+///   Session& s = db->session();
+///   db->Insert(s, record);                 // master working state
+///   CommitId c1 = db->Commit(s);           // snapshot
+///   BranchId dev = db->Branch("dev", s);   // branch at the snapshot
+///   ...
+///   db->Merge(master, dev, MergePolicy::kThreeWayLeft);
+///
+/// Operational semantics follow §2.2.3: updates become visible to other
+/// branches only through merges; only committed versions can be checked
+/// out; branches can be taken from any commit; concurrent sessions are
+/// isolated with branch-granularity two-phase locking.
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "engine/engine.h"
+#include "txn/lock_manager.h"
+#include "version/version_graph.h"
+
+namespace decibel {
+
+struct DecibelOptions {
+  EngineType engine = EngineType::kHybrid;
+  uint64_t page_size = 1 << 20;
+  uint64_t buffer_pool_bytes = 64 << 20;
+  BitmapOrientation orientation = BitmapOrientation::kBranchOriented;
+  uint32_t composite_every = 16;
+  bool verify_checksums = true;
+  int scan_threads = 0;
+};
+
+/// A user session: the commit/branch the user's operations target
+/// (§2.2.3: "A session captures the user's state").
+class Session {
+ public:
+  uint64_t id() const { return id_; }
+  /// The branch this session writes to / reads from.
+  BranchId branch() const { return branch_; }
+  /// When set (by Checkout of a historical commit), reads serve this
+  /// commit instead of the branch head.
+  CommitId checked_out() const { return checked_out_; }
+  bool at_head() const { return checked_out_ == kInvalidCommit; }
+
+ private:
+  friend class Decibel;
+  uint64_t id_ = 0;
+  BranchId branch_ = kMasterBranch;
+  CommitId checked_out_ = kInvalidCommit;
+};
+
+struct MergeInfo {
+  CommitId commit = kInvalidCommit;
+  MergeResult result;
+};
+
+class Decibel {
+ public:
+  /// Opens (or initializes) a Decibel database at \p path. A fresh
+  /// database is Init-ed with a master branch holding \p schema (§2.2.3).
+  static Result<std::unique_ptr<Decibel>> Open(const std::string& path,
+                                               const Schema& schema,
+                                               const DecibelOptions& options);
+
+  ~Decibel();
+
+  // ------------------------------------------------------------- sessions
+
+  /// Opens a session positioned at the master head.
+  Session NewSession();
+
+  /// Points \p session at the head of \p branch.
+  Status Use(Session* session, BranchId branch);
+  Status Use(Session* session, const std::string& branch_name);
+
+  /// Checks out a committed version into the session (read-only view,
+  /// §2.2.3 Checkout).
+  Status Checkout(Session* session, CommitId commit);
+
+  // ------------------------------------------------------- version control
+
+  /// Branches \p name off the session's current position. If the session
+  /// head has uncommitted changes they are committed first (branching is
+  /// always anchored at a commit).
+  Result<BranchId> Branch(const std::string& name, Session* session);
+  /// Branches \p name off an explicit commit.
+  Result<BranchId> BranchAt(const std::string& name, CommitId commit);
+
+  /// Commits the session's branch working state (§2.2.3 Commit). Fails
+  /// with InvalidArgument if the session has a historical checkout
+  /// ("Commits are not allowed to non-head versions").
+  Result<CommitId> Commit(Session* session);
+  Result<CommitId> CommitBranch(BranchId branch);
+
+  /// Merges \p from into \p into; the merge commit becomes the new head
+  /// of \p into (§2.2.3 Merge).
+  Result<MergeInfo> Merge(BranchId into, BranchId from, MergePolicy policy);
+
+  // ------------------------------------------------------------- mutation
+
+  Status Insert(Session& session, const Record& record);
+  Status Update(Session& session, const Record& record);
+  Status Delete(Session& session, int64_t pk);
+
+  /// Convenience entry points keyed by branch (the benchmark driver's
+  /// path; equivalent to a one-op session).
+  Status InsertInto(BranchId branch, const Record& record);
+  Status UpdateIn(BranchId branch, const Record& record);
+  Status DeleteFrom(BranchId branch, int64_t pk);
+
+  // -------------------------------------------------------------- queries
+
+  /// Scans the session's current view (branch head or checkout).
+  Result<std::unique_ptr<RecordIterator>> Scan(const Session& session);
+  Result<std::unique_ptr<RecordIterator>> ScanBranch(BranchId branch);
+  Result<std::unique_ptr<RecordIterator>> ScanCommit(CommitId commit);
+
+  /// Scans several branches at once, annotating records with the branches
+  /// containing them (positions into \p branches).
+  Status ScanMulti(const std::vector<BranchId>& branches,
+                   const MultiScanCallback& callback);
+
+  /// Scans the heads of all active branches (Table 1 query 4).
+  Status ScanHeads(const MultiScanCallback& callback,
+                   std::vector<BranchId>* branches_out = nullptr);
+
+  Status Diff(BranchId a, BranchId b, DiffMode mode, const DiffCallback& pos,
+              const DiffCallback& neg);
+
+  // ------------------------------------------------------------- metadata
+
+  const Schema& schema() const { return schema_; }
+  const VersionGraph& graph() const { return graph_; }
+  StorageEngine* engine() { return engine_.get(); }
+  LockManager* lock_manager() { return &locks_; }
+  /// True if \p branch has modifications not yet captured by a commit.
+  bool IsDirty(BranchId branch) const;
+
+  Status Flush();
+
+ private:
+  Decibel(std::string path, Schema schema, DecibelOptions options)
+      : path_(std::move(path)),
+        schema_(std::move(schema)),
+        options_(options) {}
+
+  Status PersistGraph();
+  std::string GraphPath() const;
+  /// Commits \p branch if it has uncommitted changes; returns its head.
+  Result<CommitId> EnsureCommitted(BranchId branch);
+  Result<CommitId> CommitLocked(BranchId branch);
+  /// Resolves the session's read position to a commit or branch head.
+  Status WriteGuard(const Session& session) const;
+
+  const std::string path_;
+  const Schema schema_;
+  const DecibelOptions options_;
+
+  std::unique_ptr<StorageEngine> engine_;
+  VersionGraph graph_;
+  LockManager locks_;
+
+  mutable std::mutex mu_;  // guards graph_, dirty_, session ids
+  std::unordered_set<BranchId> dirty_;
+  uint64_t next_session_ = 1;
+};
+
+}  // namespace decibel
+
+#endif  // DECIBEL_CORE_DECIBEL_H_

@@ -1,0 +1,43 @@
+#include "engine/engine.h"
+
+#include "engine/hybrid.h"
+#include "engine/tuple_first.h"
+#include "engine/version_first.h"
+
+namespace decibel {
+
+const char* EngineTypeName(EngineType type) {
+  switch (type) {
+    case EngineType::kTupleFirst:
+      return "tuple-first";
+    case EngineType::kVersionFirst:
+      return "version-first";
+    case EngineType::kHybrid:
+      return "hybrid";
+  }
+  return "unknown";
+}
+
+Result<std::unique_ptr<StorageEngine>> MakeEngine(
+    EngineType type, const Schema& schema, const EngineOptions& options) {
+  switch (type) {
+    case EngineType::kTupleFirst: {
+      DECIBEL_ASSIGN_OR_RETURN(auto engine,
+                               TupleFirstEngine::Make(schema, options));
+      return std::unique_ptr<StorageEngine>(std::move(engine));
+    }
+    case EngineType::kVersionFirst: {
+      DECIBEL_ASSIGN_OR_RETURN(auto engine,
+                               VersionFirstEngine::Make(schema, options));
+      return std::unique_ptr<StorageEngine>(std::move(engine));
+    }
+    case EngineType::kHybrid: {
+      DECIBEL_ASSIGN_OR_RETURN(auto engine,
+                               HybridEngine::Make(schema, options));
+      return std::unique_ptr<StorageEngine>(std::move(engine));
+    }
+  }
+  return Status::InvalidArgument("unknown engine type");
+}
+
+}  // namespace decibel

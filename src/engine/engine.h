@@ -1,0 +1,182 @@
+#ifndef DECIBEL_ENGINE_ENGINE_H_
+#define DECIBEL_ENGINE_ENGINE_H_
+
+/// \file engine.h
+/// The common contract implemented by Decibel's three versioned storage
+/// engines (§3): tuple-first, version-first, and hybrid. The Decibel
+/// facade (core/decibel.h) owns the version graph and drives engines with
+/// already-allocated branch and commit identifiers; engines own the
+/// physical layout, the scans, the diffs and the merges.
+///
+/// Data semantics (§2.2): a dataset is an unordered collection of records
+/// identified by primary key. Update is an upsert (a new physical copy of
+/// the record is appended; the old copy stays visible to historical
+/// commits). Delete hides the key from the branch head but never removes
+/// bytes.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bitmap/bitmap_index.h"
+#include "common/result.h"
+#include "storage/record.h"
+#include "storage/schema.h"
+#include "version/types.h"
+
+namespace decibel {
+
+enum class EngineType {
+  kTupleFirst,
+  kVersionFirst,
+  kHybrid,
+};
+
+const char* EngineTypeName(EngineType type);
+
+struct EngineOptions {
+  /// Directory this engine stores its files under (created if absent).
+  std::string directory;
+  uint64_t page_size = 1 << 20;           ///< paper: 4 MB
+  uint64_t buffer_pool_bytes = 64 << 20;  ///< read-cache budget
+  /// Bitmap layout for tuple-first / hybrid (§5: branch-oriented default).
+  BitmapOrientation orientation = BitmapOrientation::kBranchOriented;
+  /// Commit-history composite-delta interval (§3.2's second layer).
+  uint32_t composite_every = 16;
+  bool verify_checksums = true;
+  /// >0 enables the hybrid engine's parallel segment scanning (§3.4).
+  int scan_threads = 0;
+};
+
+/// Pull iterator over the records of one version. The RecordRef handed out
+/// stays valid until the next call to Next().
+class RecordIterator {
+ public:
+  virtual ~RecordIterator() = default;
+  virtual bool Next(RecordRef* out) = 0;
+  virtual const Status& status() const = 0;
+};
+
+/// Multi-branch scans push each live record once, annotated with the
+/// subset of requested branches that contain it (§3.2 Multi-branch Scan).
+/// \p branches holds positions into the requested branch vector.
+using MultiScanCallback =
+    std::function<void(const RecordRef&, const std::vector<uint32_t>&)>;
+
+/// Record-at-a-time sink for diffs.
+using DiffCallback = std::function<void(const RecordRef&)>;
+
+/// What "in A but not in B" means (§2.2.3 Difference; Table 1 query 2).
+enum class DiffMode {
+  /// Key presence, the SQL "id NOT IN" semantics of benchmark Q2.
+  kByKey,
+  /// Record-version identity: an updated record shows up on both sides
+  /// (its new version in one, its old version in the other). This is the
+  /// mode merges build on.
+  kByContent,
+};
+
+/// Conflict handling for merges (§2.2.3 Merge).
+enum class MergePolicy {
+  kTwoWayLeft,    ///< tuple-level precedence, 'into' branch wins
+  kTwoWayRight,   ///< tuple-level precedence, 'from' branch wins
+  kThreeWayLeft,  ///< field-level three-way merge, 'into' wins conflicts
+  kThreeWayRight, ///< field-level three-way merge, 'from' wins conflicts
+};
+
+inline bool IsThreeWay(MergePolicy p) {
+  return p == MergePolicy::kThreeWayLeft || p == MergePolicy::kThreeWayRight;
+}
+inline bool LeftWins(MergePolicy p) {
+  return p == MergePolicy::kTwoWayLeft || p == MergePolicy::kThreeWayLeft;
+}
+
+struct MergeResult {
+  uint64_t conflicts = 0;        ///< records needing precedence resolution
+  uint64_t merged_records = 0;   ///< records whose state changed in 'into'
+  uint64_t field_merges = 0;     ///< records merged field-by-field (3-way)
+  /// Bytes examined to perform the merge; Table 3 reports throughput as
+  /// diff bytes / merge seconds.
+  uint64_t bytes_processed = 0;
+  uint64_t diff_bytes = 0;       ///< size of the two-sided diff
+};
+
+struct EngineStats {
+  uint64_t data_bytes = 0;          ///< heap/segment file bytes on disk
+  uint64_t index_memory_bytes = 0;  ///< bitmap + pk index heap bytes
+  uint64_t commit_store_bytes = 0;  ///< aggregate commit-history file size
+  uint64_t num_segments = 0;
+  uint64_t num_records = 0;         ///< physical record versions stored
+};
+
+class StorageEngine {
+ public:
+  virtual ~StorageEngine() = default;
+
+  virtual EngineType type() const = 0;
+  virtual const Schema& schema() const = 0;
+
+  // ------------------------------------------------------ version control
+
+  /// Registers \p child branched from \p parent at \p base_commit. When
+  /// \p at_head is true the parent's current committed state is the base
+  /// (the facade auto-commits dirty branches before branching); otherwise
+  /// the engine restores the historical commit.
+  virtual Status CreateBranch(BranchId child, BranchId parent,
+                              CommitId base_commit, bool at_head) = 0;
+
+  /// Snapshots \p branch's current state as \p commit_id (§2.2.3 Commit).
+  virtual Status Commit(BranchId branch, CommitId commit_id) = 0;
+
+  /// Materializes whatever internal state is needed to read \p commit
+  /// and drops it again — the checkout cost Table 2 measures.
+  virtual Status Checkout(CommitId commit) = 0;
+
+  // ------------------------------------------------------------- mutation
+
+  virtual Status Insert(BranchId branch, const Record& record) = 0;
+  virtual Status Update(BranchId branch, const Record& record) = 0;
+  virtual Status Delete(BranchId branch, int64_t pk) = 0;
+
+  // -------------------------------------------------------------- queries
+
+  virtual Result<std::unique_ptr<RecordIterator>> ScanBranch(
+      BranchId branch) = 0;
+  virtual Result<std::unique_ptr<RecordIterator>> ScanCommit(
+      CommitId commit) = 0;
+
+  virtual Status ScanMulti(const std::vector<BranchId>& branches,
+                           const MultiScanCallback& callback) = 0;
+
+  /// Streams the positive diff (in \p a, not in \p b) to \p pos and the
+  /// negative diff to \p neg. Either callback may be null.
+  virtual Status Diff(BranchId a, BranchId b, DiffMode mode,
+                      const DiffCallback& pos, const DiffCallback& neg) = 0;
+
+  /// Merges \p from into \p into (§2.2.3 Merge). \p lca is the lowest
+  /// common ancestor commit (from the version graph); \p new_commit is the
+  /// id of the merge commit the engine must leave \p into snapshotted at.
+  virtual Result<MergeResult> Merge(BranchId into, BranchId from,
+                                    CommitId lca, CommitId new_commit,
+                                    MergePolicy policy) = 0;
+
+  // -------------------------------------------------------- maintenance
+
+  virtual Status Flush() = 0;
+  /// Evicts the buffer pool so the next query starts cold (§5 flushes OS
+  /// caches before each measured operation; this is the unprivileged
+  /// equivalent for our own caches).
+  virtual void DropCaches() = 0;
+  virtual EngineStats Stats() const = 0;
+};
+
+/// Instantiates an engine of \p type rooted at options.directory.
+Result<std::unique_ptr<StorageEngine>> MakeEngine(EngineType type,
+                                                  const Schema& schema,
+                                                  const EngineOptions& options);
+
+}  // namespace decibel
+
+#endif  // DECIBEL_ENGINE_ENGINE_H_

@@ -1,0 +1,782 @@
+#include "engine/hybrid.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/coding.h"
+#include "common/thread_pool.h"
+#include "engine/bitmap_scan.h"
+#include "engine/merge_util.h"
+
+namespace decibel {
+
+namespace {
+
+uint64_t HistoryKey(BranchId branch, uint32_t seg) {
+  return (static_cast<uint64_t>(branch) << 32) | seg;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ construction
+
+Result<std::unique_ptr<HybridEngine>> HybridEngine::Make(
+    const Schema& schema, const EngineOptions& options) {
+  std::unique_ptr<HybridEngine> engine(new HybridEngine(schema, options));
+  DECIBEL_RETURN_NOT_OK(CreateDir(options.directory));
+  DECIBEL_RETURN_NOT_OK(CreateDir(JoinPath(options.directory, "commits")));
+  if (FileExists(engine->MetaPath())) {
+    DECIBEL_RETURN_NOT_OK(engine->LoadExisting());
+  } else {
+    DECIBEL_RETURN_NOT_OK(engine->InitFresh());
+  }
+  return engine;
+}
+
+std::string HybridEngine::MetaPath() const {
+  return JoinPath(options_.directory, "engine.meta");
+}
+
+std::string HybridEngine::SegmentPath(uint32_t seg) const {
+  return JoinPath(options_.directory, "seg_" + std::to_string(seg) + ".dbhf");
+}
+
+std::string HybridEngine::HistoryPath(BranchId branch, uint32_t seg) const {
+  return JoinPath(options_.directory,
+                  "commits/b" + std::to_string(branch) + "_s" +
+                      std::to_string(seg) + ".hist");
+}
+
+Result<uint32_t> HybridEngine::NewHeadSegment(BranchId owner) {
+  auto segment = std::make_unique<Segment>();
+  segment->id = static_cast<uint32_t>(segments_.size());
+  segment->owner = owner;
+  segment->is_head = true;
+  HeapFile::Options hopts;
+  hopts.page_size = options_.page_size;
+  hopts.verify_checksums = options_.verify_checksums;
+  DECIBEL_ASSIGN_OR_RETURN(
+      segment->file, HeapFile::Create(SegmentPath(segment->id),
+                                      schema_.record_size(), hopts, &pool_));
+  segment->local.AddBranch(owner);
+  const uint32_t id = segment->id;
+  segments_.push_back(std::move(segment));
+  head_seg_[owner] = id;
+  branch_segments_[owner].Set(id);
+  MarkDirty(owner, id);
+  return id;
+}
+
+Status HybridEngine::InitFresh() {
+  pk_index_.try_emplace(kMasterBranch);
+  branch_segments_.try_emplace(kMasterBranch);
+  return NewHeadSegment(kMasterBranch).status();
+}
+
+Status HybridEngine::LoadExisting() {
+  DECIBEL_ASSIGN_OR_RETURN(std::string meta, ReadFileToString(MetaPath()));
+  Slice input(meta);
+  Slice schema_blob;
+  if (!GetLengthPrefixed(&input, &schema_blob)) {
+    return Status::Corruption("hybrid: truncated meta");
+  }
+  Slice schema_slice = schema_blob;
+  DECIBEL_ASSIGN_OR_RETURN(Schema stored, Schema::DecodeFrom(&schema_slice));
+  if (!(stored == schema_)) {
+    return Status::InvalidArgument("hybrid: schema mismatch on reopen");
+  }
+  uint64_t num_segments;
+  if (!GetVarint64(&input, &num_segments)) {
+    return Status::Corruption("hybrid: truncated meta");
+  }
+  HeapFile::Options hopts;
+  hopts.verify_checksums = options_.verify_checksums;
+  for (uint64_t i = 0; i < num_segments; ++i) {
+    auto segment = std::make_unique<Segment>();
+    if (!GetVarint32(&input, &segment->id) ||
+        !GetVarint32(&input, &segment->owner) || input.empty()) {
+      return Status::Corruption("hybrid: truncated segment meta");
+    }
+    if (segment->id != segments_.size()) {
+      return Status::Corruption("hybrid: segment ids not dense");
+    }
+    segment->is_head = input[0] != 0;
+    input.RemovePrefix(1);
+    DECIBEL_ASSIGN_OR_RETURN(
+        auto local_index, BitmapIndex::DecodeFrom(&input));
+    auto* branch_oriented =
+        dynamic_cast<BranchOrientedIndex*>(local_index.get());
+    if (branch_oriented == nullptr) {
+      return Status::Corruption("hybrid: local index wrong orientation");
+    }
+    segment->local = std::move(*branch_oriented);
+    DECIBEL_ASSIGN_OR_RETURN(
+        segment->file,
+        HeapFile::Open(SegmentPath(segment->id), hopts, &pool_));
+    segments_.push_back(std::move(segment));
+  }
+  uint64_t num_heads;
+  if (!GetVarint64(&input, &num_heads)) {
+    return Status::Corruption("hybrid: truncated head map");
+  }
+  for (uint64_t i = 0; i < num_heads; ++i) {
+    uint32_t branch, seg;
+    if (!GetVarint32(&input, &branch) || !GetVarint32(&input, &seg)) {
+      return Status::Corruption("hybrid: truncated head entry");
+    }
+    if (seg >= segments_.size()) {
+      return Status::Corruption("hybrid: head points past segments");
+    }
+    head_seg_[branch] = seg;
+  }
+  uint64_t num_rows;
+  if (!GetVarint64(&input, &num_rows)) {
+    return Status::Corruption("hybrid: truncated branch-segment bitmap");
+  }
+  for (uint64_t i = 0; i < num_rows; ++i) {
+    uint32_t branch;
+    Bitmap row;
+    if (!GetVarint32(&input, &branch) || !Bitmap::DecodeFrom(&input, &row)) {
+      return Status::Corruption("hybrid: truncated bitmap row");
+    }
+    if (row.size() > segments_.size()) {
+      return Status::Corruption("hybrid: bitmap row points past segments");
+    }
+    branch_segments_[branch] = std::move(row);
+    pk_index_.try_emplace(branch);
+  }
+  uint64_t num_commits;
+  if (!GetVarint64(&input, &num_commits)) {
+    return Status::Corruption("hybrid: truncated commit registry");
+  }
+  for (uint64_t i = 0; i < num_commits; ++i) {
+    uint64_t commit;
+    uint32_t branch;
+    if (!GetVarint64(&input, &commit) || !GetVarint32(&input, &branch)) {
+      return Status::Corruption("hybrid: truncated commit entry");
+    }
+    commit_branch_[commit] = branch;
+  }
+  uint64_t num_hist;
+  if (!GetVarint64(&input, &num_hist)) {
+    return Status::Corruption("hybrid: truncated history registry");
+  }
+  for (uint64_t i = 0; i < num_hist; ++i) {
+    uint32_t branch, seg;
+    if (!GetVarint32(&input, &branch) || !GetVarint32(&input, &seg)) {
+      return Status::Corruption("hybrid: truncated history entry");
+    }
+    if (seg >= segments_.size()) {
+      return Status::Corruption("hybrid: history points past segments");
+    }
+    history_segs_[branch].push_back(seg);
+  }
+  // The pk indexes are memory-only; rebuild them from the local bitmaps.
+  for (const auto& [branch, row] : branch_segments_) {
+    DECIBEL_RETURN_NOT_OK(RebuildPkIndex(branch));
+  }
+  return Status::OK();
+}
+
+Status HybridEngine::Flush() {
+  for (auto& segment : segments_) {
+    DECIBEL_RETURN_NOT_OK(segment->file->Flush());
+  }
+  std::string meta;
+  std::string schema_blob;
+  schema_.EncodeTo(&schema_blob);
+  PutLengthPrefixed(&meta, schema_blob);
+  PutVarint64(&meta, segments_.size());
+  for (const auto& segment : segments_) {
+    PutVarint32(&meta, segment->id);
+    PutVarint32(&meta, segment->owner);
+    meta.push_back(segment->is_head ? 1 : 0);
+    segment->local.EncodeTo(&meta);
+  }
+  PutVarint64(&meta, head_seg_.size());
+  for (const auto& [branch, seg] : head_seg_) {
+    PutVarint32(&meta, branch);
+    PutVarint32(&meta, seg);
+  }
+  PutVarint64(&meta, branch_segments_.size());
+  for (const auto& [branch, row] : branch_segments_) {
+    PutVarint32(&meta, branch);
+    row.EncodeTo(&meta);
+  }
+  PutVarint64(&meta, commit_branch_.size());
+  for (const auto& [commit, branch] : commit_branch_) {
+    PutVarint64(&meta, commit);
+    PutVarint32(&meta, branch);
+  }
+  uint64_t hist_entries = 0;
+  for (const auto& [branch, segs] : history_segs_) hist_entries += segs.size();
+  PutVarint64(&meta, hist_entries);
+  for (const auto& [branch, segs] : history_segs_) {
+    for (uint32_t seg : segs) {
+      PutVarint32(&meta, branch);
+      PutVarint32(&meta, seg);
+    }
+  }
+  return WriteStringToFile(MetaPath(), meta);
+}
+
+// --------------------------------------------------------- version control
+
+std::vector<uint32_t> HybridEngine::SegmentsOf(BranchId b) const {
+  std::vector<uint32_t> out;
+  auto it = branch_segments_.find(b);
+  if (it == branch_segments_.end()) return out;
+  it->second.ForEachSet(
+      [&](uint64_t seg) { out.push_back(static_cast<uint32_t>(seg)); });
+  return out;
+}
+
+Result<CommitHistory*> HybridEngine::HistoryFor(BranchId branch,
+                                                uint32_t seg) {
+  const uint64_t key = HistoryKey(branch, seg);
+  auto it = histories_.find(key);
+  if (it != histories_.end()) return it->second.get();
+  const std::string path = HistoryPath(branch, seg);
+  const bool existed = FileExists(path);
+  Result<std::unique_ptr<CommitHistory>> h =
+      existed ? CommitHistory::Open(
+                    path, {.composite_every = options_.composite_every})
+              : CommitHistory::Create(
+                    path, {.composite_every = options_.composite_every});
+  if (!h.ok()) return h.status();
+  CommitHistory* raw = h.value().get();
+  histories_.emplace(key, std::move(h).MoveValueUnsafe());
+  if (!existed) history_segs_[branch].push_back(seg);
+  return raw;
+}
+
+Status HybridEngine::CreateBranch(BranchId child, BranchId parent,
+                                  CommitId base_commit, bool at_head) {
+  pk_index_.try_emplace(child);
+  branch_segments_.try_emplace(child);
+  if (at_head) {
+    // §3.4 Branch: the parent's head freezes into an internal segment
+    // whose bitmap gains a column for the child; both branches get fresh
+    // head segments. The clone touches only segments in the direct
+    // ancestry, not a global bitmap.
+    const uint32_t old_head = head_seg_[parent];
+    segments_[old_head]->is_head = false;
+    DECIBEL_RETURN_NOT_OK(segments_[old_head]->file->Seal());
+    for (uint32_t seg : SegmentsOf(parent)) {
+      segments_[seg]->local.CloneBranch(parent, child);
+      branch_segments_[child].Set(seg);
+      MarkDirty(child, seg);
+    }
+    pk_index_[child] = pk_index_[parent];
+    DECIBEL_RETURN_NOT_OK(NewHeadSegment(parent).status());
+    DECIBEL_RETURN_NOT_OK(NewHeadSegment(child).status());
+    return Status::OK();
+  }
+  // Branch from a historical commit: restore the parent's per-segment
+  // columns as of that commit into the child's columns.
+  std::vector<std::pair<uint32_t, Bitmap>> columns;
+  DECIBEL_RETURN_NOT_OK(CommitColumns(base_commit, &columns));
+  for (auto& [seg, bits] : columns) {
+    if (!bits.Any()) continue;
+    segments_[seg]->local.AddBranch(child);
+    segments_[seg]->local.RestoreBranch(child, bits);
+    branch_segments_[child].Set(seg);
+    MarkDirty(child, seg);
+  }
+  DECIBEL_RETURN_NOT_OK(NewHeadSegment(child).status());
+  return RebuildPkIndex(child);
+}
+
+Status HybridEngine::Commit(BranchId branch, CommitId commit_id) {
+  auto dirty_it = dirty_.find(branch);
+  if (dirty_it != dirty_.end()) {
+    // Deterministic order keeps history files reproducible.
+    std::vector<uint32_t> segs(dirty_it->second.begin(),
+                               dirty_it->second.end());
+    std::sort(segs.begin(), segs.end());
+    for (uint32_t seg : segs) {
+      DECIBEL_ASSIGN_OR_RETURN(CommitHistory * history,
+                               HistoryFor(branch, seg));
+      const Bitmap* view = segments_[seg]->local.BranchView(branch);
+      Bitmap empty;
+      DECIBEL_RETURN_NOT_OK(
+          history->AppendCommit(commit_id, view ? *view : empty));
+    }
+    dirty_it->second.clear();
+  }
+  commit_branch_[commit_id] = branch;
+  return Status::OK();
+}
+
+Status HybridEngine::CommitColumns(
+    CommitId commit, std::vector<std::pair<uint32_t, Bitmap>>* out) {
+  auto it = commit_branch_.find(commit);
+  if (it == commit_branch_.end()) {
+    return Status::NotFound("hybrid: unknown commit " +
+                            std::to_string(commit));
+  }
+  const BranchId branch = it->second;
+  auto segs_it = history_segs_.find(branch);
+  if (segs_it == history_segs_.end()) return Status::OK();
+  for (uint32_t seg : segs_it->second) {
+    DECIBEL_ASSIGN_OR_RETURN(CommitHistory * history, HistoryFor(branch, seg));
+    if (!history->HasCommitAtOrBefore(commit)) continue;  // not yet member
+    DECIBEL_ASSIGN_OR_RETURN(Bitmap bits, history->Checkout(commit));
+    out->emplace_back(seg, std::move(bits));
+  }
+  return Status::OK();
+}
+
+Status HybridEngine::Checkout(CommitId commit) {
+  std::vector<std::pair<uint32_t, Bitmap>> columns;
+  return CommitColumns(commit, &columns);
+}
+
+Status HybridEngine::RebuildPkIndex(BranchId b) {
+  PkIndex& idx = pk_index_[b];
+  idx.clear();
+  for (uint32_t seg : SegmentsOf(b)) {
+    const Bitmap* view = segments_[seg]->local.BranchView(b);
+    if (view == nullptr) continue;
+    BitmapScanner scanner(segments_[seg]->file.get(), &schema_, view);
+    RecordRef rec;
+    uint64_t pos;
+    while (scanner.Next(&rec, &pos)) {
+      idx[rec.pk()] = Loc{seg, pos};
+    }
+    DECIBEL_RETURN_NOT_OK(scanner.status());
+  }
+  return Status::OK();
+}
+
+// ----------------------------------------------------------------- mutation
+
+Status HybridEngine::AppendVersion(BranchId branch, const Record& record) {
+  auto head_it = head_seg_.find(branch);
+  if (head_it == head_seg_.end()) {
+    return Status::NotFound("hybrid: unknown branch " +
+                            std::to_string(branch));
+  }
+  Segment& head = *segments_[head_it->second];
+  PkIndex& pks = pk_index_[branch];
+  const int64_t pk = record.pk();
+  auto old = pks.find(pk);
+  DECIBEL_ASSIGN_OR_RETURN(uint64_t idx, head.file->Append(record.data()));
+  head.local.AppendTuples(1);
+  if (old != pks.end()) {
+    segments_[old->second.seg]->local.Set(old->second.idx, branch, false);
+    MarkDirty(branch, old->second.seg);
+    old->second = Loc{head.id, idx};
+  } else {
+    pks.emplace(pk, Loc{head.id, idx});
+  }
+  head.local.Set(idx, branch, true);
+  MarkDirty(branch, head.id);
+  return Status::OK();
+}
+
+Status HybridEngine::Insert(BranchId branch, const Record& record) {
+  return AppendVersion(branch, record);
+}
+
+Status HybridEngine::Update(BranchId branch, const Record& record) {
+  return AppendVersion(branch, record);
+}
+
+Status HybridEngine::Delete(BranchId branch, int64_t pk) {
+  auto pk_it = pk_index_.find(branch);
+  if (pk_it == pk_index_.end()) {
+    return Status::NotFound("hybrid: unknown branch " +
+                            std::to_string(branch));
+  }
+  auto old = pk_it->second.find(pk);
+  if (old == pk_it->second.end()) {
+    return Status::NotFound("hybrid: pk " + std::to_string(pk) +
+                            " not in branch " + std::to_string(branch));
+  }
+  segments_[old->second.seg]->local.Set(old->second.idx, branch, false);
+  MarkDirty(branch, old->second.seg);
+  pk_it->second.erase(old);
+  return Status::OK();
+}
+
+// ------------------------------------------------------------------ queries
+
+/// Pull iterator chaining bitmap scans across a list of (segment, bitmap)
+/// pairs. Owns the bitmaps.
+class HybridEngine::MultiSegmentIterator : public RecordIterator {
+ public:
+  MultiSegmentIterator(HybridEngine* engine,
+                       std::vector<std::pair<uint32_t, Bitmap>> parts)
+      : engine_(engine), parts_(std::move(parts)) {}
+
+  bool Next(RecordRef* out) override {
+    for (;;) {
+      if (!scanner_.has_value()) {
+        if (next_part_ >= parts_.size()) return false;
+        scanner_.emplace(engine_->segments_[parts_[next_part_].first]
+                             ->file.get(),
+                         &engine_->schema_, &parts_[next_part_].second);
+        ++next_part_;
+      }
+      if (scanner_->Next(out, nullptr)) return true;
+      if (!scanner_->status().ok()) {
+        status_ = scanner_->status();
+        return false;
+      }
+      scanner_.reset();
+    }
+  }
+
+  const Status& status() const override { return status_; }
+
+ private:
+  HybridEngine* engine_;
+  std::vector<std::pair<uint32_t, Bitmap>> parts_;
+  size_t next_part_ = 0;
+  std::optional<BitmapScanner> scanner_;
+  Status status_;
+};
+
+Result<std::unique_ptr<RecordIterator>> HybridEngine::ScanBranch(
+    BranchId branch) {
+  if (head_seg_.count(branch) == 0) {
+    return Status::NotFound("hybrid: unknown branch " +
+                            std::to_string(branch));
+  }
+  // "Single branch scans check the branch-segment index to identify the
+  // segments that need to be read" (§3.4); order is irrelevant.
+  std::vector<std::pair<uint32_t, Bitmap>> parts;
+  for (uint32_t seg : SegmentsOf(branch)) {
+    parts.emplace_back(seg, segments_[seg]->local.MaterializeBranch(branch));
+  }
+  return std::unique_ptr<RecordIterator>(
+      new MultiSegmentIterator(this, std::move(parts)));
+}
+
+Result<std::unique_ptr<RecordIterator>> HybridEngine::ScanCommit(
+    CommitId commit) {
+  std::vector<std::pair<uint32_t, Bitmap>> parts;
+  DECIBEL_RETURN_NOT_OK(CommitColumns(commit, &parts));
+  return std::unique_ptr<RecordIterator>(
+      new MultiSegmentIterator(this, std::move(parts)));
+}
+
+Status HybridEngine::ScanMulti(const std::vector<BranchId>& branches,
+                               const MultiScanCallback& callback) {
+  // Segments relevant to any requested branch: a logical OR of rows of the
+  // branch-segment bitmap (§3.4).
+  Bitmap segs;
+  for (BranchId b : branches) {
+    auto it = branch_segments_.find(b);
+    if (it != branch_segments_.end()) segs.OrWith(it->second);
+  }
+
+  auto scan_segment = [&](uint32_t seg,
+                          const std::function<void(const RecordRef&,
+                                                   const std::vector<uint32_t>&)>&
+                              emit) -> Status {
+    std::vector<Bitmap> cols(branches.size());
+    Bitmap unioned;
+    for (size_t i = 0; i < branches.size(); ++i) {
+      cols[i] = segments_[seg]->local.MaterializeBranch(branches[i]);
+      unioned.OrWith(cols[i]);
+    }
+    BitmapScanner scanner(segments_[seg]->file.get(), &schema_, &unioned);
+    RecordRef rec;
+    uint64_t idx;
+    std::vector<uint32_t> present;
+    while (scanner.Next(&rec, &idx)) {
+      present.clear();
+      for (uint32_t i = 0; i < cols.size(); ++i) {
+        if (cols[i].Test(idx)) present.push_back(i);
+      }
+      emit(rec, present);
+    }
+    return scanner.status();
+  };
+
+  if (options_.scan_threads > 1) {
+    // §3.4: the branch-segment bitmap "allows for parallelization of
+    // segment scanning". Callback invocations are serialized.
+    ThreadPool threads(static_cast<size_t>(options_.scan_threads));
+    std::mutex emit_mu;
+    Status first_error;
+    std::mutex status_mu;
+    segs.ForEachSet([&](uint64_t seg) {
+      threads.Submit([&, seg] {
+        Status s = scan_segment(
+            static_cast<uint32_t>(seg),
+            [&](const RecordRef& rec, const std::vector<uint32_t>& present) {
+              std::lock_guard<std::mutex> lock(emit_mu);
+              callback(rec, present);
+            });
+        if (!s.ok()) {
+          std::lock_guard<std::mutex> lock(status_mu);
+          if (first_error.ok()) first_error = s;
+        }
+      });
+    });
+    threads.Wait();
+    return first_error;
+  }
+
+  Status status;
+  segs.ForEachSet([&](uint64_t seg) {
+    if (!status.ok()) return;
+    status = scan_segment(static_cast<uint32_t>(seg), callback);
+  });
+  return status;
+}
+
+Status HybridEngine::Diff(BranchId a, BranchId b, DiffMode mode,
+                          const DiffCallback& pos, const DiffCallback& neg) {
+  Bitmap segs;
+  for (BranchId x : {a, b}) {
+    auto it = branch_segments_.find(x);
+    if (it != branch_segments_.end()) segs.OrWith(it->second);
+  }
+  std::vector<uint32_t> seg_list;
+  segs.ForEachSet(
+      [&](uint64_t s) { seg_list.push_back(static_cast<uint32_t>(s)); });
+
+  // By-key mode needs each side's touched keys before emitting.
+  std::unordered_set<int64_t> pks_a, pks_b;
+  if (mode == DiffMode::kByKey) {
+    for (uint32_t seg : seg_list) {
+      const Bitmap la = segments_[seg]->local.MaterializeBranch(a);
+      const Bitmap lb = segments_[seg]->local.MaterializeBranch(b);
+      const Bitmap only_a = Bitmap::AndNot(la, lb);
+      const Bitmap only_b = Bitmap::AndNot(lb, la);
+      const Bitmap both = Bitmap::Or(only_a, only_b);
+      BitmapScanner scanner(segments_[seg]->file.get(), &schema_, &both);
+      RecordRef rec;
+      uint64_t idx;
+      while (scanner.Next(&rec, &idx)) {
+        if (only_a.Test(idx)) pks_a.insert(rec.pk());
+        if (only_b.Test(idx)) pks_b.insert(rec.pk());
+      }
+      DECIBEL_RETURN_NOT_OK(scanner.status());
+    }
+  }
+
+  for (uint32_t seg : seg_list) {
+    const Bitmap la = segments_[seg]->local.MaterializeBranch(a);
+    const Bitmap lb = segments_[seg]->local.MaterializeBranch(b);
+    const Bitmap only_a = Bitmap::AndNot(la, lb);
+    const Bitmap only_b = Bitmap::AndNot(lb, la);
+    const Bitmap both = Bitmap::Or(only_a, only_b);
+    BitmapScanner scanner(segments_[seg]->file.get(), &schema_, &both);
+    RecordRef rec;
+    uint64_t idx;
+    while (scanner.Next(&rec, &idx)) {
+      const bool in_a = only_a.Test(idx);
+      if (in_a && pos) {
+        if (mode == DiffMode::kByContent || pks_b.count(rec.pk()) == 0) {
+          pos(rec);
+        }
+      }
+      if (!in_a && neg) {
+        if (mode == DiffMode::kByContent || pks_a.count(rec.pk()) == 0) {
+          neg(rec);
+        }
+      }
+    }
+    DECIBEL_RETURN_NOT_OK(scanner.status());
+  }
+  return Status::OK();
+}
+
+// -------------------------------------------------------------------- merge
+
+Result<MergeResult> HybridEngine::Merge(BranchId into, BranchId from,
+                                        CommitId lca, CommitId new_commit,
+                                        MergePolicy policy) {
+  MergeResult result;
+  const uint32_t rs = schema_.record_size();
+  const bool left_wins = LeftWins(policy);
+
+  // Per-segment lca columns (floor lookups over (branch, segment)
+  // histories), then the tuple-first merge algorithm per segment.
+  std::vector<std::pair<uint32_t, Bitmap>> lca_cols;
+  DECIBEL_RETURN_NOT_OK(CommitColumns(lca, &lca_cols));
+  std::unordered_map<uint32_t, const Bitmap*> lca_by_seg;
+  for (const auto& [seg, bits] : lca_cols) lca_by_seg[seg] = &bits;
+
+  Bitmap segs;
+  for (BranchId x : {into, from}) {
+    auto it = branch_segments_.find(x);
+    if (it != branch_segments_.end()) segs.OrWith(it->second);
+  }
+  for (const auto& [seg, bits] : lca_cols) segs.Set(seg);
+
+  std::unordered_map<int64_t, Loc> table_a, table_b, lca_version;
+  std::unordered_set<int64_t> gone_a_pks, gone_b_pks;
+
+  std::vector<uint32_t> seg_list;
+  segs.ForEachSet(
+      [&](uint64_t s) { seg_list.push_back(static_cast<uint32_t>(s)); });
+  static const Bitmap kEmpty;
+  for (uint32_t seg : seg_list) {
+    // Zero-copy views of the local columns (they are only read here; the
+    // apply phase below mutates them after this loop's scans finish).
+    const Bitmap* va = segments_[seg]->local.BranchView(into);
+    const Bitmap* vb = segments_[seg]->local.BranchView(from);
+    const Bitmap& bits_a = va != nullptr ? *va : kEmpty;
+    const Bitmap& bits_b = vb != nullptr ? *vb : kEmpty;
+    auto lit = lca_by_seg.find(seg);
+    const Bitmap& bits_l =
+        lit == lca_by_seg.end() ? kEmpty : *lit->second;
+
+    const Bitmap diff_a = Bitmap::AndNot(bits_a, bits_l);
+    const Bitmap diff_b = Bitmap::AndNot(bits_b, bits_l);
+    const Bitmap gone_a = Bitmap::AndNot(bits_l, bits_a);
+    const Bitmap gone_b = Bitmap::AndNot(bits_l, bits_b);
+    if (!diff_a.Any() && !diff_b.Any() && !gone_a.Any() && !gone_b.Any()) {
+      continue;  // segment untouched since the lca
+    }
+
+    const Bitmap changed = Bitmap::Or(diff_a, diff_b);
+    BitmapScanner scanner(segments_[seg]->file.get(), &schema_, &changed);
+    RecordRef rec;
+    uint64_t idx;
+    while (scanner.Next(&rec, &idx)) {
+      const bool in_a = diff_a.Test(idx);
+      const bool in_b = diff_b.Test(idx);
+      if (in_a && in_b) continue;  // same version reached both sides
+      if (in_a) table_a[rec.pk()] = Loc{seg, idx};
+      if (in_b) table_b[rec.pk()] = Loc{seg, idx};
+      result.bytes_processed += rs;
+    }
+    DECIBEL_RETURN_NOT_OK(scanner.status());
+
+    const Bitmap gone = Bitmap::Or(gone_a, gone_b);
+    BitmapScanner gone_scanner(segments_[seg]->file.get(), &schema_, &gone);
+    while (gone_scanner.Next(&rec, &idx)) {
+      lca_version[rec.pk()] = Loc{seg, idx};
+      if (gone_a.Test(idx)) gone_a_pks.insert(rec.pk());
+      if (gone_b.Test(idx)) gone_b_pks.insert(rec.pk());
+      result.bytes_processed += rs;
+    }
+    DECIBEL_RETURN_NOT_OK(gone_scanner.status());
+  }
+  result.diff_bytes =
+      (table_a.size() + table_b.size()) * static_cast<uint64_t>(rs);
+
+  PkIndex& pks_into = pk_index_[into];
+
+  auto set_live = [&](Loc loc, bool value) {
+    Segment& segment = *segments_[loc.seg];
+    if (value) {
+      // "identifying the new segments from the second parent that must
+      // track records for the branch it is being merged into" (§3.4).
+      segment.local.AddBranch(into);
+      branch_segments_[into].Set(loc.seg);
+    }
+    segment.local.Set(loc.idx, into, value);
+    MarkDirty(into, loc.seg);
+  };
+
+  auto apply_b_state = [&](int64_t pk, Loc loc, bool deleted) {
+    auto it = pks_into.find(pk);
+    if (it != pks_into.end()) {
+      set_live(it->second, false);
+      if (deleted) {
+        pks_into.erase(it);
+      } else {
+        it->second = loc;
+      }
+    } else if (!deleted) {
+      pks_into.emplace(pk, loc);
+    }
+    if (!deleted) set_live(loc, true);
+    ++result.merged_records;
+  };
+
+  auto fetch = [&](Loc loc, std::string* buf) {
+    return segments_[loc.seg]->file->Get(loc.idx, buf);
+  };
+
+  std::string buf_a, buf_b, buf_l;
+  for (const auto& [pk, loc_b] : table_b) {
+    auto it_a = table_a.find(pk);
+    if (it_a != table_a.end()) {
+      if (!IsThreeWay(policy)) {
+        ++result.conflicts;
+        if (!left_wins) apply_b_state(pk, loc_b, false);
+        continue;
+      }
+      auto base_it = lca_version.find(pk);
+      if (base_it == lca_version.end()) {
+        ++result.conflicts;
+        if (!left_wins) apply_b_state(pk, loc_b, false);
+        continue;
+      }
+      DECIBEL_RETURN_NOT_OK(fetch(it_a->second, &buf_a));
+      DECIBEL_RETURN_NOT_OK(fetch(loc_b, &buf_b));
+      DECIBEL_RETURN_NOT_OK(fetch(base_it->second, &buf_l));
+      result.bytes_processed += 3 * rs;
+      const RecordRef rec_a(&schema_, buf_a);
+      const RecordRef rec_b(&schema_, buf_b);
+      const RecordRef rec_l(&schema_, buf_l);
+      FieldMergeOutcome outcome =
+          ThreeWayFieldMerge(schema_, rec_l, rec_a, rec_b, left_wins);
+      if (outcome.conflict) ++result.conflicts;
+      if (outcome.needs_new_record) {
+        ++result.field_merges;
+        // "the records added into the child of the merge operation are
+        // marked as live in the child's bitmaps" (§3.4); merged records
+        // land in 'into's head segment.
+        Segment& head = *segments_[head_seg_[into]];
+        DECIBEL_ASSIGN_OR_RETURN(uint64_t idx,
+                                 head.file->Append(outcome.merged->data()));
+        head.local.AppendTuples(1);
+        apply_b_state(pk, Loc{head.id, idx}, false);
+      } else if (!outcome.keep_left) {
+        apply_b_state(pk, loc_b, false);
+      }
+    } else if (gone_a_pks.count(pk) != 0) {
+      ++result.conflicts;
+      if (!left_wins) apply_b_state(pk, loc_b, false);
+    } else {
+      apply_b_state(pk, loc_b, false);
+    }
+  }
+
+  for (int64_t pk : gone_b_pks) {
+    if (table_b.count(pk) != 0) continue;
+    if (table_a.count(pk) != 0) {
+      ++result.conflicts;
+      if (!left_wins) apply_b_state(pk, Loc{}, true);
+    } else if (gone_a_pks.count(pk) == 0) {
+      apply_b_state(pk, Loc{}, true);
+    }
+  }
+
+  DECIBEL_RETURN_NOT_OK(Commit(into, new_commit));
+  return result;
+}
+
+// -------------------------------------------------------------------- stats
+
+EngineStats HybridEngine::Stats() const {
+  EngineStats stats;
+  for (const auto& segment : segments_) {
+    stats.data_bytes += segment->file->SizeBytes();
+    stats.num_records += segment->file->num_records();
+    stats.index_memory_bytes += segment->local.MemoryBytes();
+  }
+  for (const auto& [branch, row] : branch_segments_) {
+    stats.index_memory_bytes += row.MemoryBytes();
+  }
+  for (const auto& [branch, pks] : pk_index_) {
+    stats.index_memory_bytes += pks.size() * 24;
+  }
+  for (const auto& [key, history] : histories_) {
+    stats.commit_store_bytes += history->SizeBytes();
+  }
+  stats.num_segments = segments_.size();
+  return stats;
+}
+
+}  // namespace decibel

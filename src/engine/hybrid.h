@@ -1,0 +1,121 @@
+#ifndef DECIBEL_ENGINE_HYBRID_H_
+#define DECIBEL_ENGINE_HYBRID_H_
+
+/// \file hybrid.h
+/// The hybrid storage engine (§3.4): data lives in version-first style
+/// segment heap files (clustering records with common ancestry), while
+/// liveness is tracked tuple-first style — one small branch-oriented
+/// bitmap index *local to each segment*, plus a global branch x segment
+/// bitmap that maps each branch to the segments holding at least one of
+/// its live records. Scans consult the global bitmap to skip irrelevant
+/// segments entirely (and may scan segments in parallel); diffs and merges
+/// run the tuple-first bitmap algorithms per segment.
+///
+/// Segments are either *head* segments (the working tail of one branch)
+/// or *internal* segments (frozen at the first branch taken from them).
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bitmap/commit_history.h"
+#include "engine/engine.h"
+#include "storage/buffer_pool.h"
+#include "storage/heap_file.h"
+
+namespace decibel {
+
+class HybridEngine : public StorageEngine {
+ public:
+  static Result<std::unique_ptr<HybridEngine>> Make(
+      const Schema& schema, const EngineOptions& options);
+
+  EngineType type() const override { return EngineType::kHybrid; }
+  const Schema& schema() const override { return schema_; }
+
+  Status CreateBranch(BranchId child, BranchId parent, CommitId base_commit,
+                      bool at_head) override;
+  Status Commit(BranchId branch, CommitId commit_id) override;
+  Status Checkout(CommitId commit) override;
+
+  Status Insert(BranchId branch, const Record& record) override;
+  Status Update(BranchId branch, const Record& record) override;
+  Status Delete(BranchId branch, int64_t pk) override;
+
+  Result<std::unique_ptr<RecordIterator>> ScanBranch(BranchId branch) override;
+  Result<std::unique_ptr<RecordIterator>> ScanCommit(CommitId commit) override;
+  Status ScanMulti(const std::vector<BranchId>& branches,
+                   const MultiScanCallback& callback) override;
+  Status Diff(BranchId a, BranchId b, DiffMode mode, const DiffCallback& pos,
+              const DiffCallback& neg) override;
+  Result<MergeResult> Merge(BranchId into, BranchId from, CommitId lca,
+                            CommitId new_commit, MergePolicy policy) override;
+
+  Status Flush() override;
+  void DropCaches() override { pool_.EvictAll(); }
+  EngineStats Stats() const override;
+
+ private:
+  struct Segment {
+    uint32_t id = 0;
+    /// Branch whose head this is (meaningful while is_head).
+    BranchId owner = kInvalidBranch;
+    bool is_head = false;
+    std::unique_ptr<HeapFile> file;
+    /// Local bitmap index: one column per branch with records inherited
+    /// from this segment (§3.4).
+    BranchOrientedIndex local;
+  };
+
+  /// Physical record location.
+  struct Loc {
+    uint32_t seg = 0;
+    uint64_t idx = 0;
+  };
+
+  HybridEngine(const Schema& schema, const EngineOptions& options)
+      : schema_(schema), options_(options), pool_(options.buffer_pool_bytes) {}
+
+  Status InitFresh();
+  Status LoadExisting();
+  std::string MetaPath() const;
+  std::string SegmentPath(uint32_t seg) const;
+  std::string HistoryPath(BranchId branch, uint32_t seg) const;
+
+  Result<uint32_t> NewHeadSegment(BranchId owner);
+  Result<CommitHistory*> HistoryFor(BranchId branch, uint32_t seg);
+  void MarkDirty(BranchId branch, uint32_t seg) {
+    dirty_[branch].insert(seg);
+  }
+  /// Segments whose bit is set in branch \p b's row of the global bitmap.
+  std::vector<uint32_t> SegmentsOf(BranchId b) const;
+  /// Restores the per-segment columns of \p branch as of \p commit.
+  Status CommitColumns(CommitId commit,
+                       std::vector<std::pair<uint32_t, Bitmap>>* out);
+  Status RebuildPkIndex(BranchId b);
+  Status AppendVersion(BranchId branch, const Record& record);
+
+  Schema schema_;
+  EngineOptions options_;
+  BufferPool pool_;
+
+  std::vector<std::unique_ptr<Segment>> segments_;
+  std::unordered_map<BranchId, uint32_t> head_seg_;
+  /// The global branch-segment bitmap: row per branch, bit per segment.
+  std::unordered_map<BranchId, Bitmap> branch_segments_;
+  using PkIndex = std::unordered_map<int64_t, Loc>;
+  std::unordered_map<BranchId, PkIndex> pk_index_;
+
+  /// Commit storage: one history file per (branch, segment) (§5.3).
+  std::unordered_map<uint64_t, std::unique_ptr<CommitHistory>> histories_;
+  std::unordered_map<BranchId, std::vector<uint32_t>> history_segs_;
+  std::unordered_map<BranchId, std::unordered_set<uint32_t>> dirty_;
+  std::unordered_map<CommitId, BranchId> commit_branch_;
+
+  class MultiSegmentIterator;
+};
+
+}  // namespace decibel
+
+#endif  // DECIBEL_ENGINE_HYBRID_H_

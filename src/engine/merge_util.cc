@@ -1,0 +1,52 @@
+#include "engine/merge_util.h"
+
+namespace decibel {
+
+bool RecordsDiffer(const Schema& schema, const RecordRef& a,
+                   const RecordRef& b) {
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    if (a.ColumnBytes(c) != b.ColumnBytes(c)) return true;
+  }
+  return false;
+}
+
+FieldMergeOutcome ThreeWayFieldMerge(const Schema& schema,
+                                     const RecordRef& base,
+                                     const RecordRef& left,
+                                     const RecordRef& right, bool left_wins) {
+  FieldMergeOutcome out;
+  bool any_from_left = false;
+  bool any_from_right = false;
+  Record merged(&schema, left.data());  // start from left, patch from right
+
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    const Slice b = base.ColumnBytes(c);
+    const Slice l = left.ColumnBytes(c);
+    const Slice r = right.ColumnBytes(c);
+    const bool left_changed = l != b;
+    const bool right_changed = r != b;
+    if (left_changed && right_changed && l != r) {
+      // Overlapping field update: precedence decides (§2.2.3).
+      out.conflict = true;
+      if (!left_wins) merged.CopyColumnFrom(c, right);
+      (left_wins ? any_from_left : any_from_right) = true;
+    } else if (right_changed && !left_changed) {
+      // Auto-merge the right side's non-overlapping update.
+      merged.CopyColumnFrom(c, right);
+      any_from_right = true;
+    } else if (left_changed) {
+      any_from_left = true;
+    }
+  }
+
+  if (any_from_left && any_from_right) {
+    out.needs_new_record = true;
+    out.merged = std::move(merged);
+  } else {
+    // The reconciled record equals one side verbatim; keep that version.
+    out.keep_left = any_from_left || !any_from_right;
+  }
+  return out;
+}
+
+}  // namespace decibel

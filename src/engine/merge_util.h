@@ -1,0 +1,45 @@
+#ifndef DECIBEL_ENGINE_MERGE_UTIL_H_
+#define DECIBEL_ENGINE_MERGE_UTIL_H_
+
+/// \file merge_util.h
+/// Conflict semantics shared by all three engines (§2.2.3): "two records
+/// conflict if they (a) have the same primary key and (b) different field
+/// values"; a three-way merge compares each side against the lowest
+/// common ancestor version field by field, auto-merging non-overlapping
+/// field updates and resolving overlapping ones by branch precedence.
+
+#include <optional>
+
+#include "engine/engine.h"
+#include "storage/record.h"
+
+namespace decibel {
+
+/// Outcome of reconciling one primary key across a merge.
+struct FieldMergeOutcome {
+  /// True if overlapping fields changed differently on both sides (a real
+  /// conflict that precedence had to resolve).
+  bool conflict = false;
+  /// True if the reconciled record differs from both inputs (fields taken
+  /// from each side) and therefore must be written as a fresh version.
+  bool needs_new_record = false;
+  /// The reconciled record (set when needs_new_record).
+  std::optional<Record> merged;
+  /// When !needs_new_record: whether the winning version is the left one.
+  bool keep_left = true;
+};
+
+/// Three-way field merge of \p left and \p right against ancestor \p base.
+/// \p left_wins breaks per-field conflicts in favour of the left record.
+FieldMergeOutcome ThreeWayFieldMerge(const Schema& schema,
+                                     const RecordRef& base,
+                                     const RecordRef& left,
+                                     const RecordRef& right, bool left_wins);
+
+/// True if any column's bytes differ between \p a and \p b.
+bool RecordsDiffer(const Schema& schema, const RecordRef& a,
+                   const RecordRef& b);
+
+}  // namespace decibel
+
+#endif  // DECIBEL_ENGINE_MERGE_UTIL_H_

@@ -1,0 +1,510 @@
+#include "engine/tuple_first.h"
+
+#include <unordered_set>
+
+#include "common/coding.h"
+#include "engine/bitmap_scan.h"
+#include "engine/merge_util.h"
+
+namespace decibel {
+
+namespace {
+
+/// Pull iterator over one materialized bitmap column.
+class TupleFirstIterator : public RecordIterator {
+ public:
+  TupleFirstIterator(HeapFile* heap, const Schema* schema, Bitmap bits)
+      : bits_(std::move(bits)), scanner_(heap, schema, &bits_) {}
+
+  bool Next(RecordRef* out) override { return scanner_.Next(out, nullptr); }
+  const Status& status() const override { return scanner_.status(); }
+
+ private:
+  Bitmap bits_;
+  BitmapScanner scanner_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<TupleFirstEngine>> TupleFirstEngine::Make(
+    const Schema& schema, const EngineOptions& options) {
+  std::unique_ptr<TupleFirstEngine> engine(
+      new TupleFirstEngine(schema, options));
+  DECIBEL_RETURN_NOT_OK(CreateDir(options.directory));
+  DECIBEL_RETURN_NOT_OK(
+      CreateDir(JoinPath(options.directory, "commits")));
+  if (FileExists(engine->MetaPath())) {
+    DECIBEL_RETURN_NOT_OK(engine->LoadExisting());
+  } else {
+    DECIBEL_RETURN_NOT_OK(engine->InitFresh());
+  }
+  return engine;
+}
+
+std::string TupleFirstEngine::MetaPath() const {
+  return JoinPath(options_.directory, "engine.meta");
+}
+
+std::string TupleFirstEngine::HistoryPath(BranchId branch) const {
+  return JoinPath(options_.directory,
+                  "commits/branch_" + std::to_string(branch) + ".hist");
+}
+
+Status TupleFirstEngine::InitFresh() {
+  HeapFile::Options hopts;
+  hopts.page_size = options_.page_size;
+  hopts.verify_checksums = options_.verify_checksums;
+  DECIBEL_ASSIGN_OR_RETURN(
+      heap_, HeapFile::Create(JoinPath(options_.directory, "heap.dbhf"),
+                              schema_.record_size(), hopts, &pool_));
+  index_ = BitmapIndex::Make(options_.orientation);
+  // The master branch exists from the start.
+  index_->AddBranch(kMasterBranch);
+  pk_index_.try_emplace(kMasterBranch);
+  return Status::OK();
+}
+
+Status TupleFirstEngine::LoadExisting() {
+  HeapFile::Options hopts;
+  hopts.verify_checksums = options_.verify_checksums;
+  DECIBEL_ASSIGN_OR_RETURN(
+      heap_, HeapFile::Open(JoinPath(options_.directory, "heap.dbhf"), hopts,
+                            &pool_));
+  DECIBEL_ASSIGN_OR_RETURN(std::string meta, ReadFileToString(MetaPath()));
+  Slice input(meta);
+  Slice schema_blob;
+  if (!GetLengthPrefixed(&input, &schema_blob)) {
+    return Status::Corruption("tuple-first: truncated meta");
+  }
+  Slice schema_slice = schema_blob;
+  DECIBEL_ASSIGN_OR_RETURN(Schema stored, Schema::DecodeFrom(&schema_slice));
+  if (!(stored == schema_)) {
+    return Status::InvalidArgument("tuple-first: schema mismatch on reopen");
+  }
+  DECIBEL_ASSIGN_OR_RETURN(index_, BitmapIndex::DecodeFrom(&input));
+  uint64_t num_commits;
+  if (!GetVarint64(&input, &num_commits)) {
+    return Status::Corruption("tuple-first: truncated commit registry");
+  }
+  for (uint64_t i = 0; i < num_commits; ++i) {
+    uint64_t commit;
+    uint32_t branch;
+    if (!GetVarint64(&input, &commit) || !GetVarint32(&input, &branch)) {
+      return Status::Corruption("tuple-first: truncated commit entry");
+    }
+    commit_branch_[commit] = branch;
+    if (histories_.count(branch) == 0 && FileExists(HistoryPath(branch))) {
+      DECIBEL_ASSIGN_OR_RETURN(histories_[branch],
+                               CommitHistory::Open(HistoryPath(branch)));
+    }
+  }
+  uint64_t num_branches;
+  if (!GetVarint64(&input, &num_branches)) {
+    return Status::Corruption("tuple-first: truncated branch list");
+  }
+  for (uint64_t i = 0; i < num_branches; ++i) {
+    uint32_t branch;
+    if (!GetVarint32(&input, &branch)) {
+      return Status::Corruption("tuple-first: truncated branch entry");
+    }
+    // The pk index is memory-only; rebuild it from the branch's bitmap.
+    DECIBEL_RETURN_NOT_OK(RebuildPkIndex(branch));
+  }
+  return Status::OK();
+}
+
+Status TupleFirstEngine::Flush() {
+  DECIBEL_RETURN_NOT_OK(heap_->Flush());
+  std::string meta;
+  std::string schema_blob;
+  schema_.EncodeTo(&schema_blob);
+  PutLengthPrefixed(&meta, schema_blob);
+  index_->EncodeTo(&meta);
+  PutVarint64(&meta, commit_branch_.size());
+  for (const auto& [commit, branch] : commit_branch_) {
+    PutVarint64(&meta, commit);
+    PutVarint32(&meta, branch);
+  }
+  PutVarint64(&meta, pk_index_.size());
+  for (const auto& [branch, pks] : pk_index_) {
+    PutVarint32(&meta, branch);
+  }
+  return WriteStringToFile(MetaPath(), meta);
+}
+
+Result<CommitHistory*> TupleFirstEngine::HistoryFor(BranchId branch) {
+  auto it = histories_.find(branch);
+  if (it != histories_.end()) return it->second.get();
+  const std::string path = HistoryPath(branch);
+  Result<std::unique_ptr<CommitHistory>> h =
+      FileExists(path)
+          ? CommitHistory::Open(path,
+                                {.composite_every = options_.composite_every})
+          : CommitHistory::Create(
+                path, {.composite_every = options_.composite_every});
+  if (!h.ok()) return h.status();
+  CommitHistory* raw = h.value().get();
+  histories_.emplace(branch, std::move(h).MoveValueUnsafe());
+  return raw;
+}
+
+Status TupleFirstEngine::RebuildPkIndex(BranchId b) {
+  PkIndex& idx = pk_index_[b];
+  idx.clear();
+  const Bitmap* view = index_->BranchView(b);
+  Bitmap owned;
+  if (view == nullptr) {
+    owned = index_->MaterializeBranch(b);
+    view = &owned;
+  }
+  BitmapScanner scanner(heap_.get(), &schema_, view);
+  RecordRef rec;
+  uint64_t pos;
+  while (scanner.Next(&rec, &pos)) {
+    idx[rec.pk()] = pos;
+  }
+  return scanner.status();
+}
+
+// --------------------------------------------------------- version control
+
+Status TupleFirstEngine::CreateBranch(BranchId child, BranchId parent,
+                                      CommitId base_commit, bool at_head) {
+  if (at_head) {
+    // "A branch operation clones the state of the parent branch's bitmap"
+    // (§3.2) — plus the parent's pk index for update support.
+    index_->CloneBranch(parent, child);
+    pk_index_[child] = pk_index_[parent];
+    return Status::OK();
+  }
+  DECIBEL_ASSIGN_OR_RETURN(Bitmap bits, CommitBitmap(base_commit));
+  index_->AddBranch(child);
+  index_->RestoreBranch(child, bits);
+  return RebuildPkIndex(child);
+}
+
+Status TupleFirstEngine::Commit(BranchId branch, CommitId commit_id) {
+  DECIBEL_ASSIGN_OR_RETURN(CommitHistory * history, HistoryFor(branch));
+  const Bitmap* view = index_->BranchView(branch);
+  Bitmap owned;
+  if (view == nullptr) {
+    owned = index_->MaterializeBranch(branch);
+    view = &owned;
+  }
+  DECIBEL_RETURN_NOT_OK(history->AppendCommit(commit_id, *view));
+  commit_branch_[commit_id] = branch;
+  return Status::OK();
+}
+
+Result<Bitmap> TupleFirstEngine::CommitBitmap(CommitId commit) {
+  auto it = commit_branch_.find(commit);
+  if (it == commit_branch_.end()) {
+    return Status::NotFound("tuple-first: unknown commit " +
+                            std::to_string(commit));
+  }
+  DECIBEL_ASSIGN_OR_RETURN(CommitHistory * history, HistoryFor(it->second));
+  return history->Checkout(commit);
+}
+
+Status TupleFirstEngine::Checkout(CommitId commit) {
+  return CommitBitmap(commit).status();
+}
+
+// ----------------------------------------------------------------- mutation
+
+Status TupleFirstEngine::AppendVersion(BranchId branch, const Record& record) {
+  auto pk_it = pk_index_.find(branch);
+  if (pk_it == pk_index_.end()) {
+    return Status::NotFound("tuple-first: unknown branch " +
+                            std::to_string(branch));
+  }
+  PkIndex& pks = pk_it->second;
+  const int64_t pk = record.pk();
+  auto old = pks.find(pk);
+  DECIBEL_ASSIGN_OR_RETURN(uint64_t idx, heap_->Append(record.data()));
+  index_->AppendTuples(1);
+  if (old != pks.end()) {
+    // "the index bit of the previous version of the record is unset" §3.2
+    index_->Set(old->second, branch, false);
+    old->second = idx;
+  } else {
+    pks.emplace(pk, idx);
+  }
+  index_->Set(idx, branch, true);
+  return Status::OK();
+}
+
+Status TupleFirstEngine::Insert(BranchId branch, const Record& record) {
+  return AppendVersion(branch, record);
+}
+
+Status TupleFirstEngine::Update(BranchId branch, const Record& record) {
+  return AppendVersion(branch, record);
+}
+
+Status TupleFirstEngine::Delete(BranchId branch, int64_t pk) {
+  auto pk_it = pk_index_.find(branch);
+  if (pk_it == pk_index_.end()) {
+    return Status::NotFound("tuple-first: unknown branch " +
+                            std::to_string(branch));
+  }
+  auto old = pk_it->second.find(pk);
+  if (old == pk_it->second.end()) {
+    return Status::NotFound("tuple-first: pk " + std::to_string(pk) +
+                            " not in branch " + std::to_string(branch));
+  }
+  index_->Set(old->second, branch, false);
+  pk_it->second.erase(old);
+  return Status::OK();
+}
+
+// ------------------------------------------------------------------ queries
+
+Result<std::unique_ptr<RecordIterator>> TupleFirstEngine::ScanBranch(
+    BranchId branch) {
+  if (pk_index_.count(branch) == 0) {
+    return Status::NotFound("tuple-first: unknown branch " +
+                            std::to_string(branch));
+  }
+  // For the tuple-oriented layout MaterializeBranch walks the whole
+  // matrix — the single-branch scan penalty of §3.2.
+  return std::unique_ptr<RecordIterator>(new TupleFirstIterator(
+      heap_.get(), &schema_, index_->MaterializeBranch(branch)));
+}
+
+Result<std::unique_ptr<RecordIterator>> TupleFirstEngine::ScanCommit(
+    CommitId commit) {
+  DECIBEL_ASSIGN_OR_RETURN(Bitmap bits, CommitBitmap(commit));
+  return std::unique_ptr<RecordIterator>(
+      new TupleFirstIterator(heap_.get(), &schema_, std::move(bits)));
+}
+
+Status TupleFirstEngine::ScanMulti(const std::vector<BranchId>& branches,
+                                   const MultiScanCallback& callback) {
+  // One pass over the heap file, emitting each tuple annotated with the
+  // branches it is live in (§3.2 Multi-branch Scan).
+  std::vector<Bitmap> cols;
+  cols.reserve(branches.size());
+  Bitmap unioned;
+  for (BranchId b : branches) {
+    cols.push_back(index_->MaterializeBranch(b));
+    unioned.OrWith(cols.back());
+  }
+  BitmapScanner scanner(heap_.get(), &schema_, &unioned);
+  RecordRef rec;
+  uint64_t idx;
+  std::vector<uint32_t> present;
+  while (scanner.Next(&rec, &idx)) {
+    present.clear();
+    for (uint32_t i = 0; i < cols.size(); ++i) {
+      if (cols[i].Test(idx)) present.push_back(i);
+    }
+    callback(rec, present);
+  }
+  return scanner.status();
+}
+
+Status TupleFirstEngine::Diff(BranchId a, BranchId b, DiffMode mode,
+                              const DiffCallback& pos,
+                              const DiffCallback& neg) {
+  // "Diff is straightforward to compute in tuple-first: we simply XOR
+  // bitmaps together and emit records on the appropriate iterator" (§3.2).
+  const Bitmap bits_a = index_->MaterializeBranch(a);
+  const Bitmap bits_b = index_->MaterializeBranch(b);
+  const Bitmap only_a = Bitmap::AndNot(bits_a, bits_b);
+  const Bitmap only_b = Bitmap::AndNot(bits_b, bits_a);
+
+  std::unordered_set<int64_t> pks_a, pks_b;
+  if (mode == DiffMode::kByKey) {
+    // Key-presence semantics: a key updated on the other side is still
+    // "present" there, so collect each side's touched keys first.
+    const Bitmap both = Bitmap::Or(only_a, only_b);
+    BitmapScanner pass1(heap_.get(), &schema_, &both);
+    RecordRef rec;
+    uint64_t idx;
+    while (pass1.Next(&rec, &idx)) {
+      if (only_a.Test(idx)) pks_a.insert(rec.pk());
+      if (only_b.Test(idx)) pks_b.insert(rec.pk());
+    }
+    DECIBEL_RETURN_NOT_OK(pass1.status());
+  }
+
+  const Bitmap both = Bitmap::Or(only_a, only_b);
+  BitmapScanner scanner(heap_.get(), &schema_, &both);
+  RecordRef rec;
+  uint64_t idx;
+  while (scanner.Next(&rec, &idx)) {
+    const bool in_a = only_a.Test(idx);
+    if (in_a && pos) {
+      if (mode == DiffMode::kByContent || pks_b.count(rec.pk()) == 0) {
+        pos(rec);
+      }
+    }
+    if (!in_a && neg) {
+      if (mode == DiffMode::kByContent || pks_a.count(rec.pk()) == 0) {
+        neg(rec);
+      }
+    }
+  }
+  return scanner.status();
+}
+
+// -------------------------------------------------------------------- merge
+
+Result<MergeResult> TupleFirstEngine::Merge(BranchId into, BranchId from,
+                                            CommitId lca, CommitId new_commit,
+                                            MergePolicy policy) {
+  MergeResult result;
+  const uint32_t rs = schema_.record_size();
+
+  const Bitmap bits_a = index_->MaterializeBranch(into);
+  const Bitmap bits_b = index_->MaterializeBranch(from);
+  DECIBEL_ASSIGN_OR_RETURN(Bitmap bits_l, CommitBitmap(lca));
+
+  // Records added since the lca on each side (new inserts + new versions).
+  const Bitmap diff_a = Bitmap::AndNot(bits_a, bits_l);
+  const Bitmap diff_b = Bitmap::AndNot(bits_b, bits_l);
+  // Records live at the lca that one side no longer carries: "if a row in
+  // the bitmap is encountered where the lca commit is a 1 but both
+  // branches have a 0 ... the record has been updated in both" (§3.2).
+  const Bitmap gone_a = Bitmap::AndNot(bits_l, bits_a);
+  const Bitmap gone_b = Bitmap::AndNot(bits_l, bits_b);
+
+  // Pass 1 (pipelined hash join of the two diffs): build per-side tables
+  // of changed keys.
+  std::unordered_map<int64_t, uint64_t> table_a, table_b;
+  {
+    const Bitmap changed = Bitmap::Or(diff_a, diff_b);
+    BitmapScanner scanner(heap_.get(), &schema_, &changed);
+    RecordRef rec;
+    uint64_t idx;
+    while (scanner.Next(&rec, &idx)) {
+      const bool in_a = diff_a.Test(idx);
+      const bool in_b = diff_b.Test(idx);
+      if (in_a && in_b) continue;  // identical version reached both sides
+      if (in_a) table_a[rec.pk()] = idx;
+      if (in_b) table_b[rec.pk()] = idx;
+      result.bytes_processed += rs;
+    }
+    DECIBEL_RETURN_NOT_OK(scanner.status());
+  }
+  result.diff_bytes = result.bytes_processed;
+
+  // Pass 2: the reduced lca scan — only records replaced on some side.
+  std::unordered_map<int64_t, uint64_t> lca_version;
+  std::unordered_set<int64_t> gone_a_pks, gone_b_pks;
+  {
+    const Bitmap gone = Bitmap::Or(gone_a, gone_b);
+    BitmapScanner scanner(heap_.get(), &schema_, &gone);
+    RecordRef rec;
+    uint64_t idx;
+    while (scanner.Next(&rec, &idx)) {
+      lca_version[rec.pk()] = idx;
+      if (gone_a.Test(idx)) gone_a_pks.insert(rec.pk());
+      if (gone_b.Test(idx)) gone_b_pks.insert(rec.pk());
+      result.bytes_processed += rs;
+    }
+    DECIBEL_RETURN_NOT_OK(scanner.status());
+  }
+
+  PkIndex& pks_into = pk_index_[into];
+  const bool left_wins = LeftWins(policy);
+
+  // Helper: replace 'into's live version of pk with record idx (or delete).
+  auto apply_b_state = [&](int64_t pk, uint64_t idx, bool deleted) {
+    auto it = pks_into.find(pk);
+    if (it != pks_into.end()) {
+      index_->Set(it->second, into, false);
+      if (deleted) {
+        pks_into.erase(it);
+      } else {
+        it->second = idx;
+      }
+    } else if (!deleted) {
+      pks_into.emplace(pk, idx);
+    }
+    if (!deleted) index_->Set(idx, into, true);
+    ++result.merged_records;
+  };
+
+  std::string buf_a, buf_b, buf_l;
+  for (const auto& [pk, idx_b] : table_b) {
+    auto it_a = table_a.find(pk);
+    if (it_a != table_a.end()) {
+      // Modified in both branches: conflict candidate.
+      if (!IsThreeWay(policy)) {
+        ++result.conflicts;
+        if (!left_wins) apply_b_state(pk, idx_b, false);
+        continue;
+      }
+      auto base_it = lca_version.find(pk);
+      if (base_it == lca_version.end()) {
+        // Inserted independently on both sides: no base, tuple precedence.
+        ++result.conflicts;
+        if (!left_wins) apply_b_state(pk, idx_b, false);
+        continue;
+      }
+      DECIBEL_RETURN_NOT_OK(heap_->Get(it_a->second, &buf_a));
+      DECIBEL_RETURN_NOT_OK(heap_->Get(idx_b, &buf_b));
+      DECIBEL_RETURN_NOT_OK(heap_->Get(base_it->second, &buf_l));
+      result.bytes_processed += 3 * rs;
+      const RecordRef rec_a(&schema_, buf_a);
+      const RecordRef rec_b(&schema_, buf_b);
+      const RecordRef rec_l(&schema_, buf_l);
+      FieldMergeOutcome outcome =
+          ThreeWayFieldMerge(schema_, rec_l, rec_a, rec_b, left_wins);
+      if (outcome.conflict) ++result.conflicts;
+      if (outcome.needs_new_record) {
+        ++result.field_merges;
+        DECIBEL_ASSIGN_OR_RETURN(uint64_t merged_idx,
+                                 heap_->Append(outcome.merged->data()));
+        index_->AppendTuples(1);
+        apply_b_state(pk, merged_idx, false);
+      } else if (!outcome.keep_left) {
+        apply_b_state(pk, idx_b, false);
+      }
+    } else if (gone_a_pks.count(pk) != 0) {
+      // Deleted in 'into', modified in 'from': conflict (§2.2.3).
+      ++result.conflicts;
+      if (!left_wins) apply_b_state(pk, idx_b, false);
+    } else {
+      // Changed only in 'from': adopt its version.
+      apply_b_state(pk, idx_b, false);
+    }
+  }
+
+  // Keys deleted in 'from' (live at lca, gone from B, not re-added).
+  for (int64_t pk : gone_b_pks) {
+    if (table_b.count(pk) != 0) continue;  // was an update, handled above
+    if (table_a.count(pk) != 0) {
+      // Modified in 'into', deleted in 'from': conflict.
+      ++result.conflicts;
+      if (!left_wins) apply_b_state(pk, 0, true);
+    } else if (gone_a_pks.count(pk) == 0) {
+      // Deleted only in 'from': propagate the delete.
+      apply_b_state(pk, 0, true);
+    }
+  }
+
+  DECIBEL_RETURN_NOT_OK(Commit(into, new_commit));
+  return result;
+}
+
+// -------------------------------------------------------------------- stats
+
+EngineStats TupleFirstEngine::Stats() const {
+  EngineStats stats;
+  stats.data_bytes = heap_->SizeBytes();
+  stats.index_memory_bytes = index_->MemoryBytes();
+  for (const auto& [branch, pks] : pk_index_) {
+    stats.index_memory_bytes += pks.size() * 16;
+  }
+  for (const auto& [branch, history] : histories_) {
+    stats.commit_store_bytes += history->SizeBytes();
+  }
+  stats.num_segments = 1;
+  stats.num_records = heap_->num_records();
+  return stats;
+}
+
+}  // namespace decibel

@@ -1,0 +1,89 @@
+#ifndef DECIBEL_ENGINE_TUPLE_FIRST_H_
+#define DECIBEL_ENGINE_TUPLE_FIRST_H_
+
+/// \file tuple_first.h
+/// The tuple-first storage engine (§3.2): every tuple that has ever
+/// existed in any version lives in a single shared heap file; a bitmap
+/// index with one bit per (tuple, branch) records liveness. Branching
+/// clones a bitmap column; commits snapshot a column into a per-branch
+/// XOR-delta commit history; diffs and multi-branch scans are bitmap
+/// algebra; single-branch scans pay for the interleaving of branches in
+/// the shared file.
+
+#include <memory>
+#include <unordered_map>
+
+#include "bitmap/commit_history.h"
+#include "engine/engine.h"
+#include "storage/buffer_pool.h"
+#include "storage/heap_file.h"
+
+namespace decibel {
+
+class TupleFirstEngine : public StorageEngine {
+ public:
+  /// Creates a fresh engine in options.directory, or reopens one that was
+  /// previously flushed there.
+  static Result<std::unique_ptr<TupleFirstEngine>> Make(
+      const Schema& schema, const EngineOptions& options);
+
+  EngineType type() const override { return EngineType::kTupleFirst; }
+  const Schema& schema() const override { return schema_; }
+
+  Status CreateBranch(BranchId child, BranchId parent, CommitId base_commit,
+                      bool at_head) override;
+  Status Commit(BranchId branch, CommitId commit_id) override;
+  Status Checkout(CommitId commit) override;
+
+  Status Insert(BranchId branch, const Record& record) override;
+  Status Update(BranchId branch, const Record& record) override;
+  Status Delete(BranchId branch, int64_t pk) override;
+
+  Result<std::unique_ptr<RecordIterator>> ScanBranch(BranchId branch) override;
+  Result<std::unique_ptr<RecordIterator>> ScanCommit(CommitId commit) override;
+  Status ScanMulti(const std::vector<BranchId>& branches,
+                   const MultiScanCallback& callback) override;
+  Status Diff(BranchId a, BranchId b, DiffMode mode, const DiffCallback& pos,
+              const DiffCallback& neg) override;
+  Result<MergeResult> Merge(BranchId into, BranchId from, CommitId lca,
+                            CommitId new_commit, MergePolicy policy) override;
+
+  Status Flush() override;
+  void DropCaches() override { pool_.EvictAll(); }
+  EngineStats Stats() const override;
+
+  /// Reconstructs the bitmap snapshotted at \p commit (exposed for tests
+  /// and the bitmap micro-benchmarks).
+  Result<Bitmap> CommitBitmap(CommitId commit);
+
+ private:
+  TupleFirstEngine(const Schema& schema, const EngineOptions& options)
+      : schema_(schema), options_(options), pool_(options.buffer_pool_bytes) {}
+
+  Status LoadExisting();
+  Status InitFresh();
+  /// The commit-history file for \p branch, creating it on first use.
+  Result<CommitHistory*> HistoryFor(BranchId branch);
+  /// Appends a record version and flips bitmap/pk-index state for an
+  /// insert-or-update on \p branch.
+  Status AppendVersion(BranchId branch, const Record& record);
+  /// Rebuilds branch \p b's pk index by scanning its bitmap column.
+  Status RebuildPkIndex(BranchId b);
+  std::string MetaPath() const;
+  std::string HistoryPath(BranchId branch) const;
+
+  using PkIndex = std::unordered_map<int64_t, uint64_t>;  // pk -> record idx
+
+  Schema schema_;
+  EngineOptions options_;
+  BufferPool pool_;
+  std::unique_ptr<HeapFile> heap_;
+  std::unique_ptr<BitmapIndex> index_;
+  std::unordered_map<BranchId, PkIndex> pk_index_;
+  std::unordered_map<BranchId, std::unique_ptr<CommitHistory>> histories_;
+  std::unordered_map<CommitId, BranchId> commit_branch_;
+};
+
+}  // namespace decibel
+
+#endif  // DECIBEL_ENGINE_TUPLE_FIRST_H_

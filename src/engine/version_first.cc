@@ -1,0 +1,772 @@
+#include "engine/version_first.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/coding.h"
+#include "engine/merge_util.h"
+
+namespace decibel {
+
+namespace {
+
+/// Reads one segment's records [0, bound) newest-to-oldest, pinning one
+/// page at a time.
+class ReverseSegmentReader {
+ public:
+  ReverseSegmentReader(HeapFile* file, const Schema* schema, uint64_t bound)
+      : file_(file),
+        schema_(schema),
+        next_(std::min(bound, file->num_records())) {}
+
+  /// Yields the next (older) record; false at the start of the segment or
+  /// on error.
+  bool Prev(RecordRef* out, uint64_t* index) {
+    if (!status_.ok() || next_ == 0) return false;
+    const uint64_t idx = --next_;
+    const uint64_t page_no = idx / file_->records_per_page();
+    if (page_no != pinned_page_no_) {
+      auto page = file_->PinPage(page_no);
+      if (!page.ok()) {
+        status_ = page.status();
+        return false;
+      }
+      page_ = std::move(page).MoveValueUnsafe();
+      pinned_page_no_ = page_no;
+    }
+    const uint64_t slot = idx % file_->records_per_page();
+    *out = RecordRef(schema_,
+                     Slice(page_.payload + slot * file_->record_size(),
+                           file_->record_size()));
+    if (index != nullptr) *index = idx;
+    return true;
+  }
+
+  const Status& status() const { return status_; }
+
+ private:
+  HeapFile* file_;
+  const Schema* schema_;
+  uint64_t next_;
+  HeapFile::PinnedPage page_;
+  uint64_t pinned_page_no_ = UINT64_MAX;
+  Status status_;
+};
+
+}  // namespace
+
+// ------------------------------------------------------------ construction
+
+Result<std::unique_ptr<VersionFirstEngine>> VersionFirstEngine::Make(
+    const Schema& schema, const EngineOptions& options) {
+  std::unique_ptr<VersionFirstEngine> engine(
+      new VersionFirstEngine(schema, options));
+  DECIBEL_RETURN_NOT_OK(CreateDir(options.directory));
+  if (FileExists(engine->MetaPath())) {
+    DECIBEL_RETURN_NOT_OK(engine->LoadExisting());
+  } else {
+    DECIBEL_RETURN_NOT_OK(engine->InitFresh());
+  }
+  return engine;
+}
+
+std::string VersionFirstEngine::MetaPath() const {
+  return JoinPath(options_.directory, "engine.meta");
+}
+
+std::string VersionFirstEngine::SegmentPath(uint32_t seg) const {
+  return JoinPath(options_.directory, "seg_" + std::to_string(seg) + ".dbhf");
+}
+
+Result<uint32_t> VersionFirstEngine::NewSegment(
+    BranchId owner, std::vector<ParentLink> parents) {
+  auto segment = std::make_unique<Segment>();
+  segment->id = static_cast<uint32_t>(segments_.size());
+  segment->owner = owner;
+  segment->parents = std::move(parents);
+  HeapFile::Options hopts;
+  hopts.page_size = options_.page_size;
+  hopts.verify_checksums = options_.verify_checksums;
+  DECIBEL_ASSIGN_OR_RETURN(
+      segment->file, HeapFile::Create(SegmentPath(segment->id),
+                                      schema_.record_size(), hopts, &pool_));
+  segments_.push_back(std::move(segment));
+  return segments_.back()->id;
+}
+
+Status VersionFirstEngine::InitFresh() {
+  DECIBEL_ASSIGN_OR_RETURN(uint32_t seg, NewSegment(kMasterBranch, {}));
+  head_seg_[kMasterBranch] = seg;
+  return Status::OK();
+}
+
+Status VersionFirstEngine::LoadExisting() {
+  DECIBEL_ASSIGN_OR_RETURN(std::string meta, ReadFileToString(MetaPath()));
+  Slice input(meta);
+  Slice schema_blob;
+  if (!GetLengthPrefixed(&input, &schema_blob)) {
+    return Status::Corruption("version-first: truncated meta");
+  }
+  Slice schema_slice = schema_blob;
+  DECIBEL_ASSIGN_OR_RETURN(Schema stored, Schema::DecodeFrom(&schema_slice));
+  if (!(stored == schema_)) {
+    return Status::InvalidArgument(
+        "version-first: schema mismatch on reopen");
+  }
+  uint64_t num_segments;
+  if (!GetVarint64(&input, &num_segments)) {
+    return Status::Corruption("version-first: truncated meta");
+  }
+  HeapFile::Options hopts;
+  hopts.verify_checksums = options_.verify_checksums;
+  for (uint64_t i = 0; i < num_segments; ++i) {
+    auto segment = std::make_unique<Segment>();
+    uint64_t num_parents;
+    if (!GetVarint32(&input, &segment->id) ||
+        !GetVarint32(&input, &segment->owner) ||
+        !GetVarint64(&input, &num_parents)) {
+      return Status::Corruption("version-first: truncated segment meta");
+    }
+    if (segment->id != segments_.size()) {
+      return Status::Corruption("version-first: segment ids not dense");
+    }
+    for (uint64_t p = 0; p < num_parents; ++p) {
+      ParentLink link;
+      if (!GetVarint32(&input, &link.seg) ||
+          !GetVarint64(&input, &link.bound)) {
+        return Status::Corruption("version-first: truncated parent link");
+      }
+      if (link.seg >= segment->id) {
+        return Status::Corruption(
+            "version-first: parent link to non-ancestor segment");
+      }
+      segment->parents.push_back(link);
+    }
+    DECIBEL_ASSIGN_OR_RETURN(
+        segment->file, HeapFile::Open(SegmentPath(segment->id), hopts,
+                                      &pool_));
+    segments_.push_back(std::move(segment));
+  }
+  uint64_t num_heads, num_commits;
+  if (!GetVarint64(&input, &num_heads)) {
+    return Status::Corruption("version-first: truncated head map");
+  }
+  for (uint64_t i = 0; i < num_heads; ++i) {
+    uint32_t branch, seg;
+    if (!GetVarint32(&input, &branch) || !GetVarint32(&input, &seg)) {
+      return Status::Corruption("version-first: truncated head entry");
+    }
+    if (seg >= segments_.size()) {
+      return Status::Corruption("version-first: head points past segments");
+    }
+    head_seg_[branch] = seg;
+  }
+  if (!GetVarint64(&input, &num_commits)) {
+    return Status::Corruption("version-first: truncated commit map");
+  }
+  for (uint64_t i = 0; i < num_commits; ++i) {
+    uint64_t commit;
+    Root root;
+    if (!GetVarint64(&input, &commit) || !GetVarint32(&input, &root.seg) ||
+        !GetVarint64(&input, &root.bound)) {
+      return Status::Corruption("version-first: truncated commit entry");
+    }
+    if (root.seg >= segments_.size()) {
+      return Status::Corruption(
+          "version-first: commit points past segments");
+    }
+    commits_[commit] = root;
+  }
+  return Status::OK();
+}
+
+Status VersionFirstEngine::Flush() {
+  for (auto& segment : segments_) {
+    DECIBEL_RETURN_NOT_OK(segment->file->Flush());
+  }
+  std::string meta;
+  std::string schema_blob;
+  schema_.EncodeTo(&schema_blob);
+  PutLengthPrefixed(&meta, schema_blob);
+  PutVarint64(&meta, segments_.size());
+  for (const auto& segment : segments_) {
+    PutVarint32(&meta, segment->id);
+    PutVarint32(&meta, segment->owner);
+    PutVarint64(&meta, segment->parents.size());
+    for (const ParentLink& link : segment->parents) {
+      PutVarint32(&meta, link.seg);
+      PutVarint64(&meta, link.bound);
+    }
+  }
+  PutVarint64(&meta, head_seg_.size());
+  for (const auto& [branch, seg] : head_seg_) {
+    PutVarint32(&meta, branch);
+    PutVarint32(&meta, seg);
+  }
+  PutVarint64(&meta, commits_.size());
+  for (const auto& [commit, root] : commits_) {
+    PutVarint64(&meta, commit);
+    PutVarint32(&meta, root.seg);
+    PutVarint64(&meta, root.bound);
+  }
+  return WriteStringToFile(MetaPath(), meta);
+}
+
+// --------------------------------------------------------- version control
+
+Result<VersionFirstEngine::Root> VersionFirstEngine::RootForBranch(
+    BranchId branch) const {
+  auto it = head_seg_.find(branch);
+  if (it == head_seg_.end()) {
+    return Status::NotFound("version-first: unknown branch " +
+                            std::to_string(branch));
+  }
+  return Root{it->second, segments_[it->second]->file->num_records()};
+}
+
+Result<VersionFirstEngine::Root> VersionFirstEngine::RootForCommit(
+    CommitId commit) const {
+  auto it = commits_.find(commit);
+  if (it == commits_.end()) {
+    return Status::NotFound("version-first: unknown commit " +
+                            std::to_string(commit));
+  }
+  return it->second;
+}
+
+Status VersionFirstEngine::CreateBranch(BranchId child, BranchId parent,
+                                        CommitId base_commit, bool at_head) {
+  // "a new child segment file is created that notes the parent file and
+  // the offset of this branch point" (§3.3). The parent keeps appending
+  // to its own segment; records after the branch point are isolated.
+  Root base{0, 0};
+  if (at_head) {
+    DECIBEL_ASSIGN_OR_RETURN(base, RootForBranch(parent));
+  } else {
+    DECIBEL_ASSIGN_OR_RETURN(base, RootForCommit(base_commit));
+  }
+  DECIBEL_ASSIGN_OR_RETURN(
+      uint32_t seg, NewSegment(child, {ParentLink{base.seg, base.bound}}));
+  head_seg_[child] = seg;
+  return Status::OK();
+}
+
+Status VersionFirstEngine::Commit(BranchId branch, CommitId commit_id) {
+  // "version-first supports commits by mapping a commit ID to the byte
+  // offset of the latest record active in the committing branch's segment
+  // file" (§3.3).
+  DECIBEL_ASSIGN_OR_RETURN(Root root, RootForBranch(branch));
+  commits_[commit_id] = root;
+  return Status::OK();
+}
+
+Status VersionFirstEngine::Checkout(CommitId commit) {
+  // A checkout only needs the (segment, offset) pair — near-free, which is
+  // why Table 2 has no version-first rows.
+  return RootForCommit(commit).status();
+}
+
+// ----------------------------------------------------------------- mutation
+
+Status VersionFirstEngine::Insert(BranchId branch, const Record& record) {
+  auto it = head_seg_.find(branch);
+  if (it == head_seg_.end()) {
+    return Status::NotFound("version-first: unknown branch " +
+                            std::to_string(branch));
+  }
+  return segments_[it->second]->file->Append(record.data()).status();
+}
+
+Status VersionFirstEngine::Update(BranchId branch, const Record& record) {
+  // "Updates are performed by inserting a new copy of the tuple with the
+  // same primary key; branch scans will ignore the earlier copy" (§3.3).
+  return Insert(branch, record);
+}
+
+Status VersionFirstEngine::Delete(BranchId branch, int64_t pk) {
+  // "deletes require a tombstone" (§3.3).
+  const Record tombstone = MakeTombstone(&schema_, pk);
+  return Insert(branch, tombstone);
+}
+
+// --------------------------------------------------------------- scan order
+
+std::vector<VersionFirstEngine::ScanStep> VersionFirstEngine::ComputeScanOrder(
+    const Root& root) const {
+  // Collect the ancestry sub-DAG with per-segment visibility bounds
+  // (a segment reachable through several paths is visible up to the widest
+  // bound) and a lexicographic priority key derived from parent order.
+  struct Node {
+    uint64_t bound = 0;
+    std::vector<uint32_t> priority;  // lexicographically smallest path
+    bool has_priority = false;
+    std::vector<uint32_t> children;  // children within the sub-DAG
+  };
+  std::map<uint32_t, Node> nodes;
+
+  // BFS from the root, propagating bounds and priority keys. Priority keys
+  // only shrink (lexicographically), bounds only grow, so iterate until
+  // fixpoint; ancestries are small (#segments ~ #branches + #merges).
+  std::vector<uint32_t> work{root.seg};
+  nodes[root.seg].bound = std::min(
+      root.bound, segments_[root.seg]->file->num_records());
+  nodes[root.seg].has_priority = true;
+  while (!work.empty()) {
+    const uint32_t cur = work.back();
+    work.pop_back();
+    const Node& cur_node = nodes[cur];
+    const std::vector<uint32_t> cur_priority = cur_node.priority;
+    for (uint32_t i = 0; i < segments_[cur]->parents.size(); ++i) {
+      const ParentLink& link = segments_[cur]->parents[i];
+      Node& parent = nodes[link.seg];
+      bool changed = false;
+      if (link.bound > parent.bound) {
+        parent.bound = link.bound;
+        changed = true;
+      }
+      std::vector<uint32_t> candidate = cur_priority;
+      candidate.push_back(i);
+      if (!parent.has_priority || candidate < parent.priority) {
+        parent.priority = std::move(candidate);
+        parent.has_priority = true;
+        changed = true;
+      }
+      if (std::find(parent.children.begin(), parent.children.end(), cur) ==
+          parent.children.end()) {
+        parent.children.push_back(cur);
+      }
+      if (changed) work.push_back(link.seg);
+    }
+  }
+
+  // Kahn's algorithm, children before parents; among ready segments the
+  // one with the smallest priority key goes first (this yields the
+  // "D - B - C - A" style orders of §3.3).
+  std::map<uint32_t, size_t> pending;  // seg -> unscanned children count
+  for (auto& [seg, node] : nodes) pending[seg] = 0;
+  for (auto& [seg, node] : nodes) {
+    for (uint32_t i = 0; i < segments_[seg]->parents.size(); ++i) {
+      const uint32_t p = segments_[seg]->parents[i].seg;
+      if (nodes.count(p) != 0) ++pending[p];
+    }
+  }
+
+  std::vector<ScanStep> order;
+  order.reserve(nodes.size());
+  std::vector<uint32_t> ready;
+  for (auto& [seg, node] : nodes) {
+    if (pending[seg] == 0) ready.push_back(seg);
+  }
+  while (!ready.empty()) {
+    auto best = std::min_element(
+        ready.begin(), ready.end(), [&](uint32_t a, uint32_t b) {
+          return nodes[a].priority < nodes[b].priority;
+        });
+    const uint32_t seg = *best;
+    ready.erase(best);
+    order.push_back(ScanStep{seg, nodes[seg].bound});
+    for (uint32_t i = 0; i < segments_[seg]->parents.size(); ++i) {
+      const uint32_t p = segments_[seg]->parents[i].seg;
+      auto it = pending.find(p);
+      if (it != pending.end() && --it->second == 0) ready.push_back(p);
+    }
+  }
+  return order;
+}
+
+// ------------------------------------------------------------ branch scans
+
+/// Streaming single-version scan: walk the scan order newest-to-oldest,
+/// suppressing keys already seen ("Decibel uses an in-memory set to track
+/// emitted tuples", §3.3).
+class VersionFirstEngine::BranchScanIterator : public RecordIterator {
+ public:
+  BranchScanIterator(const VersionFirstEngine* engine,
+                     std::vector<ScanStep> order)
+      : engine_(engine), order_(std::move(order)) {}
+
+  bool Next(RecordRef* out) override {
+    for (;;) {
+      if (!reader_.has_value()) {
+        if (step_ >= order_.size()) return false;
+        const ScanStep& step = order_[step_];
+        reader_.emplace(engine_->segments_[step.seg]->file.get(),
+                        &engine_->schema_, step.bound);
+      }
+      RecordRef rec;
+      if (!reader_->Prev(&rec, nullptr)) {
+        if (!reader_->status().ok()) {
+          status_ = reader_->status();
+          return false;
+        }
+        reader_.reset();
+        ++step_;
+        continue;
+      }
+      if (!seen_.insert(rec.pk()).second) continue;
+      if (rec.tombstone()) continue;
+      *out = rec;
+      return true;
+    }
+  }
+
+  const Status& status() const override { return status_; }
+
+ private:
+  const VersionFirstEngine* engine_;
+  std::vector<ScanStep> order_;
+  size_t step_ = 0;
+  std::optional<ReverseSegmentReader> reader_;
+  std::unordered_set<int64_t> seen_;
+  Status status_;
+};
+
+Result<std::unique_ptr<RecordIterator>> VersionFirstEngine::ScanBranch(
+    BranchId branch) {
+  DECIBEL_ASSIGN_OR_RETURN(Root root, RootForBranch(branch));
+  return std::unique_ptr<RecordIterator>(
+      new BranchScanIterator(this, ComputeScanOrder(root)));
+}
+
+Result<std::unique_ptr<RecordIterator>> VersionFirstEngine::ScanCommit(
+    CommitId commit) {
+  DECIBEL_ASSIGN_OR_RETURN(Root root, RootForCommit(commit));
+  return std::unique_ptr<RecordIterator>(
+      new BranchScanIterator(this, ComputeScanOrder(root)));
+}
+
+// ------------------------------------------------------------ winner tables
+
+Status VersionFirstEngine::BuildWinnerTables(
+    const std::vector<Root>& roots, std::vector<WinnerTable>* tables,
+    uint64_t* bytes_scanned) const {
+  tables->assign(roots.size(), WinnerTable());
+
+  // Per root: scan order and each segment's rank + bound within it.
+  struct PerRoot {
+    std::unordered_map<uint32_t, uint32_t> rank;
+    std::unordered_map<uint32_t, uint64_t> bound;
+  };
+  std::vector<PerRoot> per_root(roots.size());
+  std::map<uint32_t, uint64_t> union_bound;  // seg -> widest bound
+  for (size_t r = 0; r < roots.size(); ++r) {
+    const std::vector<ScanStep> order = ComputeScanOrder(roots[r]);
+    for (uint32_t pos = 0; pos < order.size(); ++pos) {
+      per_root[r].rank[order[pos].seg] = pos;
+      per_root[r].bound[order[pos].seg] = order[pos].bound;
+      uint64_t& ub = union_bound[order[pos].seg];
+      ub = std::max(ub, order[pos].bound);
+    }
+  }
+
+  // One reverse pass over every segment in the union of ancestries
+  // ("multiple intermediate hash tables ... scanning the segment from the
+  // branch point backwards", §3.3 — we fold the intermediate tables into
+  // one winner table per branch keyed by scan rank).
+  for (const auto& [seg, bound] : union_bound) {
+    ReverseSegmentReader reader(segments_[seg]->file.get(), &schema_, bound);
+    RecordRef rec;
+    uint64_t idx;
+    while (reader.Prev(&rec, &idx)) {
+      if (bytes_scanned != nullptr) *bytes_scanned += schema_.record_size();
+      const int64_t pk = rec.pk();
+      for (size_t r = 0; r < roots.size(); ++r) {
+        auto rank_it = per_root[r].rank.find(seg);
+        if (rank_it == per_root[r].rank.end()) continue;
+        if (idx >= per_root[r].bound[seg]) continue;
+        const uint32_t rank = rank_it->second;
+        auto [it, inserted] = (*tables)[r].try_emplace(pk);
+        // Newer wins: smaller rank, then larger record index.
+        if (inserted || rank < it->second.rank ||
+            (rank == it->second.rank && idx > it->second.idx)) {
+          it->second = Winner{seg, idx, rank, rec.tombstone()};
+        }
+      }
+    }
+    DECIBEL_RETURN_NOT_OK(reader.status());
+  }
+  return Status::OK();
+}
+
+Status VersionFirstEngine::FetchRecord(uint32_t seg, uint64_t idx,
+                                       std::string* buf) const {
+  return segments_[seg]->file->Get(idx, buf);
+}
+
+Status VersionFirstEngine::EmitWinners(
+    const std::vector<WinnerTable>& tables,
+    const MultiScanCallback& callback) const {
+  // Aggregate winners by physical location, then emit in (segment,
+  // record) order — the paper's "output priority queue (sorted in
+  // record-id order)".
+  std::map<std::pair<uint32_t, uint64_t>, std::vector<uint32_t>> output;
+  for (uint32_t r = 0; r < tables.size(); ++r) {
+    for (const auto& [pk, winner] : tables[r]) {
+      if (winner.tombstone) continue;
+      output[{winner.seg, winner.idx}].push_back(r);
+    }
+  }
+  std::string buf;
+  for (const auto& [loc, roots] : output) {
+    DECIBEL_RETURN_NOT_OK(FetchRecord(loc.first, loc.second, &buf));
+    callback(RecordRef(&schema_, buf), roots);
+  }
+  return Status::OK();
+}
+
+Status VersionFirstEngine::ScanMulti(const std::vector<BranchId>& branches,
+                                     const MultiScanCallback& callback) {
+  std::vector<Root> roots;
+  roots.reserve(branches.size());
+  for (BranchId b : branches) {
+    DECIBEL_ASSIGN_OR_RETURN(Root root, RootForBranch(b));
+    roots.push_back(root);
+  }
+  std::vector<WinnerTable> tables;
+  DECIBEL_RETURN_NOT_OK(BuildWinnerTables(roots, &tables, nullptr));
+  return EmitWinners(tables, callback);
+}
+
+// --------------------------------------------------------------------- diff
+
+Status VersionFirstEngine::Diff(BranchId a, BranchId b, DiffMode mode,
+                                const DiffCallback& pos,
+                                const DiffCallback& neg) {
+  // Version-first diffs pay for full winner-table construction over both
+  // ancestries ("the need to make multiple passes over the dataset to
+  // identify the active records in both versions", §5.2).
+  DECIBEL_ASSIGN_OR_RETURN(Root root_a, RootForBranch(a));
+  DECIBEL_ASSIGN_OR_RETURN(Root root_b, RootForBranch(b));
+  std::vector<WinnerTable> tables;
+  DECIBEL_RETURN_NOT_OK(BuildWinnerTables({root_a, root_b}, &tables, nullptr));
+  const WinnerTable& wa = tables[0];
+  const WinnerTable& wb = tables[1];
+
+  std::string buf, buf_other;
+  auto emit = [&](const Winner& w, const DiffCallback& cb) -> Status {
+    DECIBEL_RETURN_NOT_OK(FetchRecord(w.seg, w.idx, &buf));
+    cb(RecordRef(&schema_, buf));
+    return Status::OK();
+  };
+  // Merge-materialized copies mean two different locations can hold the
+  // same logical record; content comparisons must fall back to bytes.
+  auto same_content = [&](const Winner& x, const Winner& y,
+                          bool* equal) -> Status {
+    if (x.seg == y.seg && x.idx == y.idx) {
+      *equal = true;
+      return Status::OK();
+    }
+    DECIBEL_RETURN_NOT_OK(FetchRecord(x.seg, x.idx, &buf));
+    DECIBEL_RETURN_NOT_OK(FetchRecord(y.seg, y.idx, &buf_other));
+    *equal = buf == buf_other;
+    return Status::OK();
+  };
+
+  for (const auto& [pk, winner] : wa) {
+    if (winner.tombstone) continue;
+    auto it = wb.find(pk);
+    const bool present_b = it != wb.end() && !it->second.tombstone;
+    bool differs;
+    if (mode == DiffMode::kByKey) {
+      differs = !present_b;
+    } else if (!present_b) {
+      differs = true;
+    } else {
+      bool equal;
+      DECIBEL_RETURN_NOT_OK(same_content(winner, it->second, &equal));
+      differs = !equal;
+    }
+    if (differs && pos) DECIBEL_RETURN_NOT_OK(emit(winner, pos));
+  }
+  for (const auto& [pk, winner] : wb) {
+    if (winner.tombstone) continue;
+    auto it = wa.find(pk);
+    const bool present_a = it != wa.end() && !it->second.tombstone;
+    bool differs;
+    if (mode == DiffMode::kByKey) {
+      differs = !present_a;
+    } else if (!present_a) {
+      differs = true;
+    } else {
+      bool equal;
+      DECIBEL_RETURN_NOT_OK(same_content(winner, it->second, &equal));
+      differs = !equal;
+    }
+    if (differs && neg) DECIBEL_RETURN_NOT_OK(emit(winner, neg));
+  }
+  return Status::OK();
+}
+
+// -------------------------------------------------------------------- merge
+
+Result<MergeResult> VersionFirstEngine::Merge(BranchId into, BranchId from,
+                                              CommitId lca,
+                                              CommitId new_commit,
+                                              MergePolicy policy) {
+  MergeResult result;
+  const uint32_t rs = schema_.record_size();
+  const bool left_wins = LeftWins(policy);
+
+  DECIBEL_ASSIGN_OR_RETURN(Root root_a, RootForBranch(into));
+  DECIBEL_ASSIGN_OR_RETURN(Root root_b, RootForBranch(from));
+  DECIBEL_ASSIGN_OR_RETURN(Root root_l, RootForCommit(lca));
+
+  // "merging involves creating a new branch, a new child segment, and
+  // branch points within each parent" (§3.3); the stronger parent is
+  // scanned first.
+  std::vector<ParentLink> parents;
+  const ParentLink link_a{root_a.seg, root_a.bound};
+  const ParentLink link_b{root_b.seg, root_b.bound};
+  if (left_wins) {
+    parents = {link_a, link_b};
+  } else {
+    parents = {link_b, link_a};
+  }
+  DECIBEL_ASSIGN_OR_RETURN(uint32_t new_seg, NewSegment(into, parents));
+
+  // Winner tables for both heads and the lca. The paper suggests a pure
+  // precedence-based two-way merge needs "no explicit scan" (§3.3); in a
+  // DAG with tombstones that is not sound at segment-window granularity
+  // (a key absent at the lca but live in 'from' must be adopted, which
+  // only the lca's effective state reveals), so both merge flavours
+  // materialize their resolutions against full winner tables. Three-way
+  // additionally pays the per-conflict record fetches and field compares.
+  // This is the cost profile §5.4 reports: version-first trails the bitmap
+  // engines on both flavours and loses more ground on three-way.
+  std::vector<WinnerTable> tables;
+  DECIBEL_RETURN_NOT_OK(BuildWinnerTables({root_a, root_b, root_l}, &tables,
+                                          &result.bytes_processed));
+  const WinnerTable& wa = tables[0];
+  const WinnerTable& wb = tables[1];
+  const WinnerTable& wl = tables[2];
+
+  // Merges materialize record *copies* into new head segments, so two
+  // winners at different locations can still be the same logical state;
+  // equality falls back to byte comparison. A tombstone and a missing
+  // entry are both "not present".
+  auto absent = [](const Winner* w) {
+    return w == nullptr || w->tombstone;
+  };
+  auto same_state = [&](const Winner* x, const Winner* y,
+                        bool* equal) -> Status {
+    if (absent(x) || absent(y)) {
+      *equal = absent(x) == absent(y);
+      return Status::OK();
+    }
+    if (x->seg == y->seg && x->idx == y->idx) {
+      *equal = true;
+      return Status::OK();
+    }
+    std::string bx, by;
+    DECIBEL_RETURN_NOT_OK(FetchRecord(x->seg, x->idx, &bx));
+    DECIBEL_RETURN_NOT_OK(FetchRecord(y->seg, y->idx, &by));
+    result.bytes_processed += 2 * rs;
+    *equal = bx == by;
+    return Status::OK();
+  };
+  auto changed_since_lca = [&](const WinnerTable& w, int64_t pk,
+                               const Winner** out, bool* changed) -> Status {
+    auto it = w.find(pk);
+    const Winner* cur = it == w.end() ? nullptr : &it->second;
+    auto lit = wl.find(pk);
+    const Winner* base = lit == wl.end() ? nullptr : &lit->second;
+    *out = cur;
+    bool equal;
+    DECIBEL_RETURN_NOT_OK(same_state(cur, base, &equal));
+    *changed = !equal;
+    return Status::OK();
+  };
+  auto append_winner = [&](int64_t pk, const Winner* w,
+                           std::string* buf) -> Status {
+    if (w == nullptr || w->tombstone) {
+      const Record tombstone = MakeTombstone(&schema_, pk);
+      return segments_[new_seg]->file->Append(tombstone.data()).status();
+    }
+    DECIBEL_RETURN_NOT_OK(FetchRecord(w->seg, w->idx, buf));
+    return segments_[new_seg]->file->Append(*buf).status();
+  };
+
+  std::string buf_a, buf_b, buf_l;
+  for (const auto& [pk, wb_winner] : wb) {
+    const Winner* cur_b;
+    bool b_changed;
+    DECIBEL_RETURN_NOT_OK(changed_since_lca(wb, pk, &cur_b, &b_changed));
+    const Winner* cur_a = nullptr;
+    auto wa_it = wa.find(pk);
+    if (wa_it != wa.end()) cur_a = &wa_it->second;
+    bool sides_equal;
+    DECIBEL_RETURN_NOT_OK(same_state(cur_a, cur_b, &sides_equal));
+    if (sides_equal) continue;  // any surviving copy has the same bytes
+    if (!b_changed) {
+      // Only 'into' carries a newer value, but 'from's chain joins the
+      // ancestry and its (older) record for this key may outrank 'into's
+      // in the combined scan order; pin 'into's state in the new head.
+      DECIBEL_RETURN_NOT_OK(append_winner(pk, cur_a, &buf_a));
+      continue;
+    }
+    bool a_changed;
+    DECIBEL_RETURN_NOT_OK(changed_since_lca(wa, pk, &cur_a, &a_changed));
+    if (!a_changed) {
+      // Changed only in 'from': materialize its version in the merged
+      // head so the result is independent of segment scan order.
+      result.diff_bytes += rs;
+      DECIBEL_RETURN_NOT_OK(append_winner(pk, cur_b, &buf_b));
+      ++result.merged_records;
+      continue;
+    }
+    // Changed on both sides (to different states).
+    result.diff_bytes += 2 * rs;
+    const bool a_deleted = absent(cur_a);
+    const bool b_deleted = absent(cur_b);
+    auto lit = wl.find(pk);
+    const Winner* base =
+        (lit == wl.end() || lit->second.tombstone) ? nullptr : &lit->second;
+    if (!IsThreeWay(policy) || a_deleted || b_deleted || base == nullptr) {
+      // Tuple-level precedence: two-way policy, delete-vs-modify, or a
+      // double insert with no base version (§2.2.3).
+      ++result.conflicts;
+      DECIBEL_RETURN_NOT_OK(
+          append_winner(pk, left_wins ? cur_a : cur_b, &buf_a));
+      ++result.merged_records;
+      continue;
+    }
+    DECIBEL_RETURN_NOT_OK(FetchRecord(cur_a->seg, cur_a->idx, &buf_a));
+    DECIBEL_RETURN_NOT_OK(FetchRecord(cur_b->seg, cur_b->idx, &buf_b));
+    DECIBEL_RETURN_NOT_OK(FetchRecord(base->seg, base->idx, &buf_l));
+    result.bytes_processed += 3 * rs;
+    const RecordRef rec_a(&schema_, buf_a);
+    const RecordRef rec_b(&schema_, buf_b);
+    const RecordRef rec_l(&schema_, buf_l);
+    FieldMergeOutcome outcome =
+        ThreeWayFieldMerge(schema_, rec_l, rec_a, rec_b, left_wins);
+    if (outcome.conflict) ++result.conflicts;
+    const Slice resolved = outcome.needs_new_record
+                               ? outcome.merged->data()
+                               : (outcome.keep_left ? Slice(buf_a)
+                                                    : Slice(buf_b));
+    if (outcome.needs_new_record) ++result.field_merges;
+    DECIBEL_RETURN_NOT_OK(
+        segments_[new_seg]->file->Append(resolved).status());
+    ++result.merged_records;
+  }
+
+  head_seg_[into] = new_seg;
+  DECIBEL_RETURN_NOT_OK(Commit(into, new_commit));
+  return result;
+}
+
+// -------------------------------------------------------------------- stats
+
+EngineStats VersionFirstEngine::Stats() const {
+  EngineStats stats;
+  for (const auto& segment : segments_) {
+    stats.data_bytes += segment->file->SizeBytes();
+    stats.num_records += segment->file->num_records();
+  }
+  stats.num_segments = segments_.size();
+  // Commits are (segment, offset) pairs — the whole registry is tiny.
+  stats.commit_store_bytes = commits_.size() * 20;
+  return stats;
+}
+
+}  // namespace decibel

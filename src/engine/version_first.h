@@ -1,0 +1,146 @@
+#ifndef DECIBEL_ENGINE_VERSION_FIRST_H_
+#define DECIBEL_ENGINE_VERSION_FIRST_H_
+
+/// \file version_first.h
+/// The version-first storage engine (§3.3): each branch appends its local
+/// modifications to its own head *segment file*; a segment records the
+/// (parent segment, byte offset) branch points it inherits from, and a
+/// chain of such files constitutes a branch's full lineage. Commits are
+/// (segment, offset) pairs in an external structure. Scans walk the
+/// ancestry newest-to-oldest suppressing already-seen keys; multi-branch
+/// scans and diffs materialize pk -> (segment, offset) "winner" hash
+/// tables in a first pass (§3.3 Multi-branch Scan), which is where
+/// version-first pays its price on cross-version queries.
+///
+/// Merge note: we record parent priority on the merged segment as the
+/// paper describes, and additionally *materialize* conflict resolutions
+/// (precedence winners or field-merged records) into the new head segment.
+/// Pure scan-order precedence cannot express "take the union of
+/// non-conflicting updates from both sides" in every topology, so the new
+/// head segment shadows exactly the conflicting keys; everything else is
+/// resolved by the children-before-parents scan order. See DESIGN.md.
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "engine/engine.h"
+#include "storage/buffer_pool.h"
+#include "storage/heap_file.h"
+
+namespace decibel {
+
+class VersionFirstEngine : public StorageEngine {
+ public:
+  static Result<std::unique_ptr<VersionFirstEngine>> Make(
+      const Schema& schema, const EngineOptions& options);
+
+  EngineType type() const override { return EngineType::kVersionFirst; }
+  const Schema& schema() const override { return schema_; }
+
+  Status CreateBranch(BranchId child, BranchId parent, CommitId base_commit,
+                      bool at_head) override;
+  Status Commit(BranchId branch, CommitId commit_id) override;
+  Status Checkout(CommitId commit) override;
+
+  Status Insert(BranchId branch, const Record& record) override;
+  Status Update(BranchId branch, const Record& record) override;
+  Status Delete(BranchId branch, int64_t pk) override;
+
+  Result<std::unique_ptr<RecordIterator>> ScanBranch(BranchId branch) override;
+  Result<std::unique_ptr<RecordIterator>> ScanCommit(CommitId commit) override;
+  Status ScanMulti(const std::vector<BranchId>& branches,
+                   const MultiScanCallback& callback) override;
+  Status Diff(BranchId a, BranchId b, DiffMode mode, const DiffCallback& pos,
+              const DiffCallback& neg) override;
+  Result<MergeResult> Merge(BranchId into, BranchId from, CommitId lca,
+                            CommitId new_commit, MergePolicy policy) override;
+
+  Status Flush() override;
+  void DropCaches() override { pool_.EvictAll(); }
+  EngineStats Stats() const override;
+
+ private:
+  /// Visibility window into a parent segment: records [0, bound) of
+  /// segment \p seg are inherited.
+  struct ParentLink {
+    uint32_t seg = 0;
+    uint64_t bound = 0;
+  };
+
+  struct Segment {
+    uint32_t id = 0;
+    BranchId owner = kInvalidBranch;
+    std::vector<ParentLink> parents;  ///< priority order, strongest first
+    std::unique_ptr<HeapFile> file;
+  };
+
+  /// A version root: everything visible from records [0, bound) of \p seg
+  /// plus its inherited ancestry.
+  struct Root {
+    uint32_t seg = 0;
+    uint64_t bound = 0;
+  };
+
+  /// One step of a scan: read records [0, bound) of segment, newest first.
+  struct ScanStep {
+    uint32_t seg = 0;
+    uint64_t bound = 0;
+  };
+
+  /// Location of a key's winning record version for one root.
+  struct Winner {
+    uint32_t seg = 0;
+    uint64_t idx = 0;
+    uint32_t rank = 0;   // position of seg in the root's scan order
+    bool tombstone = false;
+  };
+  using WinnerTable = std::unordered_map<int64_t, Winner>;
+
+  VersionFirstEngine(const Schema& schema, const EngineOptions& options)
+      : schema_(schema), options_(options), pool_(options.buffer_pool_bytes) {}
+
+  Status InitFresh();
+  Status LoadExisting();
+  std::string MetaPath() const;
+  std::string SegmentPath(uint32_t seg) const;
+  Result<uint32_t> NewSegment(BranchId owner, std::vector<ParentLink> parents);
+  Result<Root> RootForBranch(BranchId branch) const;
+  Result<Root> RootForCommit(CommitId commit) const;
+
+  /// Children-before-parents scan order for a root, tie-broken by parent
+  /// priority ("version-first scans the version tree to determine the
+  /// order in which it should read segment files", §3.3).
+  std::vector<ScanStep> ComputeScanOrder(const Root& root) const;
+
+  /// Pass 1 of the paper's two-pass machinery: one reverse pass over the
+  /// union of the roots' ancestries, producing a winner table per root.
+  /// \p bytes_scanned (optional) accumulates records * record_size.
+  Status BuildWinnerTables(const std::vector<Root>& roots,
+                           std::vector<WinnerTable>* tables,
+                           uint64_t* bytes_scanned) const;
+
+  /// Reads record \p idx of segment \p seg into \p buf.
+  Status FetchRecord(uint32_t seg, uint64_t idx, std::string* buf) const;
+
+  /// Emits winners (sorted segment/record order) annotated with the roots
+  /// that own them — pass 2 of the multi-branch scan.
+  Status EmitWinners(const std::vector<WinnerTable>& tables,
+                     const MultiScanCallback& callback) const;
+
+  Schema schema_;
+  EngineOptions options_;
+  BufferPool pool_;
+
+  std::vector<std::unique_ptr<Segment>> segments_;
+  std::unordered_map<BranchId, uint32_t> head_seg_;
+  std::unordered_map<CommitId, Root> commits_;
+
+  class BranchScanIterator;
+};
+
+}  // namespace decibel
+
+#endif  // DECIBEL_ENGINE_VERSION_FIRST_H_

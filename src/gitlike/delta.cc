@@ -1,0 +1,122 @@
+#include "gitlike/delta.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/coding.h"
+
+namespace decibel {
+namespace gitlike {
+
+namespace {
+
+constexpr char kInsertTag = 0x00;
+constexpr char kCopyTag = 0x01;
+constexpr size_t kMinMatch = 8;
+constexpr int kHashBits = 18;
+constexpr int kMaxChain = 16;
+
+inline uint32_t HashAt(const char* p) {
+  uint64_t v;
+  memcpy(&v, p, sizeof(v));
+  return static_cast<uint32_t>((v * 0x9E3779B97F4A7C15ULL) >>
+                               (64 - kHashBits));
+}
+
+void FlushInsert(Slice target, size_t start, size_t end, std::string* out) {
+  if (end <= start) return;
+  out->push_back(kInsertTag);
+  PutVarint64(out, end - start);
+  out->append(target.data() + start, end - start);
+}
+
+}  // namespace
+
+std::string ComputeDelta(Slice base, Slice target) {
+  std::string out;
+  if (base.size() < kMinMatch || target.size() < kMinMatch) {
+    FlushInsert(target, 0, target.size(), &out);
+    return out;
+  }
+  // Index base positions by an 8-byte rolling hash with bounded chains.
+  std::vector<int64_t> head(size_t{1} << kHashBits, -1);
+  std::vector<int64_t> prev(base.size(), -1);
+  for (size_t i = 0; i + kMinMatch <= base.size(); ++i) {
+    const uint32_t h = HashAt(base.data() + i);
+    prev[i] = head[h];
+    head[h] = static_cast<int64_t>(i);
+  }
+
+  size_t insert_start = 0;
+  size_t i = 0;
+  while (i + kMinMatch <= target.size()) {
+    const uint32_t h = HashAt(target.data() + i);
+    size_t best_len = 0;
+    size_t best_off = 0;
+    int64_t cand = head[h];
+    int chain = 0;
+    while (cand >= 0 && chain++ < kMaxChain) {
+      const size_t off = static_cast<size_t>(cand);
+      size_t len = 0;
+      const size_t max_len = std::min(base.size() - off, target.size() - i);
+      const char* a = base.data() + off;
+      const char* b = target.data() + i;
+      while (len < max_len && a[len] == b[len]) ++len;
+      if (len > best_len) {
+        best_len = len;
+        best_off = off;
+      }
+      cand = prev[off];
+    }
+    if (best_len >= kMinMatch) {
+      // Extend the match backward over the pending literal region.
+      while (best_off > 0 && i > insert_start &&
+             base[best_off - 1] == target[i - 1]) {
+        --best_off;
+        --i;
+        ++best_len;
+      }
+      FlushInsert(target, insert_start, i, &out);
+      out.push_back(kCopyTag);
+      PutVarint64(&out, best_off);
+      PutVarint64(&out, best_len);
+      i += best_len;
+      insert_start = i;
+    } else {
+      ++i;
+    }
+  }
+  FlushInsert(target, insert_start, target.size(), &out);
+  return out;
+}
+
+Result<std::string> ApplyDelta(Slice base, Slice delta) {
+  std::string out;
+  while (!delta.empty()) {
+    const char tag = delta[0];
+    delta.RemovePrefix(1);
+    if (tag == kInsertTag) {
+      uint64_t len;
+      if (!GetVarint64(&delta, &len) || len > delta.size()) {
+        return Status::Corruption("delta: truncated insert");
+      }
+      out.append(delta.data(), static_cast<size_t>(len));
+      delta.RemovePrefix(static_cast<size_t>(len));
+    } else if (tag == kCopyTag) {
+      uint64_t off, len;
+      if (!GetVarint64(&delta, &off) || !GetVarint64(&delta, &len)) {
+        return Status::Corruption("delta: truncated copy");
+      }
+      if (off + len > base.size()) {
+        return Status::Corruption("delta: copy out of base range");
+      }
+      out.append(base.data() + off, static_cast<size_t>(len));
+    } else {
+      return Status::Corruption("delta: bad tag");
+    }
+  }
+  return out;
+}
+
+}  // namespace gitlike
+}  // namespace decibel

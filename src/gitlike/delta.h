@@ -1,0 +1,33 @@
+#ifndef DECIBEL_GITLIKE_DELTA_H_
+#define DECIBEL_GITLIKE_DELTA_H_
+
+/// \file delta.h
+/// Binary delta encoding against a base object, in the spirit of git's
+/// packfile deltas: a target is expressed as copy-from-base and insert
+/// tokens. Used by ObjectStore::Repack, which — like git repack — spends
+/// its time exhaustively comparing candidate bases (§5.7: "git
+/// exhaustively compares objects to find the best delta encoding").
+///
+/// Format: tokens
+///   0x00 <varint n> <n bytes>             -- insert literal bytes
+///   0x01 <varint off> <varint len>        -- copy [off, off+len) from base
+
+#include <string>
+
+#include "common/result.h"
+#include "common/slice.h"
+
+namespace decibel {
+namespace gitlike {
+
+/// Computes a delta turning \p base into \p target. Always succeeds (falls
+/// back to a single insert when nothing matches).
+std::string ComputeDelta(Slice base, Slice target);
+
+/// Reconstructs the target from \p base and \p delta.
+Result<std::string> ApplyDelta(Slice base, Slice delta);
+
+}  // namespace gitlike
+}  // namespace decibel
+
+#endif  // DECIBEL_GITLIKE_DELTA_H_

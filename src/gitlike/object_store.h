@@ -1,0 +1,76 @@
+#ifndef DECIBEL_GITLIKE_OBJECT_STORE_H_
+#define DECIBEL_GITLIKE_OBJECT_STORE_H_
+
+/// \file object_store.h
+/// A content-addressed object store in git's image: objects are addressed
+/// by the SHA-1 of "<type> <size>\0<payload>", stored compressed as loose
+/// files under objects/xx/yyyy..., and periodically *repacked* into a
+/// packfile where each entry may be delta-encoded against a similar
+/// object. The repack cost (exhaustive delta search + recompression) and
+/// the loose-object write cost (hash + compress per commit) are the two
+/// ends of the trade-off §5.7 measures against Decibel.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+
+namespace decibel {
+namespace gitlike {
+
+enum class ObjectType : uint8_t { kBlob = 1, kTree = 2, kCommit = 3 };
+
+class ObjectStore {
+ public:
+  /// Opens (or creates) an object store rooted at \p directory.
+  static Result<ObjectStore> Open(const std::string& directory);
+
+  /// Stores an object; returns its id (40-hex SHA-1). Writing an object
+  /// that already exists is a cheap no-op after hashing — exactly git's
+  /// behaviour, which makes unchanged file-per-tuple blobs free.
+  Result<std::string> Put(ObjectType type, Slice payload);
+
+  /// Fetches an object's payload; checks the type.
+  Result<std::string> Get(ObjectType type, const std::string& id);
+
+  bool Contains(const std::string& id) const;
+
+  /// Rewrites all loose objects into a single packfile, delta-encoding
+  /// entries against a sliding window of previously packed objects (window
+  /// size \p window, like git's --window). Returns seconds spent.
+  Result<double> Repack(int window = 10);
+
+  /// Total bytes on disk (loose objects + packfiles + refs live above).
+  uint64_t SizeBytes() const;
+
+  uint64_t num_objects() const { return index_.size(); }
+
+ private:
+  explicit ObjectStore(std::string directory)
+      : directory_(std::move(directory)) {}
+
+  struct Entry {
+    ObjectType type;
+    bool packed = false;
+    // Loose: file path suffix. Packed: offset/length within the packfile.
+    uint64_t offset = 0;
+    uint32_t length = 0;
+    /// Non-empty when the packed entry is a delta against another object.
+    std::string delta_base;
+  };
+
+  std::string LoosePath(const std::string& id) const;
+  std::string PackPath() const;
+  Result<std::string> Load(const std::string& id) const;
+
+  std::string directory_;
+  std::unordered_map<std::string, Entry> index_;
+};
+
+}  // namespace gitlike
+}  // namespace decibel
+
+#endif  // DECIBEL_GITLIKE_OBJECT_STORE_H_

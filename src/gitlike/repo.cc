@@ -1,0 +1,251 @@
+#include "gitlike/repo.h"
+
+#include <sstream>
+
+#include "common/coding.h"
+#include "common/io.h"
+
+namespace decibel {
+namespace gitlike {
+
+const char* LayoutName(Layout layout) {
+  return layout == Layout::kOneFile ? "1 file" : "file/tup";
+}
+
+const char* FormatName(Format format) {
+  return format == Format::kBinary ? "bin" : "csv";
+}
+
+Result<std::unique_ptr<GitRepo>> GitRepo::Open(const std::string& directory,
+                                               const Schema& schema,
+                                               Layout layout, Format format) {
+  std::unique_ptr<GitRepo> repo(new GitRepo(schema, layout, format));
+  DECIBEL_ASSIGN_OR_RETURN(ObjectStore store, ObjectStore::Open(directory));
+  repo->store_ = std::make_unique<ObjectStore>(std::move(store));
+  repo->working_.try_emplace(kMasterBranch);
+  return repo;
+}
+
+std::string GitRepo::EncodeRecord(const RecordRef& rec) const {
+  if (format_ == Format::kBinary) {
+    return rec.data().ToString();
+  }
+  // CSV: string encoding inflates the raw size (§5.7).
+  std::ostringstream out;
+  out << rec.pk();
+  for (size_t c = 1; c < schema_.num_columns(); ++c) {
+    out << ',';
+    switch (schema_.column(c).type) {
+      case FieldType::kInt32:
+        out << rec.GetInt32(c);
+        break;
+      case FieldType::kInt64:
+        out << rec.GetInt64(c);
+        break;
+      case FieldType::kDouble:
+        out << rec.GetDouble(c);
+        break;
+      case FieldType::kString:
+        out << rec.GetString(c);
+        break;
+    }
+  }
+  out << '\n';
+  return out.str();
+}
+
+Result<Record> GitRepo::DecodeRecord(Slice data) const {
+  if (format_ == Format::kBinary) {
+    if (data.size() != schema_.record_size()) {
+      return Status::Corruption("gitlike: bad binary record size");
+    }
+    return Record(&schema_, data);
+  }
+  Record rec(&schema_);
+  std::string text = data.ToString();
+  std::istringstream in(text);
+  std::string field;
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    if (!std::getline(in, field, c + 1 == schema_.num_columns() ? '\n' : ',')) {
+      return Status::Corruption("gitlike: truncated csv record");
+    }
+    switch (schema_.column(c).type) {
+      case FieldType::kInt32:
+        rec.SetInt32(c, static_cast<int32_t>(atoll(field.c_str())));
+        break;
+      case FieldType::kInt64:
+        rec.SetInt64(c, atoll(field.c_str()));
+        break;
+      case FieldType::kDouble:
+        rec.SetDouble(c, atof(field.c_str()));
+        break;
+      case FieldType::kString:
+        rec.SetString(c, field);
+        break;
+    }
+  }
+  return rec;
+}
+
+Status GitRepo::Insert(BranchId branch, const Record& record) {
+  auto it = working_.find(branch);
+  if (it == working_.end()) {
+    return Status::NotFound("gitlike: no branch " + std::to_string(branch));
+  }
+  it->second[record.pk()] = EncodeRecord(record.ref());
+  dirty_[branch].insert(record.pk());
+  return Status::OK();
+}
+
+Status GitRepo::Update(BranchId branch, const Record& record) {
+  return Insert(branch, record);
+}
+
+Status GitRepo::Delete(BranchId branch, int64_t pk) {
+  auto it = working_.find(branch);
+  if (it == working_.end()) {
+    return Status::NotFound("gitlike: no branch " + std::to_string(branch));
+  }
+  it->second.erase(pk);
+  dirty_[branch].insert(pk);
+  return Status::OK();
+}
+
+void GitRepo::SerializeWorkingState(
+    BranchId branch, std::map<std::string, std::string>* files) const {
+  const auto& state = working_.at(branch);
+  if (layout_ == Layout::kOneFile) {
+    std::string all;
+    for (const auto& [pk, bytes] : state) {
+      all += bytes;
+    }
+    (*files)["table"] = std::move(all);
+  } else {
+    for (const auto& [pk, bytes] : state) {
+      (*files)["t" + std::to_string(pk)] = bytes;
+    }
+  }
+}
+
+Result<std::string> GitRepo::Commit(BranchId branch) {
+  auto it = working_.find(branch);
+  if (it == working_.end()) {
+    return Status::NotFound("gitlike: no branch " + std::to_string(branch));
+  }
+  std::map<std::string, std::string>& tree = last_tree_[branch];
+
+  if (layout_ == Layout::kOneFile) {
+    // git add of the single file: serialize + hash the whole table.
+    std::map<std::string, std::string> files;
+    SerializeWorkingState(branch, &files);
+    DECIBEL_ASSIGN_OR_RETURN(std::string blob,
+                             store_->Put(ObjectType::kBlob, files["table"]));
+    tree.clear();
+    tree["table"] = blob;
+  } else {
+    // file/tup: only re-hash files touched since the last commit (git's
+    // stat cache gives it the same shortcut).
+    auto dirty_it = dirty_.find(branch);
+    if (dirty_it != dirty_.end()) {
+      for (int64_t pk : dirty_it->second) {
+        const std::string name = "t" + std::to_string(pk);
+        auto rec = it->second.find(pk);
+        if (rec == it->second.end()) {
+          tree.erase(name);  // deleted tuple
+        } else {
+          DECIBEL_ASSIGN_OR_RETURN(
+              std::string blob, store_->Put(ObjectType::kBlob, rec->second));
+          tree[name] = blob;
+        }
+      }
+      dirty_it->second.clear();
+    }
+  }
+
+  // Tree object: "<name> <blob-id>\n" per entry, sorted (std::map).
+  std::string tree_payload;
+  for (const auto& [name, blob] : tree) {
+    tree_payload += name;
+    tree_payload += ' ';
+    tree_payload += blob;
+    tree_payload += '\n';
+  }
+  DECIBEL_ASSIGN_OR_RETURN(std::string tree_id,
+                           store_->Put(ObjectType::kTree, tree_payload));
+
+  std::string commit_payload = "tree " + tree_id + "\n";
+  auto head = heads_.find(branch);
+  if (head != heads_.end()) {
+    commit_payload += "parent " + head->second + "\n";
+  }
+  commit_payload += "branch " + std::to_string(branch) + "\n";
+  DECIBEL_ASSIGN_OR_RETURN(std::string commit_id,
+                           store_->Put(ObjectType::kCommit, commit_payload));
+  heads_[branch] = commit_id;
+  return commit_id;
+}
+
+Status GitRepo::CreateBranch(BranchId child, BranchId parent) {
+  auto it = working_.find(parent);
+  if (it == working_.end()) {
+    return Status::NotFound("gitlike: no branch " + std::to_string(parent));
+  }
+  working_[child] = it->second;  // working-copy clone
+  last_tree_[child] = last_tree_[parent];
+  auto head = heads_.find(parent);
+  if (head != heads_.end()) heads_[child] = head->second;
+  return Status::OK();
+}
+
+Result<uint64_t> GitRepo::Checkout(const std::string& commit_id) {
+  DECIBEL_ASSIGN_OR_RETURN(std::string commit,
+                           store_->Get(ObjectType::kCommit, commit_id));
+  const size_t tree_pos = commit.find("tree ");
+  if (tree_pos != 0) {
+    return Status::Corruption("gitlike: malformed commit object");
+  }
+  const std::string tree_id = commit.substr(5, 40);
+  DECIBEL_ASSIGN_OR_RETURN(std::string tree,
+                           store_->Get(ObjectType::kTree, tree_id));
+
+  // Materialize every blob — the full working-copy restore git performs.
+  uint64_t records = 0;
+  std::istringstream lines(tree);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const size_t space = line.find(' ');
+    if (space == std::string::npos) {
+      return Status::Corruption("gitlike: malformed tree entry");
+    }
+    const std::string blob_id = line.substr(space + 1);
+    DECIBEL_ASSIGN_OR_RETURN(std::string blob,
+                             store_->Get(ObjectType::kBlob, blob_id));
+    if (layout_ == Layout::kOneFile) {
+      if (format_ == Format::kBinary) {
+        records += blob.size() / schema_.record_size();
+      } else {
+        for (char c : blob) {
+          if (c == '\n') ++records;
+        }
+      }
+    } else {
+      DECIBEL_ASSIGN_OR_RETURN(Record rec, DecodeRecord(blob));
+      (void)rec;
+      ++records;
+    }
+  }
+  return records;
+}
+
+uint64_t GitRepo::DataSizeBytes() const {
+  uint64_t total = 0;
+  for (const auto& [branch, state] : working_) {
+    for (const auto& [pk, bytes] : state) {
+      total += bytes.size();
+    }
+  }
+  return total;
+}
+
+}  // namespace gitlike
+}  // namespace decibel

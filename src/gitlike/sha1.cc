@@ -1,0 +1,104 @@
+#include "gitlike/sha1.h"
+
+#include <cstring>
+
+namespace decibel {
+namespace gitlike {
+
+namespace {
+
+inline uint32_t Rotl(uint32_t x, int k) { return (x << k) | (x >> (32 - k)); }
+
+struct Sha1State {
+  uint32_t h[5] = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u,
+                   0xC3D2E1F0u};
+
+  void ProcessBlock(const uint8_t* block) {
+    uint32_t w[80];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = (static_cast<uint32_t>(block[i * 4]) << 24) |
+             (static_cast<uint32_t>(block[i * 4 + 1]) << 16) |
+             (static_cast<uint32_t>(block[i * 4 + 2]) << 8) |
+             static_cast<uint32_t>(block[i * 4 + 3]);
+    }
+    for (int i = 16; i < 80; ++i) {
+      w[i] = Rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+    }
+    uint32_t a = h[0], b = h[1], c = h[2], d = h[3], e = h[4];
+    for (int i = 0; i < 80; ++i) {
+      uint32_t f, k;
+      if (i < 20) {
+        f = (b & c) | ((~b) & d);
+        k = 0x5A827999u;
+      } else if (i < 40) {
+        f = b ^ c ^ d;
+        k = 0x6ED9EBA1u;
+      } else if (i < 60) {
+        f = (b & c) | (b & d) | (c & d);
+        k = 0x8F1BBCDCu;
+      } else {
+        f = b ^ c ^ d;
+        k = 0xCA62C1D6u;
+      }
+      const uint32_t tmp = Rotl(a, 5) + f + e + k + w[i];
+      e = d;
+      d = c;
+      c = Rotl(b, 30);
+      b = a;
+      a = tmp;
+    }
+    h[0] += a;
+    h[1] += b;
+    h[2] += c;
+    h[3] += d;
+    h[4] += e;
+  }
+};
+
+}  // namespace
+
+std::array<uint8_t, 20> Sha1(Slice data) {
+  Sha1State state;
+  const uint8_t* p = data.udata();
+  size_t remaining = data.size();
+  while (remaining >= 64) {
+    state.ProcessBlock(p);
+    p += 64;
+    remaining -= 64;
+  }
+  // Padding: 0x80, zeros, 64-bit big-endian bit length.
+  uint8_t block[128] = {0};
+  memcpy(block, p, remaining);
+  block[remaining] = 0x80;
+  const size_t total = remaining < 56 ? 64 : 128;
+  const uint64_t bits = static_cast<uint64_t>(data.size()) * 8;
+  for (int i = 0; i < 8; ++i) {
+    block[total - 1 - i] = static_cast<uint8_t>(bits >> (8 * i));
+  }
+  state.ProcessBlock(block);
+  if (total == 128) state.ProcessBlock(block + 64);
+
+  std::array<uint8_t, 20> digest;
+  for (int i = 0; i < 5; ++i) {
+    digest[i * 4] = static_cast<uint8_t>(state.h[i] >> 24);
+    digest[i * 4 + 1] = static_cast<uint8_t>(state.h[i] >> 16);
+    digest[i * 4 + 2] = static_cast<uint8_t>(state.h[i] >> 8);
+    digest[i * 4 + 3] = static_cast<uint8_t>(state.h[i]);
+  }
+  return digest;
+}
+
+std::string ToHex(const std::array<uint8_t, 20>& digest) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out(40, '0');
+  for (int i = 0; i < 20; ++i) {
+    out[i * 2] = kHex[digest[i] >> 4];
+    out[i * 2 + 1] = kHex[digest[i] & 0xf];
+  }
+  return out;
+}
+
+std::string Sha1Hex(Slice data) { return ToHex(Sha1(data)); }
+
+}  // namespace gitlike
+}  // namespace decibel

@@ -1,0 +1,32 @@
+#ifndef DECIBEL_GITLIKE_SHA1_H_
+#define DECIBEL_GITLIKE_SHA1_H_
+
+/// \file sha1.h
+/// SHA-1, as used by git for content addressing. Part of the git-baseline
+/// comparison of §5.7: git "compute[s] SHA-1 hashes for each commit
+/// (proportional to data set size)" — reproducing that cost requires
+/// actually hashing.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+
+namespace decibel {
+namespace gitlike {
+
+/// Computes the SHA-1 digest of \p data (20 raw bytes).
+std::array<uint8_t, 20> Sha1(Slice data);
+
+/// Computes the SHA-1 digest as a 40-char lowercase hex string (the object
+/// id format git uses everywhere).
+std::string Sha1Hex(Slice data);
+
+/// Hex-encodes a raw digest.
+std::string ToHex(const std::array<uint8_t, 20>& digest);
+
+}  // namespace gitlike
+}  // namespace decibel
+
+#endif  // DECIBEL_GITLIKE_SHA1_H_

@@ -1,0 +1,114 @@
+#include "query/predicate.h"
+
+namespace decibel {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+namespace {
+
+template <typename T>
+bool ApplyOp(CompareOp op, const T& lhs, const T& rhs) {
+  switch (op) {
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      return lhs != rhs;
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs <= rhs;
+    case CompareOp::kGt:
+      return lhs > rhs;
+    case CompareOp::kGe:
+      return lhs >= rhs;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<Predicate> Predicate::Compare(const Schema& schema,
+                                     const std::string& column, CompareOp op,
+                                     int64_t value) {
+  const int col = schema.FindColumn(column);
+  if (col < 0) {
+    return Status::InvalidArgument("predicate: no column '" + column + "'");
+  }
+  const FieldType type = schema.column(static_cast<size_t>(col)).type;
+  if (type != FieldType::kInt32 && type != FieldType::kInt64) {
+    return Status::InvalidArgument("predicate: column '" + column +
+                                   "' is not integer");
+  }
+  Predicate p;
+  Comparison cmp;
+  cmp.column = static_cast<size_t>(col);
+  cmp.op = op;
+  cmp.int_value = value;
+  p.And(std::move(cmp));
+  return p;
+}
+
+Result<Predicate> Predicate::CompareString(const Schema& schema,
+                                           const std::string& column,
+                                           CompareOp op, std::string value) {
+  const int col = schema.FindColumn(column);
+  if (col < 0) {
+    return Status::InvalidArgument("predicate: no column '" + column + "'");
+  }
+  if (schema.column(static_cast<size_t>(col)).type != FieldType::kString) {
+    return Status::InvalidArgument("predicate: column '" + column +
+                                   "' is not a string");
+  }
+  Predicate p;
+  Comparison cmp;
+  cmp.column = static_cast<size_t>(col);
+  cmp.op = op;
+  cmp.string_value = std::move(value);
+  p.And(std::move(cmp));
+  return p;
+}
+
+bool Predicate::Matches(const RecordRef& record) const {
+  const Schema& schema = *record.schema();
+  for (const Comparison& cmp : comparisons_) {
+    switch (schema.column(cmp.column).type) {
+      case FieldType::kInt32:
+      case FieldType::kInt64:
+        if (!ApplyOp(cmp.op, record.GetNumeric(cmp.column), cmp.int_value)) {
+          return false;
+        }
+        break;
+      case FieldType::kDouble:
+        if (!ApplyOp(cmp.op, record.GetDouble(cmp.column),
+                     cmp.double_value)) {
+          return false;
+        }
+        break;
+      case FieldType::kString:
+        if (!ApplyOp(cmp.op, std::string(record.GetString(cmp.column)),
+                     cmp.string_value)) {
+          return false;
+        }
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace decibel

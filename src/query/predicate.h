@@ -1,0 +1,65 @@
+#ifndef DECIBEL_QUERY_PREDICATE_H_
+#define DECIBEL_QUERY_PREDICATE_H_
+
+/// \file predicate.h
+/// Row predicates for the versioned query operators: a conjunction of
+/// simple column comparisons, enough to express the benchmark's WHERE
+/// clauses (Table 1) without dragging in a full expression compiler.
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/record.h"
+#include "storage/schema.h"
+
+namespace decibel {
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpName(CompareOp op);
+
+/// One comparison: <column> <op> <literal>.
+struct Comparison {
+  size_t column = 0;
+  CompareOp op = CompareOp::kEq;
+  /// Literal, interpreted per the column type.
+  int64_t int_value = 0;
+  double double_value = 0;
+  std::string string_value;
+};
+
+/// A conjunction of comparisons; empty means "true".
+class Predicate {
+ public:
+  Predicate() = default;
+
+  /// Builds a single-comparison predicate against an integer column.
+  static Result<Predicate> Compare(const Schema& schema,
+                                   const std::string& column, CompareOp op,
+                                   int64_t value);
+
+  /// Builds a single-comparison predicate against a string column (the
+  /// "R1.Name = 'Sam'" shape of Table 1's query 3).
+  static Result<Predicate> CompareString(const Schema& schema,
+                                         const std::string& column,
+                                         CompareOp op, std::string value);
+
+  /// Adds another conjunct.
+  Predicate& And(Comparison cmp) {
+    comparisons_.push_back(std::move(cmp));
+    return *this;
+  }
+
+  bool Matches(const RecordRef& record) const;
+
+  bool empty() const { return comparisons_.empty(); }
+  const std::vector<Comparison>& comparisons() const { return comparisons_; }
+
+ private:
+  std::vector<Comparison> comparisons_;
+};
+
+}  // namespace decibel
+
+#endif  // DECIBEL_QUERY_PREDICATE_H_

@@ -1,0 +1,335 @@
+#include "query/vquel.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+#include "query/queries.h"
+
+namespace decibel {
+namespace vquel {
+
+namespace {
+
+std::vector<std::string> Tokenize(const std::string& input) {
+  std::vector<std::string> tokens;
+  std::istringstream in(input);
+  std::string tok;
+  while (in >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+std::string Upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+bool ParseInt(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const long long v = strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+Result<BranchId> ResolveBranch(Decibel* db, const std::string& name) {
+  int64_t id;
+  if (ParseInt(name, &id) && id >= 0 &&
+      db->graph().HasBranch(static_cast<BranchId>(id))) {
+    return static_cast<BranchId>(id);
+  }
+  return db->graph().FindBranchByName(name);
+}
+
+Result<CompareOp> ParseOp(const std::string& tok) {
+  if (tok == "=" || tok == "==") return CompareOp::kEq;
+  if (tok == "!=" || tok == "<>") return CompareOp::kNe;
+  if (tok == "<") return CompareOp::kLt;
+  if (tok == "<=") return CompareOp::kLe;
+  if (tok == ">") return CompareOp::kGt;
+  if (tok == ">=") return CompareOp::kGe;
+  return Status::InvalidArgument("vquel: bad comparison operator '" + tok +
+                                 "'");
+}
+
+/// Parses an optional trailing "WHERE col op int" clause at position i.
+Result<Predicate> ParseWhere(Decibel* db,
+                             const std::vector<std::string>& tokens,
+                             size_t i) {
+  if (i >= tokens.size()) return Predicate();
+  if (Upper(tokens[i]) != "WHERE" || i + 3 > tokens.size() + 0) {
+    return Status::InvalidArgument("vquel: expected WHERE clause");
+  }
+  if (i + 4 > tokens.size()) {
+    return Status::InvalidArgument("vquel: incomplete WHERE clause");
+  }
+  DECIBEL_ASSIGN_OR_RETURN(CompareOp op, ParseOp(tokens[i + 2]));
+  int64_t value;
+  if (!ParseInt(tokens[i + 3], &value)) {
+    return Status::InvalidArgument("vquel: bad literal '" + tokens[i + 3] +
+                                   "'");
+  }
+  return Predicate::Compare(db->schema(), tokens[i + 1], op, value);
+}
+
+std::string FormatRecord(const RecordRef& rec) {
+  std::ostringstream out;
+  const Schema& schema = *rec.schema();
+  out << rec.pk();
+  for (size_t c = 1; c < schema.num_columns(); ++c) {
+    out << " | ";
+    switch (schema.column(c).type) {
+      case FieldType::kInt32:
+        out << rec.GetInt32(c);
+        break;
+      case FieldType::kInt64:
+        out << rec.GetInt64(c);
+        break;
+      case FieldType::kDouble:
+        out << rec.GetDouble(c);
+        break;
+      case FieldType::kString:
+        out << rec.GetString(c);
+        break;
+    }
+  }
+  return out.str();
+}
+
+Result<Record> ParseRecord(Decibel* db,
+                           const std::vector<std::string>& tokens,
+                           size_t first) {
+  const Schema& schema = db->schema();
+  if (first >= tokens.size()) {
+    return Status::InvalidArgument("vquel: missing primary key");
+  }
+  Record rec(&schema);
+  int64_t pk;
+  if (!ParseInt(tokens[first], &pk)) {
+    return Status::InvalidArgument("vquel: bad primary key '" +
+                                   tokens[first] + "'");
+  }
+  rec.SetPk(pk);
+  for (size_t c = 1; c < schema.num_columns(); ++c) {
+    const size_t ti = first + c;
+    if (ti >= tokens.size()) break;  // unspecified columns stay zero
+    switch (schema.column(c).type) {
+      case FieldType::kInt32: {
+        int64_t v;
+        if (!ParseInt(tokens[ti], &v)) {
+          return Status::InvalidArgument("vquel: bad value '" + tokens[ti] +
+                                         "'");
+        }
+        rec.SetInt32(c, static_cast<int32_t>(v));
+        break;
+      }
+      case FieldType::kInt64: {
+        int64_t v;
+        if (!ParseInt(tokens[ti], &v)) {
+          return Status::InvalidArgument("vquel: bad value '" + tokens[ti] +
+                                         "'");
+        }
+        rec.SetInt64(c, v);
+        break;
+      }
+      case FieldType::kDouble:
+        rec.SetDouble(c, atof(tokens[ti].c_str()));
+        break;
+      case FieldType::kString:
+        rec.SetString(c, tokens[ti]);
+        break;
+    }
+  }
+  return rec;
+}
+
+}  // namespace
+
+Result<ExecResult> Execute(Decibel* db, const std::string& statement) {
+  const std::vector<std::string> tokens = Tokenize(statement);
+  if (tokens.empty()) {
+    return Status::InvalidArgument("vquel: empty statement");
+  }
+  const std::string verb = Upper(tokens[0]);
+  ExecResult result;
+  std::ostringstream out;
+
+  if (verb == "SCAN") {
+    if (tokens.size() < 2) {
+      return Status::InvalidArgument("vquel: SCAN needs a branch");
+    }
+    Result<query::QueryStats> stats = Status::Unknown("unreached");
+    auto emit = [&](const RecordRef& rec) {
+      out << FormatRecord(rec) << "\n";
+      ++result.rows;
+    };
+    if (Upper(tokens[1]) == "COMMIT") {
+      if (tokens.size() < 3) {
+        return Status::InvalidArgument("vquel: SCAN COMMIT needs an id");
+      }
+      int64_t commit;
+      if (!ParseInt(tokens[2], &commit)) {
+        return Status::InvalidArgument("vquel: bad commit id");
+      }
+      DECIBEL_ASSIGN_OR_RETURN(Predicate pred, ParseWhere(db, tokens, 3));
+      stats = query::ScanVersionAt(db, static_cast<CommitId>(commit), pred,
+                                   emit);
+    } else {
+      DECIBEL_ASSIGN_OR_RETURN(BranchId branch,
+                               ResolveBranch(db, tokens[1]));
+      DECIBEL_ASSIGN_OR_RETURN(Predicate pred, ParseWhere(db, tokens, 2));
+      stats = query::ScanVersion(db, branch, pred, emit);
+    }
+    DECIBEL_RETURN_NOT_OK(stats.status());
+    out << "(" << result.rows << " rows)";
+  } else if (verb == "DIFF") {
+    if (tokens.size() < 3) {
+      return Status::InvalidArgument("vquel: DIFF needs two branches");
+    }
+    DECIBEL_ASSIGN_OR_RETURN(BranchId a, ResolveBranch(db, tokens[1]));
+    DECIBEL_ASSIGN_OR_RETURN(BranchId b, ResolveBranch(db, tokens[2]));
+    DECIBEL_ASSIGN_OR_RETURN(query::QueryStats stats,
+                             query::PositiveDiff(db, a, b,
+                                                 [&](const RecordRef& rec) {
+                                                   out << FormatRecord(rec)
+                                                       << "\n";
+                                                   ++result.rows;
+                                                 }));
+    (void)stats;
+    out << "(" << result.rows << " rows in " << tokens[1] << " not in "
+        << tokens[2] << ")";
+  } else if (verb == "JOIN") {
+    if (tokens.size() < 3) {
+      return Status::InvalidArgument("vquel: JOIN needs two branches");
+    }
+    DECIBEL_ASSIGN_OR_RETURN(BranchId a, ResolveBranch(db, tokens[1]));
+    DECIBEL_ASSIGN_OR_RETURN(BranchId b, ResolveBranch(db, tokens[2]));
+    DECIBEL_ASSIGN_OR_RETURN(Predicate pred, ParseWhere(db, tokens, 3));
+    DECIBEL_ASSIGN_OR_RETURN(
+        query::QueryStats stats,
+        query::JoinVersions(db, a, b, pred,
+                            [&](const RecordRef& left,
+                                const RecordRef& right) {
+                              out << FormatRecord(left) << "  <->  "
+                                  << FormatRecord(right) << "\n";
+                              ++result.rows;
+                            }));
+    (void)stats;
+    out << "(" << result.rows << " joined rows)";
+  } else if (verb == "HEADS") {
+    DECIBEL_ASSIGN_OR_RETURN(Predicate pred, ParseWhere(db, tokens, 1));
+    DECIBEL_ASSIGN_OR_RETURN(
+        query::QueryStats stats,
+        query::ScanHeads(db, pred,
+                         [&](const RecordRef& rec,
+                             const std::vector<uint32_t>& branches) {
+                           out << FormatRecord(rec) << "  [in";
+                           for (uint32_t b : branches) out << " " << b;
+                           out << "]\n";
+                           ++result.rows;
+                         }));
+    (void)stats;
+    out << "(" << result.rows << " rows)";
+  } else if (verb == "INSERT" || verb == "UPDATE") {
+    if (tokens.size() < 3) {
+      return Status::InvalidArgument("vquel: " + verb +
+                                     " needs branch and values");
+    }
+    DECIBEL_ASSIGN_OR_RETURN(BranchId branch, ResolveBranch(db, tokens[1]));
+    DECIBEL_ASSIGN_OR_RETURN(Record rec, ParseRecord(db, tokens, 2));
+    DECIBEL_RETURN_NOT_OK(verb == "INSERT" ? db->InsertInto(branch, rec)
+                                           : db->UpdateIn(branch, rec));
+    out << "ok";
+    result.rows = 1;
+  } else if (verb == "DELETE") {
+    if (tokens.size() < 3) {
+      return Status::InvalidArgument("vquel: DELETE needs branch and pk");
+    }
+    DECIBEL_ASSIGN_OR_RETURN(BranchId branch, ResolveBranch(db, tokens[1]));
+    int64_t pk;
+    if (!ParseInt(tokens[2], &pk)) {
+      return Status::InvalidArgument("vquel: bad primary key");
+    }
+    DECIBEL_RETURN_NOT_OK(db->DeleteFrom(branch, pk));
+    out << "ok";
+    result.rows = 1;
+  } else if (verb == "BRANCH") {
+    if (tokens.size() < 4 || Upper(tokens[2]) != "FROM") {
+      return Status::InvalidArgument("vquel: BRANCH <name> FROM <branch>");
+    }
+    DECIBEL_ASSIGN_OR_RETURN(BranchId parent, ResolveBranch(db, tokens[3]));
+    Session s = db->NewSession();
+    DECIBEL_RETURN_NOT_OK(db->Use(&s, parent));
+    DECIBEL_ASSIGN_OR_RETURN(BranchId child, db->Branch(tokens[1], &s));
+    out << "branch " << tokens[1] << " = " << child;
+  } else if (verb == "COMMIT") {
+    if (tokens.size() < 2) {
+      return Status::InvalidArgument("vquel: COMMIT needs a branch");
+    }
+    DECIBEL_ASSIGN_OR_RETURN(BranchId branch, ResolveBranch(db, tokens[1]));
+    DECIBEL_ASSIGN_OR_RETURN(CommitId commit, db->CommitBranch(branch));
+    out << "commit " << commit;
+  } else if (verb == "MERGE") {
+    if (tokens.size() < 3) {
+      return Status::InvalidArgument("vquel: MERGE <into> <from>");
+    }
+    DECIBEL_ASSIGN_OR_RETURN(BranchId into, ResolveBranch(db, tokens[1]));
+    DECIBEL_ASSIGN_OR_RETURN(BranchId from, ResolveBranch(db, tokens[2]));
+    MergePolicy policy = MergePolicy::kThreeWayLeft;
+    bool three_way = true;
+    bool left = true;
+    for (size_t i = 3; i < tokens.size(); ++i) {
+      const std::string flag = Upper(tokens[i]);
+      if (flag == "TWOWAY") three_way = false;
+      if (flag == "THREEWAY") three_way = true;
+      if (flag == "LEFT") left = true;
+      if (flag == "RIGHT") left = false;
+    }
+    policy = three_way
+                 ? (left ? MergePolicy::kThreeWayLeft
+                         : MergePolicy::kThreeWayRight)
+                 : (left ? MergePolicy::kTwoWayLeft
+                         : MergePolicy::kTwoWayRight);
+    DECIBEL_ASSIGN_OR_RETURN(MergeInfo info, db->Merge(into, from, policy));
+    out << "merge commit " << info.commit << ", "
+        << info.result.merged_records << " records merged, "
+        << info.result.conflicts << " conflicts";
+  } else if (verb == "BRANCHES") {
+    for (const BranchInfo& b : db->graph().branches()) {
+      out << b.id << "  " << b.name << "  head=" << b.head
+          << (b.active ? "" : "  (retired)") << "\n";
+      ++result.rows;
+    }
+    out << "(" << result.rows << " branches)";
+  } else if (verb == "LOG") {
+    if (tokens.size() < 2) {
+      return Status::InvalidArgument("vquel: LOG needs a branch");
+    }
+    DECIBEL_ASSIGN_OR_RETURN(BranchId branch, ResolveBranch(db, tokens[1]));
+    // Walk first-parent ancestry from the head.
+    CommitId cur = db->graph().Head(branch);
+    while (cur != kInvalidCommit) {
+      auto info = db->graph().GetCommit(cur);
+      if (!info.ok()) break;
+      out << "commit " << info->id << " (branch " << info->branch << ")";
+      if (info->parents.size() > 1) out << " [merge]";
+      out << "\n";
+      ++result.rows;
+      cur = info->parents.empty() ? kInvalidCommit : info->parents[0];
+    }
+    out << "(" << result.rows << " commits)";
+  } else {
+    return Status::InvalidArgument("vquel: unknown verb '" + tokens[0] +
+                                   "'");
+  }
+
+  result.output = out.str();
+  return result;
+}
+
+}  // namespace vquel
+}  // namespace decibel

@@ -1,0 +1,46 @@
+#ifndef DECIBEL_QUERY_VQUEL_H_
+#define DECIBEL_QUERY_VQUEL_H_
+
+/// \file vquel.h
+/// A small interpreter for a VQuel-flavoured versioning query language
+/// (§2.3 points at the full language definition in the TaPP paper; this
+/// implements the statement shapes the paper's Table 1 exercises, plus the
+/// version-control verbs). Used by the vquel_shell example and tests.
+///
+/// Statements (case-insensitive keywords):
+///   SCAN <branch> [WHERE <col> <op> <int>]
+///   SCAN COMMIT <id> [WHERE ...]
+///   DIFF <a> <b>                      -- positive diff, Q2
+///   JOIN <a> <b> [WHERE ...]          -- pk join, Q3
+///   HEADS [WHERE ...]                 -- all-heads scan, Q4
+///   INSERT <branch> <pk> <v1> [<v2> ...]
+///   UPDATE <branch> <pk> <v1> [<v2> ...]
+///   DELETE <branch> <pk>
+///   BRANCH <name> FROM <branch>
+///   COMMIT <branch>
+///   MERGE <into> <from> [TWOWAY|THREEWAY] [LEFT|RIGHT]
+///   BRANCHES                          -- list branches
+///   LOG <branch>                      -- list commits of a branch
+///
+/// Branches are referenced by name or numeric id.
+
+#include <string>
+
+#include "core/decibel.h"
+
+namespace decibel {
+namespace vquel {
+
+struct ExecResult {
+  /// Human-readable result (a table of rows, an acknowledgement, ...).
+  std::string output;
+  uint64_t rows = 0;
+};
+
+/// Parses and executes one statement against \p db.
+Result<ExecResult> Execute(Decibel* db, const std::string& statement);
+
+}  // namespace vquel
+}  // namespace decibel
+
+#endif  // DECIBEL_QUERY_VQUEL_H_

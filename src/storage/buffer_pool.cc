@@ -1,0 +1,74 @@
+#include "storage/buffer_pool.h"
+
+namespace decibel {
+
+Result<PageRef> BufferPool::GetPage(uint64_t file_id, uint64_t page_no,
+                                    PageSource* source) {
+  const Key key{file_id, page_no};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pages_.find(key);
+    if (it != pages_.end()) {
+      ++hits_;
+      TouchLocked(it->second, key);
+      return it->second.page;
+    }
+    ++misses_;
+  }
+  // Load outside the lock; concurrent loads of the same page are rare and
+  // benign (last insert wins, both readers get valid pages).
+  auto page = std::make_shared<std::string>();
+  DECIBEL_RETURN_NOT_OK(source->ReadPageFromDisk(page_no, page.get()));
+  PageRef ref = std::move(page);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = pages_.try_emplace(key);
+    if (inserted) {
+      lru_.push_front(key);
+      it->second.page = ref;
+      it->second.lru_pos = lru_.begin();
+      resident_bytes_ += ref->size();
+      EvictIfNeededLocked();
+    }
+  }
+  return ref;
+}
+
+void BufferPool::TouchLocked(Entry& e, const Key& k) {
+  lru_.erase(e.lru_pos);
+  lru_.push_front(k);
+  e.lru_pos = lru_.begin();
+}
+
+void BufferPool::EvictIfNeededLocked() {
+  while (resident_bytes_ > capacity_bytes_ && lru_.size() > 1) {
+    const Key victim = lru_.back();
+    lru_.pop_back();
+    auto it = pages_.find(victim);
+    resident_bytes_ -= it->second.page->size();
+    pages_.erase(it);
+  }
+}
+
+void BufferPool::EvictAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pages_.clear();
+  lru_.clear();
+  resident_bytes_ = 0;
+}
+
+void BufferPool::EvictFile(uint64_t file_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->file_id == file_id) {
+      auto map_it = pages_.find(*it);
+      resident_bytes_ -= map_it->second.page->size();
+      pages_.erase(map_it);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace decibel

@@ -1,0 +1,310 @@
+#include "storage/heap_file.h"
+
+#include "common/coding.h"
+#include "common/crc32.h"
+#include "common/logging.h"
+
+namespace decibel {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x44424846;  // "DBHF"
+constexpr uint32_t kFormatVersion = 1;
+constexpr uint64_t kFileHeaderSize = 64;
+constexpr uint64_t kPageHeaderSize = 8;  // count u32 + masked crc u32
+
+}  // namespace
+
+std::atomic<uint64_t> HeapFile::next_file_id_{1};
+
+HeapFile::HeapFile(std::string path, uint32_t record_size,
+                   const Options& options, BufferPool* pool)
+    : path_(std::move(path)),
+      record_size_(record_size),
+      options_(options),
+      pool_(pool),
+      file_id_(next_file_id_.fetch_add(1)) {
+  records_per_page_ = (options_.page_size - kPageHeaderSize) / record_size_;
+  DECIBEL_CHECK(records_per_page_ > 0);
+}
+
+HeapFile::~HeapFile() {
+  if (writer_.has_value() && tail_dirty_) {
+    WriteTailPage().ok();  // best effort
+  }
+  if (pool_ != nullptr) pool_->EvictFile(file_id_);
+}
+
+Result<std::unique_ptr<HeapFile>> HeapFile::Create(const std::string& path,
+                                                   uint32_t record_size,
+                                                   const Options& options,
+                                                   BufferPool* pool) {
+  if (record_size == 0 ||
+      record_size > options.page_size - kPageHeaderSize) {
+    return Status::InvalidArgument("heapfile: record size " +
+                                   std::to_string(record_size) +
+                                   " does not fit a page");
+  }
+  if (FileExists(path)) {
+    return Status::AlreadyExists("heapfile: " + path);
+  }
+  std::unique_ptr<HeapFile> file(
+      new HeapFile(path, record_size, options, pool));
+  DECIBEL_ASSIGN_OR_RETURN(RandomWriteFile w, RandomWriteFile::Open(path));
+  file->writer_.emplace(std::move(w));
+  DECIBEL_RETURN_NOT_OK(file->WriteHeader());
+  return file;
+}
+
+Result<std::unique_ptr<HeapFile>> HeapFile::Open(const std::string& path,
+                                                 const Options& options,
+                                                 BufferPool* pool) {
+  DECIBEL_ASSIGN_OR_RETURN(RandomAccessFile r, RandomAccessFile::Open(path));
+  if (r.Size() < kFileHeaderSize) {
+    return Status::Corruption("heapfile: missing header in " + path);
+  }
+  std::string header;
+  DECIBEL_RETURN_NOT_OK(r.Read(0, kFileHeaderSize, &header));
+  if (DecodeFixed32(header.data()) != kMagic) {
+    return Status::Corruption("heapfile: bad magic in " + path);
+  }
+  if (DecodeFixed32(header.data() + 4) != kFormatVersion) {
+    return Status::Corruption("heapfile: unsupported version in " + path);
+  }
+  const uint64_t page_size = DecodeFixed64(header.data() + 8);
+  const uint32_t record_size = DecodeFixed32(header.data() + 16);
+  const uint32_t stored_crc = UnmaskCrc(DecodeFixed32(header.data() + 60));
+  if (stored_crc != Crc32(Slice(header.data(), 60))) {
+    return Status::Corruption("heapfile: header checksum mismatch in " + path);
+  }
+
+  Options opts = options;
+  opts.page_size = page_size;
+  std::unique_ptr<HeapFile> file(
+      new HeapFile(path, record_size, opts, pool));
+
+  const uint64_t data_bytes = r.Size() - kFileHeaderSize;
+  if (data_bytes % page_size != 0) {
+    return Status::Corruption("heapfile: truncated page in " + path);
+  }
+  const uint64_t num_pages = data_bytes / page_size;
+
+  if (num_pages > 0) {
+    // Inspect the last page: partial -> becomes the in-memory tail.
+    std::string last;
+    DECIBEL_RETURN_NOT_OK(
+        r.Read(kFileHeaderSize + (num_pages - 1) * page_size, page_size,
+               &last));
+    const uint32_t count = DecodeFixed32(last.data());
+    if (count > file->records_per_page_) {
+      return Status::Corruption("heapfile: bad page count in " + path);
+    }
+    const uint32_t crc = UnmaskCrc(DecodeFixed32(last.data() + 4));
+    if (crc != Crc32(Slice(last.data() + kPageHeaderSize,
+                           count * record_size))) {
+      return Status::Corruption("heapfile: tail page checksum in " + path);
+    }
+    if (count < file->records_per_page_) {
+      file->sealed_pages_ = num_pages - 1;
+      file->tail_.assign(last.data() + kPageHeaderSize,
+                         count * record_size);
+      file->tail_count_ = count;
+    } else {
+      file->sealed_pages_ = num_pages;
+    }
+    file->num_records_ =
+        file->sealed_pages_ * file->records_per_page_ + file->tail_count_;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(file->reader_mu_);
+    file->reader_.emplace(std::move(r));
+  }
+  DECIBEL_ASSIGN_OR_RETURN(RandomWriteFile w, RandomWriteFile::Open(path));
+  file->writer_.emplace(std::move(w));
+  return file;
+}
+
+Status HeapFile::WriteHeader() {
+  std::string header(kFileHeaderSize, '\0');
+  EncodeFixed32(header.data(), kMagic);
+  EncodeFixed32(header.data() + 4, kFormatVersion);
+  EncodeFixed64(header.data() + 8, options_.page_size);
+  EncodeFixed32(header.data() + 16, record_size_);
+  EncodeFixed32(header.data() + 60, MaskCrc(Crc32(Slice(header.data(), 60))));
+  return writer_->WriteAt(0, header);
+}
+
+uint64_t HeapFile::PageOffset(uint64_t page_no) const {
+  return kFileHeaderSize + page_no * options_.page_size;
+}
+
+Result<uint64_t> HeapFile::Append(Slice record) {
+  if (sealed_) {
+    return Status::InvalidArgument("heapfile: append to sealed file " + path_);
+  }
+  if (record.size() != record_size_) {
+    return Status::InvalidArgument("heapfile: record size mismatch");
+  }
+  uint64_t index;
+  bool page_full = false;
+  {
+    std::lock_guard<std::mutex> lock(tail_mu_);
+    index = num_records_.load();
+    tail_.append(record.data(), record.size());
+    ++tail_count_;
+    tail_dirty_ = true;
+    page_full = tail_count_ == records_per_page_;
+  }
+  num_records_.fetch_add(1);
+  if (page_full) {
+    DECIBEL_RETURN_NOT_OK(WriteTailPage());
+    std::lock_guard<std::mutex> lock(tail_mu_);
+    tail_.clear();
+    tail_count_ = 0;
+    tail_dirty_ = false;
+    ++sealed_pages_;
+  }
+  return index;
+}
+
+Status HeapFile::WriteTailPage() {
+  std::string page;
+  page.reserve(options_.page_size);
+  {
+    std::lock_guard<std::mutex> lock(tail_mu_);
+    page.resize(kPageHeaderSize);
+    EncodeFixed32(page.data(), tail_count_);
+    EncodeFixed32(page.data() + 4, MaskCrc(Crc32(Slice(tail_))));
+    page.append(tail_);
+  }
+  page.resize(options_.page_size, '\0');
+  return writer_->WriteAt(PageOffset(sealed_pages_), page);
+}
+
+Status HeapFile::Flush() {
+  if (tail_dirty_) {
+    DECIBEL_RETURN_NOT_OK(WriteTailPage());
+    tail_dirty_ = false;
+  }
+  return Status::OK();
+}
+
+Status HeapFile::Seal() {
+  DECIBEL_RETURN_NOT_OK(Flush());
+  sealed_ = true;
+  return Status::OK();
+}
+
+void HeapFile::SnapshotTail(std::string* out, uint32_t* count) const {
+  std::lock_guard<std::mutex> lock(tail_mu_);
+  *out = tail_;
+  *count = tail_count_;
+}
+
+Status HeapFile::ReadPageFromDisk(uint64_t page_no, std::string* out) {
+  {
+    std::lock_guard<std::mutex> lock(reader_mu_);
+    if (!reader_.has_value()) {
+      // The writer buffers only the tail; sealed pages are on disk already.
+      DECIBEL_ASSIGN_OR_RETURN(RandomAccessFile r,
+                               RandomAccessFile::Open(path_));
+      reader_.emplace(std::move(r));
+    }
+  }
+  DECIBEL_RETURN_NOT_OK(
+      reader_->Read(PageOffset(page_no), options_.page_size, out));
+  const uint32_t count = DecodeFixed32(out->data());
+  if (count > records_per_page_) {
+    return Status::Corruption("heapfile: bad page count in " + path_);
+  }
+  if (options_.verify_checksums) {
+    const uint32_t crc = UnmaskCrc(DecodeFixed32(out->data() + 4));
+    if (crc != Crc32(Slice(out->data() + kPageHeaderSize,
+                           count * record_size_))) {
+      return Status::Corruption("heapfile: page " + std::to_string(page_no) +
+                                " checksum mismatch in " + path_);
+    }
+  }
+  return Status::OK();
+}
+
+Status HeapFile::Get(uint64_t index, std::string* out) {
+  if (index >= num_records_.load()) {
+    return Status::OutOfRange("heapfile: record " + std::to_string(index) +
+                              " out of range in " + path_);
+  }
+  const uint64_t page_no = index / records_per_page_;
+  const uint64_t slot = index % records_per_page_;
+  if (page_no == sealed_pages_) {
+    std::lock_guard<std::mutex> lock(tail_mu_);
+    out->assign(tail_.data() + slot * record_size_, record_size_);
+    return Status::OK();
+  }
+  DECIBEL_ASSIGN_OR_RETURN(PageRef page,
+                           pool_->GetPage(file_id_, page_no, this));
+  out->assign(page->data() + kPageHeaderSize + slot * record_size_,
+              record_size_);
+  return Status::OK();
+}
+
+Result<HeapFile::PinnedPage> HeapFile::PinPage(uint64_t page_no) {
+  PinnedPage out;
+  if (page_no >= sealed_pages_) {
+    uint32_t count;
+    SnapshotTail(&out.tail, &count);
+    out.payload = out.tail.data();
+    out.count = count;
+    return out;
+  }
+  DECIBEL_ASSIGN_OR_RETURN(out.pin,
+                           pool_->GetPage(file_id_, page_no, this));
+  out.payload = out.pin->data() + kPageHeaderSize;
+  out.count = DecodeFixed32(out.pin->data());
+  return out;
+}
+
+uint64_t HeapFile::SizeBytes() const {
+  const uint64_t pages = sealed_pages_ + (tail_count_ > 0 ? 1 : 0);
+  return kFileHeaderSize + pages * options_.page_size;
+}
+
+// ------------------------------------------------------------------ Scanner
+
+HeapFile::Scanner::Scanner(HeapFile* file, uint64_t begin, uint64_t end)
+    : file_(file), next_(begin), end_(std::min(end, file->num_records())) {}
+
+bool HeapFile::Scanner::Next(Slice* record, uint64_t* index) {
+  if (!status_.ok() || next_ >= end_) return false;
+  const uint64_t page_no = next_ / file_->records_per_page_;
+  const uint64_t slot = next_ % file_->records_per_page_;
+
+  const char* base = nullptr;
+  if (page_no >= file_->sealed_pages_) {
+    // Tail page: snapshot once (stable against concurrent appends).
+    if (pinned_page_no_ != page_no) {
+      uint32_t count;
+      file_->SnapshotTail(&tail_copy_, &count);
+      pinned_page_no_ = page_no;
+      pinned_.reset();
+    }
+    base = tail_copy_.data() + slot * file_->record_size_;
+  } else {
+    if (pinned_page_no_ != page_no) {
+      auto page = file_->pool_->GetPage(file_->file_id_, page_no, file_);
+      if (!page.ok()) {
+        status_ = page.status();
+        return false;
+      }
+      pinned_ = std::move(page).MoveValueUnsafe();
+      pinned_page_no_ = page_no;
+    }
+    base = pinned_->data() + kPageHeaderSize + slot * file_->record_size_;
+  }
+  *record = Slice(base, file_->record_size_);
+  if (index != nullptr) *index = next_;
+  ++next_;
+  return true;
+}
+
+}  // namespace decibel

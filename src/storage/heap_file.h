@@ -1,0 +1,160 @@
+#ifndef DECIBEL_STORAGE_HEAP_FILE_H_
+#define DECIBEL_STORAGE_HEAP_FILE_H_
+
+/// \file heap_file.h
+/// Append-only record file, the unit of physical storage for all three
+/// Decibel engines: the tuple-first engine keeps one big heap file, the
+/// version-first and hybrid engines keep one per segment (§3).
+///
+/// Records are fixed-width (see schema.h), packed into fixed-size pages:
+///
+///   file   := header page | page*
+///   header := magic u32 | version u32 | page_size u64 | record_size u32 |
+///             reserved | crc u32                          (64 bytes)
+///   page   := count u32 | masked_crc u32 | record*count | zero padding
+///
+/// Appends accumulate in an in-memory tail page; a page is written to disk
+/// when it fills (or on Flush, which rewrites the partial tail in place).
+/// Sealed (full) pages are immutable and cached by the BufferPool. Record
+/// index <-> page/slot mapping is arithmetic.
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/io.h"
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+
+namespace decibel {
+
+class HeapFile : public PageSource {
+ public:
+  struct Options {
+    uint64_t page_size = 1 << 20;  ///< paper uses 4 MB; tests use smaller
+    bool verify_checksums = true;
+  };
+
+  /// Creates a new heap file at \p path (fails if it exists).
+  static Result<std::unique_ptr<HeapFile>> Create(const std::string& path,
+                                                  uint32_t record_size,
+                                                  const Options& options,
+                                                  BufferPool* pool);
+
+  /// Opens an existing heap file, restoring append position.
+  static Result<std::unique_ptr<HeapFile>> Open(const std::string& path,
+                                                const Options& options,
+                                                BufferPool* pool);
+
+  ~HeapFile() override;
+  HeapFile(const HeapFile&) = delete;
+  HeapFile& operator=(const HeapFile&) = delete;
+
+  /// Appends one record (must be exactly record_size bytes); returns its
+  /// index. Fails on sealed files.
+  Result<uint64_t> Append(Slice record);
+
+  /// Writes the partial tail page to disk.
+  Status Flush();
+
+  /// Flushes and forbids further appends (hybrid freezes head segments on
+  /// branch, §3.4).
+  Status Seal();
+  bool sealed() const { return sealed_; }
+
+  /// Copies record \p index into \p out.
+  Status Get(uint64_t index, std::string* out);
+
+  uint64_t num_records() const { return num_records_; }
+  uint32_t record_size() const { return record_size_; }
+  uint64_t page_size() const { return options_.page_size; }
+  uint64_t records_per_page() const { return records_per_page_; }
+  uint64_t file_id() const { return file_id_; }
+  const std::string& path() const { return path_; }
+
+  /// Bytes this file occupies on disk (header + written pages).
+  uint64_t SizeBytes() const;
+
+  /// PageSource: reads a sealed page from disk, verifying its checksum.
+  Status ReadPageFromDisk(uint64_t page_no, std::string* out) override;
+
+  /// A pinned view of one page's record payload. Keeps the underlying
+  /// buffer alive; \p payload points at the first record.
+  struct PinnedPage {
+    PageRef pin;          // sealed page (null for tail)
+    std::string tail;     // tail snapshot (empty for sealed pages)
+    const char* payload = nullptr;
+    uint32_t count = 0;   // records in this page
+  };
+
+  /// Pins page \p page_no (snapshotting the in-memory tail if that is the
+  /// requested page). Used by the version-first engine's newest-to-oldest
+  /// segment scans.
+  Result<PinnedPage> PinPage(uint64_t page_no);
+
+  /// Sequential scanner over record indexes [begin, end). Pins one page at
+  /// a time through the buffer pool.
+  class Scanner {
+   public:
+    Scanner(HeapFile* file, uint64_t begin, uint64_t end);
+    /// Advances to the next record; returns false at end or error (check
+    /// status()). \p record points into pinned page memory and is valid
+    /// until the next call.
+    bool Next(Slice* record, uint64_t* index);
+    const Status& status() const { return status_; }
+
+   private:
+    HeapFile* file_;
+    uint64_t next_;
+    uint64_t end_;
+    PageRef pinned_;          // current sealed page
+    std::string tail_copy_;   // stable snapshot of the tail page
+    uint64_t pinned_page_no_ = UINT64_MAX;
+    Status status_;
+  };
+
+  Scanner NewScanner() { return Scanner(this, 0, num_records()); }
+  Scanner NewScanner(uint64_t begin, uint64_t end) {
+    return Scanner(this, begin, end);
+  }
+
+ private:
+  HeapFile(std::string path, uint32_t record_size, const Options& options,
+           BufferPool* pool);
+
+  Status WriteHeader();
+  Status WriteTailPage();
+  uint64_t PageOffset(uint64_t page_no) const;
+  /// Serves a copy of the in-memory tail payload (thread-safe).
+  void SnapshotTail(std::string* out, uint32_t* count) const;
+
+  static std::atomic<uint64_t> next_file_id_;
+
+  const std::string path_;
+  const uint32_t record_size_;
+  const Options options_;
+  BufferPool* const pool_;
+  const uint64_t file_id_;
+  uint64_t records_per_page_ = 0;
+
+  std::optional<RandomWriteFile> writer_;
+  mutable std::optional<RandomAccessFile> reader_;
+  mutable std::mutex reader_mu_;
+
+  uint64_t sealed_pages_ = 0;          // number of full pages on disk
+  std::atomic<uint64_t> num_records_{0};
+  bool sealed_ = false;
+  bool tail_dirty_ = false;
+
+  mutable std::mutex tail_mu_;
+  std::string tail_;        // payload bytes of the partial page
+  uint32_t tail_count_ = 0;
+
+  friend class Scanner;
+};
+
+}  // namespace decibel
+
+#endif  // DECIBEL_STORAGE_HEAP_FILE_H_

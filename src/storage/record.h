@@ -1,0 +1,167 @@
+#ifndef DECIBEL_STORAGE_RECORD_H_
+#define DECIBEL_STORAGE_RECORD_H_
+
+/// \file record.h
+/// Record access over the packed fixed-width layout defined by a Schema.
+///
+/// Layout: [flags: u8][column 0 = pk: i64][column 1]...[column n-1]
+/// flags bit 0: tombstone (version-first deletes insert a tombstone record
+/// carrying only the key, §3.3).
+///
+/// RecordRef is a non-owning read view (used when scanning pages);
+/// Record owns its buffer (used when building inserts/updates).
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/logging.h"
+#include "common/slice.h"
+#include "storage/schema.h"
+
+namespace decibel {
+
+/// Bit 0 of the record header byte.
+inline constexpr uint8_t kTombstoneFlag = 0x01;
+
+/// Read-only view over a serialized record. The schema and the byte range
+/// must outlive the view.
+class RecordRef {
+ public:
+  RecordRef() : schema_(nullptr) {}
+  RecordRef(const Schema* schema, Slice data)
+      : schema_(schema), data_(data) {
+    DECIBEL_DCHECK(data.size() == schema->record_size());
+  }
+
+  bool valid() const { return schema_ != nullptr; }
+  const Schema* schema() const { return schema_; }
+  Slice data() const { return data_; }
+
+  bool tombstone() const {
+    return (static_cast<uint8_t>(data_[0]) & kTombstoneFlag) != 0;
+  }
+
+  int64_t pk() const { return GetInt64(0); }
+
+  int32_t GetInt32(size_t col) const {
+    DECIBEL_DCHECK(schema_->column(col).type == FieldType::kInt32);
+    int32_t v;
+    memcpy(&v, data_.data() + schema_->offset(col), sizeof(v));
+    return v;
+  }
+  int64_t GetInt64(size_t col) const {
+    DECIBEL_DCHECK(schema_->column(col).type == FieldType::kInt64);
+    int64_t v;
+    memcpy(&v, data_.data() + schema_->offset(col), sizeof(v));
+    return v;
+  }
+  double GetDouble(size_t col) const {
+    DECIBEL_DCHECK(schema_->column(col).type == FieldType::kDouble);
+    double v;
+    memcpy(&v, data_.data() + schema_->offset(col), sizeof(v));
+    return v;
+  }
+  /// Returns the string value with trailing NUL padding stripped.
+  std::string_view GetString(size_t col) const {
+    DECIBEL_DCHECK(schema_->column(col).type == FieldType::kString);
+    const char* p = data_.data() + schema_->offset(col);
+    size_t w = schema_->column(col).width;
+    while (w > 0 && p[w - 1] == '\0') --w;
+    return std::string_view(p, w);
+  }
+
+  /// Generic numeric read as int64 (int32/int64 columns); used by
+  /// predicates and the field-level merge.
+  int64_t GetNumeric(size_t col) const {
+    switch (schema_->column(col).type) {
+      case FieldType::kInt32:
+        return GetInt32(col);
+      case FieldType::kInt64:
+        return GetInt64(col);
+      default:
+        DECIBEL_DCHECK(false);
+        return 0;
+    }
+  }
+
+  /// Raw bytes of one column (for field-level comparisons in merges).
+  Slice ColumnBytes(size_t col) const {
+    return Slice(data_.data() + schema_->offset(col),
+                 schema_->column(col).width);
+  }
+
+ private:
+  const Schema* schema_;
+  Slice data_;
+};
+
+/// A mutable, owning record buffer.
+class Record {
+ public:
+  explicit Record(const Schema* schema)
+      : schema_(schema), data_(schema->record_size(), '\0') {}
+  Record(const Schema* schema, Slice data)
+      : schema_(schema), data_(data.ToString()) {
+    DECIBEL_DCHECK(data.size() == schema->record_size());
+  }
+
+  const Schema* schema() const { return schema_; }
+  Slice data() const { return Slice(data_); }
+  RecordRef ref() const { return RecordRef(schema_, Slice(data_)); }
+
+  void SetTombstone(bool on) {
+    auto flags = static_cast<uint8_t>(data_[0]);
+    data_[0] = static_cast<char>(on ? (flags | kTombstoneFlag)
+                                    : (flags & ~kTombstoneFlag));
+  }
+  bool tombstone() const { return ref().tombstone(); }
+
+  int64_t pk() const { return ref().pk(); }
+  void SetPk(int64_t v) { SetInt64(0, v); }
+
+  void SetInt32(size_t col, int32_t v) {
+    DECIBEL_DCHECK(schema_->column(col).type == FieldType::kInt32);
+    memcpy(data_.data() + schema_->offset(col), &v, sizeof(v));
+  }
+  void SetInt64(size_t col, int64_t v) {
+    DECIBEL_DCHECK(schema_->column(col).type == FieldType::kInt64);
+    memcpy(data_.data() + schema_->offset(col), &v, sizeof(v));
+  }
+  void SetDouble(size_t col, double v) {
+    DECIBEL_DCHECK(schema_->column(col).type == FieldType::kDouble);
+    memcpy(data_.data() + schema_->offset(col), &v, sizeof(v));
+  }
+  /// Truncates to the column capacity; pads with NULs.
+  void SetString(size_t col, std::string_view v) {
+    DECIBEL_DCHECK(schema_->column(col).type == FieldType::kString);
+    const uint32_t w = schema_->column(col).width;
+    char* p = data_.data() + schema_->offset(col);
+    const size_t n = v.size() < w ? v.size() : w;
+    memcpy(p, v.data(), n);
+    memset(p + n, 0, w - n);
+  }
+
+  /// Overwrites one column from another record's bytes (merge machinery).
+  void CopyColumnFrom(size_t col, const RecordRef& src) {
+    memcpy(data_.data() + schema_->offset(col),
+           src.data().data() + schema_->offset(col),
+           schema_->column(col).width);
+  }
+
+ private:
+  const Schema* schema_;
+  std::string data_;
+};
+
+/// Builds a tombstone record carrying only \p pk.
+inline Record MakeTombstone(const Schema* schema, int64_t pk) {
+  Record r(schema);
+  r.SetPk(pk);
+  r.SetTombstone(true);
+  return r;
+}
+
+}  // namespace decibel
+
+#endif  // DECIBEL_STORAGE_RECORD_H_

@@ -1,0 +1,136 @@
+#include "storage/schema.h"
+
+#include <unordered_set>
+
+#include "common/coding.h"
+
+namespace decibel {
+
+const char* FieldTypeName(FieldType type) {
+  switch (type) {
+    case FieldType::kInt32:
+      return "INT32";
+    case FieldType::kInt64:
+      return "INT64";
+    case FieldType::kDouble:
+      return "DOUBLE";
+    case FieldType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+uint32_t FieldTypeWidth(FieldType type) {
+  switch (type) {
+    case FieldType::kInt32:
+      return 4;
+    case FieldType::kInt64:
+      return 8;
+    case FieldType::kDouble:
+      return 8;
+    case FieldType::kString:
+      return 0;  // column-specified
+  }
+  return 0;
+}
+
+Result<Schema> Schema::Make(std::vector<Column> columns) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("schema: needs at least the key column");
+  }
+  if (columns[0].type != FieldType::kInt64) {
+    return Status::InvalidArgument(
+        "schema: column 0 must be the INT64 primary key");
+  }
+  std::unordered_set<std::string> names;
+  Schema s;
+  uint32_t off = 1;  // 1-byte record header (flags)
+  for (auto& col : columns) {
+    if (col.name.empty()) {
+      return Status::InvalidArgument("schema: empty column name");
+    }
+    if (!names.insert(col.name).second) {
+      return Status::InvalidArgument("schema: duplicate column " + col.name);
+    }
+    if (col.type == FieldType::kString) {
+      if (col.width == 0) {
+        return Status::InvalidArgument("schema: string column " + col.name +
+                                       " needs a width");
+      }
+    } else {
+      col.width = FieldTypeWidth(col.type);
+    }
+    s.offsets_.push_back(off);
+    off += col.width;
+  }
+  s.columns_ = std::move(columns);
+  s.record_size_ = off;
+  return s;
+}
+
+Schema Schema::MakeBenchmark(int num_cols, uint32_t col_width) {
+  std::vector<Column> cols;
+  cols.push_back({"pk", FieldType::kInt64, 8});
+  for (int i = 1; i <= num_cols; ++i) {
+    cols.push_back({"c" + std::to_string(i),
+                    col_width == 8 ? FieldType::kInt64 : FieldType::kInt32,
+                    col_width});
+  }
+  auto result = Make(std::move(cols));
+  // The constructed column list is valid by construction.
+  return result.MoveValueUnsafe();
+}
+
+int Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name != other.columns_[i].name ||
+        columns_[i].type != other.columns_[i].type ||
+        columns_[i].width != other.columns_[i].width) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Schema::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, columns_.size());
+  for (const auto& col : columns_) {
+    PutLengthPrefixed(dst, col.name);
+    dst->push_back(static_cast<char>(col.type));
+    PutVarint32(dst, col.width);
+  }
+}
+
+Result<Schema> Schema::DecodeFrom(Slice* input) {
+  uint64_t n;
+  if (!GetVarint64(input, &n)) {
+    return Status::Corruption("schema: truncated column count");
+  }
+  std::vector<Column> cols;
+  cols.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    Slice name;
+    if (!GetLengthPrefixed(input, &name) || input->empty()) {
+      return Status::Corruption("schema: truncated column");
+    }
+    Column col;
+    col.name = name.ToString();
+    col.type = static_cast<FieldType>((*input)[0]);
+    input->RemovePrefix(1);
+    if (!GetVarint32(input, &col.width)) {
+      return Status::Corruption("schema: truncated width");
+    }
+    cols.push_back(std::move(col));
+  }
+  return Make(std::move(cols));
+}
+
+}  // namespace decibel

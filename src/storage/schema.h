@@ -1,0 +1,83 @@
+#ifndef DECIBEL_STORAGE_SCHEMA_H_
+#define DECIBEL_STORAGE_SCHEMA_H_
+
+/// \file schema.h
+/// Relational schemas for Decibel tables. Records are fixed-width: integer
+/// and double columns have their natural width, strings are CHAR(n)-style
+/// fixed-capacity fields. Fixed-width records make the tuple-index <->
+/// file-offset mapping trivial, which the bitmap indexes rely on, and match
+/// the paper's benchmark data (250 integer columns, 1 KB records, §4.2).
+///
+/// Every relation has a primary key: column 0, type INT64 (§2.2.1 — the
+/// key tracks record identity across versions and branches).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+
+namespace decibel {
+
+enum class FieldType : uint8_t {
+  kInt32 = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kString = 3,  ///< fixed capacity, NUL-padded
+};
+
+const char* FieldTypeName(FieldType type);
+
+/// One column of a schema.
+struct Column {
+  std::string name;
+  FieldType type = FieldType::kInt32;
+  /// Byte width. Implied for numeric types; required (capacity) for kString.
+  uint32_t width = 0;
+};
+
+/// An immutable record layout. Column 0 must be the INT64 primary key.
+class Schema {
+ public:
+  /// Validates and builds a schema. Fails with InvalidArgument if column 0
+  /// is not an INT64 named key, names repeat, or a string width is zero.
+  static Result<Schema> Make(std::vector<Column> columns);
+
+  /// Convenience: the benchmark schema — "pk" followed by \p num_cols
+  /// integer columns of \p col_width bytes (4 or 8), named c1..cN.
+  static Schema MakeBenchmark(int num_cols, uint32_t col_width = 4);
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Byte offset of column \p i within the record payload (after the
+  /// 1-byte header).
+  uint32_t offset(size_t i) const { return offsets_[i]; }
+
+  /// Total serialized record size including the 1-byte header.
+  uint32_t record_size() const { return record_size_; }
+
+  /// Index of the named column, or -1.
+  int FindColumn(const std::string& name) const;
+
+  /// Two schemas are equal if their column lists match exactly.
+  bool operator==(const Schema& other) const;
+
+  /// Serialization for catalog persistence.
+  void EncodeTo(std::string* dst) const;
+  static Result<Schema> DecodeFrom(Slice* input);
+
+ private:
+  std::vector<Column> columns_;
+  std::vector<uint32_t> offsets_;
+  uint32_t record_size_ = 0;
+};
+
+/// Width in bytes of a value of \p type (string width comes from the column).
+uint32_t FieldTypeWidth(FieldType type);
+
+}  // namespace decibel
+
+#endif  // DECIBEL_STORAGE_SCHEMA_H_

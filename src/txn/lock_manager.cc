@@ -1,0 +1,79 @@
+#include "txn/lock_manager.h"
+
+namespace decibel {
+
+bool LockManager::TryAcquireLocked(uint64_t owner, BranchLock& lock,
+                                   LockMode mode) {
+  if (mode == LockMode::kShared) {
+    if (lock.has_exclusive) return lock.exclusive_holder == owner;
+    lock.shared_holders.insert(owner);
+    return true;
+  }
+  // Exclusive.
+  if (lock.has_exclusive) return lock.exclusive_holder == owner;
+  if (lock.shared_holders.empty() ||
+      (lock.shared_holders.size() == 1 &&
+       lock.shared_holders.count(owner) == 1)) {
+    lock.shared_holders.erase(owner);  // upgrade in place
+    lock.has_exclusive = true;
+    lock.exclusive_holder = owner;
+    return true;
+  }
+  return false;
+}
+
+Status LockManager::Acquire(uint64_t owner, BranchId branch, LockMode mode) {
+  std::unique_lock<std::mutex> guard(mu_);
+  BranchLock& lock = locks_[branch];
+  const auto deadline = std::chrono::steady_clock::now() + timeout_;
+  while (!TryAcquireLocked(owner, lock, mode)) {
+    if (cv_.wait_until(guard, deadline) == std::cv_status::timeout) {
+      return Status::Aborted("lock timeout on branch " +
+                             std::to_string(branch));
+    }
+  }
+  return Status::OK();
+}
+
+void LockManager::Release(uint64_t owner, BranchId branch) {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    auto it = locks_.find(branch);
+    if (it == locks_.end()) return;
+    BranchLock& lock = it->second;
+    lock.shared_holders.erase(owner);
+    if (lock.has_exclusive && lock.exclusive_holder == owner) {
+      lock.has_exclusive = false;
+    }
+    if (!lock.has_exclusive && lock.shared_holders.empty()) {
+      locks_.erase(it);
+    }
+  }
+  cv_.notify_all();
+}
+
+void LockManager::ReleaseAll(uint64_t owner) {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    for (auto it = locks_.begin(); it != locks_.end();) {
+      BranchLock& lock = it->second;
+      lock.shared_holders.erase(owner);
+      if (lock.has_exclusive && lock.exclusive_holder == owner) {
+        lock.has_exclusive = false;
+      }
+      if (!lock.has_exclusive && lock.shared_holders.empty()) {
+        it = locks_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  cv_.notify_all();
+}
+
+bool LockManager::IsLocked(BranchId branch) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return locks_.count(branch) != 0;
+}
+
+}  // namespace decibel

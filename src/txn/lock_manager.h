@@ -1,0 +1,89 @@
+#ifndef DECIBEL_TXN_LOCK_MANAGER_H_
+#define DECIBEL_TXN_LOCK_MANAGER_H_
+
+/// \file lock_manager.h
+/// Two-phase locking at branch granularity (§2.2.3: "Concurrent
+/// transactions by multiple users on the same version (but different
+/// sessions) are isolated from each other through two-phase locking" and
+/// "Concurrent commits to a branch are prevented via the use of 2PL").
+///
+/// Locks are shared (readers) or exclusive (writers/committers). A holder
+/// of the sole shared lock may upgrade in place. Acquisition blocks up to
+/// a timeout, then fails with Status::Aborted — the caller (session layer)
+/// is expected to release everything and retry, which is the classic
+/// deadlock-timeout discipline.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/status.h"
+#include "version/types.h"
+
+namespace decibel {
+
+enum class LockMode { kShared, kExclusive };
+
+class LockManager {
+ public:
+  explicit LockManager(
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(1000))
+      : timeout_(timeout) {}
+
+  /// Acquires \p mode on \p branch for \p owner. Re-acquiring a mode
+  /// already held is a no-op; a sole shared holder upgrades to exclusive.
+  Status Acquire(uint64_t owner, BranchId branch, LockMode mode);
+
+  /// Releases whatever \p owner holds on \p branch.
+  void Release(uint64_t owner, BranchId branch);
+
+  /// Releases every lock held by \p owner (end of transaction).
+  void ReleaseAll(uint64_t owner);
+
+  /// Introspection for tests.
+  bool IsLocked(BranchId branch) const;
+
+ private:
+  struct BranchLock {
+    std::unordered_set<uint64_t> shared_holders;
+    uint64_t exclusive_holder = 0;
+    bool has_exclusive = false;
+  };
+
+  bool TryAcquireLocked(uint64_t owner, BranchLock& lock, LockMode mode);
+
+  const std::chrono::milliseconds timeout_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<BranchId, BranchLock> locks_;
+};
+
+/// RAII guard releasing a single branch lock.
+class ScopedLock {
+ public:
+  ScopedLock() = default;
+  ScopedLock(LockManager* manager, uint64_t owner, BranchId branch)
+      : manager_(manager), owner_(owner), branch_(branch) {}
+  ~ScopedLock() {
+    if (manager_ != nullptr) manager_->Release(owner_, branch_);
+  }
+  ScopedLock(const ScopedLock&) = delete;
+  ScopedLock& operator=(const ScopedLock&) = delete;
+  ScopedLock(ScopedLock&& other) noexcept
+      : manager_(other.manager_), owner_(other.owner_),
+        branch_(other.branch_) {
+    other.manager_ = nullptr;
+  }
+
+ private:
+  LockManager* manager_ = nullptr;
+  uint64_t owner_ = 0;
+  BranchId branch_ = kInvalidBranch;
+};
+
+}  // namespace decibel
+
+#endif  // DECIBEL_TXN_LOCK_MANAGER_H_

@@ -1,0 +1,28 @@
+#ifndef DECIBEL_VERSION_TYPES_H_
+#define DECIBEL_VERSION_TYPES_H_
+
+/// \file types.h
+/// Shared identifier types for the versioning machinery.
+
+#include <cstdint>
+
+namespace decibel {
+
+/// Dense small integers assigned in creation order; double as bitmap
+/// column ids in the tuple-first and hybrid engines.
+using BranchId = uint32_t;
+
+/// Globally unique, strictly increasing commit identifiers; double as the
+/// sequence numbers of commit-history records.
+using CommitId = uint64_t;
+
+inline constexpr BranchId kInvalidBranch = UINT32_MAX;
+inline constexpr CommitId kInvalidCommit = UINT64_MAX;
+
+/// The master branch is always branch 0 (§2.2.2: "The initial branch
+/// created is designated the master branch").
+inline constexpr BranchId kMasterBranch = 0;
+
+}  // namespace decibel
+
+#endif  // DECIBEL_VERSION_TYPES_H_

@@ -1,0 +1,392 @@
+/// Unit tests for the common substrate: Status/Result, coding, checksums,
+/// hashing, RLE, LZ, PRNG and file I/O.
+
+#include <gtest/gtest.h>
+
+#include "common/coding.h"
+#include "common/crc32.h"
+#include "common/hash.h"
+#include "common/io.h"
+#include "common/lz.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/rle.h"
+#include "common/status.h"
+#include "test_util.h"
+
+namespace decibel {
+namespace {
+
+using testing_util::ScratchDir;
+
+// ------------------------------------------------------------------ Status
+
+TEST(StatusTest, OkIsDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, CopyAndMove) {
+  Status s = Status::Conflict("merge clash");
+  Status copy = s;
+  EXPECT_TRUE(copy.IsConflict());
+  EXPECT_EQ(copy, s);
+  Status moved = std::move(copy);
+  EXPECT_TRUE(moved.IsConflict());
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= 10; ++c) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::IOError("disk gone");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIOError());
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  auto p = std::move(r).MoveValueUnsafe();
+  EXPECT_EQ(*p, 7);
+}
+
+// ------------------------------------------------------------------ coding
+
+TEST(CodingTest, FixedRoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0xdeadbeef);
+  PutFixed64(&buf, 0x0123456789abcdefULL);
+  Slice in(buf);
+  uint32_t v32;
+  uint64_t v64;
+  ASSERT_TRUE(GetFixed32(&in, &v32));
+  ASSERT_TRUE(GetFixed64(&in, &v64));
+  EXPECT_EQ(v32, 0xdeadbeefu);
+  EXPECT_EQ(v64, 0x0123456789abcdefULL);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, VarintRoundTripBoundaries) {
+  const uint64_t cases[] = {0,       1,          127,        128,
+                            16383,   16384,      UINT32_MAX, 1ull << 40,
+                            UINT64_MAX};
+  for (uint64_t v : cases) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    EXPECT_EQ(static_cast<int>(buf.size()), VarintLength(v));
+    Slice in(buf);
+    uint64_t out;
+    ASSERT_TRUE(GetVarint64(&in, &out)) << v;
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(CodingTest, Varint32RejectsOverflow) {
+  std::string buf;
+  PutVarint64(&buf, static_cast<uint64_t>(UINT32_MAX) + 1);
+  Slice in(buf);
+  uint32_t out;
+  EXPECT_FALSE(GetVarint32(&in, &out));
+}
+
+TEST(CodingTest, TruncatedVarintFails) {
+  std::string buf;
+  PutVarint64(&buf, 1ull << 40);
+  buf.resize(buf.size() - 1);
+  Slice in(buf);
+  uint64_t out;
+  EXPECT_FALSE(GetVarint64(&in, &out));
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string(1000, 'x'));
+  Slice in(buf);
+  Slice a, b, c;
+  ASSERT_TRUE(GetLengthPrefixed(&in, &a));
+  ASSERT_TRUE(GetLengthPrefixed(&in, &b));
+  ASSERT_TRUE(GetLengthPrefixed(&in, &c));
+  EXPECT_EQ(a.ToString(), "hello");
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(c.size(), 1000u);
+}
+
+TEST(CodingTest, ZigZag) {
+  const int64_t cases[] = {0, -1, 1, -2, INT64_MAX, INT64_MIN, -123456789};
+  for (int64_t v : cases) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v);
+  }
+}
+
+// ------------------------------------------------------------- crc & hash
+
+TEST(Crc32Test, KnownVector) {
+  // CRC-32 of "123456789" is 0xCBF43926 (IEEE).
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+}
+
+TEST(Crc32Test, MaskRoundTrip) {
+  const uint32_t crc = Crc32("some data");
+  EXPECT_EQ(UnmaskCrc(MaskCrc(crc)), crc);
+  EXPECT_NE(MaskCrc(crc), crc);
+}
+
+TEST(Crc32Test, DetectsCorruption) {
+  std::string data = "the quick brown fox";
+  const uint32_t crc = Crc32(data);
+  data[3] ^= 1;
+  EXPECT_NE(Crc32(data), crc);
+}
+
+TEST(HashTest, Deterministic) {
+  EXPECT_EQ(Fnv1a64("abc"), Fnv1a64("abc"));
+  EXPECT_NE(Fnv1a64("abc"), Fnv1a64("abd"));
+  EXPECT_NE(Mix64(1), Mix64(2));
+}
+
+// --------------------------------------------------------------------- rle
+
+TEST(RleTest, RoundTripSparseBitmapDelta) {
+  std::string data(10000, '\0');
+  data[17] = 0x40;
+  data[9031] = 0x01;
+  std::string enc;
+  rle::Encode(data, &enc);
+  EXPECT_LT(enc.size(), 64u);  // long zero runs collapse
+  auto dec = rle::Decode(enc);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_EQ(*dec, data);
+}
+
+TEST(RleTest, RoundTripRandomData) {
+  Random rng(11);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string data;
+    const size_t n = rng.Uniform(2000);
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.OneIn(3)) {
+        data.push_back(static_cast<char>(rng.Uniform(256)));
+      } else {
+        data.append(rng.Uniform(30), rng.OneIn(2) ? '\0' : 'a');
+      }
+    }
+    std::string enc;
+    rle::Encode(data, &enc);
+    auto dec = rle::Decode(enc);
+    ASSERT_TRUE(dec.ok());
+    EXPECT_EQ(*dec, data) << "trial " << trial;
+  }
+}
+
+TEST(RleTest, DecodeXorIntoAppliesDelta) {
+  std::string before(100, '\0');
+  before[5] = 0x10;
+  std::string after = before;
+  after[5] = 0x30;
+  after.resize(200, '\0');
+  after[150] = 0x01;
+  // delta = before XOR after
+  std::string delta(200, '\0');
+  for (size_t i = 0; i < 200; ++i) {
+    delta[i] = (i < before.size() ? before[i] : 0) ^ after[i];
+  }
+  std::string enc;
+  rle::Encode(delta, &enc);
+  std::string state = before;
+  ASSERT_OK(rle::DecodeXorInto(enc, &state));
+  state.resize(200, '\0');  // zero-extension is implicit
+  EXPECT_EQ(state, after);
+}
+
+TEST(RleTest, DecodeRejectsCorruption) {
+  std::string enc;
+  rle::Encode(std::string(100, 'z'), &enc);
+  enc.resize(enc.size() / 2);
+  EXPECT_FALSE(rle::Decode(enc).ok());
+  std::string bad = "\x07";  // invalid tag
+  EXPECT_FALSE(rle::Decode(bad).ok());
+}
+
+// ---------------------------------------------------------------------- lz
+
+TEST(LzTest, RoundTripText) {
+  std::string data;
+  for (int i = 0; i < 200; ++i) {
+    data += "the quick brown fox jumps over the lazy dog ";
+  }
+  std::string enc;
+  lz::Compress(data, &enc);
+  EXPECT_LT(enc.size(), data.size() / 4);  // repetitive text compresses
+  auto dec = lz::Decompress(enc);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_EQ(*dec, data);
+}
+
+TEST(LzTest, RoundTripRandomBinary) {
+  Random rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string data;
+    const size_t n = rng.Uniform(5000);
+    for (size_t i = 0; i < n; ++i) {
+      data.push_back(static_cast<char>(rng.Uniform(trial % 2 ? 256 : 4)));
+    }
+    std::string enc;
+    lz::Compress(data, &enc);
+    auto dec = lz::Decompress(enc);
+    ASSERT_TRUE(dec.ok());
+    EXPECT_EQ(*dec, data) << "trial " << trial;
+  }
+}
+
+TEST(LzTest, EmptyAndTiny) {
+  for (const std::string& data : {std::string(), std::string("a"),
+                                  std::string("abc")}) {
+    std::string enc;
+    lz::Compress(data, &enc);
+    auto dec = lz::Decompress(enc);
+    ASSERT_TRUE(dec.ok());
+    EXPECT_EQ(*dec, data);
+  }
+}
+
+TEST(LzTest, OverlappingCopies) {
+  // RLE-style self-referencing copies.
+  std::string data(4096, 'q');
+  std::string enc;
+  lz::Compress(data, &enc);
+  EXPECT_LT(enc.size(), 64u);
+  auto dec = lz::Decompress(enc);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_EQ(*dec, data);
+}
+
+TEST(LzTest, RejectsCorruptStreams) {
+  EXPECT_FALSE(lz::Decompress("\x01\x05\x05").ok());  // copy before start
+  EXPECT_FALSE(lz::Decompress("\x09").ok());          // bad tag
+}
+
+// ------------------------------------------------------------------ random
+
+TEST(RandomTest, DeterministicPerSeed) {
+  Random a(99), b(99), c(100);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  bool differs = false;
+  Random a2(99);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.Next() != c.Next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    const int64_t v = rng.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+// ---------------------------------------------------------------------- io
+
+TEST(IoTest, WriteReadRoundTrip) {
+  ScratchDir dir("io");
+  const std::string path = JoinPath(dir.path(), "f.bin");
+  ASSERT_OK(WriteStringToFile(path, "hello world"));
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "hello world");
+  auto size = FileSize(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 11u);
+}
+
+TEST(IoTest, AppendAcrossReopen) {
+  ScratchDir dir("io");
+  const std::string path = JoinPath(dir.path(), "log");
+  {
+    auto f = WritableFile::Open(path);
+    ASSERT_TRUE(f.ok());
+    ASSERT_OK(f->Append("abc"));
+    ASSERT_OK(f->Close());
+  }
+  {
+    auto f = WritableFile::Open(path);
+    ASSERT_TRUE(f.ok());
+    EXPECT_EQ(f->Size(), 3u);
+    ASSERT_OK(f->Append("def"));
+    ASSERT_OK(f->Close());
+  }
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "abcdef");
+}
+
+TEST(IoTest, RandomAccessShortReadIsError) {
+  ScratchDir dir("io");
+  const std::string path = JoinPath(dir.path(), "f");
+  ASSERT_OK(WriteStringToFile(path, "0123456789"));
+  auto f = RandomAccessFile::Open(path);
+  ASSERT_TRUE(f.ok());
+  std::string buf;
+  ASSERT_OK(f->Read(5, 5, &buf));
+  EXPECT_EQ(buf, "56789");
+  EXPECT_TRUE(f->Read(8, 5, &buf).IsIOError());  // past EOF
+}
+
+TEST(IoTest, RandomWriteFilePatchesInPlace) {
+  ScratchDir dir("io");
+  const std::string path = JoinPath(dir.path(), "f");
+  ASSERT_OK(WriteStringToFile(path, "xxxxxxxxxx"));
+  auto f = RandomWriteFile::Open(path);
+  ASSERT_TRUE(f.ok());
+  ASSERT_OK(f->WriteAt(3, "ABC"));
+  ASSERT_OK(f->Close());
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "xxxABCxxxx");
+}
+
+TEST(IoTest, ListAndRemoveDir) {
+  ScratchDir dir("io");
+  ASSERT_OK(CreateDir(JoinPath(dir.path(), "a/b/c")));
+  ASSERT_OK(WriteStringToFile(JoinPath(dir.path(), "a/f1"), "1"));
+  ASSERT_OK(WriteStringToFile(JoinPath(dir.path(), "a/b/f2"), "22"));
+  auto names = ListDir(JoinPath(dir.path(), "a"));
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names->size(), 2u);
+  EXPECT_EQ(DirSizeBytes(JoinPath(dir.path(), "a")), 3u);
+  ASSERT_OK(RemoveDirRecursive(JoinPath(dir.path(), "a")));
+  EXPECT_FALSE(FileExists(JoinPath(dir.path(), "a")));
+}
+
+}  // namespace
+}  // namespace decibel

@@ -1,0 +1,245 @@
+/// Tests for the git-like baseline: SHA-1 vectors, delta encoding, the
+/// content-addressed object store (including repack round-trips) and the
+/// repo layer in all four layout/format modes.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "gitlike/delta.h"
+#include "gitlike/object_store.h"
+#include "gitlike/repo.h"
+#include "gitlike/sha1.h"
+#include "test_util.h"
+
+namespace decibel {
+namespace gitlike {
+namespace {
+
+using testing_util::ScratchDir;
+
+// -------------------------------------------------------------------- SHA1
+
+TEST(Sha1Test, KnownVectors) {
+  // FIPS 180-1 test vectors.
+  EXPECT_EQ(Sha1Hex("abc"), "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(Sha1Hex(""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  EXPECT_EQ(Sha1Hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+  // One block-boundary case (55/56/64-byte paddings differ).
+  EXPECT_EQ(Sha1Hex(std::string(64, 'a')),
+            "0098ba824b5c16427bd7a1122a5a442a25ec644d");
+}
+
+TEST(Sha1Test, GitObjectIdConvention) {
+  // git hash-object of an empty blob: frame "blob 0\0".
+  const std::string frame = std::string("blob 0") + '\0';
+  EXPECT_EQ(Sha1Hex(frame), "e69de29bb2d1d6434b8b29ae775ad8c2e48c5391");
+}
+
+// ------------------------------------------------------------------- Delta
+
+TEST(DeltaTest, RoundTripSimilarBuffers) {
+  Random rng(3);
+  std::string base;
+  for (int i = 0; i < 5000; ++i) {
+    base.push_back(static_cast<char>(rng.Uniform(64)));
+  }
+  std::string target = base;
+  target.insert(1000, "INSERTED CHUNK");
+  target.erase(3000, 100);
+  target += "tail data";
+
+  const std::string delta = ComputeDelta(base, target);
+  EXPECT_LT(delta.size(), target.size() / 4) << "similar data deltas well";
+  auto restored = ApplyDelta(base, delta);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, target);
+}
+
+TEST(DeltaTest, UnrelatedDataFallsBackToInsert) {
+  const std::string base(1000, 'a');
+  std::string target;
+  Random rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    target.push_back(static_cast<char>(rng.Next()));
+  }
+  const std::string delta = ComputeDelta(base, target);
+  auto restored = ApplyDelta(base, delta);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, target);
+}
+
+TEST(DeltaTest, EmptyCases) {
+  auto restored = ApplyDelta("base", ComputeDelta("base", ""));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->empty());
+  restored = ApplyDelta("", ComputeDelta("", "target"));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, "target");
+}
+
+TEST(DeltaTest, RejectsCorruptDeltas) {
+  EXPECT_FALSE(ApplyDelta("short", "\x01\xff\xff\x7f").ok());
+  EXPECT_FALSE(ApplyDelta("base", "\x07").ok());
+}
+
+// ------------------------------------------------------------- ObjectStore
+
+TEST(ObjectStoreTest, PutGetRoundTrip) {
+  ScratchDir dir("objstore");
+  auto store = ObjectStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  auto id = store->Put(ObjectType::kBlob, "hello objects");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(id->size(), 40u);
+  EXPECT_TRUE(store->Contains(*id));
+  auto content = store->Get(ObjectType::kBlob, *id);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "hello objects");
+  // Wrong type is an error; wrong id is NotFound.
+  EXPECT_TRUE(store->Get(ObjectType::kTree, *id).status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(store->Get(ObjectType::kBlob, std::string(40, '0')).status()
+                  .IsNotFound());
+}
+
+TEST(ObjectStoreTest, ContentAddressingDeduplicates) {
+  ScratchDir dir("objstore");
+  auto store = ObjectStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  auto id1 = store->Put(ObjectType::kBlob, "same bytes");
+  auto id2 = store->Put(ObjectType::kBlob, "same bytes");
+  ASSERT_TRUE(id1.ok() && id2.ok());
+  EXPECT_EQ(*id1, *id2);
+  EXPECT_EQ(store->num_objects(), 1u);
+}
+
+TEST(ObjectStoreTest, RepackPreservesEveryObject) {
+  ScratchDir dir("objstore");
+  auto store = ObjectStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  Random rng(11);
+  std::vector<std::pair<std::string, std::string>> objects;
+  std::string content;
+  for (int i = 0; i < 50; ++i) {
+    // Evolving content so deltas kick in.
+    for (int j = 0; j < 20; ++j) {
+      content += "row_" + std::to_string(rng.Uniform(1000)) + "\n";
+    }
+    auto id = store->Put(ObjectType::kBlob, content);
+    ASSERT_TRUE(id.ok());
+    objects.emplace_back(*id, content);
+  }
+  const uint64_t loose_size = store->SizeBytes();
+  auto seconds = store->Repack();
+  ASSERT_TRUE(seconds.ok()) << seconds.status().ToString();
+  EXPECT_LT(store->SizeBytes(), loose_size) << "packing should shrink";
+  for (const auto& [id, want] : objects) {
+    auto got = store->Get(ObjectType::kBlob, id);
+    ASSERT_TRUE(got.ok()) << id;
+    EXPECT_EQ(*got, want);
+  }
+}
+
+TEST(ObjectStoreTest, ReopenSeesLooseAndPacked) {
+  ScratchDir dir("objstore");
+  std::string id_loose, id_packed;
+  {
+    auto store = ObjectStore::Open(dir.path());
+    ASSERT_TRUE(store.ok());
+    id_packed = *store->Put(ObjectType::kBlob, "will be packed");
+    ASSERT_TRUE(store->Repack().ok());
+    id_loose = *store->Put(ObjectType::kBlob, "still loose");
+  }
+  auto store = ObjectStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  auto packed = store->Get(ObjectType::kBlob, id_packed);
+  auto loose = store->Get(ObjectType::kBlob, id_loose);
+  ASSERT_TRUE(packed.ok());
+  ASSERT_TRUE(loose.ok());
+  EXPECT_EQ(*packed, "will be packed");
+  EXPECT_EQ(*loose, "still loose");
+}
+
+// -------------------------------------------------------------------- Repo
+
+class GitRepoTest
+    : public ::testing::TestWithParam<std::pair<Layout, Format>> {};
+
+TEST_P(GitRepoTest, CommitCheckoutRoundTrip) {
+  ScratchDir dir("gitrepo");
+  const Schema schema = Schema::MakeBenchmark(3);
+  auto repo = GitRepo::Open(dir.path(), schema, GetParam().first,
+                            GetParam().second);
+  ASSERT_TRUE(repo.ok());
+
+  for (int64_t pk = 0; pk < 20; ++pk) {
+    Record rec(&schema);
+    rec.SetPk(pk);
+    rec.SetInt32(1, static_cast<int32_t>(pk * 10));
+    ASSERT_OK((*repo)->Insert(kMasterBranch, rec));
+  }
+  auto c1 = (*repo)->Commit(kMasterBranch);
+  ASSERT_TRUE(c1.ok());
+
+  // Branch, update, delete, commit again.
+  ASSERT_OK((*repo)->CreateBranch(1, kMasterBranch));
+  Record updated(&schema);
+  updated.SetPk(3);
+  updated.SetInt32(1, 999);
+  ASSERT_OK((*repo)->Update(1, updated));
+  ASSERT_OK((*repo)->Delete(1, 7));
+  auto c2 = (*repo)->Commit(1);
+  ASSERT_TRUE(c2.ok());
+  EXPECT_NE(*c1, *c2);
+
+  auto n1 = (*repo)->Checkout(*c1);
+  ASSERT_TRUE(n1.ok());
+  EXPECT_EQ(*n1, 20u);
+  auto n2 = (*repo)->Checkout(*c2);
+  ASSERT_TRUE(n2.ok());
+  EXPECT_EQ(*n2, 19u);  // one delete
+
+  // Repack keeps both commits checkout-able.
+  ASSERT_TRUE((*repo)->Repack().ok());
+  auto n1_again = (*repo)->Checkout(*c1);
+  ASSERT_TRUE(n1_again.ok());
+  EXPECT_EQ(*n1_again, 20u);
+}
+
+TEST_P(GitRepoTest, UnchangedCommitIsStable) {
+  ScratchDir dir("gitrepo");
+  const Schema schema = Schema::MakeBenchmark(2);
+  auto repo = GitRepo::Open(dir.path(), schema, GetParam().first,
+                            GetParam().second);
+  ASSERT_TRUE(repo.ok());
+  Record rec(&schema);
+  rec.SetPk(1);
+  ASSERT_OK((*repo)->Insert(kMasterBranch, rec));
+  auto c1 = (*repo)->Commit(kMasterBranch);
+  auto c2 = (*repo)->Commit(kMasterBranch);
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  // Same tree, but the second commit has a parent -> different id. The
+  // blob count must not grow though (content addressing).
+  const uint64_t objects_before = (*repo)->num_objects();
+  auto c3 = (*repo)->Commit(kMasterBranch);
+  ASSERT_TRUE(c3.ok());
+  EXPECT_LE((*repo)->num_objects(), objects_before + 1);  // new commit only
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, GitRepoTest,
+    ::testing::Values(std::make_pair(Layout::kOneFile, Format::kBinary),
+                      std::make_pair(Layout::kOneFile, Format::kCsv),
+                      std::make_pair(Layout::kFilePerTuple, Format::kBinary),
+                      std::make_pair(Layout::kFilePerTuple, Format::kCsv)),
+    [](const auto& info) {
+      std::string name = info.param.first == Layout::kOneFile ? "OneFile"
+                                                              : "FilePerTuple";
+      name += info.param.second == Format::kBinary ? "Bin" : "Csv";
+      return name;
+    });
+
+}  // namespace
+}  // namespace gitlike
+}  // namespace decibel

@@ -1,0 +1,143 @@
+/// Property tests for time travel: random operation streams where new
+/// branches fork from *random historical commits* (not just heads), so the
+/// commit-restore paths (bitmap checkout + pk-index rebuild in TF/HY,
+/// (segment, offset) roots in VF) get exercised under load, including
+/// after reopen.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "core/decibel.h"
+#include "test_util.h"
+
+namespace decibel {
+namespace {
+
+using testing_util::MakeRecord;
+using testing_util::ScratchDir;
+using testing_util::TestSchema;
+
+class HistoryTest
+    : public ::testing::TestWithParam<std::tuple<EngineType, uint64_t>> {};
+
+TEST_P(HistoryTest, BranchesFromRandomCommitsMatchSnapshots) {
+  const auto [engine, seed] = GetParam();
+  ScratchDir dir("history");
+  const Schema schema = TestSchema(2);
+  DecibelOptions options;
+  options.engine = engine;
+  options.page_size = 4096;
+  options.composite_every = 4;  // exercise the composite-delta layer
+  auto db = Decibel::Open(dir.path(), schema, options).MoveValueUnsafe();
+
+  Random rng(seed);
+  std::map<BranchId, std::map<int64_t, int32_t>> oracle;
+  std::map<CommitId, std::map<int64_t, int32_t>> snapshots;
+  std::vector<BranchId> branches{kMasterBranch};
+  std::vector<CommitId> commits;
+  oracle[kMasterBranch] = {};
+  int64_t next_pk = 0;
+  int32_t next_val = 0;
+  int branch_counter = 0;
+
+  for (int round = 0; round < 60; ++round) {
+    // Mutate a random branch.
+    const BranchId b = branches[rng.Uniform(branches.size())];
+    auto& table = oracle[b];
+    for (int op = 0; op < 15; ++op) {
+      const uint64_t kind = rng.Uniform(10);
+      if (kind < 6 || table.empty()) {
+        const int32_t v = ++next_val;
+        ASSERT_OK(db->InsertInto(b, MakeRecord(schema, next_pk, v)));
+        table[next_pk++] = v;
+      } else if (kind < 9) {
+        auto it = table.begin();
+        std::advance(it, rng.Uniform(table.size()));
+        it->second = ++next_val;
+        ASSERT_OK(db->UpdateIn(b, MakeRecord(schema, it->first, it->second)));
+      } else {
+        auto it = table.begin();
+        std::advance(it, rng.Uniform(table.size()));
+        ASSERT_OK(db->DeleteFrom(b, it->first));
+        table.erase(it);
+      }
+    }
+    // Commit and remember the snapshot.
+    auto commit = db->CommitBranch(b);
+    ASSERT_TRUE(commit.ok()) << commit.status().ToString();
+    snapshots[*commit] = table;
+    commits.push_back(*commit);
+
+    // Sometimes revive a random historical commit as a new branch.
+    if (rng.OneIn(3) && branches.size() < 10) {
+      const CommitId base = commits[rng.Uniform(commits.size())];
+      auto child =
+          db->BranchAt("hist_" + std::to_string(branch_counter++), base);
+      ASSERT_TRUE(child.ok()) << child.status().ToString();
+      branches.push_back(*child);
+      oracle[*child] = snapshots[base];
+      // The revived branch must equal the snapshot immediately.
+      auto rows = testing_util::CollectBranch(db.get(), *child);
+      ASSERT_EQ(rows, snapshots[base])
+          << "revival of commit " << base << " diverged";
+    }
+  }
+
+  // Every branch matches its oracle; every commit still replays.
+  for (BranchId b : branches) {
+    EXPECT_EQ(testing_util::CollectBranch(db.get(), b), oracle[b])
+        << "branch " << b;
+  }
+  for (const CommitId c : commits) {
+    auto it = db->ScanCommit(c);
+    ASSERT_TRUE(it.ok()) << it.status().ToString();
+    EXPECT_EQ(testing_util::Collect(it->get()), snapshots[c])
+        << "commit " << c;
+  }
+
+  // Checkout sessions see snapshots too.
+  Session s = db->NewSession();
+  const CommitId probe = commits[commits.size() / 2];
+  ASSERT_OK(db->Checkout(&s, probe));
+  EXPECT_EQ(testing_util::Collect(db->Scan(s).MoveValueUnsafe().get()),
+            snapshots[probe]);
+
+  // And everything survives a flush + reopen.
+  ASSERT_OK(db->Flush());
+  db.reset();
+  db = Decibel::Open(dir.path(), schema, options).MoveValueUnsafe();
+  for (BranchId b : branches) {
+    EXPECT_EQ(testing_util::CollectBranch(db.get(), b), oracle[b])
+        << "branch " << b << " after reopen";
+  }
+  const CommitId last = commits.back();
+  auto it = db->ScanCommit(last);
+  ASSERT_TRUE(it.ok());
+  EXPECT_EQ(testing_util::Collect(it->get()), snapshots[last]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EnginesAndSeeds, HistoryTest,
+    ::testing::Combine(::testing::Values(EngineType::kTupleFirst,
+                                         EngineType::kVersionFirst,
+                                         EngineType::kHybrid),
+                       ::testing::Values(3u, 11u, 77u)),
+    [](const auto& info) {
+      std::string engine;
+      switch (std::get<0>(info.param)) {
+        case EngineType::kTupleFirst:
+          engine = "TupleFirst";
+          break;
+        case EngineType::kVersionFirst:
+          engine = "VersionFirst";
+          break;
+        default:
+          engine = "Hybrid";
+      }
+      return engine + "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace decibel

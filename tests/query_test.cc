@@ -1,0 +1,326 @@
+/// Tests for the query layer: predicates, the four benchmark query
+/// families (Table 1), and the VQuel mini-language — parameterized across
+/// all three engines where the query plans touch engine code.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "query/predicate.h"
+#include "query/queries.h"
+#include "query/vquel.h"
+#include "test_util.h"
+
+namespace decibel {
+namespace {
+
+using testing_util::MakeRecord;
+using testing_util::MakeRecordVals;
+using testing_util::ScratchDir;
+using testing_util::TestSchema;
+
+// --------------------------------------------------------------- Predicate
+
+TEST(PredicateTest, EmptyMatchesEverything) {
+  const Schema schema = TestSchema(2);
+  const Record rec = MakeRecord(schema, 1, 5);
+  EXPECT_TRUE(Predicate().Matches(rec.ref()));
+}
+
+TEST(PredicateTest, IntComparisons) {
+  const Schema schema = TestSchema(2);
+  const Record rec = MakeRecord(schema, 1, 5);
+  struct {
+    CompareOp op;
+    int64_t value;
+    bool want;
+  } cases[] = {
+      {CompareOp::kEq, 5, true},  {CompareOp::kEq, 6, false},
+      {CompareOp::kNe, 6, true},  {CompareOp::kLt, 6, true},
+      {CompareOp::kLt, 5, false}, {CompareOp::kLe, 5, true},
+      {CompareOp::kGt, 4, true},  {CompareOp::kGe, 5, true},
+      {CompareOp::kGe, 6, false},
+  };
+  for (const auto& c : cases) {
+    auto pred = Predicate::Compare(schema, "c1", c.op, c.value);
+    ASSERT_TRUE(pred.ok());
+    EXPECT_EQ(pred->Matches(rec.ref()), c.want)
+        << CompareOpName(c.op) << " " << c.value;
+  }
+}
+
+TEST(PredicateTest, ConjunctionAndPkColumn) {
+  const Schema schema = TestSchema(2);
+  auto pred = Predicate::Compare(schema, "pk", CompareOp::kGe, 10);
+  ASSERT_TRUE(pred.ok());
+  Comparison second;
+  second.column = 1;
+  second.op = CompareOp::kLt;
+  second.int_value = 100;
+  pred->And(second);
+  EXPECT_TRUE(pred->Matches(MakeRecord(schema, 15, 50).ref()));
+  EXPECT_FALSE(pred->Matches(MakeRecord(schema, 5, 50).ref()));
+  EXPECT_FALSE(pred->Matches(MakeRecord(schema, 15, 150).ref()));
+}
+
+TEST(PredicateTest, RejectsUnknownColumn) {
+  const Schema schema = TestSchema(2);
+  EXPECT_FALSE(Predicate::Compare(schema, "nope", CompareOp::kEq, 1).ok());
+}
+
+// ------------------------------------------------------------- Query plans
+
+class QueryTest : public ::testing::TestWithParam<EngineType> {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<ScratchDir>("query");
+    schema_ = TestSchema(2);
+    DecibelOptions options;
+    options.engine = GetParam();
+    options.page_size = 4096;
+    auto db = Decibel::Open(dir_->path(), schema_, options);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).MoveValueUnsafe();
+    // master: pks 0..49 with c1 = pk; dev adds 100..104, updates evens.
+    for (int64_t pk = 0; pk < 50; ++pk) {
+      ASSERT_OK(db_->InsertInto(
+          kMasterBranch, MakeRecord(schema_, pk, static_cast<int>(pk))));
+    }
+    Session s = db_->NewSession();
+    ASSERT_OK_AND_ASSIGN(dev_, db_->Branch("dev", &s));
+    for (int64_t pk = 100; pk < 105; ++pk) {
+      ASSERT_OK(db_->InsertInto(dev_, MakeRecord(schema_, pk, 1000)));
+    }
+    for (int64_t pk = 0; pk < 50; pk += 2) {
+      ASSERT_OK(db_->UpdateIn(dev_, MakeRecord(schema_, pk, -1)));
+    }
+  }
+
+  std::unique_ptr<ScratchDir> dir_;
+  Schema schema_ = TestSchema(2);
+  std::unique_ptr<Decibel> db_;
+  BranchId dev_ = kInvalidBranch;
+};
+
+TEST_P(QueryTest, Q1ScanWithPredicate) {
+  auto pred = Predicate::Compare(schema_, "c1", CompareOp::kGe, 40);
+  ASSERT_TRUE(pred.ok());
+  std::set<int64_t> pks;
+  ASSERT_OK_AND_ASSIGN(
+      query::QueryStats stats,
+      query::ScanVersion(db_.get(), kMasterBranch, *pred,
+                         [&](const RecordRef& rec) { pks.insert(rec.pk()); }));
+  EXPECT_EQ(stats.rows_scanned, 50u);
+  EXPECT_EQ(stats.rows_emitted, 10u);  // c1 = 40..49
+  EXPECT_EQ(pks.size(), 10u);
+  EXPECT_TRUE(pks.count(40));
+}
+
+TEST_P(QueryTest, Q2PositiveDiff) {
+  std::set<int64_t> pks;
+  ASSERT_OK_AND_ASSIGN(
+      query::QueryStats stats,
+      query::PositiveDiff(db_.get(), dev_, kMasterBranch,
+                          [&](const RecordRef& rec) { pks.insert(rec.pk()); }));
+  // Keys in dev not in master: the five inserts (updates don't count in
+  // by-key semantics).
+  EXPECT_EQ(stats.rows_emitted, 5u);
+  EXPECT_EQ(pks, (std::set<int64_t>{100, 101, 102, 103, 104}));
+}
+
+TEST_P(QueryTest, Q3JoinRespectsPredicateAndPairsVersions) {
+  auto pred = Predicate::Compare(schema_, "c1", CompareOp::kLt, 10);
+  ASSERT_TRUE(pred.ok());
+  int pairs = 0;
+  int changed = 0;
+  ASSERT_OK_AND_ASSIGN(
+      query::QueryStats stats,
+      query::JoinVersions(db_.get(), kMasterBranch, dev_, *pred,
+                          [&](const RecordRef& left, const RecordRef& right) {
+                            EXPECT_EQ(left.pk(), right.pk());
+                            ++pairs;
+                            if (left.GetInt32(1) != right.GetInt32(1)) {
+                              ++changed;
+                            }
+                          }));
+  // Build side: master rows with c1 < 10 (pks 0..9); all exist in dev.
+  EXPECT_EQ(stats.rows_emitted, 10u);
+  EXPECT_EQ(pairs, 10);
+  EXPECT_EQ(changed, 5);  // evens were updated in dev
+}
+
+TEST_P(QueryTest, Q4HeadsAnnotated) {
+  auto pred = Predicate::Compare(schema_, "c1", CompareOp::kEq, 1000);
+  ASSERT_TRUE(pred.ok());
+  int rows = 0;
+  ASSERT_OK_AND_ASSIGN(
+      query::QueryStats stats,
+      query::ScanHeads(db_.get(), *pred,
+                       [&](const RecordRef& rec,
+                           const std::vector<uint32_t>& branches) {
+                         EXPECT_GE(rec.pk(), 100);
+                         EXPECT_EQ(branches.size(), 1u);  // dev only
+                         ++rows;
+                       }));
+  EXPECT_EQ(stats.rows_emitted, 5u);
+  EXPECT_EQ(rows, 5);
+}
+
+TEST_P(QueryTest, AggregateSingleBranch) {
+  auto agg = query::AggregateColumn(db_.get(), kMasterBranch, "c1",
+                                    Predicate());
+  ASSERT_TRUE(agg.ok()) << agg.status().ToString();
+  EXPECT_EQ(agg->count, 50u);
+  EXPECT_EQ(agg->sum, 49 * 50 / 2);  // c1 = 0..49
+  EXPECT_EQ(agg->min, 0);
+  EXPECT_EQ(agg->max, 49);
+  EXPECT_DOUBLE_EQ(agg->avg, 24.5);
+  // Unknown / non-numeric columns rejected.
+  EXPECT_FALSE(
+      query::AggregateColumn(db_.get(), kMasterBranch, "zzz", Predicate())
+          .ok());
+}
+
+TEST_P(QueryTest, AggregatePerBranchSinglePass) {
+  auto aggs = query::AggregatePerBranch(db_.get(), {kMasterBranch, dev_},
+                                        "c1", Predicate());
+  ASSERT_TRUE(aggs.ok()) << aggs.status().ToString();
+  ASSERT_EQ(aggs->size(), 2u);
+  // Master: c1 = 0..49.
+  EXPECT_EQ((*aggs)[0].count, 50u);
+  EXPECT_EQ((*aggs)[0].sum, 1225);
+  // Dev: evens set to -1 (25 records), odds keep pk value, plus 5x 1000.
+  EXPECT_EQ((*aggs)[1].count, 55u);
+  int64_t dev_sum = 5 * 1000 - 25;
+  for (int i = 1; i < 50; i += 2) dev_sum += i;
+  EXPECT_EQ((*aggs)[1].sum, dev_sum);
+  EXPECT_EQ((*aggs)[1].min, -1);
+  EXPECT_EQ((*aggs)[1].max, 1000);
+}
+
+TEST_P(QueryTest, StringPredicate) {
+  // A separate tiny table with a string column.
+  ScratchDir dir("query_str");
+  auto schema = Schema::Make({{"pk", FieldType::kInt64, 0},
+                              {"name", FieldType::kString, 8}});
+  ASSERT_TRUE(schema.ok());
+  DecibelOptions options;
+  options.engine = GetParam();
+  auto db = Decibel::Open(dir.path(), *schema, options);
+  ASSERT_TRUE(db.ok());
+  for (int64_t pk = 0; pk < 10; ++pk) {
+    Record rec(&*schema);
+    rec.SetPk(pk);
+    rec.SetString(1, pk % 3 == 0 ? "Sam" : "Alex");
+    ASSERT_OK((*db)->InsertInto(kMasterBranch, rec));
+  }
+  auto pred = Predicate::CompareString(*schema, "name", CompareOp::kEq,
+                                       "Sam");
+  ASSERT_TRUE(pred.ok());
+  ASSERT_OK_AND_ASSIGN(
+      query::QueryStats stats,
+      query::ScanVersion(db->get(), kMasterBranch, *pred, nullptr));
+  EXPECT_EQ(stats.rows_emitted, 4u);  // pks 0,3,6,9
+  // Type mismatch rejected.
+  EXPECT_FALSE(
+      Predicate::CompareString(*schema, "pk", CompareOp::kEq, "x").ok());
+}
+
+TEST_P(QueryTest, ScanVersionAtHistoricalCommit) {
+  ASSERT_OK_AND_ASSIGN(CommitId commit, db_->CommitBranch(dev_));
+  ASSERT_OK(db_->DeleteFrom(dev_, 100));
+  ASSERT_OK_AND_ASSIGN(
+      query::QueryStats stats,
+      query::ScanVersionAt(db_.get(), commit, Predicate(), nullptr));
+  EXPECT_EQ(stats.rows_scanned, 55u);  // pre-delete state
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, QueryTest,
+                         ::testing::Values(EngineType::kTupleFirst,
+                                           EngineType::kVersionFirst,
+                                           EngineType::kHybrid),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case EngineType::kTupleFirst:
+                               return "TupleFirst";
+                             case EngineType::kVersionFirst:
+                               return "VersionFirst";
+                             default:
+                               return "Hybrid";
+                           }
+                         });
+
+// ------------------------------------------------------------------ VQuel
+
+class VquelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<ScratchDir>("vquel");
+    auto db = Decibel::Open(dir_->path(), TestSchema(2), DecibelOptions{});
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).MoveValueUnsafe();
+  }
+
+  std::string Exec(const std::string& statement) {
+    auto result = vquel::Execute(db_.get(), statement);
+    EXPECT_TRUE(result.ok()) << statement << ": "
+                             << result.status().ToString();
+    return result.ok() ? result->output : "";
+  }
+
+  std::unique_ptr<ScratchDir> dir_;
+  std::unique_ptr<Decibel> db_;
+};
+
+TEST_F(VquelTest, InsertScanRoundTrip) {
+  Exec("INSERT master 1 10 20");
+  Exec("INSERT master 2 30 40");
+  const std::string out = Exec("SCAN master");
+  EXPECT_NE(out.find("1 | 10 | 20"), std::string::npos);
+  EXPECT_NE(out.find("(2 rows)"), std::string::npos);
+}
+
+TEST_F(VquelTest, WhereClause) {
+  Exec("INSERT master 1 10 20");
+  Exec("INSERT master 2 30 40");
+  const std::string out = Exec("SCAN master WHERE c1 > 15");
+  EXPECT_EQ(out.find("1 | 10"), std::string::npos);
+  EXPECT_NE(out.find("2 | 30"), std::string::npos);
+}
+
+TEST_F(VquelTest, BranchDiffMergeFlow) {
+  Exec("INSERT master 1 10 20");
+  Exec("COMMIT master");
+  Exec("BRANCH dev FROM master");
+  Exec("INSERT dev 2 50 60");
+  const std::string diff = Exec("DIFF dev master");
+  EXPECT_NE(diff.find("2 | 50 | 60"), std::string::npos);
+  const std::string merge = Exec("MERGE master dev THREEWAY LEFT");
+  EXPECT_NE(merge.find("merge commit"), std::string::npos);
+  const std::string out = Exec("SCAN master");
+  EXPECT_NE(out.find("(2 rows)"), std::string::npos);
+}
+
+TEST_F(VquelTest, HeadsAndMetadata) {
+  Exec("INSERT master 1 1 1");
+  Exec("BRANCH dev FROM master");
+  const std::string heads = Exec("HEADS");
+  EXPECT_NE(heads.find("[in 0 1]"), std::string::npos);
+  const std::string branches = Exec("BRANCHES");
+  EXPECT_NE(branches.find("dev"), std::string::npos);
+  Exec("COMMIT dev");
+  const std::string log = Exec("LOG dev");
+  EXPECT_NE(log.find("commit"), std::string::npos);
+}
+
+TEST_F(VquelTest, ErrorsAreStatuses) {
+  EXPECT_FALSE(vquel::Execute(db_.get(), "").ok());
+  EXPECT_FALSE(vquel::Execute(db_.get(), "FROBNICATE x").ok());
+  EXPECT_FALSE(vquel::Execute(db_.get(), "SCAN nonexistent").ok());
+  EXPECT_FALSE(vquel::Execute(db_.get(), "SCAN master WHERE").ok());
+  EXPECT_FALSE(vquel::Execute(db_.get(), "INSERT master notanint").ok());
+  EXPECT_FALSE(vquel::Execute(db_.get(), "MERGE master").ok());
+}
+
+}  // namespace
+}  // namespace decibel
