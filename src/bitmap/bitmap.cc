@@ -133,7 +133,9 @@ uint64_t Bitmap::NextSet(uint64_t from) const {
 bool Bitmap::operator==(const Bitmap& other) const {
   // Equality up to zero-extension: trailing zero words are insignificant.
   const size_t common = std::min(words_.size(), other.words_.size());
-  if (memcmp(words_.data(), other.words_.data(), common * 8) != 0) {
+  // Zero-length memcmp with a null pointer (either bitmap empty) is UB.
+  if (common != 0 &&
+      memcmp(words_.data(), other.words_.data(), common * 8) != 0) {
     return false;
   }
   for (size_t i = common; i < words_.size(); ++i) {
@@ -148,7 +150,9 @@ bool Bitmap::operator==(const Bitmap& other) const {
 std::string Bitmap::ToBytes() const {
   const uint64_t nbytes = (nbits_ + 7) / 8;
   std::string out(nbytes, '\0');
-  memcpy(out.data(), words_.data(), nbytes);
+  // An empty bitmap has words_.data() == nullptr; memcpy from a null
+  // pointer is UB even for zero bytes.
+  if (nbytes != 0) memcpy(out.data(), words_.data(), nbytes);
   return out;
 }
 
@@ -156,7 +160,8 @@ Bitmap Bitmap::FromBytes(Slice bytes, uint64_t nbits) {
   Bitmap b;
   b.Resize(nbits);
   const uint64_t n = std::min<uint64_t>(bytes.size(), (nbits + 7) / 8);
-  memcpy(b.words_.data(), bytes.data(), n);
+  // An empty input Slice carries a null data(); skip the zero-length copy.
+  if (n != 0) memcpy(b.words_.data(), bytes.data(), n);
   b.TrimTail();
   return b;
 }

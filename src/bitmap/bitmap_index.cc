@@ -197,9 +197,15 @@ Result<std::unique_ptr<BitmapIndex>> BitmapIndex::DecodeFrom(Slice* input) {
     idx->num_tuples_ = num_tuples;
     idx->words_per_row_ = wpr;
     idx->matrix_.resize(nbytes / 8);
-    memcpy(idx->matrix_.data(), input->data(), nbytes);
+    // matrix_.data() is null for an empty (zero-tuple) index; memcpy with
+    // a null pointer is UB even for zero bytes.
+    if (nbytes != 0) memcpy(idx->matrix_.data(), input->data(), nbytes);
     input->RemovePrefix(nbytes);
-    if (idx->matrix_.size() != num_tuples * wpr) {
+    // Bound-check before multiplying: a crafted blob with huge num_tuples
+    // and wpr could wrap num_tuples * wpr to matrix_.size() and smuggle an
+    // undersized matrix past the equality check.
+    if ((num_tuples != 0 && wpr > idx->matrix_.size() / num_tuples) ||
+        idx->matrix_.size() != num_tuples * wpr) {
       return Status::Corruption("bitmap index: matrix size mismatch");
     }
     return std::unique_ptr<BitmapIndex>(std::move(idx));

@@ -26,7 +26,9 @@ void PutVarint64(std::string* dst, uint64_t value) {
 
 void PutLengthPrefixed(std::string* dst, Slice value) {
   PutVarint64(dst, value.size());
-  dst->append(value.data(), value.size());
+  // A default-constructed Slice has data() == nullptr; append(nullptr, 0)
+  // violates the [s, s + n) valid-range precondition.
+  if (!value.empty()) dst->append(value.data(), value.size());
 }
 
 namespace {

@@ -671,7 +671,7 @@ Result<MergeResult> VersionFirstEngine::Merge(BranchId into, BranchId from,
     auto lit = wl.find(pk);
     const Winner* base = lit == wl.end() ? nullptr : &lit->second;
     *out = cur;
-    bool equal;
+    bool equal = false;
     DECIBEL_RETURN_NOT_OK(same_state(cur, base, &equal));
     *changed = !equal;
     return Status::OK();
@@ -694,7 +694,7 @@ Result<MergeResult> VersionFirstEngine::Merge(BranchId into, BranchId from,
     const Winner* cur_a = nullptr;
     auto wa_it = wa.find(pk);
     if (wa_it != wa.end()) cur_a = &wa_it->second;
-    bool sides_equal;
+    bool sides_equal = false;
     DECIBEL_RETURN_NOT_OK(same_state(cur_a, cur_b, &sides_equal));
     if (sides_equal) continue;  // any surviving copy has the same bytes
     if (!b_changed) {

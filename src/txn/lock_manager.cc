@@ -24,9 +24,11 @@ bool LockManager::TryAcquireLocked(uint64_t owner, BranchLock& lock,
 
 Status LockManager::Acquire(uint64_t owner, BranchId branch, LockMode mode) {
   std::unique_lock<std::mutex> guard(mu_);
-  BranchLock& lock = locks_[branch];
   const auto deadline = std::chrono::steady_clock::now() + timeout_;
-  while (!TryAcquireLocked(owner, lock, mode)) {
+  // Re-index locks_ on every attempt: while this thread waits, a releasing
+  // thread may erase the branch's node (or an insert may rehash the table),
+  // so a BranchLock reference must never be held across cv_.wait_until.
+  while (!TryAcquireLocked(owner, locks_[branch], mode)) {
     if (cv_.wait_until(guard, deadline) == std::cv_status::timeout) {
       return Status::Aborted("lock timeout on branch " +
                              std::to_string(branch));

@@ -118,6 +118,40 @@ TEST(BitmapTest, BytesRoundTrip) {
   EXPECT_TRUE(b == decoded);
 }
 
+// Regression: an empty bitmap backs its words with a null pointer, and the
+// serialization paths used to hand that null to memcpy (UB even for zero
+// bytes — caught by UBSan's nonnull-attribute check).
+TEST(BitmapTest, EmptyBytesRoundTrip) {
+  Bitmap b;
+  const std::string bytes = b.ToBytes();
+  EXPECT_TRUE(bytes.empty());
+  Bitmap restored = Bitmap::FromBytes(bytes, 0);
+  EXPECT_TRUE(restored.empty());
+  EXPECT_TRUE(b == restored);
+}
+
+TEST(BitmapTest, EmptyEncodeDecodeRoundTrip) {
+  Bitmap b;
+  std::string encoded;
+  b.EncodeTo(&encoded);
+  EXPECT_FALSE(encoded.empty());  // still carries the bit-count varint
+  Slice in(encoded);
+  Bitmap decoded;
+  ASSERT_TRUE(Bitmap::DecodeFrom(&in, &decoded));
+  EXPECT_TRUE(decoded.empty());
+  EXPECT_TRUE(b == decoded);
+  EXPECT_EQ(in.size(), 0u);
+}
+
+// Regression: FromBytes with a default (null-data) Slice and a nonzero bit
+// count must produce an all-zero bitmap without touching the null source.
+TEST(BitmapTest, FromBytesNullSliceZeroFills) {
+  Bitmap b = Bitmap::FromBytes(Slice(), 128);
+  EXPECT_EQ(b.size(), 128u);
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_FALSE(b.Any());
+}
+
 // ------------------------------------------------------------ BitmapIndex
 
 class BitmapIndexTest : public ::testing::TestWithParam<BitmapOrientation> {
