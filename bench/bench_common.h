@@ -15,6 +15,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -22,6 +23,7 @@
 
 #include "benchlib/workload.h"
 #include "common/io.h"
+#include "common/stopwatch.h"
 #include "core/decibel.h"
 
 namespace decibel {
@@ -114,6 +116,60 @@ inline const char* ShortName(EngineType engine) {
 
 inline double Mb(uint64_t bytes) {
   return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+// ---------------------------------------------------- load-path measurement
+
+/// One row of a batched-vs-per-op load comparison (bench/load_paths.cc).
+struct LoadPathResult {
+  double seconds = 0;
+  uint64_t records = 0;
+  double RecordsPerSec() const {
+    return seconds > 0 ? static_cast<double>(records) / seconds : 0;
+  }
+};
+
+/// Loads \p num_records fresh records into master one record at a time —
+/// each insert is a one-op transaction paying its own lock round-trip and
+/// engine dispatch.
+inline Result<LoadPathResult> LoadMasterPerOp(Decibel* db,
+                                              uint64_t num_records) {
+  LoadPathResult out;
+  out.records = num_records;
+  Record rec(&db->schema());
+  Stopwatch timer;
+  for (uint64_t i = 0; i < num_records; ++i) {
+    rec.SetPk(static_cast<int64_t>(i));
+    rec.SetInt32(1, static_cast<int32_t>(i));
+    DECIBEL_RETURN_NOT_OK(db->InsertInto(kMasterBranch, rec));
+  }
+  out.seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+/// Loads \p num_records fresh records into master through WriteBatch
+/// transactions of \p batch_size ops: one lock acquisition and one
+/// engine ApplyBatch pass per transaction.
+inline Result<LoadPathResult> LoadMasterBatched(Decibel* db,
+                                                uint64_t num_records,
+                                                uint64_t batch_size) {
+  LoadPathResult out;
+  out.records = num_records;
+  Record rec(&db->schema());
+  Stopwatch timer;
+  for (uint64_t start = 0; start < num_records; start += batch_size) {
+    const uint64_t end = std::min(num_records, start + batch_size);
+    DECIBEL_ASSIGN_OR_RETURN(Transaction txn, db->Begin(kMasterBranch));
+    txn.batch()->Reserve(end - start);
+    for (uint64_t i = start; i < end; ++i) {
+      rec.SetPk(static_cast<int64_t>(i));
+      rec.SetInt32(1, static_cast<int32_t>(i));
+      DECIBEL_RETURN_NOT_OK(txn.Insert(rec));
+    }
+    DECIBEL_RETURN_NOT_OK(txn.Commit());
+  }
+  out.seconds = timer.ElapsedSeconds();
+  return out;
 }
 
 /// Dies with a message on error — benchmarks have no one to report to.

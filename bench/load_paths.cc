@@ -1,0 +1,64 @@
+/// Load paths: per-op vs WriteBatch bulk load, per engine.
+///
+/// The transaction-centric API gives every mutation path the same
+/// discipline — stage into a WriteBatch, apply under the branch's
+/// exclusive lock — so a per-record insert is a one-op transaction
+/// (lock round-trip + engine dispatch per record) while a batched load
+/// pays both once per transaction and lets the engine update its heap
+/// file, pk index and bitmaps in one pass. This bench quantifies the
+/// spread on a bulk load of fresh records into master.
+///
+/// DECIBEL_SCALE multiplies the record count (default 100k records).
+
+#include "bench_common.h"
+
+namespace decibel {
+namespace bench {
+namespace {
+
+void Run() {
+  const uint64_t records =
+      100000 * static_cast<uint64_t>(ScaleFactor());
+  const uint64_t batch_size = 10000;
+
+  printf("=== load paths: per-op vs WriteBatch (%llu records) ===\n",
+         static_cast<unsigned long long>(records));
+  printf("%-4s %-10s %12s %14s %10s\n", "eng", "path", "seconds",
+         "records/s", "speedup");
+
+  // Best of three fresh-database runs per path: each run is a single
+  // measurement, so the minimum is the least-noise estimate.
+  constexpr int kReps = 3;
+  for (EngineType engine : AllEngines()) {
+    LoadPathResult per_op;
+    LoadPathResult batched;
+    for (int rep = 0; rep < kReps; ++rep) {
+      LoadPathResult r;
+      {
+        BENCH_ASSIGN_OR_DIE(ScopedDb scoped, FreshDb(engine, "lp_perop"));
+        BENCH_ASSIGN_OR_DIE(r, LoadMasterPerOp(scoped.db.get(), records));
+        if (rep == 0 || r.seconds < per_op.seconds) per_op = r;
+      }
+      {
+        BENCH_ASSIGN_OR_DIE(ScopedDb scoped, FreshDb(engine, "lp_batch"));
+        BENCH_ASSIGN_OR_DIE(
+            r, LoadMasterBatched(scoped.db.get(), records, batch_size));
+        if (rep == 0 || r.seconds < batched.seconds) batched = r;
+      }
+    }
+    printf("%-4s %-10s %12.3f %14.0f %10s\n", ShortName(engine), "per-op",
+           per_op.seconds, per_op.RecordsPerSec(), "");
+    printf("%-4s %-10s %12.3f %14.0f %9.2fx\n", ShortName(engine),
+           "batched", batched.seconds, batched.RecordsPerSec(),
+           batched.seconds > 0 ? per_op.seconds / batched.seconds : 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace decibel
+
+int main() {
+  decibel::bench::Run();
+  return 0;
+}

@@ -1,8 +1,10 @@
-/// Quickstart: the Decibel API in one sitting.
+/// Quickstart: the transaction-centric Decibel API in one sitting.
 ///
-/// Creates a dataset, commits a version, branches it, makes diverging
-/// edits, inspects the diff, and merges the branch back with a field-level
-/// three-way merge — the core loop of §2.2.3.
+/// Creates a dataset, loads it through a multi-statement transaction,
+/// commits a version, branches it, makes diverging edits (one per-record,
+/// one transactional), inspects the diff, merges the branch back with a
+/// field-level three-way merge, and shows the abort-and-retry discipline
+/// for lock-timeout Status::Aborted — the core loop of §2.2.3.
 ///
 ///   $ ./quickstart [db_path]
 
@@ -38,6 +40,20 @@ Record Item(const Schema& schema, int64_t pk, int32_t qty, int32_t price) {
   return rec;
 }
 
+/// The retry discipline for transactional commits: Status::Aborted means
+/// the branch lock timed out (another transaction held it too long). The
+/// staged batch is retained, so back off and Commit() again.
+Status CommitWithRetry(Transaction* txn, int max_attempts = 3) {
+  Status status = txn->Commit();
+  for (int attempt = 1; status.IsAborted() && attempt < max_attempts;
+       ++attempt) {
+    printf("commit aborted (%s); retrying...\n",
+           status.ToString().c_str());
+    status = txn->Commit();
+  }
+  return status;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -60,25 +76,49 @@ int main(int argc, char** argv) {
   }
   auto db = std::move(db_result).MoveValueUnsafe();
 
-  // 1. Populate master and commit a version.
+  // 1. Populate master inside one transaction: the three inserts stage
+  // into a WriteBatch and become visible atomically on Commit(), applied
+  // to the engine in a single pass under the branch lock.
   Session session = db->NewSession();
-  db->Insert(session, Item(*schema, 1, 10, 100)).ok();
-  db->Insert(session, Item(*schema, 2, 5, 250)).ok();
-  db->Insert(session, Item(*schema, 3, 7, 40)).ok();
-  const CommitId v1 = *db->Commit(&session);
+  {
+    auto txn = db->Begin(&session);
+    if (!txn.ok()) return 1;
+    txn->Insert(Item(*schema, 1, 10, 100)).ok();
+    txn->Insert(Item(*schema, 2, 5, 250)).ok();
+    txn->Insert(Item(*schema, 3, 7, 40)).ok();
+    if (!CommitWithRetry(&*txn).ok()) return 1;
+  }
+  const CommitId v1 = *db->Commit(&session);  // version snapshot
   printf("committed version %llu on master\n",
          static_cast<unsigned long long>(v1));
 
-  // 2. Branch off and edit both sides.
+  // 2. Branch off and edit both sides. The restock edits form one atomic
+  // transaction; the master price cut uses the per-record convenience
+  // path (itself a one-op transaction under the hood).
   const BranchId restock = *db->Branch("restock", &session);
-  db->UpdateIn(restock, Item(*schema, 1, 50, 100)).ok();   // qty on branch
-  db->InsertInto(restock, Item(*schema, 4, 12, 75)).ok();  // new item
+  {
+    auto txn = db->Begin(restock);
+    if (!txn.ok()) return 1;
+    txn->Update(Item(*schema, 1, 50, 100)).ok();   // qty on branch
+    txn->Insert(Item(*schema, 4, 12, 75)).ok();    // new item
+    if (!CommitWithRetry(&*txn).ok()) return 1;
+  }
   db->UpdateIn(kMasterBranch, Item(*schema, 1, 10, 90)).ok();  // price cut
 
   PrintBranch(db.get(), kMasterBranch, "master (price cut on pk 1)");
   PrintBranch(db.get(), restock, "restock (qty bump on pk 1, new pk 4)");
 
-  // 3. Positive diff: what does restock have that master lacks?
+  // 3. An abort: staged operations are discarded, nothing reaches the
+  // branch. (Destroying an uncommitted transaction aborts it too.)
+  {
+    auto txn = db->Begin(restock);
+    if (!txn.ok()) return 1;
+    txn->Delete(4).ok();
+    txn->Abort().ok();
+    printf("aborted a staged delete; pk 4 survives on restock\n");
+  }
+
+  // 4. Positive diff: what does restock have that master lacks?
   printf("--- keys in restock missing from master ---\n");
   db->Diff(restock, kMasterBranch, DiffMode::kByKey,
            [](const RecordRef& rec) {
@@ -87,7 +127,7 @@ int main(int argc, char** argv) {
            nullptr)
       .ok();
 
-  // 4. Merge: qty changed on the branch, price on master — disjoint
+  // 5. Merge: qty changed on the branch, price on master — disjoint
   // fields, so the three-way merge reconciles without conflicts.
   auto merged = db->Merge(kMasterBranch, restock,
                           MergePolicy::kThreeWayLeft);
@@ -105,7 +145,7 @@ int main(int argc, char** argv) {
   PrintBranch(db.get(), kMasterBranch,
               "master after merge (qty=50 AND price=90 on pk 1)");
 
-  // 5. Time travel: the committed v1 is still intact.
+  // 6. Time travel: the committed v1 is still intact.
   Session historical = db->NewSession();
   db->Checkout(&historical, v1).ok();
   auto it = db->Scan(historical);

@@ -76,9 +76,24 @@ int main(int argc, char** argv) {
         fixes.push_back(Row(*schema, rec.pk(), 90, rec.GetInt32(2)));
       }
     }
+    // The whole cleaning pass is one transaction: either all outliers are
+    // clipped or none are.
+    auto txn = db->Begin(&alice);
+    if (!txn.ok()) {
+      fprintf(stderr, "begin failed: %s\n",
+              txn.status().ToString().c_str());
+      return 1;
+    }
     for (const Record& fix : fixes) {
-      db->Update(alice, fix).ok();
+      txn->Update(fix).ok();
       ++cleaned;
+    }
+    Status committed = txn->Commit();
+    while (committed.IsAborted()) committed = txn->Commit();  // retry
+    if (!committed.ok()) {
+      fprintf(stderr, "cleaning transaction failed: %s\n",
+              committed.ToString().c_str());
+      return 1;
     }
   }
   db->Commit(&alice).ok();

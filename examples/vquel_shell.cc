@@ -27,9 +27,16 @@ const char* kDemo[] = {
     "INSERT master 2 20 200",
     "COMMIT master",
     "BRANCH dev FROM master",
+    "BEGIN dev",
     "UPDATE dev 1 11 100",
     "INSERT dev 3 30 300",
+    "SCAN dev",  // staged ops are invisible until COMMIT TX
+    "COMMIT TX",
     "SCAN dev",
+    "BEGIN dev",
+    "DELETE dev 3",
+    "ABORT",
+    "SCAN dev",  // pk 3 survives the aborted delete
     "DIFF dev master",
     "JOIN master dev WHERE c1 > 5",
     "MERGE master dev THREEWAY LEFT",
@@ -39,10 +46,10 @@ const char* kDemo[] = {
     "LOG master",
 };
 
-void RunOne(Decibel* db, const std::string& line, bool echo) {
+void RunOne(vquel::Interpreter* interp, const std::string& line, bool echo) {
   if (line.empty() || line[0] == '#') return;
   if (echo) printf("vquel> %s\n", line.c_str());
-  auto result = vquel::Execute(db, line);
+  auto result = interp->Execute(line);
   if (result.ok()) {
     printf("%s\n", result->output.c_str());
   } else {
@@ -65,15 +72,16 @@ int main(int argc, char** argv) {
     return 1;
   }
   auto db = std::move(db_result).MoveValueUnsafe();
+  vquel::Interpreter interp(db.get());
 
   if (isatty(STDIN_FILENO)) {
     printf("Decibel VQuel shell — schema: pk, c1, c2. Ctrl-D to exit.\n");
     std::string line;
     while (true) {
-      printf("vquel> ");
+      fputs(interp.in_transaction() ? "vquel(tx)> " : "vquel> ", stdout);
       fflush(stdout);
       if (!std::getline(std::cin, line)) break;
-      RunOne(db.get(), line, /*echo=*/false);
+      RunOne(&interp, line, /*echo=*/false);
     }
     printf("\n");
     return 0;
@@ -84,11 +92,11 @@ int main(int argc, char** argv) {
   bool any = false;
   while (std::getline(std::cin, line)) {
     any = true;
-    RunOne(db.get(), line, /*echo=*/true);
+    RunOne(&interp, line, /*echo=*/true);
   }
   if (!any) {
     for (const char* statement : kDemo) {
-      RunOne(db.get(), statement, /*echo=*/true);
+      RunOne(&interp, statement, /*echo=*/true);
     }
   }
   return 0;

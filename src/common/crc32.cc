@@ -1,30 +1,64 @@
 #include "common/crc32.h"
 
 #include <array>
+#include <cstring>
 
 namespace decibel {
 
 namespace {
 
-std::array<uint32_t, 256> MakeTable() {
-  std::array<uint32_t, 256> table{};
+/// Slice-by-8 lookup tables: t[0] is the classic byte-at-a-time table;
+/// t[j][b] is the CRC of byte b followed by j zero bytes, letting the hot
+/// loop fold 8 input bytes per iteration instead of 1.
+struct Crc32Tables {
+  std::array<std::array<uint32_t, 256>, 8> t;
+};
+
+Crc32Tables MakeTables() {
+  Crc32Tables tables{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
     }
-    table[i] = c;
+    tables.t[0][i] = c;
   }
-  return table;
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = tables.t[0][i];
+    for (int j = 1; j < 8; ++j) {
+      c = tables.t[0][c & 0xff] ^ (c >> 8);
+      tables.t[j][i] = c;
+    }
+  }
+  return tables;
 }
 
 }  // namespace
 
 uint32_t Crc32(Slice data, uint32_t seed) {
-  static const std::array<uint32_t, 256> kTable = MakeTable();
+  static const Crc32Tables kTables = MakeTables();
+  const auto& t = kTables.t;
   uint32_t c = seed ^ 0xffffffffu;
-  for (size_t i = 0; i < data.size(); ++i) {
-    c = kTable[(c ^ static_cast<uint8_t>(data[i])) & 0xff] ^ (c >> 8);
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(data.data());
+  size_t n = data.size();
+#if !defined(__BYTE_ORDER__) || __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  // Fold 8 bytes per iteration (slice-by-8). The word loads fold into the
+  // running CRC in little-endian byte order; big-endian targets take the
+  // bytewise tail loop below for everything.
+  while (n >= 8) {
+    uint32_t lo, hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    c ^= lo;
+    c = t[7][c & 0xff] ^ t[6][(c >> 8) & 0xff] ^ t[5][(c >> 16) & 0xff] ^
+        t[4][c >> 24] ^ t[3][hi & 0xff] ^ t[2][(hi >> 8) & 0xff] ^
+        t[1][(hi >> 16) & 0xff] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+#endif
+  for (; n > 0; ++p, --n) {
+    c = t[0][(c ^ *p) & 0xff] ^ (c >> 8);
   }
   return c ^ 0xffffffffu;
 }

@@ -6,10 +6,69 @@
 
 namespace decibel {
 
-namespace {
-/// Lock-owner id used by facade-internal one-shot operations.
-constexpr uint64_t kInternalOwner = 0;
-}  // namespace
+// -------------------------------------------------------------- transaction
+
+Transaction::Transaction(Transaction&& other) noexcept
+    : db_(other.db_),
+      branch_(other.branch_),
+      id_(other.id_),
+      batch_(std::move(other.batch_)),
+      active_(other.active_) {
+  other.active_ = false;
+}
+
+Transaction::~Transaction() {
+  // An uncommitted transaction aborts: staged operations are discarded.
+  Abort().ok();
+}
+
+Status Transaction::CheckActive() const {
+  if (!active_) {
+    return Status::InvalidArgument("transaction " + std::to_string(id_) +
+                                   " is no longer active");
+  }
+  return Status::OK();
+}
+
+Status Transaction::Insert(const Record& record) {
+  DECIBEL_RETURN_NOT_OK(CheckActive());
+  batch_.Insert(record);
+  return Status::OK();
+}
+
+Status Transaction::Update(const Record& record) {
+  DECIBEL_RETURN_NOT_OK(CheckActive());
+  batch_.Update(record);
+  return Status::OK();
+}
+
+Status Transaction::Delete(int64_t pk) {
+  DECIBEL_RETURN_NOT_OK(CheckActive());
+  batch_.Delete(pk);
+  return Status::OK();
+}
+
+Status Transaction::Commit() {
+  DECIBEL_RETURN_NOT_OK(CheckActive());
+  const Status applied = db_->CommitTransaction(branch_, id_, batch_);
+  if (applied.IsAborted()) {
+    // Lock timeout: the batch is retained so the caller can back off and
+    // retry Commit(), per the deadlock-timeout discipline.
+    return applied;
+  }
+  batch_.Clear();
+  active_ = false;
+  return applied;
+}
+
+Status Transaction::Abort() {
+  if (!active_) return Status::OK();
+  batch_.Clear();
+  active_ = false;
+  return Status::OK();
+}
+
+// --------------------------------------------------------------------- open
 
 Result<std::unique_ptr<Decibel>> Decibel::Open(const std::string& path,
                                                const Schema& schema,
@@ -78,10 +137,14 @@ Status Decibel::PersistGraph() {
 
 // ---------------------------------------------------------------- sessions
 
+uint64_t Decibel::NextOwnerId() {
+  std::lock_guard<std::mutex> guard(mu_);
+  return next_id_++;
+}
+
 Session Decibel::NewSession() {
   Session s;
-  std::lock_guard<std::mutex> guard(mu_);
-  s.id_ = next_session_++;
+  s.id_ = NextOwnerId();
   return s;
 }
 
@@ -105,6 +168,25 @@ Status Decibel::Checkout(Session* session, CommitId commit) {
   session->branch_ = info.branch;
   session->checked_out_ = commit;
   return Status::OK();
+}
+
+// ------------------------------------------------------------- transactions
+
+Result<Transaction> Decibel::Begin(Session* session) {
+  DECIBEL_RETURN_NOT_OK(WriteGuard(*session));
+  return Begin(session->branch_);
+}
+
+Result<Transaction> Decibel::Begin(BranchId branch) {
+  uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!graph_.HasBranch(branch)) {
+      return Status::NotFound("no branch " + std::to_string(branch));
+    }
+    id = next_id_++;
+  }
+  return Transaction(this, branch, id, &schema_);
 }
 
 // ---------------------------------------------------------- version control
@@ -133,9 +215,9 @@ Result<CommitId> Decibel::Commit(Session* session) {
 }
 
 Result<CommitId> Decibel::CommitBranch(BranchId branch) {
-  DECIBEL_RETURN_NOT_OK(
-      locks_.Acquire(kInternalOwner, branch, LockMode::kExclusive));
-  ScopedLock guard(&locks_, kInternalOwner, branch);
+  DECIBEL_ASSIGN_OR_RETURN(
+      LockGuard guard, LockGuard::Acquire(&locks_, NextOwnerId(), branch,
+                                          LockMode::kExclusive));
   std::lock_guard<std::mutex> lock(mu_);
   return CommitLocked(branch);
 }
@@ -146,9 +228,9 @@ Result<BranchId> Decibel::Branch(const std::string& name, Session* session) {
     return BranchAt(name, session->checked_out_);
   }
   const BranchId parent = session->branch_;
-  DECIBEL_RETURN_NOT_OK(
-      locks_.Acquire(kInternalOwner, parent, LockMode::kExclusive));
-  ScopedLock guard(&locks_, kInternalOwner, parent);
+  DECIBEL_ASSIGN_OR_RETURN(
+      LockGuard guard, LockGuard::Acquire(&locks_, NextOwnerId(), parent,
+                                          LockMode::kExclusive));
   std::lock_guard<std::mutex> lock(mu_);
   DECIBEL_ASSIGN_OR_RETURN(CommitId base, EnsureCommitted(parent));
   DECIBEL_ASSIGN_OR_RETURN(BranchId child, graph_.CreateBranch(name, base));
@@ -172,12 +254,11 @@ Result<BranchId> Decibel::BranchAt(const std::string& name, CommitId commit) {
 
 Result<MergeInfo> Decibel::Merge(BranchId into, BranchId from,
                                  MergePolicy policy) {
-  DECIBEL_RETURN_NOT_OK(
-      locks_.Acquire(kInternalOwner, into, LockMode::kExclusive));
-  ScopedLock guard_into(&locks_, kInternalOwner, into);
-  DECIBEL_RETURN_NOT_OK(
-      locks_.Acquire(kInternalOwner, from, LockMode::kShared));
-  ScopedLock guard_from(&locks_, kInternalOwner, from);
+  // One lock scope for the whole merge: exclusive on the target, shared
+  // on the source, released together (strict 2PL's shrink phase).
+  LockScope scope(&locks_, NextOwnerId());
+  DECIBEL_RETURN_NOT_OK(scope.Lock(into, LockMode::kExclusive));
+  DECIBEL_RETURN_NOT_OK(scope.Lock(from, LockMode::kShared));
 
   std::lock_guard<std::mutex> lock(mu_);
   // Both heads must be committed so the lca and the merge commit are
@@ -207,40 +288,57 @@ Status Decibel::WriteGuard(const Session& session) const {
   return Status::OK();
 }
 
-Status Decibel::Insert(Session& session, const Record& record) {
-  DECIBEL_RETURN_NOT_OK(WriteGuard(session));
-  return InsertInto(session.branch_, record);
+Status Decibel::ApplyBatchLocked(BranchId branch, const WriteBatch& batch) {
+  DECIBEL_RETURN_NOT_OK(engine_->ApplyBatch(branch, batch));
+  std::lock_guard<std::mutex> lock(mu_);
+  dirty_.insert(branch);
+  return Status::OK();
 }
 
-Status Decibel::Update(Session& session, const Record& record) {
-  DECIBEL_RETURN_NOT_OK(WriteGuard(session));
-  return UpdateIn(session.branch_, record);
+Status Decibel::CommitTransaction(BranchId branch, uint64_t owner,
+                                  const WriteBatch& batch) {
+  if (batch.empty()) return Status::OK();
+  DECIBEL_ASSIGN_OR_RETURN(
+      LockGuard guard,
+      LockGuard::Acquire(&locks_, owner, branch, LockMode::kExclusive));
+  return ApplyBatchLocked(branch, batch);
 }
 
-Status Decibel::Delete(Session& session, int64_t pk) {
-  DECIBEL_RETURN_NOT_OK(WriteGuard(session));
-  return DeleteFrom(session.branch_, pk);
+Status Decibel::ApplyBatch(BranchId branch, const WriteBatch& batch) {
+  return CommitTransaction(branch, NextOwnerId(), batch);
+}
+
+Status Decibel::Insert(Session* session, const Record& record) {
+  DECIBEL_RETURN_NOT_OK(WriteGuard(*session));
+  return InsertInto(session->branch_, record);
+}
+
+Status Decibel::Update(Session* session, const Record& record) {
+  DECIBEL_RETURN_NOT_OK(WriteGuard(*session));
+  return UpdateIn(session->branch_, record);
+}
+
+Status Decibel::Delete(Session* session, int64_t pk) {
+  DECIBEL_RETURN_NOT_OK(WriteGuard(*session));
+  return DeleteFrom(session->branch_, pk);
 }
 
 Status Decibel::InsertInto(BranchId branch, const Record& record) {
-  DECIBEL_RETURN_NOT_OK(engine_->Insert(branch, record));
-  std::lock_guard<std::mutex> lock(mu_);
-  dirty_.insert(branch);
-  return Status::OK();
+  WriteBatch batch(&schema_);
+  batch.Insert(record);
+  return ApplyBatch(branch, batch);
 }
 
 Status Decibel::UpdateIn(BranchId branch, const Record& record) {
-  DECIBEL_RETURN_NOT_OK(engine_->Update(branch, record));
-  std::lock_guard<std::mutex> lock(mu_);
-  dirty_.insert(branch);
-  return Status::OK();
+  WriteBatch batch(&schema_);
+  batch.Update(record);
+  return ApplyBatch(branch, batch);
 }
 
 Status Decibel::DeleteFrom(BranchId branch, int64_t pk) {
-  DECIBEL_RETURN_NOT_OK(engine_->Delete(branch, pk));
-  std::lock_guard<std::mutex> lock(mu_);
-  dirty_.insert(branch);
-  return Status::OK();
+  WriteBatch batch(&schema_);
+  batch.Delete(pk);
+  return ApplyBatch(branch, batch);
 }
 
 bool Decibel::IsDirty(BranchId branch) const {

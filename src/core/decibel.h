@@ -6,20 +6,35 @@
 /// The facade owns the version graph, the session registry and the lock
 /// manager, and drives one of the three storage engines underneath.
 ///
+/// The API is transaction-centric: mutations are staged into a
+/// Transaction's WriteBatch and applied atomically on Commit() under a
+/// single branch-granularity exclusive lock (§2.2.3's two-phase locking).
 /// Typical flow (see examples/quickstart.cc):
 ///
 ///   auto db = Decibel::Open("/tmp/db", schema, {});
-///   Session& s = db->session();
-///   db->Insert(s, record);                 // master working state
-///   CommitId c1 = db->Commit(s);           // snapshot
-///   BranchId dev = db->Branch("dev", s);   // branch at the snapshot
+///   Session s = db->NewSession();
+///   auto txn = db->Begin(&s);              // transaction on master
+///   txn->Insert(r1);                       // staged, not yet visible
+///   txn->Insert(r2);
+///   auto st = txn->Commit();               // atomic under the branch lock
+///   if (st.IsAborted()) st = txn->Commit();  // lock timeout: retryable
+///   CommitId c1 = *db->Commit(&s);         // version snapshot
+///   BranchId dev = *db->Branch("dev", &s); // branch at the snapshot
 ///   ...
 ///   db->Merge(master, dev, MergePolicy::kThreeWayLeft);
+///
+/// The per-record methods (Insert/Update/Delete, InsertInto/UpdateIn/
+/// DeleteFrom) are thin wrappers that run a one-op transaction; every
+/// write reaches the engines through StorageEngine::ApplyBatch.
 ///
 /// Operational semantics follow §2.2.3: updates become visible to other
 /// branches only through merges; only committed versions can be checked
 /// out; branches can be taken from any commit; concurrent sessions are
-/// isolated with branch-granularity two-phase locking.
+/// isolated with branch-granularity two-phase locking. A lock that cannot
+/// be granted within the deadlock timeout fails the transaction with
+/// Status::Aborted; staged operations are retained, so the retry
+/// discipline is: release anything else you hold, back off, and call
+/// Commit() again (or Abort() to discard).
 
 #include <memory>
 #include <mutex>
@@ -28,7 +43,9 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "txn/lock_guard.h"
 #include "txn/lock_manager.h"
+#include "txn/write_batch.h"
 #include "version/version_graph.h"
 
 namespace decibel {
@@ -41,6 +58,9 @@ struct DecibelOptions {
   uint32_t composite_every = 16;
   bool verify_checksums = true;
   int scan_threads = 0;
+  /// Branch-lock deadlock timeout: a lock not granted within this window
+  /// fails with the retryable Status::Aborted (§2.2.3's 2PL discipline).
+  uint32_t lock_timeout_ms = 1000;
 };
 
 /// A user session: the commit/branch the user's operations target
@@ -67,6 +87,71 @@ struct MergeInfo {
   MergeResult result;
 };
 
+class Decibel;
+
+/// A unit of atomic mutation against one branch, obtained from
+/// Decibel::Begin. Operations stage into a WriteBatch — invisible to
+/// every reader — until Commit() applies them in one engine pass under
+/// the branch's exclusive lock. Abort() (or destruction of an
+/// uncommitted transaction) discards the staged operations.
+///
+/// Commit() returning Status::Aborted means the branch lock could not be
+/// granted within the deadlock timeout. The staged batch is retained:
+/// back off and call Commit() again, or Abort() to give up. Any other
+/// error ends the transaction.
+///
+/// A Transaction is movable, single-threaded, and must not outlive its
+/// Decibel.
+class Transaction {
+ public:
+  ~Transaction();
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+  Transaction(Transaction&& other) noexcept;
+  Transaction& operator=(Transaction&& other) = delete;
+
+  BranchId branch() const { return branch_; }
+  /// Unique transaction id; doubles as its lock-owner id.
+  uint64_t id() const { return id_; }
+  /// True until Commit() succeeds, Abort() runs, or Commit() fails with
+  /// a non-retryable error.
+  bool active() const { return active_; }
+  /// Number of staged operations.
+  size_t staged() const { return batch_.size(); }
+
+  Status Insert(const Record& record);
+  Status Update(const Record& record);
+  Status Delete(int64_t pk);
+
+  /// Direct access to the staged batch, for bulk loading (e.g. calling
+  /// WriteBatch::Reserve before a large load).
+  WriteBatch* batch() { return &batch_; }
+
+  /// Applies every staged operation atomically under the branch's
+  /// exclusive lock and marks the branch dirty. OK empties the
+  /// transaction; Status::Aborted (lock timeout) keeps the staged batch
+  /// for a retry; other errors end the transaction.
+  Status Commit();
+
+  /// Discards the staged operations and ends the transaction. OK on a
+  /// transaction that already ended.
+  Status Abort();
+
+ private:
+  friend class Decibel;
+  Transaction(Decibel* db, BranchId branch, uint64_t id,
+              const Schema* schema)
+      : db_(db), branch_(branch), id_(id), batch_(schema) {}
+
+  Status CheckActive() const;
+
+  Decibel* db_;
+  BranchId branch_;
+  uint64_t id_;
+  WriteBatch batch_;
+  bool active_ = true;
+};
+
 class Decibel {
  public:
   /// Opens (or initializes) a Decibel database at \p path. A fresh
@@ -90,6 +175,15 @@ class Decibel {
   /// §2.2.3 Checkout).
   Status Checkout(Session* session, CommitId commit);
 
+  // --------------------------------------------------------- transactions
+
+  /// Begins a transaction on the session's branch. Fails with
+  /// InvalidArgument if the session has a historical checkout (writes
+  /// must target a branch head).
+  Result<Transaction> Begin(Session* session);
+  /// Begins a transaction keyed by branch (the bulk-load path).
+  Result<Transaction> Begin(BranchId branch);
+
   // ------------------------------------------------------- version control
 
   /// Branches \p name off the session's current position. If the session
@@ -111,15 +205,24 @@ class Decibel {
 
   // ------------------------------------------------------------- mutation
 
-  Status Insert(Session& session, const Record& record);
-  Status Update(Session& session, const Record& record);
-  Status Delete(Session& session, int64_t pk);
+  /// One-op transaction against the session's branch head: stage, lock,
+  /// apply, unlock. Group statements with Begin() to amortize the lock
+  /// round-trip and the engine pass.
+  Status Insert(Session* session, const Record& record);
+  Status Update(Session* session, const Record& record);
+  Status Delete(Session* session, int64_t pk);
 
   /// Convenience entry points keyed by branch (the benchmark driver's
-  /// path; equivalent to a one-op session).
+  /// path); equivalent to a one-op transaction on \p branch.
   Status InsertInto(BranchId branch, const Record& record);
   Status UpdateIn(BranchId branch, const Record& record);
   Status DeleteFrom(BranchId branch, int64_t pk);
+
+  /// Applies \p batch to \p branch as one anonymous transaction: takes
+  /// the branch's exclusive lock, runs the engine's one-pass
+  /// ApplyBatch, marks the branch dirty. Every mutation funnels through
+  /// here — there is exactly one write path into the engines.
+  Status ApplyBatch(BranchId branch, const WriteBatch& batch);
 
   // -------------------------------------------------------------- queries
 
@@ -152,18 +255,31 @@ class Decibel {
   Status Flush();
 
  private:
+  friend class Transaction;
+
   Decibel(std::string path, Schema schema, DecibelOptions options)
       : path_(std::move(path)),
         schema_(std::move(schema)),
-        options_(options) {}
+        options_(options),
+        locks_(std::chrono::milliseconds(options.lock_timeout_ms)) {}
 
   Status PersistGraph();
   std::string GraphPath() const;
   /// Commits \p branch if it has uncommitted changes; returns its head.
   Result<CommitId> EnsureCommitted(BranchId branch);
   Result<CommitId> CommitLocked(BranchId branch);
-  /// Resolves the session's read position to a commit or branch head.
+  /// Rejects writes through a session with a historical checkout.
   Status WriteGuard(const Session& session) const;
+  /// Applies \p batch under an already-held exclusive lock on \p branch.
+  Status ApplyBatchLocked(BranchId branch, const WriteBatch& batch);
+  /// The commit path of a Transaction: exclusive lock owned by the
+  /// transaction's id, then ApplyBatchLocked.
+  Status CommitTransaction(BranchId branch, uint64_t owner,
+                           const WriteBatch& batch);
+  /// Unique owner id for a transaction or facade-internal lock scope.
+  /// LockManager treats re-acquisition by one owner as a no-op, so every
+  /// concurrent lock holder needs its own id.
+  uint64_t NextOwnerId();
 
   const std::string path_;
   const Schema schema_;
@@ -173,9 +289,9 @@ class Decibel {
   VersionGraph graph_;
   LockManager locks_;
 
-  mutable std::mutex mu_;  // guards graph_, dirty_, session ids
+  mutable std::mutex mu_;  // guards graph_, dirty_, id counter
   std::unordered_set<BranchId> dirty_;
-  uint64_t next_session_ = 1;
+  uint64_t next_id_ = 1;
 };
 
 }  // namespace decibel

@@ -18,12 +18,14 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "bitmap/bitmap_index.h"
 #include "common/result.h"
 #include "storage/record.h"
 #include "storage/schema.h"
+#include "txn/write_batch.h"
 #include "version/types.h"
 
 namespace decibel {
@@ -136,9 +138,17 @@ class StorageEngine {
 
   // ------------------------------------------------------------- mutation
 
-  virtual Status Insert(BranchId branch, const Record& record) = 0;
-  virtual Status Update(BranchId branch, const Record& record) = 0;
-  virtual Status Delete(BranchId branch, int64_t pk) = 0;
+  /// The single write path into an engine: applies a staged batch of
+  /// Insert/Update/Delete operations to \p branch in one pass, updating
+  /// the heap file, the pk index and the bitmaps once per batch instead
+  /// of once per record. The facade calls this under the branch's
+  /// exclusive lock; per-record mutations arrive as one-op batches.
+  ///
+  /// Engines that maintain a pk index (tuple-first, hybrid) validate the
+  /// batch's deletes up front so a delete of an absent key fails with
+  /// NotFound before any operation is applied; version-first keeps its
+  /// blind-tombstone delete semantics (§3.3).
+  virtual Status ApplyBatch(BranchId branch, const WriteBatch& batch) = 0;
 
   // -------------------------------------------------------------- queries
 
@@ -171,6 +181,35 @@ class StorageEngine {
   virtual void DropCaches() = 0;
   virtual EngineStats Stats() const = 0;
 };
+
+/// Validates the deletes of \p batch against a branch's current key set
+/// before any op is applied, simulating the batch's own earlier
+/// inserts/updates and deletes, so ApplyBatch is all-or-nothing for the
+/// one data-dependent failure mode (deleting an absent key). \p contains
+/// is a callable int64_t -> bool answering "is this pk live in the
+/// branch right now".
+template <typename Contains>
+Status ValidateBatchDeletes(const WriteBatch& batch, Contains&& contains) {
+  if (batch.num_appends() == batch.size()) return Status::OK();  // no deletes
+  std::unordered_set<int64_t> added, removed;
+  for (const WriteBatch::Op& op : batch.ops()) {
+    if (op.kind != WriteBatch::OpKind::kDelete) {
+      const int64_t pk = batch.RecordAt(op).pk();
+      added.insert(pk);
+      removed.erase(pk);
+      continue;
+    }
+    const bool live = added.count(op.pk) != 0 ||
+                      (removed.count(op.pk) == 0 && contains(op.pk));
+    if (!live) {
+      return Status::NotFound("batch deletes pk " + std::to_string(op.pk) +
+                              " which is not live in the branch");
+    }
+    removed.insert(op.pk);
+    added.erase(op.pk);
+  }
+  return Status::OK();
+}
 
 /// Instantiates an engine of \p type rooted at options.directory.
 Result<std::unique_ptr<StorageEngine>> MakeEngine(EngineType type,

@@ -252,6 +252,7 @@ Result<CommitHistory*> HybridEngine::HistoryFor(BranchId branch,
 
 Status HybridEngine::CreateBranch(BranchId child, BranchId parent,
                                   CommitId base_commit, bool at_head) {
+  std::lock_guard<std::mutex> write_lock(write_mu_);
   pk_index_.try_emplace(child);
   branch_segments_.try_emplace(child);
   if (at_head) {
@@ -288,6 +289,11 @@ Status HybridEngine::CreateBranch(BranchId child, BranchId parent,
 }
 
 Status HybridEngine::Commit(BranchId branch, CommitId commit_id) {
+  std::lock_guard<std::mutex> write_lock(write_mu_);
+  return CommitImpl(branch, commit_id);
+}
+
+Status HybridEngine::CommitImpl(BranchId branch, CommitId commit_id) {
   auto dirty_it = dirty_.find(branch);
   if (dirty_it != dirty_.end()) {
     // Deterministic order keeps history files reproducible.
@@ -351,7 +357,12 @@ Status HybridEngine::RebuildPkIndex(BranchId b) {
 
 // ----------------------------------------------------------------- mutation
 
-Status HybridEngine::AppendVersion(BranchId branch, const Record& record) {
+Status HybridEngine::ApplyBatch(BranchId branch, const WriteBatch& batch) {
+  // One writer at a time across the segment graph: updates/deletes of
+  // inherited records touch shared ancestor-segment bitmaps (see
+  // write_mu_). Writers on one branch are already serialized by the
+  // facade's branch lock.
+  std::lock_guard<std::mutex> write_lock(write_mu_);
   auto head_it = head_seg_.find(branch);
   if (head_it == head_seg_.end()) {
     return Status::NotFound("hybrid: unknown branch " +
@@ -359,44 +370,41 @@ Status HybridEngine::AppendVersion(BranchId branch, const Record& record) {
   }
   Segment& head = *segments_[head_it->second];
   PkIndex& pks = pk_index_[branch];
-  const int64_t pk = record.pk();
-  auto old = pks.find(pk);
-  DECIBEL_ASSIGN_OR_RETURN(uint64_t idx, head.file->Append(record.data()));
-  head.local.AppendTuples(1);
-  if (old != pks.end()) {
-    segments_[old->second.seg]->local.Set(old->second.idx, branch, false);
-    MarkDirty(branch, old->second.seg);
-    old->second = Loc{head.id, idx};
-  } else {
-    pks.emplace(pk, Loc{head.id, idx});
-  }
-  head.local.Set(idx, branch, true);
-  MarkDirty(branch, head.id);
-  return Status::OK();
-}
+  DECIBEL_RETURN_NOT_OK(ValidateBatchDeletes(
+      batch, [&pks](int64_t pk) { return pks.count(pk) != 0; }));
 
-Status HybridEngine::Insert(BranchId branch, const Record& record) {
-  return AppendVersion(branch, record);
-}
-
-Status HybridEngine::Update(BranchId branch, const Record& record) {
-  return AppendVersion(branch, record);
-}
-
-Status HybridEngine::Delete(BranchId branch, int64_t pk) {
-  auto pk_it = pk_index_.find(branch);
-  if (pk_it == pk_index_.end()) {
-    return Status::NotFound("hybrid: unknown branch " +
-                            std::to_string(branch));
+  // One pass over the batch: the record payloads go to the head segment
+  // in page-sized chunks, its local bitmap universe grows once, the pk
+  // index is pre-sized, and the head segment is marked dirty once rather
+  // than per record.
+  uint64_t next_idx = 0;
+  if (batch.num_appends() > 0) {
+    DECIBEL_ASSIGN_OR_RETURN(
+        next_idx,
+        head.file->AppendBatch(batch.arena(), batch.num_appends()));
   }
-  auto old = pk_it->second.find(pk);
-  if (old == pk_it->second.end()) {
-    return Status::NotFound("hybrid: pk " + std::to_string(pk) +
-                            " not in branch " + std::to_string(branch));
+  head.local.AppendTuples(batch.num_appends());
+  pks.reserve(pks.size() + batch.num_appends());
+  for (const WriteBatch::Op& op : batch.ops()) {
+    if (op.kind == WriteBatch::OpKind::kDelete) {
+      auto old = pks.find(op.pk);
+      segments_[old->second.seg]->local.Set(old->second.idx, branch, false);
+      MarkDirty(branch, old->second.seg);
+      pks.erase(old);
+      continue;
+    }
+    const uint64_t idx = next_idx++;
+    auto [it, inserted] =
+        pks.try_emplace(batch.RecordAt(op).pk(), Loc{head.id, idx});
+    if (!inserted) {
+      const Loc old = it->second;
+      segments_[old.seg]->local.Set(old.idx, branch, false);
+      if (old.seg != head.id) MarkDirty(branch, old.seg);
+      it->second = Loc{head.id, idx};
+    }
+    head.local.Set(idx, branch, true);
   }
-  segments_[old->second.seg]->local.Set(old->second.idx, branch, false);
-  MarkDirty(branch, old->second.seg);
-  pk_it->second.erase(old);
+  if (batch.num_appends() > 0) MarkDirty(branch, head.id);
   return Status::OK();
 }
 
@@ -592,6 +600,7 @@ Status HybridEngine::Diff(BranchId a, BranchId b, DiffMode mode,
 Result<MergeResult> HybridEngine::Merge(BranchId into, BranchId from,
                                         CommitId lca, CommitId new_commit,
                                         MergePolicy policy) {
+  std::lock_guard<std::mutex> write_lock(write_mu_);
   MergeResult result;
   const uint32_t rs = schema_.record_size();
   const bool left_wins = LeftWins(policy);
@@ -753,7 +762,7 @@ Result<MergeResult> HybridEngine::Merge(BranchId into, BranchId from,
     }
   }
 
-  DECIBEL_RETURN_NOT_OK(Commit(into, new_commit));
+  DECIBEL_RETURN_NOT_OK(CommitImpl(into, new_commit));
   return result;
 }
 

@@ -15,6 +15,7 @@
 /// or *internal* segments (frozen at the first branch taken from them).
 
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -39,9 +40,7 @@ class HybridEngine : public StorageEngine {
   Status Commit(BranchId branch, CommitId commit_id) override;
   Status Checkout(CommitId commit) override;
 
-  Status Insert(BranchId branch, const Record& record) override;
-  Status Update(BranchId branch, const Record& record) override;
-  Status Delete(BranchId branch, int64_t pk) override;
+  Status ApplyBatch(BranchId branch, const WriteBatch& batch) override;
 
   Result<std::unique_ptr<RecordIterator>> ScanBranch(BranchId branch) override;
   Result<std::unique_ptr<RecordIterator>> ScanCommit(CommitId commit) override;
@@ -85,6 +84,8 @@ class HybridEngine : public StorageEngine {
 
   Result<uint32_t> NewHeadSegment(BranchId owner);
   Result<CommitHistory*> HistoryFor(BranchId branch, uint32_t seg);
+  /// Commit body without write_mu_, for callers already holding it.
+  Status CommitImpl(BranchId branch, CommitId commit_id);
   void MarkDirty(BranchId branch, uint32_t seg) {
     dirty_[branch].insert(seg);
   }
@@ -94,11 +95,18 @@ class HybridEngine : public StorageEngine {
   Status CommitColumns(CommitId commit,
                        std::vector<std::pair<uint32_t, Bitmap>>* out);
   Status RebuildPkIndex(BranchId b);
-  Status AppendVersion(BranchId branch, const Record& record);
 
   Schema schema_;
   EngineOptions options_;
   BufferPool pool_;
+
+  /// Serializes the mutating entry points (ApplyBatch, CreateBranch,
+  /// Merge, Commit) across branches: although each branch appends to its
+  /// own head segment, updates and deletes of records inherited from a
+  /// shared ancestor segment flip bits in that segment's local bitmap,
+  /// which sibling branches share — the facade's per-branch locks cannot
+  /// order those.
+  std::mutex write_mu_;
 
   std::vector<std::unique_ptr<Segment>> segments_;
   std::unordered_map<BranchId, uint32_t> head_seg_;

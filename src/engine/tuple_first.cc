@@ -170,6 +170,7 @@ Status TupleFirstEngine::RebuildPkIndex(BranchId b) {
 
 Status TupleFirstEngine::CreateBranch(BranchId child, BranchId parent,
                                       CommitId base_commit, bool at_head) {
+  std::lock_guard<std::mutex> write_lock(write_mu_);
   if (at_head) {
     // "A branch operation clones the state of the parent branch's bitmap"
     // (§3.2) — plus the parent's pk index for update support.
@@ -184,6 +185,11 @@ Status TupleFirstEngine::CreateBranch(BranchId child, BranchId parent,
 }
 
 Status TupleFirstEngine::Commit(BranchId branch, CommitId commit_id) {
+  std::lock_guard<std::mutex> write_lock(write_mu_);
+  return CommitImpl(branch, commit_id);
+}
+
+Status TupleFirstEngine::CommitImpl(BranchId branch, CommitId commit_id) {
   DECIBEL_ASSIGN_OR_RETURN(CommitHistory * history, HistoryFor(branch));
   const Bitmap* view = index_->BranchView(branch);
   Bitmap owned;
@@ -212,49 +218,46 @@ Status TupleFirstEngine::Checkout(CommitId commit) {
 
 // ----------------------------------------------------------------- mutation
 
-Status TupleFirstEngine::AppendVersion(BranchId branch, const Record& record) {
+Status TupleFirstEngine::ApplyBatch(BranchId branch, const WriteBatch& batch) {
+  // One writer at a time into the shared heap/bitmap universe; writers on
+  // the same branch are already serialized by the facade's branch lock.
+  std::lock_guard<std::mutex> write_lock(write_mu_);
   auto pk_it = pk_index_.find(branch);
   if (pk_it == pk_index_.end()) {
     return Status::NotFound("tuple-first: unknown branch " +
                             std::to_string(branch));
   }
   PkIndex& pks = pk_it->second;
-  const int64_t pk = record.pk();
-  auto old = pks.find(pk);
-  DECIBEL_ASSIGN_OR_RETURN(uint64_t idx, heap_->Append(record.data()));
-  index_->AppendTuples(1);
-  if (old != pks.end()) {
-    // "the index bit of the previous version of the record is unset" §3.2
-    index_->Set(old->second, branch, false);
-    old->second = idx;
-  } else {
-    pks.emplace(pk, idx);
-  }
-  index_->Set(idx, branch, true);
-  return Status::OK();
-}
+  DECIBEL_RETURN_NOT_OK(ValidateBatchDeletes(
+      batch, [&pks](int64_t pk) { return pks.count(pk) != 0; }));
 
-Status TupleFirstEngine::Insert(BranchId branch, const Record& record) {
-  return AppendVersion(branch, record);
-}
-
-Status TupleFirstEngine::Update(BranchId branch, const Record& record) {
-  return AppendVersion(branch, record);
-}
-
-Status TupleFirstEngine::Delete(BranchId branch, int64_t pk) {
-  auto pk_it = pk_index_.find(branch);
-  if (pk_it == pk_index_.end()) {
-    return Status::NotFound("tuple-first: unknown branch " +
-                            std::to_string(branch));
+  // One pass: the record payloads go to the heap file in page-sized
+  // chunks, the bitmap universe grows once for the whole batch, and the
+  // pk index is pre-sized — instead of paying each per record.
+  uint64_t next_idx = 0;
+  if (batch.num_appends() > 0) {
+    DECIBEL_ASSIGN_OR_RETURN(
+        next_idx, heap_->AppendBatch(batch.arena(), batch.num_appends()));
   }
-  auto old = pk_it->second.find(pk);
-  if (old == pk_it->second.end()) {
-    return Status::NotFound("tuple-first: pk " + std::to_string(pk) +
-                            " not in branch " + std::to_string(branch));
+  index_->AppendTuples(batch.num_appends());
+  pks.reserve(pks.size() + batch.num_appends());
+  for (const WriteBatch::Op& op : batch.ops()) {
+    if (op.kind == WriteBatch::OpKind::kDelete) {
+      auto old = pks.find(op.pk);
+      index_->Set(old->second, branch, false);
+      pks.erase(old);
+      continue;
+    }
+    const uint64_t idx = next_idx++;
+    auto [it, inserted] = pks.try_emplace(batch.RecordAt(op).pk(), idx);
+    if (!inserted) {
+      // "the index bit of the previous version of the record is unset"
+      // §3.2
+      index_->Set(it->second, branch, false);
+      it->second = idx;
+    }
+    index_->Set(idx, branch, true);
   }
-  index_->Set(old->second, branch, false);
-  pk_it->second.erase(old);
   return Status::OK();
 }
 
@@ -354,6 +357,7 @@ Status TupleFirstEngine::Diff(BranchId a, BranchId b, DiffMode mode,
 Result<MergeResult> TupleFirstEngine::Merge(BranchId into, BranchId from,
                                             CommitId lca, CommitId new_commit,
                                             MergePolicy policy) {
+  std::lock_guard<std::mutex> write_lock(write_mu_);
   MergeResult result;
   const uint32_t rs = schema_.record_size();
 
@@ -486,7 +490,7 @@ Result<MergeResult> TupleFirstEngine::Merge(BranchId into, BranchId from,
     }
   }
 
-  DECIBEL_RETURN_NOT_OK(Commit(into, new_commit));
+  DECIBEL_RETURN_NOT_OK(CommitImpl(into, new_commit));
   return result;
 }
 

@@ -11,6 +11,7 @@
 /// the shared file.
 
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "bitmap/commit_history.h"
@@ -35,9 +36,7 @@ class TupleFirstEngine : public StorageEngine {
   Status Commit(BranchId branch, CommitId commit_id) override;
   Status Checkout(CommitId commit) override;
 
-  Status Insert(BranchId branch, const Record& record) override;
-  Status Update(BranchId branch, const Record& record) override;
-  Status Delete(BranchId branch, int64_t pk) override;
+  Status ApplyBatch(BranchId branch, const WriteBatch& batch) override;
 
   Result<std::unique_ptr<RecordIterator>> ScanBranch(BranchId branch) override;
   Result<std::unique_ptr<RecordIterator>> ScanCommit(CommitId commit) override;
@@ -64,9 +63,8 @@ class TupleFirstEngine : public StorageEngine {
   Status InitFresh();
   /// The commit-history file for \p branch, creating it on first use.
   Result<CommitHistory*> HistoryFor(BranchId branch);
-  /// Appends a record version and flips bitmap/pk-index state for an
-  /// insert-or-update on \p branch.
-  Status AppendVersion(BranchId branch, const Record& record);
+  /// Commit body without write_mu_, for callers already holding it.
+  Status CommitImpl(BranchId branch, CommitId commit_id);
   /// Rebuilds branch \p b's pk index by scanning its bitmap column.
   Status RebuildPkIndex(BranchId b);
   std::string MetaPath() const;
@@ -77,6 +75,13 @@ class TupleFirstEngine : public StorageEngine {
   Schema schema_;
   EngineOptions options_;
   BufferPool pool_;
+  /// Serializes the mutating entry points (ApplyBatch, CreateBranch,
+  /// Merge, Commit) across branches: tuple-first shares one heap file and
+  /// one bitmap universe between all branches, so the facade's per-branch
+  /// locks are not enough to keep concurrent operations on distinct
+  /// branches from interleaving their index reservations or racing a
+  /// branch clone against a bitmap resize.
+  std::mutex write_mu_;
   std::unique_ptr<HeapFile> heap_;
   std::unique_ptr<BitmapIndex> index_;
   std::unordered_map<BranchId, PkIndex> pk_index_;

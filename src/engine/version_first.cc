@@ -252,6 +252,11 @@ Status VersionFirstEngine::CreateBranch(BranchId child, BranchId parent,
 }
 
 Status VersionFirstEngine::Commit(BranchId branch, CommitId commit_id) {
+  std::lock_guard<std::mutex> write_lock(write_mu_);
+  return CommitImpl(branch, commit_id);
+}
+
+Status VersionFirstEngine::CommitImpl(BranchId branch, CommitId commit_id) {
   // "version-first supports commits by mapping a commit ID to the byte
   // offset of the latest record active in the committing branch's segment
   // file" (§3.3).
@@ -268,25 +273,34 @@ Status VersionFirstEngine::Checkout(CommitId commit) {
 
 // ----------------------------------------------------------------- mutation
 
-Status VersionFirstEngine::Insert(BranchId branch, const Record& record) {
+Status VersionFirstEngine::ApplyBatch(BranchId branch,
+                                      const WriteBatch& batch) {
+  // Serialized with CreateBranch/Merge/Commit: those mutate segments_ and
+  // head_seg_, which this reads (the facade holds only per-branch locks).
+  std::lock_guard<std::mutex> write_lock(write_mu_);
   auto it = head_seg_.find(branch);
   if (it == head_seg_.end()) {
     return Status::NotFound("version-first: unknown branch " +
                             std::to_string(branch));
   }
-  return segments_[it->second]->file->Append(record.data()).status();
-}
-
-Status VersionFirstEngine::Update(BranchId branch, const Record& record) {
-  // "Updates are performed by inserting a new copy of the tuple with the
-  // same primary key; branch scans will ignore the earlier copy" (§3.3).
-  return Insert(branch, record);
-}
-
-Status VersionFirstEngine::Delete(BranchId branch, int64_t pk) {
-  // "deletes require a tombstone" (§3.3).
-  const Record tombstone = MakeTombstone(&schema_, pk);
-  return Insert(branch, tombstone);
+  // Every op is an append to the branch's head segment: "Updates are
+  // performed by inserting a new copy of the tuple with the same primary
+  // key; branch scans will ignore the earlier copy" and "deletes require
+  // a tombstone" (§3.3). A delete-free batch (the bulk-load shape) is
+  // one chunked heap append of the whole staged arena.
+  HeapFile* file = segments_[it->second]->file.get();
+  if (batch.num_appends() == batch.size()) {
+    return file->AppendBatch(batch.arena(), batch.num_appends()).status();
+  }
+  for (const WriteBatch::Op& op : batch.ops()) {
+    if (op.kind == WriteBatch::OpKind::kDelete) {
+      const Record tombstone = MakeTombstone(&schema_, op.pk);
+      DECIBEL_RETURN_NOT_OK(file->Append(tombstone.data()).status());
+    } else {
+      DECIBEL_RETURN_NOT_OK(file->Append(batch.RecordAt(op).data()).status());
+    }
+  }
+  return Status::OK();
 }
 
 // --------------------------------------------------------------- scan order
@@ -751,7 +765,7 @@ Result<MergeResult> VersionFirstEngine::Merge(BranchId into, BranchId from,
   }
 
   head_seg_[into] = new_seg;
-  DECIBEL_RETURN_NOT_OK(Commit(into, new_commit));
+  DECIBEL_RETURN_NOT_OK(CommitImpl(into, new_commit));
   return result;
 }
 

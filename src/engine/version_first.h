@@ -21,6 +21,7 @@
 /// resolved by the children-before-parents scan order. See DESIGN.md.
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -45,9 +46,7 @@ class VersionFirstEngine : public StorageEngine {
   Status Commit(BranchId branch, CommitId commit_id) override;
   Status Checkout(CommitId commit) override;
 
-  Status Insert(BranchId branch, const Record& record) override;
-  Status Update(BranchId branch, const Record& record) override;
-  Status Delete(BranchId branch, int64_t pk) override;
+  Status ApplyBatch(BranchId branch, const WriteBatch& batch) override;
 
   Result<std::unique_ptr<RecordIterator>> ScanBranch(BranchId branch) override;
   Result<std::unique_ptr<RecordIterator>> ScanCommit(CommitId commit) override;
@@ -107,6 +106,8 @@ class VersionFirstEngine : public StorageEngine {
   std::string MetaPath() const;
   std::string SegmentPath(uint32_t seg) const;
   Result<uint32_t> NewSegment(BranchId owner, std::vector<ParentLink> parents);
+  /// Commit body without write_mu_, for callers already holding it.
+  Status CommitImpl(BranchId branch, CommitId commit_id);
   Result<Root> RootForBranch(BranchId branch) const;
   Result<Root> RootForCommit(CommitId commit) const;
 
@@ -133,6 +134,12 @@ class VersionFirstEngine : public StorageEngine {
   Schema schema_;
   EngineOptions options_;
   BufferPool pool_;
+
+  /// Serializes the mutating entry points (ApplyBatch, CreateBranch,
+  /// Merge, Commit): CreateBranch/Merge grow the shared segments_ vector
+  /// and head_seg_ map that ApplyBatch reads, and the facade holds only
+  /// per-branch locks.
+  std::mutex write_mu_;
 
   std::vector<std::unique_ptr<Segment>> segments_;
   std::unordered_map<BranchId, uint32_t> head_seg_;

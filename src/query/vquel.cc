@@ -150,6 +150,12 @@ Result<Record> ParseRecord(Decibel* db,
 }  // namespace
 
 Result<ExecResult> Execute(Decibel* db, const std::string& statement) {
+  Interpreter one_shot(db);
+  return one_shot.Execute(statement);
+}
+
+Result<ExecResult> Interpreter::Execute(const std::string& statement) {
+  Decibel* db = db_;
   const std::vector<std::string> tokens = Tokenize(statement);
   if (tokens.empty()) {
     return Status::InvalidArgument("vquel: empty statement");
@@ -241,9 +247,21 @@ Result<ExecResult> Execute(Decibel* db, const std::string& statement) {
     }
     DECIBEL_ASSIGN_OR_RETURN(BranchId branch, ResolveBranch(db, tokens[1]));
     DECIBEL_ASSIGN_OR_RETURN(Record rec, ParseRecord(db, tokens, 2));
-    DECIBEL_RETURN_NOT_OK(verb == "INSERT" ? db->InsertInto(branch, rec)
-                                           : db->UpdateIn(branch, rec));
-    out << "ok";
+    if (txn_.has_value()) {
+      if (branch != txn_->branch()) {
+        return Status::InvalidArgument(
+            "vquel: open transaction is bound to branch " +
+            std::to_string(txn_->branch()) +
+            "; COMMIT TX or ABORT before writing elsewhere");
+      }
+      DECIBEL_RETURN_NOT_OK(verb == "INSERT" ? txn_->Insert(rec)
+                                             : txn_->Update(rec));
+      out << "staged (" << txn_->staged() << " ops)";
+    } else {
+      DECIBEL_RETURN_NOT_OK(verb == "INSERT" ? db->InsertInto(branch, rec)
+                                             : db->UpdateIn(branch, rec));
+      out << "ok";
+    }
     result.rows = 1;
   } else if (verb == "DELETE") {
     if (tokens.size() < 3) {
@@ -254,9 +272,59 @@ Result<ExecResult> Execute(Decibel* db, const std::string& statement) {
     if (!ParseInt(tokens[2], &pk)) {
       return Status::InvalidArgument("vquel: bad primary key");
     }
-    DECIBEL_RETURN_NOT_OK(db->DeleteFrom(branch, pk));
-    out << "ok";
+    if (txn_.has_value()) {
+      if (branch != txn_->branch()) {
+        return Status::InvalidArgument(
+            "vquel: open transaction is bound to branch " +
+            std::to_string(txn_->branch()) +
+            "; COMMIT TX or ABORT before writing elsewhere");
+      }
+      DECIBEL_RETURN_NOT_OK(txn_->Delete(pk));
+      out << "staged (" << txn_->staged() << " ops)";
+    } else {
+      DECIBEL_RETURN_NOT_OK(db->DeleteFrom(branch, pk));
+      out << "ok";
+    }
     result.rows = 1;
+  } else if (verb == "BEGIN") {
+    if (tokens.size() < 2) {
+      return Status::InvalidArgument("vquel: BEGIN needs a branch");
+    }
+    if (txn_.has_value()) {
+      return Status::InvalidArgument(
+          "vquel: a transaction is already open on branch " +
+          std::to_string(txn_->branch()) + "; COMMIT TX or ABORT first");
+    }
+    DECIBEL_ASSIGN_OR_RETURN(BranchId branch, ResolveBranch(db, tokens[1]));
+    DECIBEL_ASSIGN_OR_RETURN(Transaction txn, db->Begin(branch));
+    txn_.emplace(std::move(txn));
+    out << "begin transaction " << txn_->id() << " on branch " << branch;
+  } else if (verb == "ABORT") {
+    if (!txn_.has_value()) {
+      return Status::InvalidArgument("vquel: no open transaction");
+    }
+    const size_t staged = txn_->staged();
+    DECIBEL_RETURN_NOT_OK(txn_->Abort());
+    txn_.reset();
+    out << "transaction aborted, " << staged << " staged ops discarded";
+  } else if (verb == "COMMIT" && tokens.size() >= 2 &&
+             Upper(tokens[1]) == "TX") {
+    if (!txn_.has_value()) {
+      return Status::InvalidArgument("vquel: no open transaction");
+    }
+    const size_t staged = txn_->staged();
+    const Status committed = txn_->Commit();
+    if (committed.IsAborted()) {
+      // Retryable lock timeout: the transaction stays open and staged so
+      // the user can COMMIT TX again (or ABORT).
+      return committed;
+    }
+    // Success or a non-retryable failure: either way the transaction is
+    // over, so drop it rather than trapping the user in a dead one.
+    txn_.reset();
+    DECIBEL_RETURN_NOT_OK(committed);
+    out << "transaction committed, " << staged << " ops applied";
+    result.rows = staged;
   } else if (verb == "BRANCH") {
     if (tokens.size() < 4 || Upper(tokens[2]) != "FROM") {
       return Status::InvalidArgument("vquel: BRANCH <name> FROM <branch>");

@@ -5,7 +5,8 @@
 /// A small interpreter for a VQuel-flavoured versioning query language
 /// (§2.3 points at the full language definition in the TaPP paper; this
 /// implements the statement shapes the paper's Table 1 exercises, plus the
-/// version-control verbs). Used by the vquel_shell example and tests.
+/// version-control and transaction verbs). Used by the vquel_shell example
+/// and tests.
 ///
 /// Statements (case-insensitive keywords):
 ///   SCAN <branch> [WHERE <col> <op> <int>]
@@ -16,14 +17,25 @@
 ///   INSERT <branch> <pk> <v1> [<v2> ...]
 ///   UPDATE <branch> <pk> <v1> [<v2> ...]
 ///   DELETE <branch> <pk>
+///   BEGIN <branch>                    -- start a transaction
+///   COMMIT TX                         -- apply the staged ops atomically
+///   ABORT                             -- discard the staged ops
 ///   BRANCH <name> FROM <branch>
-///   COMMIT <branch>
+///   COMMIT <branch>                   -- version snapshot of a branch
 ///   MERGE <into> <from> [TWOWAY|THREEWAY] [LEFT|RIGHT]
 ///   BRANCHES                          -- list branches
 ///   LOG <branch>                      -- list commits of a branch
 ///
 /// Branches are referenced by name or numeric id.
+///
+/// Transactions: after BEGIN <branch>, INSERT/UPDATE/DELETE statements
+/// naming that branch stage into the transaction's WriteBatch (invisible
+/// to SCAN and friends) until COMMIT TX applies them atomically under the
+/// branch lock, or ABORT discards them. COMMIT TX failing with the
+/// retryable Aborted status (lock timeout) leaves the transaction staged
+/// — issue COMMIT TX again, or ABORT.
 
+#include <optional>
 #include <string>
 
 #include "core/decibel.h"
@@ -37,7 +49,26 @@ struct ExecResult {
   uint64_t rows = 0;
 };
 
-/// Parses and executes one statement against \p db.
+/// A stateful statement interpreter: one Decibel handle plus at most one
+/// open transaction (the BEGIN/COMMIT TX/ABORT verbs). Destroying the
+/// interpreter aborts an open transaction.
+class Interpreter {
+ public:
+  explicit Interpreter(Decibel* db) : db_(db) {}
+
+  /// Parses and executes one statement.
+  Result<ExecResult> Execute(const std::string& statement);
+
+  bool in_transaction() const { return txn_.has_value(); }
+
+ private:
+  Decibel* db_;
+  std::optional<Transaction> txn_;
+};
+
+/// Parses and executes one statement against \p db with no cross-statement
+/// state: a BEGIN here is useless because the transaction is discarded
+/// when the call returns. Use Interpreter for multi-statement scripts.
 Result<ExecResult> Execute(Decibel* db, const std::string& statement);
 
 }  // namespace vquel

@@ -1,5 +1,7 @@
 #include "storage/heap_file.h"
 
+#include <algorithm>
+
 #include "common/coding.h"
 #include "common/crc32.h"
 #include "common/logging.h"
@@ -158,14 +160,77 @@ Result<uint64_t> HeapFile::Append(Slice record) {
   }
   num_records_.fetch_add(1);
   if (page_full) {
-    DECIBEL_RETURN_NOT_OK(WriteTailPage());
-    std::lock_guard<std::mutex> lock(tail_mu_);
-    tail_.clear();
-    tail_count_ = 0;
-    tail_dirty_ = false;
-    ++sealed_pages_;
+    DECIBEL_RETURN_NOT_OK(SealTailPage());
   }
   return index;
+}
+
+Status HeapFile::SealTailPage() {
+  DECIBEL_RETURN_NOT_OK(WriteTailPage());
+  std::lock_guard<std::mutex> lock(tail_mu_);
+  tail_.clear();
+  tail_count_ = 0;
+  tail_dirty_ = false;
+  ++sealed_pages_;
+  return Status::OK();
+}
+
+Result<uint64_t> HeapFile::AppendBatch(Slice records, uint64_t count) {
+  if (sealed_) {
+    return Status::InvalidArgument("heapfile: append to sealed file " + path_);
+  }
+  if (records.size() != count * static_cast<uint64_t>(record_size_)) {
+    return Status::InvalidArgument("heapfile: batch size mismatch");
+  }
+  const uint64_t first = num_records_.load();
+  uint64_t offset = 0;
+  uint64_t remaining = count;
+  std::string page;  // reused across every full page this batch seals
+  while (remaining > 0) {
+    // Full pages are built straight from the caller's buffer — no staging
+    // through tail_, one page buffer for the whole batch. The page is on
+    // disk before sealed_pages_ advances (under tail_mu_, like
+    // SealTailPage) and num_records_ advances last, so a concurrent
+    // reader never resolves these records to the (empty) tail.
+    if (tail_count_ == 0 && remaining >= records_per_page_) {
+      const uint64_t payload_bytes = records_per_page_ * record_size_;
+      page.resize(kPageHeaderSize);
+      EncodeFixed32(page.data(), static_cast<uint32_t>(records_per_page_));
+      EncodeFixed32(
+          page.data() + 4,
+          MaskCrc(Crc32(Slice(records.data() + offset, payload_bytes))));
+      page.append(records.data() + offset, payload_bytes);
+      page.resize(options_.page_size, '\0');
+      DECIBEL_RETURN_NOT_OK(
+          writer_->WriteAt(PageOffset(sealed_pages_), page));
+      {
+        std::lock_guard<std::mutex> lock(tail_mu_);
+        ++sealed_pages_;
+      }
+      num_records_.fetch_add(records_per_page_);
+      offset += payload_bytes;
+      remaining -= records_per_page_;
+      continue;
+    }
+    uint64_t take;
+    bool page_full;
+    {
+      std::lock_guard<std::mutex> lock(tail_mu_);
+      const uint64_t space = records_per_page_ - tail_count_;
+      take = std::min(space, remaining);
+      tail_.append(records.data() + offset, take * record_size_);
+      tail_count_ += static_cast<uint32_t>(take);
+      tail_dirty_ = true;
+      page_full = tail_count_ == records_per_page_;
+    }
+    num_records_.fetch_add(take);
+    offset += take * record_size_;
+    remaining -= take;
+    if (page_full) {
+      DECIBEL_RETURN_NOT_OK(SealTailPage());
+    }
+  }
+  return first;
 }
 
 Status HeapFile::WriteTailPage() {
@@ -196,10 +261,13 @@ Status HeapFile::Seal() {
   return Status::OK();
 }
 
-void HeapFile::SnapshotTail(std::string* out, uint32_t* count) const {
+bool HeapFile::SnapshotTailIfCurrent(uint64_t page_no, std::string* out,
+                                     uint32_t* count) const {
   std::lock_guard<std::mutex> lock(tail_mu_);
+  if (page_no < sealed_pages_) return false;
   *out = tail_;
   *count = tail_count_;
+  return true;
 }
 
 Status HeapFile::ReadPageFromDisk(uint64_t page_no, std::string* out) {
@@ -236,10 +304,20 @@ Status HeapFile::Get(uint64_t index, std::string* out) {
   }
   const uint64_t page_no = index / records_per_page_;
   const uint64_t slot = index % records_per_page_;
-  if (page_no == sealed_pages_) {
+  {
+    // Decide tail-vs-sealed and read under one lock: a racing writer may
+    // seal this very page, and records written through AppendBatch's
+    // full-page path never pass through tail_ at all.
     std::lock_guard<std::mutex> lock(tail_mu_);
-    out->assign(tail_.data() + slot * record_size_, record_size_);
-    return Status::OK();
+    if (page_no >= sealed_pages_) {
+      if (slot >= tail_count_) {
+        return Status::OutOfRange("heapfile: record " +
+                                  std::to_string(index) +
+                                  " beyond tail in " + path_);
+      }
+      out->assign(tail_.data() + slot * record_size_, record_size_);
+      return Status::OK();
+    }
   }
   DECIBEL_ASSIGN_OR_RETURN(PageRef page,
                            pool_->GetPage(file_id_, page_no, this));
@@ -250,9 +328,8 @@ Status HeapFile::Get(uint64_t index, std::string* out) {
 
 Result<HeapFile::PinnedPage> HeapFile::PinPage(uint64_t page_no) {
   PinnedPage out;
-  if (page_no >= sealed_pages_) {
-    uint32_t count;
-    SnapshotTail(&out.tail, &count);
+  uint32_t count;
+  if (SnapshotTailIfCurrent(page_no, &out.tail, &count)) {
     out.payload = out.tail.data();
     out.count = count;
     return out;
@@ -265,6 +342,7 @@ Result<HeapFile::PinnedPage> HeapFile::PinPage(uint64_t page_no) {
 }
 
 uint64_t HeapFile::SizeBytes() const {
+  std::lock_guard<std::mutex> lock(tail_mu_);
   const uint64_t pages = sealed_pages_ + (tail_count_ > 0 ? 1 : 0);
   return kFileHeaderSize + pages * options_.page_size;
 }
@@ -279,28 +357,27 @@ bool HeapFile::Scanner::Next(Slice* record, uint64_t* index) {
   const uint64_t page_no = next_ / file_->records_per_page_;
   const uint64_t slot = next_ % file_->records_per_page_;
 
-  const char* base = nullptr;
-  if (page_no >= file_->sealed_pages_) {
-    // Tail page: snapshot once (stable against concurrent appends).
-    if (pinned_page_no_ != page_no) {
-      uint32_t count;
-      file_->SnapshotTail(&tail_copy_, &count);
-      pinned_page_no_ = page_no;
+  if (pinned_page_no_ != page_no) {
+    // The tail-vs-sealed decision and the tail snapshot happen atomically
+    // (a racing writer may seal this very page under us); a tail snapshot
+    // stays stable against further concurrent appends.
+    uint32_t count;
+    if (file_->SnapshotTailIfCurrent(page_no, &tail_copy_, &count)) {
       pinned_.reset();
-    }
-    base = tail_copy_.data() + slot * file_->record_size_;
-  } else {
-    if (pinned_page_no_ != page_no) {
+    } else {
       auto page = file_->pool_->GetPage(file_->file_id_, page_no, file_);
       if (!page.ok()) {
         status_ = page.status();
         return false;
       }
       pinned_ = std::move(page).MoveValueUnsafe();
-      pinned_page_no_ = page_no;
     }
-    base = pinned_->data() + kPageHeaderSize + slot * file_->record_size_;
+    pinned_page_no_ = page_no;
   }
+  const char* base =
+      pinned_ != nullptr
+          ? pinned_->data() + kPageHeaderSize + slot * file_->record_size_
+          : tail_copy_.data() + slot * file_->record_size_;
   *record = Slice(base, file_->record_size_);
   if (index != nullptr) *index = next_;
   ++next_;

@@ -56,6 +56,19 @@ class HeapFile : public PageSource {
   /// index. Fails on sealed files.
   Result<uint64_t> Append(Slice record);
 
+  /// Appends \p count records packed contiguously in \p records (exactly
+  /// count * record_size bytes); returns the index of the first. The
+  /// records receive consecutive indices. One tail-lock round and
+  /// page-sized copies per page instead of count individual Appends —
+  /// the engines' ApplyBatch path.
+  ///
+  /// Unlike single-record Append, concurrent writers of the SAME file
+  /// must be serialized by the caller (readers stay safe). The engines
+  /// satisfy this: all three serialize their mutating entry points
+  /// engine-wide behind a write mutex (they share segment registries or
+  /// bitmap state across branches anyway).
+  Result<uint64_t> AppendBatch(Slice records, uint64_t count);
+
   /// Writes the partial tail page to disk.
   Status Flush();
 
@@ -126,9 +139,16 @@ class HeapFile : public PageSource {
 
   Status WriteHeader();
   Status WriteTailPage();
+  /// Writes the full tail page to disk and resets the tail for the next
+  /// page — the seal step shared by Append and AppendBatch.
+  Status SealTailPage();
   uint64_t PageOffset(uint64_t page_no) const;
-  /// Serves a copy of the in-memory tail payload (thread-safe).
-  void SnapshotTail(std::string* out, uint32_t* count) const;
+  /// If \p page_no is (still) the tail page, copies the tail payload into
+  /// \p out and returns true; returns false if that page has been sealed
+  /// to disk. Decision and snapshot are atomic, so readers racing a
+  /// writer that seals the page never read a stale (empty) tail.
+  bool SnapshotTailIfCurrent(uint64_t page_no, std::string* out,
+                             uint32_t* count) const;
 
   static std::atomic<uint64_t> next_file_id_;
 

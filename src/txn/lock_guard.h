@@ -1,0 +1,114 @@
+#ifndef DECIBEL_TXN_LOCK_GUARD_H_
+#define DECIBEL_TXN_LOCK_GUARD_H_
+
+/// \file lock_guard.h
+/// RAII scopes over LockManager's branch-granularity two-phase locks.
+///
+/// LockGuard couples acquisition and release of a single branch lock: the
+/// only way to obtain a held guard is through the fallible Acquire
+/// factory, so a lock can never leak on an early return and never be
+/// "released" without having been acquired. LockScope grows a set of
+/// branch locks under one owner id and releases them all at once — the
+/// shrink phase of strict 2PL for multi-branch operations (merge) and
+/// transactions.
+
+#include <utility>
+
+#include "common/result.h"
+#include "txn/lock_manager.h"
+#include "version/types.h"
+
+namespace decibel {
+
+/// Holds one (owner, branch) lock; releases it on destruction.
+class LockGuard {
+ public:
+  /// Blocks until \p mode is granted on \p branch (or the manager's
+  /// deadlock timeout fires, yielding Status::Aborted — the retryable
+  /// transaction error).
+  static Result<LockGuard> Acquire(LockManager* manager, uint64_t owner,
+                                   BranchId branch, LockMode mode) {
+    DECIBEL_RETURN_NOT_OK(manager->Acquire(owner, branch, mode));
+    return LockGuard(manager, owner, branch);
+  }
+
+  LockGuard() = default;
+  ~LockGuard() { Release(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+  LockGuard(LockGuard&& other) noexcept
+      : manager_(std::exchange(other.manager_, nullptr)),
+        owner_(other.owner_),
+        branch_(other.branch_) {}
+  LockGuard& operator=(LockGuard&& other) noexcept {
+    if (this != &other) {
+      Release();
+      manager_ = std::exchange(other.manager_, nullptr);
+      owner_ = other.owner_;
+      branch_ = other.branch_;
+    }
+    return *this;
+  }
+
+  bool held() const { return manager_ != nullptr; }
+
+  /// Early release; idempotent.
+  void Release() {
+    if (manager_ != nullptr) {
+      manager_->Release(owner_, branch_);
+      manager_ = nullptr;
+    }
+  }
+
+ private:
+  LockGuard(LockManager* manager, uint64_t owner, BranchId branch)
+      : manager_(manager), owner_(owner), branch_(branch) {}
+
+  LockManager* manager_ = nullptr;
+  uint64_t owner_ = 0;
+  BranchId branch_ = kInvalidBranch;
+};
+
+/// Accumulates branch locks under one owner id; everything acquired
+/// through the scope is released together on destruction (or ReleaseAll).
+/// The owner id must be unique to this scope — LockManager treats
+/// re-acquisition by the same owner as a no-op, so sharing an id between
+/// two live scopes would silently break mutual exclusion.
+class LockScope {
+ public:
+  LockScope(LockManager* manager, uint64_t owner)
+      : manager_(manager), owner_(owner) {}
+  ~LockScope() { ReleaseAll(); }
+
+  LockScope(const LockScope&) = delete;
+  LockScope& operator=(const LockScope&) = delete;
+
+  /// Acquires \p mode on \p branch (growth phase). Status::Aborted on
+  /// deadlock timeout; the caller should release the whole scope and
+  /// retry from the top.
+  Status Lock(BranchId branch, LockMode mode) {
+    DECIBEL_RETURN_NOT_OK(manager_->Acquire(owner_, branch, mode));
+    held_any_ = true;
+    return Status::OK();
+  }
+
+  /// The shrink phase: drops every lock this owner holds. Idempotent.
+  void ReleaseAll() {
+    if (held_any_) {
+      manager_->ReleaseAll(owner_);
+      held_any_ = false;
+    }
+  }
+
+  uint64_t owner() const { return owner_; }
+
+ private:
+  LockManager* manager_;
+  uint64_t owner_;
+  bool held_any_ = false;
+};
+
+}  // namespace decibel
+
+#endif  // DECIBEL_TXN_LOCK_GUARD_H_

@@ -9,9 +9,14 @@
 ///
 /// Locks are shared (readers) or exclusive (writers/committers). A holder
 /// of the sole shared lock may upgrade in place. Acquisition blocks up to
-/// a timeout, then fails with Status::Aborted — the caller (session layer)
-/// is expected to release everything and retry, which is the classic
-/// deadlock-timeout discipline.
+/// a timeout, then fails with Status::Aborted — the caller (the
+/// transaction layer) is expected to release everything and retry, which
+/// is the classic deadlock-timeout discipline. RAII acquisition/release
+/// scopes live in txn/lock_guard.h (LockGuard, LockScope).
+///
+/// Owner ids must be unique per concurrent lock holder (re-acquisition by
+/// the same owner is a no-op): Decibel hands every transaction and every
+/// facade-internal operation a fresh id.
 
 #include <chrono>
 #include <condition_variable>
@@ -59,29 +64,6 @@ class LockManager {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::unordered_map<BranchId, BranchLock> locks_;
-};
-
-/// RAII guard releasing a single branch lock.
-class ScopedLock {
- public:
-  ScopedLock() = default;
-  ScopedLock(LockManager* manager, uint64_t owner, BranchId branch)
-      : manager_(manager), owner_(owner), branch_(branch) {}
-  ~ScopedLock() {
-    if (manager_ != nullptr) manager_->Release(owner_, branch_);
-  }
-  ScopedLock(const ScopedLock&) = delete;
-  ScopedLock& operator=(const ScopedLock&) = delete;
-  ScopedLock(ScopedLock&& other) noexcept
-      : manager_(other.manager_), owner_(other.owner_),
-        branch_(other.branch_) {
-    other.manager_ = nullptr;
-  }
-
- private:
-  LockManager* manager_ = nullptr;
-  uint64_t owner_ = 0;
-  BranchId branch_ = kInvalidBranch;
 };
 
 }  // namespace decibel

@@ -1,0 +1,103 @@
+#ifndef DECIBEL_TXN_WRITE_BATCH_H_
+#define DECIBEL_TXN_WRITE_BATCH_H_
+
+/// \file write_batch.h
+/// WriteBatch: an ordered collection of staged Insert/Update/Delete
+/// operations against one branch. Transactions stage their mutations here
+/// (§2.2.3: a session's concurrent operations form an isolated unit) and
+/// the storage engines consume whole batches via
+/// StorageEngine::ApplyBatch, updating their heap file, pk index and
+/// bitmaps in one pass instead of once per record.
+///
+/// Record payloads are packed into a single arena so a 100k-record bulk
+/// load stages exactly one heap allocation curve, not 100k Records.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/record.h"
+#include "storage/schema.h"
+
+namespace decibel {
+
+class WriteBatch {
+ public:
+  enum class OpKind : uint8_t { kInsert, kUpdate, kDelete };
+
+  struct Op {
+    OpKind kind = OpKind::kInsert;
+    /// Delete target (kDelete only).
+    int64_t pk = 0;
+    /// Arena offset of the record payload (kInsert / kUpdate only).
+    uint64_t offset = 0;
+  };
+
+  explicit WriteBatch(const Schema* schema) : schema_(schema) {}
+
+  void Insert(const Record& record) { Append(OpKind::kInsert, record); }
+  void Update(const Record& record) { Append(OpKind::kUpdate, record); }
+  void Delete(int64_t pk) {
+    Op op;
+    op.kind = OpKind::kDelete;
+    op.pk = pk;
+    ops_.push_back(op);
+  }
+
+  /// Number of staged operations.
+  size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+  /// Staged operations that append a record version (inserts + updates) —
+  /// what engines grow their heap files and bitmap universes by.
+  uint64_t num_appends() const { return num_appends_; }
+  /// Staged record-payload bytes.
+  uint64_t arena_bytes() const { return arena_.size(); }
+
+  void Clear() {
+    ops_.clear();
+    arena_.clear();
+    num_appends_ = 0;
+  }
+  void Reserve(size_t num_ops) {
+    ops_.reserve(num_ops);
+    arena_.reserve(num_ops * schema_->record_size());
+  }
+
+  const Schema* schema() const { return schema_; }
+  const std::vector<Op>& ops() const { return ops_; }
+
+  /// The packed record payloads of every insert/update, in op order
+  /// (deletes stage no payload). Engines feed this straight into
+  /// HeapFile::AppendBatch: the n-th append op in ops() owns the n-th
+  /// record-sized span of the arena.
+  Slice arena() const { return Slice(arena_); }
+
+  /// The staged record of an insert/update op. The view is valid until
+  /// the next mutation of the batch.
+  RecordRef RecordAt(const Op& op) const {
+    DECIBEL_DCHECK(op.kind != OpKind::kDelete);
+    return RecordRef(schema_,
+                     Slice(arena_.data() + op.offset,
+                           schema_->record_size()));
+  }
+
+ private:
+  void Append(OpKind kind, const Record& record) {
+    DECIBEL_DCHECK(record.data().size() == schema_->record_size());
+    Op op;
+    op.kind = kind;
+    op.offset = arena_.size();
+    arena_.append(record.data().data(), record.data().size());
+    ops_.push_back(op);
+    ++num_appends_;
+  }
+
+  const Schema* schema_;
+  std::vector<Op> ops_;
+  std::string arena_;
+  uint64_t num_appends_ = 0;
+};
+
+}  // namespace decibel
+
+#endif  // DECIBEL_TXN_WRITE_BATCH_H_

@@ -322,5 +322,69 @@ TEST_F(VquelTest, ErrorsAreStatuses) {
   EXPECT_FALSE(vquel::Execute(db_.get(), "MERGE master").ok());
 }
 
+TEST_F(VquelTest, TransactionCommitIsAtomic) {
+  vquel::Interpreter interp(db_.get());
+  auto exec = [&](const std::string& stmt) {
+    auto result = interp.Execute(stmt);
+    EXPECT_TRUE(result.ok()) << stmt << ": " << result.status().ToString();
+    return result.ok() ? result->output : "";
+  };
+  exec("BEGIN master");
+  EXPECT_TRUE(interp.in_transaction());
+  exec("INSERT master 1 10 20");
+  exec("INSERT master 2 30 40");
+  // Staged ops are invisible to scans until COMMIT TX.
+  EXPECT_NE(exec("SCAN master").find("(0 rows)"), std::string::npos);
+  EXPECT_NE(exec("COMMIT TX").find("2 ops applied"), std::string::npos);
+  EXPECT_FALSE(interp.in_transaction());
+  EXPECT_NE(exec("SCAN master").find("(2 rows)"), std::string::npos);
+}
+
+TEST_F(VquelTest, TransactionAbortDiscards) {
+  vquel::Interpreter interp(db_.get());
+  auto exec = [&](const std::string& stmt) {
+    auto result = interp.Execute(stmt);
+    EXPECT_TRUE(result.ok()) << stmt << ": " << result.status().ToString();
+    return result.ok() ? result->output : "";
+  };
+  exec("INSERT master 1 10 20");
+  exec("BEGIN master");
+  exec("DELETE master 1");
+  exec("INSERT master 2 30 40");
+  exec("ABORT");
+  EXPECT_FALSE(interp.in_transaction());
+  const std::string out = exec("SCAN master");
+  EXPECT_NE(out.find("(1 rows)"), std::string::npos);
+  EXPECT_NE(out.find("1 | 10 | 20"), std::string::npos);
+}
+
+TEST_F(VquelTest, TransactionGuardsAndErrors) {
+  vquel::Interpreter interp(db_.get());
+  // No open transaction: COMMIT TX / ABORT are errors.
+  EXPECT_FALSE(interp.Execute("COMMIT TX").ok());
+  EXPECT_FALSE(interp.Execute("ABORT").ok());
+  ASSERT_TRUE(interp.Execute("BRANCH dev FROM master").ok());
+  ASSERT_TRUE(interp.Execute("BEGIN master").ok());
+  // Nested BEGIN and writes to another branch are rejected.
+  EXPECT_FALSE(interp.Execute("BEGIN master").ok());
+  EXPECT_FALSE(interp.Execute("INSERT dev 1 1 1").ok());
+  ASSERT_TRUE(interp.Execute("ABORT").ok());
+  // The one-shot Execute helper still works statement-at-a-time.
+  EXPECT_TRUE(vquel::Execute(db_.get(), "INSERT master 5 5 5").ok());
+}
+
+TEST_F(VquelTest, FailedCommitTxDropsTheTransaction) {
+  vquel::Interpreter interp(db_.get());
+  ASSERT_TRUE(interp.Execute("BEGIN master").ok());
+  ASSERT_TRUE(interp.Execute("DELETE master 999").ok());  // absent pk
+  // The commit fails (NotFound from delete validation) — non-retryable,
+  // so the interpreter must not trap the user in a dead transaction.
+  EXPECT_FALSE(interp.Execute("COMMIT TX").ok());
+  EXPECT_FALSE(interp.in_transaction());
+  EXPECT_TRUE(interp.Execute("INSERT master 1 1 1").ok());
+  EXPECT_NE(interp.Execute("SCAN master")->output.find("(1 rows)"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace decibel
