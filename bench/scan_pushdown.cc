@@ -1,0 +1,179 @@
+/// Scan pushdown and point lookups: what the unified read path buys.
+///
+/// Two comparisons per engine over a pre-loaded master branch:
+///
+///  1. Point lookup — the seed-era way (full ScanBranch iteration until
+///     the key turns up) vs Decibel::Get. Tuple-first and hybrid answer
+///     Get through their pk indexes in O(1); version-first walks its
+///     segment ancestry newest-to-oldest with early exit.
+///
+///  2. Filtered scan, selectivity sweep — "filter on top" (the seed-era
+///     pattern: pull every row through the deprecated RecordIterator
+///     boundary and test the predicate in the client) vs the same
+///     predicate pushed into the engine with NewScan. Pushdown evaluates
+///     the comparison on the in-page record bytes inside the engine scan
+///     loop, so non-matching rows never cross the cursor boundary.
+///
+/// Caches are warmed before the measured runs (one throwaway full scan):
+/// both paths read the same pages through the same buffer pool, and the
+/// contrast under test is the CPU read path, not disk.
+///
+/// DECIBEL_SCALE multiplies the record count (default 200k records).
+
+#include <cinttypes>
+
+#include "bench_common.h"
+#include "query/predicate.h"
+
+namespace decibel {
+namespace bench {
+namespace {
+
+/// c1 = record index at load time, so "c1 < k" selects exactly k rows.
+Result<uint64_t> LoadSequential(Decibel* db, uint64_t num_records) {
+  Record rec(&db->schema());
+  constexpr uint64_t kBatch = 10000;
+  for (uint64_t start = 0; start < num_records; start += kBatch) {
+    const uint64_t end = std::min(num_records, start + kBatch);
+    DECIBEL_ASSIGN_OR_RETURN(Transaction txn, db->Begin(kMasterBranch));
+    txn.batch()->Reserve(end - start);
+    for (uint64_t i = start; i < end; ++i) {
+      rec.SetPk(static_cast<int64_t>(i));
+      rec.SetInt32(1, static_cast<int32_t>(i));
+      DECIBEL_RETURN_NOT_OK(txn.Insert(rec));
+    }
+    DECIBEL_RETURN_NOT_OK(txn.Commit());
+  }
+  DECIBEL_RETURN_NOT_OK(db->CommitBranch(kMasterBranch).status());
+  return num_records;
+}
+
+/// Seed-era point lookup: scan the branch until the key shows up.
+Result<double> TimeFullScanLookup(Decibel* db, const std::vector<int64_t>& pks) {
+  Stopwatch timer;
+  for (int64_t pk : pks) {
+    DECIBEL_ASSIGN_OR_RETURN(auto it, db->ScanBranch(kMasterBranch));
+    RecordRef rec;
+    bool found = false;
+    while (it->Next(&rec)) {
+      if (rec.pk() == pk) {
+        found = true;
+        break;
+      }
+    }
+    DECIBEL_RETURN_NOT_OK(it->status());
+    if (!found) return Status::NotFound("lookup lost pk");
+  }
+  return timer.ElapsedSeconds() / static_cast<double>(pks.size());
+}
+
+Result<double> TimeGetLookup(Decibel* db, const std::vector<int64_t>& pks) {
+  Stopwatch timer;
+  for (int64_t pk : pks) {
+    DECIBEL_ASSIGN_OR_RETURN(Record rec, db->Get(kMasterBranch, pk));
+    (void)rec;
+  }
+  return timer.ElapsedSeconds() / static_cast<double>(pks.size());
+}
+
+/// Filter on top: the deprecated iterator pulls every row; the client
+/// evaluates the predicate.
+Result<std::pair<double, uint64_t>> TimeFilterOnTop(Decibel* db,
+                                                    const Predicate& pred) {
+  Stopwatch timer;
+  DECIBEL_ASSIGN_OR_RETURN(auto it, db->ScanBranch(kMasterBranch));
+  uint64_t matches = 0;
+  RecordRef rec;
+  while (it->Next(&rec)) {
+    if (pred.Matches(rec)) ++matches;
+  }
+  DECIBEL_RETURN_NOT_OK(it->status());
+  return std::make_pair(timer.ElapsedSeconds(), matches);
+}
+
+Result<std::pair<double, uint64_t>> TimePushdown(Decibel* db,
+                                                 const Predicate& pred) {
+  Stopwatch timer;
+  DECIBEL_ASSIGN_OR_RETURN(
+      auto cursor, db->NewScan(ScanSpec::Branch(kMasterBranch).Where(pred)));
+  uint64_t matches = 0;
+  ScanRow row;
+  while (cursor->Next(&row)) ++matches;
+  DECIBEL_RETURN_NOT_OK(cursor->status());
+  return std::make_pair(timer.ElapsedSeconds(), matches);
+}
+
+void Run() {
+  const uint64_t records = 200000 * static_cast<uint64_t>(ScaleFactor());
+  const double selectivities[] = {0.01, 0.10, 0.50};
+  constexpr int kReps = 7;
+
+  printf("=== scan pushdown + point lookups (%" PRIu64 " records) ===\n",
+         records);
+
+  for (EngineType engine : AllEngines()) {
+    BENCH_ASSIGN_OR_DIE(ScopedDb scoped, FreshDb(engine, "pushdown"));
+    Decibel* db = scoped.db.get();
+    BENCH_CHECK_OK(LoadSequential(db, records).status());
+
+    // Warm the buffer pool so both sides measure the CPU path.
+    BENCH_CHECK_OK(TimeFilterOnTop(db, Predicate()).status());
+
+    // --- point lookups -------------------------------------------------
+    std::vector<int64_t> scan_pks, get_pks;
+    Random rng(7);
+    for (int i = 0; i < 5; ++i) {
+      scan_pks.push_back(static_cast<int64_t>(rng.Uniform(records)));
+    }
+    for (int i = 0; i < 2000; ++i) {
+      get_pks.push_back(static_cast<int64_t>(rng.Uniform(records)));
+    }
+    double full_scan_s = 0, get_s = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      BENCH_ASSIGN_OR_DIE(double f, TimeFullScanLookup(db, scan_pks));
+      BENCH_ASSIGN_OR_DIE(double g, TimeGetLookup(db, get_pks));
+      if (rep == 0 || f < full_scan_s) full_scan_s = f;
+      if (rep == 0 || g < get_s) get_s = g;
+    }
+    printf("%-4s lookup  full-scan %10.1f us   Get %8.2f us   speedup %8.1fx\n",
+           ShortName(engine), full_scan_s * 1e6, get_s * 1e6,
+           get_s > 0 ? full_scan_s / get_s : 0.0);
+
+    // --- filtered scans ------------------------------------------------
+    for (double sel : selectivities) {
+      const int64_t threshold =
+          static_cast<int64_t>(sel * static_cast<double>(records));
+      BENCH_ASSIGN_OR_DIE(
+          Predicate pred,
+          Predicate::Compare(db->schema(), "c1", CompareOp::kLt, threshold));
+      double top_s = 0, push_s = 0;
+      uint64_t top_rows = 0, push_rows = 0;
+      for (int rep = 0; rep < kReps; ++rep) {
+        BENCH_ASSIGN_OR_DIE(auto top, TimeFilterOnTop(db, pred));
+        BENCH_ASSIGN_OR_DIE(auto push, TimePushdown(db, pred));
+        if (rep == 0 || top.first < top_s) top_s = top.first;
+        if (rep == 0 || push.first < push_s) push_s = push.first;
+        top_rows = top.second;
+        push_rows = push.second;
+      }
+      if (top_rows != push_rows) {
+        fprintf(stderr, "FATAL: row mismatch (%" PRIu64 " vs %" PRIu64 ")\n",
+                top_rows, push_rows);
+        exit(1);
+      }
+      printf("%-4s scan sel=%4.0f%%  filter-on-top %8.2f ms   pushdown "
+             "%8.2f ms   speedup %6.2fx   (%" PRIu64 " rows)\n",
+             ShortName(engine), sel * 100, top_s * 1e3, push_s * 1e3,
+             push_s > 0 ? top_s / push_s : 0.0, push_rows);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace decibel
+
+int main() {
+  decibel::bench::Run();
+  return 0;
+}

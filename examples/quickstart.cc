@@ -2,9 +2,11 @@
 ///
 /// Creates a dataset, loads it through a multi-statement transaction,
 /// commits a version, branches it, makes diverging edits (one per-record,
-/// one transactional), inspects the diff, merges the branch back with a
-/// field-level three-way merge, and shows the abort-and-retry discipline
-/// for lock-timeout Status::Aborted — the core loop of §2.2.3.
+/// one transactional), reads through ScanSpec cursors (predicate and
+/// projection pushed into the engine) and point lookups, inspects the
+/// diff, merges the branch back with a field-level three-way merge, and
+/// shows the abort-and-retry discipline for lock-timeout Status::Aborted
+/// — the core loop of §2.2.3.
 ///
 ///   $ ./quickstart [db_path]
 
@@ -19,16 +21,16 @@ namespace {
 
 void PrintBranch(Decibel* db, BranchId branch, const char* label) {
   printf("--- %s ---\n", label);
-  auto it = db->ScanBranch(branch);
-  if (!it.ok()) {
-    printf("error: %s\n", it.status().ToString().c_str());
+  auto cursor = db->NewScan(ScanSpec::Branch(branch));
+  if (!cursor.ok()) {
+    printf("error: %s\n", cursor.status().ToString().c_str());
     return;
   }
-  RecordRef rec;
-  while ((*it)->Next(&rec)) {
+  ScanRow row;
+  while ((*cursor)->Next(&row)) {
     printf("  pk=%lld  qty=%d  price=%d\n",
-           static_cast<long long>(rec.pk()), rec.GetInt32(1),
-           rec.GetInt32(2));
+           static_cast<long long>(row.record.pk()), row.record.GetInt32(1),
+           row.record.GetInt32(2));
   }
 }
 
@@ -108,6 +110,32 @@ int main(int argc, char** argv) {
   PrintBranch(db.get(), kMasterBranch, "master (price cut on pk 1)");
   PrintBranch(db.get(), restock, "restock (qty bump on pk 1, new pk 4)");
 
+  // 2b. Reads are ScanSpec cursors: here a WHERE qty < 10, projected to
+  // the qty column, pushed into the engine — non-matching rows never
+  // leave the storage layer — plus a pk-index point lookup.
+  {
+    auto low = Predicate::Compare(*schema, "qty", CompareOp::kLt, 10);
+    if (!low.ok()) return 1;
+    auto cursor = db->NewScan(
+        ScanSpec::Branch(restock).Where(*low).Project({1}));
+    if (!cursor.ok()) {
+      fprintf(stderr, "scan failed: %s\n",
+              cursor.status().ToString().c_str());
+      return 1;
+    }
+    printf("--- restock items with qty < 10 (pushed-down scan) ---\n");
+    ScanRow row;
+    while ((*cursor)->Next(&row)) {
+      printf("  pk=%lld  qty=%d\n", static_cast<long long>(row.record.pk()),
+             row.record.GetInt32(1));
+    }
+    auto item = db->Get(restock, 4);  // O(1) through the pk index
+    if (item.ok()) {
+      printf("point lookup pk=4: qty=%d price=%d\n",
+             item->ref().GetInt32(1), item->ref().GetInt32(2));
+    }
+  }
+
   // 3. An abort: staged operations are discarded, nothing reaches the
   // branch. (Destroying an uncommitted transaction aborts it too.)
   {
@@ -145,14 +173,19 @@ int main(int argc, char** argv) {
   PrintBranch(db.get(), kMasterBranch,
               "master after merge (qty=50 AND price=90 on pk 1)");
 
-  // 6. Time travel: the committed v1 is still intact.
+  // 6. Time travel: the committed v1 is still intact. A session with a
+  // historical checkout routes NewScan and Get to the commit view.
   Session historical = db->NewSession();
   db->Checkout(&historical, v1).ok();
-  auto it = db->Scan(historical);
+  auto cursor = db->NewScan(historical);
+  if (!cursor.ok()) return 1;
   int rows = 0;
-  RecordRef rec;
-  while ((*it)->Next(&rec)) ++rows;
-  printf("version %llu still has %d rows\n",
-         static_cast<unsigned long long>(v1), rows);
+  ScanRow row;
+  while ((*cursor)->Next(&row)) ++rows;
+  auto old_item = db->Get(historical, 1);
+  printf("version %llu still has %d rows; pk 1 was qty=%d price=%d\n",
+         static_cast<unsigned long long>(v1), rows,
+         old_item.ok() ? old_item->ref().GetInt32(1) : -1,
+         old_item.ok() ? old_item->ref().GetInt32(2) : -1);
   return 0;
 }

@@ -37,6 +37,7 @@ const char* kDemo[] = {
     "DELETE dev 3",
     "ABORT",
     "SCAN dev",  // pk 3 survives the aborted delete
+    "SELECT pk, c1 FROM dev WHERE c1 > 10 LIMIT 5",  // pushed-down cursor
     "DIFF dev master",
     "JOIN master dev WHERE c1 > 5",
     "MERGE master dev THREEWAY LEFT",

@@ -3,6 +3,7 @@
 #include "common/coding.h"
 #include "common/crc32.h"
 #include "common/io.h"
+#include "engine/scan_util.h"
 
 namespace decibel {
 
@@ -348,33 +349,99 @@ bool Decibel::IsDirty(BranchId branch) const {
 
 // ------------------------------------------------------------------ queries
 
+Result<std::unique_ptr<ScanCursor>> Decibel::NewScan(ScanSpec spec) {
+  if (spec.view == ScanView::kHeads) {
+    // Resolve "all active branch heads" against the version graph; the
+    // engines only understand explicit branch lists.
+    std::lock_guard<std::mutex> lock(mu_);
+    spec.view = ScanView::kMulti;
+    spec.branches = graph_.ActiveBranches();
+  }
+  return engine_->NewScan(spec);
+}
+
+Result<std::unique_ptr<ScanCursor>> Decibel::NewScan(const Session& session,
+                                                     ScanSpec spec) {
+  // The session decides the view: a historical checkout reads its commit,
+  // everything else the branch head (§2.2.3 Checkout is read-only).
+  if (session.at_head()) {
+    spec.view = ScanView::kBranch;
+    spec.branch = session.branch();
+  } else {
+    spec.view = ScanView::kCommit;
+    spec.commit = session.checked_out();
+  }
+  return NewScan(std::move(spec));
+}
+
+Result<Record> Decibel::Get(const Session& session, int64_t pk) {
+  if (session.at_head()) return Get(session.branch(), pk);
+  return GetAt(session.checked_out(), pk);
+}
+
+Result<Record> Decibel::Get(BranchId branch, int64_t pk) {
+  return engine_->Get(branch, pk);
+}
+
+Result<Record> Decibel::GetAt(CommitId commit, int64_t pk) {
+  // Commits have no pk index; a pushed-down pk-equality scan with limit 1
+  // is the engine-agnostic lookup (version-first stops at the first
+  // version of the key, the bitmap engines pay one filtered pass).
+  Comparison by_pk;
+  by_pk.column = 0;
+  by_pk.op = CompareOp::kEq;
+  by_pk.int_value = pk;
+  DECIBEL_ASSIGN_OR_RETURN(
+      auto cursor, NewScan(ScanSpec::Commit(commit)
+                               .Where(Predicate().And(std::move(by_pk)))
+                               .WithLimit(1)));
+  ScanRow row;
+  if (cursor->Next(&row)) return Record(&schema_, row.record.data());
+  DECIBEL_RETURN_NOT_OK(cursor->status());
+  return Status::NotFound("no record with pk " + std::to_string(pk) +
+                          " in commit " + std::to_string(commit));
+}
+
 Result<std::unique_ptr<RecordIterator>> Decibel::Scan(const Session& session) {
   if (session.at_head()) return ScanBranch(session.branch_);
   return ScanCommit(session.checked_out_);
 }
 
 Result<std::unique_ptr<RecordIterator>> Decibel::ScanBranch(BranchId branch) {
-  return engine_->ScanBranch(branch);
+  DECIBEL_ASSIGN_OR_RETURN(auto cursor, NewScan(ScanSpec::Branch(branch)));
+  return std::unique_ptr<RecordIterator>(
+      new CursorRecordIterator(std::move(cursor)));
 }
 
 Result<std::unique_ptr<RecordIterator>> Decibel::ScanCommit(CommitId commit) {
-  return engine_->ScanCommit(commit);
+  DECIBEL_ASSIGN_OR_RETURN(auto cursor, NewScan(ScanSpec::Commit(commit)));
+  return std::unique_ptr<RecordIterator>(
+      new CursorRecordIterator(std::move(cursor)));
 }
+
+namespace {
+
+Status DrainMulti(ScanCursor* cursor, const MultiScanCallback& callback) {
+  ScanRow row;
+  while (cursor->Next(&row)) {
+    callback(row.record, *row.branches);
+  }
+  return cursor->status();
+}
+
+}  // namespace
 
 Status Decibel::ScanMulti(const std::vector<BranchId>& branches,
                           const MultiScanCallback& callback) {
-  return engine_->ScanMulti(branches, callback);
+  DECIBEL_ASSIGN_OR_RETURN(auto cursor, NewScan(ScanSpec::Multi(branches)));
+  return DrainMulti(cursor.get(), callback);
 }
 
 Status Decibel::ScanHeads(const MultiScanCallback& callback,
                           std::vector<BranchId>* branches_out) {
-  std::vector<BranchId> heads;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    heads = graph_.ActiveBranches();
-  }
-  if (branches_out != nullptr) *branches_out = heads;
-  return engine_->ScanMulti(heads, callback);
+  DECIBEL_ASSIGN_OR_RETURN(auto cursor, NewScan(ScanSpec::Heads()));
+  if (branches_out != nullptr) *branches_out = cursor->branches();
+  return DrainMulti(cursor.get(), callback);
 }
 
 Status Decibel::Diff(BranchId a, BranchId b, DiffMode mode,

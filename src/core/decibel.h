@@ -23,6 +23,16 @@
 ///   ...
 ///   db->Merge(master, dev, MergePolicy::kThreeWayLeft);
 ///
+/// Reads are ScanSpec-driven (engine/scan_spec.h): one NewScan entry
+/// point serves branch-head, commit, multi-branch and diff views with
+/// predicate, projection and limit pushed into the engine scan loops,
+/// and Get(branch, pk) is a pk-index point lookup:
+///
+///   auto cursor = *db->NewScan(ScanSpec::Branch(dev).Where(pred));
+///   ScanRow row;
+///   while (cursor->Next(&row)) { /* row.record */ }
+///   Result<Record> rec = db->Get(dev, /*pk=*/42);
+///
 /// The per-record methods (Insert/Update/Delete, InsertInto/UpdateIn/
 /// DeleteFrom) are thin wrappers that run a one-op transaction; every
 /// write reaches the engines through StorageEngine::ApplyBatch.
@@ -225,18 +235,57 @@ class Decibel {
   Status ApplyBatch(BranchId branch, const WriteBatch& batch);
 
   // -------------------------------------------------------------- queries
+  //
+  // The read path is ScanSpec-driven (engine/scan_spec.h): describe the
+  // view (branch head, commit, multi-branch heads, positive diff) plus
+  // predicate / projection / limit, and NewScan returns a cursor with all
+  // of it pushed into the engine:
+  //
+  //   auto cursor = *db->NewScan(ScanSpec::Branch(dev)
+  //                                  .Where(*Predicate::Compare(
+  //                                      schema, "qty", CompareOp::kLt, 5))
+  //                                  .Project({0, 1}));
+  //   ScanRow row;
+  //   while (cursor->Next(&row)) { ... row.record ... }
 
-  /// Scans the session's current view (branch head or checkout).
+  /// Serves \p spec. A ScanView::kHeads spec is resolved to the active
+  /// branch heads (Table 1 query 4) before reaching the engine.
+  Result<std::unique_ptr<ScanCursor>> NewScan(ScanSpec spec);
+
+  /// Serves the session's current view: the branch head, or — when the
+  /// session has a historical Checkout — that commit. \p spec contributes
+  /// predicate/projection/limit; its view fields are overwritten.
+  Result<std::unique_ptr<ScanCursor>> NewScan(const Session& session,
+                                              ScanSpec spec = {});
+
+  /// Point lookup of \p pk in the session's current view (branch head or
+  /// checkout). NotFound when the key is not live there.
+  Result<Record> Get(const Session& session, int64_t pk);
+  /// Point lookup at a branch head: O(1) through the pk index on
+  /// tuple-first and hybrid, an early-exit segment walk on version-first.
+  Result<Record> Get(BranchId branch, int64_t pk);
+  /// Point lookup in a historical commit (a pushed-down pk-equality scan
+  /// of the commit view; commits have no pk index).
+  Result<Record> GetAt(CommitId commit, int64_t pk);
+
+  // --- deprecated-style wrappers over NewScan, kept for the transition
+  //     from the seed-era read API. Prefer NewScan/Get.
+
+  /// \deprecated Use NewScan(session).
   Result<std::unique_ptr<RecordIterator>> Scan(const Session& session);
+  /// \deprecated Use NewScan(ScanSpec::Branch(branch)).
   Result<std::unique_ptr<RecordIterator>> ScanBranch(BranchId branch);
+  /// \deprecated Use NewScan(ScanSpec::Commit(commit)).
   Result<std::unique_ptr<RecordIterator>> ScanCommit(CommitId commit);
 
   /// Scans several branches at once, annotating records with the branches
   /// containing them (positions into \p branches).
+  /// \deprecated Use NewScan(ScanSpec::Multi(branches)).
   Status ScanMulti(const std::vector<BranchId>& branches,
                    const MultiScanCallback& callback);
 
   /// Scans the heads of all active branches (Table 1 query 4).
+  /// \deprecated Use NewScan(ScanSpec::Heads()).
   Status ScanHeads(const MultiScanCallback& callback,
                    std::vector<BranchId>* branches_out = nullptr);
 

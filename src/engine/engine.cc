@@ -1,10 +1,31 @@
 #include "engine/engine.h"
 
 #include "engine/hybrid.h"
+#include "engine/scan_util.h"
 #include "engine/tuple_first.h"
 #include "engine/version_first.h"
 
 namespace decibel {
+
+Result<std::unique_ptr<ScanCursor>> MakeDiffScanCursor(
+    StorageEngine* engine, const ScanSpec& spec, ScanCounters* counters) {
+  const Schema& schema = engine->schema();
+  const PreparedPredicate prepared(spec.predicate, schema);
+  const uint32_t row_bytes = ProjectedRowBytes(schema, spec.projection);
+  auto cursor = std::make_unique<BufferedCursor>(&schema, counters);
+  ScanStats* stats = cursor->mutable_stats();
+  DECIBEL_RETURN_NOT_OK(engine->Diff(
+      spec.branch, spec.diff_base, spec.diff_mode,
+      [&](const RecordRef& rec) {
+        if (spec.limit != 0 && cursor->buffered() >= spec.limit) return;
+        ++stats->rows_scanned;
+        stats->bytes_scanned += row_bytes;
+        if (!prepared.Matches(rec.data().data())) return;
+        cursor->AddRow(rec.data(), spec.projection);
+      },
+      /*neg=*/nullptr));
+  return std::unique_ptr<ScanCursor>(std::move(cursor));
+}
 
 const char* EngineTypeName(EngineType type) {
   switch (type) {

@@ -13,6 +13,12 @@
 /// the record is appended; the old copy stays visible to historical
 /// commits). Delete hides the key from the branch head but never removes
 /// bytes.
+///
+/// Reads go through one composable surface: NewScan(ScanSpec) returns a
+/// ScanCursor over a branch head, a commit, several heads at once, or a
+/// positive diff, with predicate/projection/limit pushed into the engine
+/// scan loops (scan_spec.h); Get(branch, pk) is the point lookup the pk
+/// index makes O(1) in the bitmap engines.
 
 #include <cstdint>
 #include <functional>
@@ -23,6 +29,7 @@
 
 #include "bitmap/bitmap_index.h"
 #include "common/result.h"
+#include "engine/scan_spec.h"
 #include "storage/record.h"
 #include "storage/schema.h"
 #include "txn/write_batch.h"
@@ -52,8 +59,10 @@ struct EngineOptions {
   int scan_threads = 0;
 };
 
-/// Pull iterator over the records of one version. The RecordRef handed out
-/// stays valid until the next call to Next().
+/// Pull iterator over the records of one version — the seed-era read
+/// interface, kept for the deprecated facade wrappers (Decibel::Scan*).
+/// The RecordRef handed out stays valid until the next call to Next().
+/// New code should use ScanCursor via NewScan.
 class RecordIterator {
  public:
   virtual ~RecordIterator() = default;
@@ -69,16 +78,6 @@ using MultiScanCallback =
 
 /// Record-at-a-time sink for diffs.
 using DiffCallback = std::function<void(const RecordRef&)>;
-
-/// What "in A but not in B" means (§2.2.3 Difference; Table 1 query 2).
-enum class DiffMode {
-  /// Key presence, the SQL "id NOT IN" semantics of benchmark Q2.
-  kByKey,
-  /// Record-version identity: an updated record shows up on both sides
-  /// (its new version in one, its old version in the other). This is the
-  /// mode merges build on.
-  kByContent,
-};
 
 /// Conflict handling for merges (§2.2.3 Merge).
 enum class MergePolicy {
@@ -111,6 +110,10 @@ struct EngineStats {
   uint64_t commit_store_bytes = 0;  ///< aggregate commit-history file size
   uint64_t num_segments = 0;
   uint64_t num_records = 0;         ///< physical record versions stored
+  /// Lifetime scan-work totals flushed by this engine's cursors (see
+  /// ScanCounters): live rows examined and their projected bytes.
+  uint64_t rows_scanned = 0;
+  uint64_t bytes_scanned = 0;
 };
 
 class StorageEngine {
@@ -152,16 +155,23 @@ class StorageEngine {
 
   // -------------------------------------------------------------- queries
 
-  virtual Result<std::unique_ptr<RecordIterator>> ScanBranch(
-      BranchId branch) = 0;
-  virtual Result<std::unique_ptr<RecordIterator>> ScanCommit(
-      CommitId commit) = 0;
+  /// The one read entry point: serves the spec's view (branch head,
+  /// commit, multi-branch, positive diff) with the predicate, projection
+  /// and limit evaluated inside the engine's scan machinery. Rejects
+  /// ScanView::kHeads (the facade resolves it to kMulti first).
+  virtual Result<std::unique_ptr<ScanCursor>> NewScan(
+      const ScanSpec& spec) = 0;
 
-  virtual Status ScanMulti(const std::vector<BranchId>& branches,
-                           const MultiScanCallback& callback) = 0;
+  /// Point lookup of \p pk at the head of \p branch. O(1) through the pk
+  /// index in tuple-first and hybrid; version-first walks its segment
+  /// ancestry newest-to-oldest and stops at the first version of the key.
+  /// NotFound when the key is not live in the branch.
+  virtual Result<Record> Get(BranchId branch, int64_t pk) = 0;
 
   /// Streams the positive diff (in \p a, not in \p b) to \p pos and the
-  /// negative diff to \p neg. Either callback may be null.
+  /// negative diff to \p neg. Either callback may be null. (NewScan's
+  /// kDiff view serves the positive side with pushdown; merges and the
+  /// facade's Diff need both sides.)
   virtual Status Diff(BranchId a, BranchId b, DiffMode mode,
                       const DiffCallback& pos, const DiffCallback& neg) = 0;
 

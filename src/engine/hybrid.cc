@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <mutex>
+#include <optional>
 
 #include "common/coding.h"
 #include "common/thread_pool.h"
 #include "engine/bitmap_scan.h"
 #include "engine/merge_util.h"
+#include "engine/scan_util.h"
 
 namespace decibel {
 
@@ -410,131 +412,244 @@ Status HybridEngine::ApplyBatch(BranchId branch, const WriteBatch& batch) {
 
 // ------------------------------------------------------------------ queries
 
-/// Pull iterator chaining bitmap scans across a list of (segment, bitmap)
-/// pairs. Owns the bitmaps.
-class HybridEngine::MultiSegmentIterator : public RecordIterator {
+/// Streaming cursor chaining bitmap scans across scan parts. Owns the
+/// bitmaps. The pushed-down predicate runs on the in-page record bytes
+/// before the per-branch membership probes of multi views.
+class HybridEngine::PartsCursor : public ScanCursor {
  public:
-  MultiSegmentIterator(HybridEngine* engine,
-                       std::vector<std::pair<uint32_t, Bitmap>> parts)
-      : engine_(engine), parts_(std::move(parts)) {}
+  PartsCursor(const HybridEngine* engine, std::vector<ScanPart> parts,
+              std::vector<BranchId> branch_list, const ScanSpec& spec)
+      : engine_(engine),
+        parts_(std::move(parts)),
+        branch_list_(std::move(branch_list)),
+        prepared_(spec.predicate, engine->schema_),
+        limit_(spec.limit),
+        row_bytes_(ProjectedRowBytes(engine->schema_, spec.projection)) {}
+  ~PartsCursor() override { engine_->scan_counters_.Add(stats_); }
 
-  bool Next(RecordRef* out) override {
+  bool Next(ScanRow* out) override {
+    if (limit_ != 0 && stats_.rows_emitted >= limit_) return false;
     for (;;) {
       if (!scanner_.has_value()) {
         if (next_part_ >= parts_.size()) return false;
-        scanner_.emplace(engine_->segments_[parts_[next_part_].first]
-                             ->file.get(),
-                         &engine_->schema_, &parts_[next_part_].second);
+        scanner_.emplace(
+            engine_->segments_[parts_[next_part_].seg]->file.get(),
+            &engine_->schema_, &parts_[next_part_].unioned);
+      }
+      RecordRef rec;
+      uint64_t idx;
+      if (!scanner_->Next(&rec, &idx)) {
+        if (!scanner_->status().ok()) {
+          status_ = scanner_->status();
+          return false;
+        }
+        scanner_.reset();
         ++next_part_;
+        continue;
       }
-      if (scanner_->Next(out, nullptr)) return true;
-      if (!scanner_->status().ok()) {
-        status_ = scanner_->status();
-        return false;
+      ++stats_.rows_scanned;
+      stats_.bytes_scanned += row_bytes_;
+      if (!prepared_.Matches(rec.data().data())) continue;
+      const ScanPart& part = parts_[next_part_];
+      if (!part.cols.empty()) {
+        present_.clear();
+        for (uint32_t i = 0; i < part.cols.size(); ++i) {
+          if (part.cols[i].Test(idx)) present_.push_back(i);
+        }
+        out->branches = &present_;
+      } else {
+        out->branches = nullptr;
       }
-      scanner_.reset();
+      out->record = rec;
+      ++stats_.rows_emitted;
+      return true;
     }
   }
 
   const Status& status() const override { return status_; }
+  const ScanStats& stats() const override { return stats_; }
+  const std::vector<BranchId>& branches() const override {
+    return branch_list_;
+  }
 
  private:
-  HybridEngine* engine_;
-  std::vector<std::pair<uint32_t, Bitmap>> parts_;
+  const HybridEngine* engine_;
+  std::vector<ScanPart> parts_;
+  std::vector<BranchId> branch_list_;
+  PreparedPredicate prepared_;
+  uint64_t limit_;
+  uint32_t row_bytes_;
   size_t next_part_ = 0;
   std::optional<BitmapScanner> scanner_;
+  std::vector<uint32_t> present_;
+  ScanStats stats_;
   Status status_;
 };
 
-Result<std::unique_ptr<RecordIterator>> HybridEngine::ScanBranch(
-    BranchId branch) {
-  if (head_seg_.count(branch) == 0) {
+Result<std::vector<HybridEngine::ScanPart>> HybridEngine::BuildScanParts(
+    const ScanSpec& spec) {
+  std::vector<ScanPart> parts;
+  switch (spec.view) {
+    case ScanView::kBranch: {
+      if (head_seg_.count(spec.branch) == 0) {
+        return Status::NotFound("hybrid: unknown branch " +
+                                std::to_string(spec.branch));
+      }
+      // "Single branch scans check the branch-segment index to identify
+      // the segments that need to be read" (§3.4); order is irrelevant.
+      for (uint32_t seg : SegmentsOf(spec.branch)) {
+        ScanPart part;
+        part.seg = seg;
+        part.unioned = segments_[seg]->local.MaterializeBranch(spec.branch);
+        parts.push_back(std::move(part));
+      }
+      return parts;
+    }
+    case ScanView::kCommit: {
+      std::vector<std::pair<uint32_t, Bitmap>> columns;
+      DECIBEL_RETURN_NOT_OK(CommitColumns(spec.commit, &columns));
+      for (auto& [seg, bits] : columns) {
+        ScanPart part;
+        part.seg = seg;
+        part.unioned = std::move(bits);
+        parts.push_back(std::move(part));
+      }
+      return parts;
+    }
+    case ScanView::kMulti: {
+      // Segments relevant to any requested branch: a logical OR of rows
+      // of the branch-segment bitmap (§3.4).
+      Bitmap segs;
+      for (BranchId b : spec.branches) {
+        auto it = branch_segments_.find(b);
+        if (it != branch_segments_.end()) segs.OrWith(it->second);
+      }
+      segs.ForEachSet([&](uint64_t seg) {
+        ScanPart part;
+        part.seg = static_cast<uint32_t>(seg);
+        part.cols.resize(spec.branches.size());
+        for (size_t i = 0; i < spec.branches.size(); ++i) {
+          part.cols[i] =
+              segments_[seg]->local.MaterializeBranch(spec.branches[i]);
+          part.unioned.OrWith(part.cols[i]);
+        }
+        parts.push_back(std::move(part));
+      });
+      return parts;
+    }
+    default:
+      return Status::InvalidArgument("hybrid: unsupported scan view");
+  }
+}
+
+Result<std::unique_ptr<ScanCursor>> HybridEngine::ParallelScan(
+    std::vector<ScanPart> parts, const ScanSpec& spec, int threads) {
+  // §3.4: the branch-segment bitmap "allows for parallelization of
+  // segment scanning". Workers filter and project inside the scan, so
+  // only matching rows are copied out of the pages; the cursor then
+  // drains the materialized result. The whole filtered result set is
+  // held in memory — the price of lock-free workers; callers scanning
+  // huge low-selectivity views without a limit should prefer the
+  // streaming sequential path (parallelism <= 1).
+  struct PartResult {
+    std::vector<std::string> rows;
+    std::vector<std::vector<uint32_t>> annotations;
+    ScanStats stats;
+    Status status;
+  };
+  std::vector<PartResult> results(parts.size());
+  const PreparedPredicate prepared(spec.predicate, schema_);
+  const uint32_t row_bytes = ProjectedRowBytes(schema_, spec.projection);
+  {
+    ThreadPool pool(static_cast<size_t>(threads));
+    for (size_t p = 0; p < parts.size(); ++p) {
+      pool.Submit([&, p] {
+        const ScanPart& part = parts[p];
+        PartResult& result = results[p];
+        BitmapScanner scanner(segments_[part.seg]->file.get(), &schema_,
+                              &part.unioned);
+        RecordRef rec;
+        uint64_t idx;
+        std::vector<uint32_t> present;
+        while (scanner.Next(&rec, &idx)) {
+          // Each worker can stop at the global limit: the merge below
+          // takes at most spec.limit rows total, so copies past it in
+          // any one part can never be emitted.
+          if (spec.limit != 0 && result.rows.size() >= spec.limit) break;
+          ++result.stats.rows_scanned;
+          result.stats.bytes_scanned += row_bytes;
+          if (!prepared.Matches(rec.data().data())) continue;
+          result.rows.push_back(
+              ProjectRecordCopy(schema_, rec.data(), spec.projection));
+          if (!part.cols.empty()) {
+            present.clear();
+            for (uint32_t i = 0; i < part.cols.size(); ++i) {
+              if (part.cols[i].Test(idx)) present.push_back(i);
+            }
+            result.annotations.push_back(present);
+          }
+        }
+        result.status = scanner.status();
+      });
+    }
+    pool.Wait();
+  }
+  auto cursor = std::make_unique<BufferedCursor>(&schema_, &scan_counters_);
+  *cursor->mutable_branch_list() = spec.branches;
+  ScanStats* stats = cursor->mutable_stats();
+  for (PartResult& result : results) {
+    if (!result.status.ok()) {
+      cursor->set_status(result.status);
+      break;
+    }
+    stats->rows_scanned += result.stats.rows_scanned;
+    stats->bytes_scanned += result.stats.bytes_scanned;
+    for (size_t i = 0; i < result.rows.size(); ++i) {
+      if (spec.limit != 0 && cursor->buffered() >= spec.limit) break;
+      if (result.annotations.empty()) {
+        cursor->AddOwnedRow(std::move(result.rows[i]));
+      } else {
+        cursor->AddAnnotatedRow(std::move(result.rows[i]),
+                                std::move(result.annotations[i]));
+      }
+    }
+  }
+  return std::unique_ptr<ScanCursor>(std::move(cursor));
+}
+
+Result<std::unique_ptr<ScanCursor>> HybridEngine::NewScan(
+    const ScanSpec& spec) {
+  DECIBEL_RETURN_NOT_OK(ValidateScanSpec(spec, schema_));
+  if (spec.view == ScanView::kDiff) {
+    return MakeDiffScanCursor(this, spec, &scan_counters_);
+  }
+  DECIBEL_ASSIGN_OR_RETURN(std::vector<ScanPart> parts, BuildScanParts(spec));
+  const int threads =
+      spec.parallelism != 0 ? spec.parallelism : options_.scan_threads;
+  if (threads > 1 && parts.size() > 1) {
+    return ParallelScan(std::move(parts), spec, threads);
+  }
+  std::vector<BranchId> branch_list =
+      spec.view == ScanView::kMulti ? spec.branches : std::vector<BranchId>();
+  return std::unique_ptr<ScanCursor>(
+      new PartsCursor(this, std::move(parts), std::move(branch_list), spec));
+}
+
+Result<Record> HybridEngine::Get(BranchId branch, int64_t pk) {
+  auto branch_it = pk_index_.find(branch);
+  if (branch_it == pk_index_.end()) {
     return Status::NotFound("hybrid: unknown branch " +
                             std::to_string(branch));
   }
-  // "Single branch scans check the branch-segment index to identify the
-  // segments that need to be read" (§3.4); order is irrelevant.
-  std::vector<std::pair<uint32_t, Bitmap>> parts;
-  for (uint32_t seg : SegmentsOf(branch)) {
-    parts.emplace_back(seg, segments_[seg]->local.MaterializeBranch(branch));
+  auto rec_it = branch_it->second.find(pk);
+  if (rec_it == branch_it->second.end()) {
+    return Status::NotFound("hybrid: no record with pk " +
+                            std::to_string(pk));
   }
-  return std::unique_ptr<RecordIterator>(
-      new MultiSegmentIterator(this, std::move(parts)));
-}
-
-Result<std::unique_ptr<RecordIterator>> HybridEngine::ScanCommit(
-    CommitId commit) {
-  std::vector<std::pair<uint32_t, Bitmap>> parts;
-  DECIBEL_RETURN_NOT_OK(CommitColumns(commit, &parts));
-  return std::unique_ptr<RecordIterator>(
-      new MultiSegmentIterator(this, std::move(parts)));
-}
-
-Status HybridEngine::ScanMulti(const std::vector<BranchId>& branches,
-                               const MultiScanCallback& callback) {
-  // Segments relevant to any requested branch: a logical OR of rows of the
-  // branch-segment bitmap (§3.4).
-  Bitmap segs;
-  for (BranchId b : branches) {
-    auto it = branch_segments_.find(b);
-    if (it != branch_segments_.end()) segs.OrWith(it->second);
-  }
-
-  auto scan_segment = [&](uint32_t seg,
-                          const std::function<void(const RecordRef&,
-                                                   const std::vector<uint32_t>&)>&
-                              emit) -> Status {
-    std::vector<Bitmap> cols(branches.size());
-    Bitmap unioned;
-    for (size_t i = 0; i < branches.size(); ++i) {
-      cols[i] = segments_[seg]->local.MaterializeBranch(branches[i]);
-      unioned.OrWith(cols[i]);
-    }
-    BitmapScanner scanner(segments_[seg]->file.get(), &schema_, &unioned);
-    RecordRef rec;
-    uint64_t idx;
-    std::vector<uint32_t> present;
-    while (scanner.Next(&rec, &idx)) {
-      present.clear();
-      for (uint32_t i = 0; i < cols.size(); ++i) {
-        if (cols[i].Test(idx)) present.push_back(i);
-      }
-      emit(rec, present);
-    }
-    return scanner.status();
-  };
-
-  if (options_.scan_threads > 1) {
-    // §3.4: the branch-segment bitmap "allows for parallelization of
-    // segment scanning". Callback invocations are serialized.
-    ThreadPool threads(static_cast<size_t>(options_.scan_threads));
-    std::mutex emit_mu;
-    Status first_error;
-    std::mutex status_mu;
-    segs.ForEachSet([&](uint64_t seg) {
-      threads.Submit([&, seg] {
-        Status s = scan_segment(
-            static_cast<uint32_t>(seg),
-            [&](const RecordRef& rec, const std::vector<uint32_t>& present) {
-              std::lock_guard<std::mutex> lock(emit_mu);
-              callback(rec, present);
-            });
-        if (!s.ok()) {
-          std::lock_guard<std::mutex> lock(status_mu);
-          if (first_error.ok()) first_error = s;
-        }
-      });
-    });
-    threads.Wait();
-    return first_error;
-  }
-
-  Status status;
-  segs.ForEachSet([&](uint64_t seg) {
-    if (!status.ok()) return;
-    status = scan_segment(static_cast<uint32_t>(seg), callback);
-  });
-  return status;
+  std::string buf;
+  DECIBEL_RETURN_NOT_OK(
+      segments_[rec_it->second.seg]->file->Get(rec_it->second.idx, &buf));
+  return Record(&schema_, Slice(buf));
 }
 
 Status HybridEngine::Diff(BranchId a, BranchId b, DiffMode mode,
@@ -785,6 +900,8 @@ EngineStats HybridEngine::Stats() const {
     stats.commit_store_bytes += history->SizeBytes();
   }
   stats.num_segments = segments_.size();
+  stats.rows_scanned = scan_counters_.rows();
+  stats.bytes_scanned = scan_counters_.bytes();
   return stats;
 }
 

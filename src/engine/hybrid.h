@@ -42,10 +42,8 @@ class HybridEngine : public StorageEngine {
 
   Status ApplyBatch(BranchId branch, const WriteBatch& batch) override;
 
-  Result<std::unique_ptr<RecordIterator>> ScanBranch(BranchId branch) override;
-  Result<std::unique_ptr<RecordIterator>> ScanCommit(CommitId commit) override;
-  Status ScanMulti(const std::vector<BranchId>& branches,
-                   const MultiScanCallback& callback) override;
+  Result<std::unique_ptr<ScanCursor>> NewScan(const ScanSpec& spec) override;
+  Result<Record> Get(BranchId branch, int64_t pk) override;
   Status Diff(BranchId a, BranchId b, DiffMode mode, const DiffCallback& pos,
               const DiffCallback& neg) override;
   Result<MergeResult> Merge(BranchId into, BranchId from, CommitId lca,
@@ -99,6 +97,9 @@ class HybridEngine : public StorageEngine {
   Schema schema_;
   EngineOptions options_;
   BufferPool pool_;
+  /// Lifetime scan-work totals (EngineStats::rows_scanned/bytes_scanned);
+  /// mutable so cursors over a const engine can flush into it.
+  mutable ScanCounters scan_counters_;
 
   /// Serializes the mutating entry points (ApplyBatch, CreateBranch,
   /// Merge, Commit) across branches: although each branch appends to its
@@ -121,7 +122,19 @@ class HybridEngine : public StorageEngine {
   std::unordered_map<BranchId, std::unordered_set<uint32_t>> dirty_;
   std::unordered_map<CommitId, BranchId> commit_branch_;
 
-  class MultiSegmentIterator;
+  /// One unit of a segmented scan: a segment plus the bitmap(s) selecting
+  /// its rows (cols carries per-requested-branch columns for multi views).
+  struct ScanPart {
+    uint32_t seg = 0;
+    Bitmap unioned;
+    std::vector<Bitmap> cols;
+  };
+
+  Result<std::vector<ScanPart>> BuildScanParts(const ScanSpec& spec);
+  Result<std::unique_ptr<ScanCursor>> ParallelScan(
+      std::vector<ScanPart> parts, const ScanSpec& spec, int threads);
+
+  class PartsCursor;
 };
 
 }  // namespace decibel

@@ -1,0 +1,103 @@
+#include "engine/scan_spec.h"
+
+#include <cstring>
+
+namespace decibel {
+
+const std::vector<BranchId>& ScanCursor::branches() const {
+  static const std::vector<BranchId> kEmpty;
+  return kEmpty;
+}
+
+Result<std::vector<size_t>> ResolveProjection(
+    const Schema& schema, const std::vector<std::string>& columns) {
+  std::vector<size_t> out;
+  out.reserve(columns.size());
+  for (const std::string& name : columns) {
+    const int col = schema.FindColumn(name);
+    if (col < 0) {
+      return Status::InvalidArgument("projection: no column '" + name + "'");
+    }
+    out.push_back(static_cast<size_t>(col));
+  }
+  return out;
+}
+
+Status ValidateScanSpec(const ScanSpec& spec, const Schema& schema) {
+  if (spec.view == ScanView::kHeads) {
+    return Status::InvalidArgument(
+        "scan: kHeads must be resolved by Decibel::NewScan (engines need "
+        "an explicit branch list)");
+  }
+  if (spec.view == ScanView::kMulti && spec.branches.empty()) {
+    return Status::InvalidArgument("scan: multi-branch view needs branches");
+  }
+  for (size_t col : spec.projection) {
+    if (col >= schema.num_columns()) {
+      return Status::InvalidArgument("scan: projection column " +
+                                     std::to_string(col) + " out of range");
+    }
+  }
+  for (const Comparison& cmp : spec.predicate.comparisons()) {
+    if (cmp.column >= schema.num_columns()) {
+      return Status::InvalidArgument("scan: predicate column " +
+                                     std::to_string(cmp.column) +
+                                     " out of range");
+    }
+  }
+  return Status::OK();
+}
+
+uint32_t ProjectedRowBytes(const Schema& schema,
+                           const std::vector<size_t>& projection) {
+  if (projection.empty()) return schema.record_size();
+  uint32_t bytes = 1;  // record header
+  for (size_t col : projection) bytes += schema.column(col).width;
+  return bytes;
+}
+
+PreparedPredicate::PreparedPredicate(const Predicate& predicate,
+                                     const Schema& schema) {
+  comparisons_.reserve(predicate.comparisons().size());
+  for (const Comparison& src : predicate.comparisons()) {
+    Cmp cmp;
+    cmp.offset = schema.offset(src.column);
+    cmp.width = schema.column(src.column).width;
+    cmp.type = schema.column(src.column).type;
+    cmp.op = src.op;
+    cmp.int_value = src.int_value;
+    cmp.double_value = src.double_value;
+    cmp.string_value = src.string_value;
+    comparisons_.push_back(std::move(cmp));
+  }
+}
+
+bool PreparedPredicate::MatchesOne(const Cmp& cmp, const char* record) {
+  const char* p = record + cmp.offset;
+  switch (cmp.type) {
+    case FieldType::kInt32: {
+      int32_t v;
+      memcpy(&v, p, sizeof(v));
+      return ApplyCompareOp<int64_t>(cmp.op, v, cmp.int_value);
+    }
+    case FieldType::kInt64: {
+      int64_t v;
+      memcpy(&v, p, sizeof(v));
+      return ApplyCompareOp<int64_t>(cmp.op, v, cmp.int_value);
+    }
+    case FieldType::kDouble: {
+      double v;
+      memcpy(&v, p, sizeof(v));
+      return ApplyCompareOp<double>(cmp.op, v, cmp.double_value);
+    }
+    case FieldType::kString: {
+      size_t w = cmp.width;
+      while (w > 0 && p[w - 1] == '\0') --w;
+      return ApplyCompareOp<std::string_view>(cmp.op, std::string_view(p, w),
+                                       std::string_view(cmp.string_value));
+    }
+  }
+  return false;
+}
+
+}  // namespace decibel

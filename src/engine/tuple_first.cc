@@ -5,23 +5,73 @@
 #include "common/coding.h"
 #include "engine/bitmap_scan.h"
 #include "engine/merge_util.h"
+#include "engine/scan_util.h"
 
 namespace decibel {
 
 namespace {
 
-/// Pull iterator over one materialized bitmap column.
-class TupleFirstIterator : public RecordIterator {
+/// Streaming cursor over one materialized bitmap view of the shared heap
+/// file. For multi-branch views `cols` holds the requested branches'
+/// columns and `bits` their union; the predicate is evaluated on the raw
+/// in-page record bytes *before* the per-branch membership annotation, so
+/// predicate-failing tuples cost one comparison and no bitmap probes.
+class TupleFirstCursor : public ScanCursor {
  public:
-  TupleFirstIterator(HeapFile* heap, const Schema* schema, Bitmap bits)
-      : bits_(std::move(bits)), scanner_(heap, schema, &bits_) {}
+  TupleFirstCursor(HeapFile* heap, const Schema* schema, Bitmap bits,
+                   std::vector<Bitmap> cols, std::vector<BranchId> branch_list,
+                   const ScanSpec& spec, ScanCounters* counters)
+      : bits_(std::move(bits)),
+        cols_(std::move(cols)),
+        branch_list_(std::move(branch_list)),
+        scanner_(heap, schema, &bits_),
+        prepared_(spec.predicate, *schema),
+        limit_(spec.limit),
+        row_bytes_(ProjectedRowBytes(*schema, spec.projection)),
+        counters_(counters) {}
+  ~TupleFirstCursor() override { counters_->Add(stats_); }
 
-  bool Next(RecordRef* out) override { return scanner_.Next(out, nullptr); }
+  bool Next(ScanRow* out) override {
+    if (limit_ != 0 && stats_.rows_emitted >= limit_) return false;
+    RecordRef rec;
+    uint64_t idx;
+    while (scanner_.Next(&rec, &idx)) {
+      ++stats_.rows_scanned;
+      stats_.bytes_scanned += row_bytes_;
+      if (!prepared_.Matches(rec.data().data())) continue;
+      if (!cols_.empty()) {
+        present_.clear();
+        for (uint32_t i = 0; i < cols_.size(); ++i) {
+          if (cols_[i].Test(idx)) present_.push_back(i);
+        }
+        out->branches = &present_;
+      } else {
+        out->branches = nullptr;
+      }
+      out->record = rec;
+      ++stats_.rows_emitted;
+      return true;
+    }
+    return false;
+  }
+
   const Status& status() const override { return scanner_.status(); }
+  const ScanStats& stats() const override { return stats_; }
+  const std::vector<BranchId>& branches() const override {
+    return branch_list_;
+  }
 
  private:
   Bitmap bits_;
+  std::vector<Bitmap> cols_;
+  std::vector<BranchId> branch_list_;
   BitmapScanner scanner_;
+  PreparedPredicate prepared_;
+  uint64_t limit_;
+  uint32_t row_bytes_;
+  ScanCounters* counters_;
+  std::vector<uint32_t> present_;
+  ScanStats stats_;
 };
 
 }  // namespace
@@ -263,48 +313,63 @@ Status TupleFirstEngine::ApplyBatch(BranchId branch, const WriteBatch& batch) {
 
 // ------------------------------------------------------------------ queries
 
-Result<std::unique_ptr<RecordIterator>> TupleFirstEngine::ScanBranch(
-    BranchId branch) {
-  if (pk_index_.count(branch) == 0) {
+Result<std::unique_ptr<ScanCursor>> TupleFirstEngine::NewScan(
+    const ScanSpec& spec) {
+  DECIBEL_RETURN_NOT_OK(ValidateScanSpec(spec, schema_));
+  switch (spec.view) {
+    case ScanView::kBranch: {
+      if (pk_index_.count(spec.branch) == 0) {
+        return Status::NotFound("tuple-first: unknown branch " +
+                                std::to_string(spec.branch));
+      }
+      // For the tuple-oriented layout MaterializeBranch walks the whole
+      // matrix — the single-branch scan penalty of §3.2.
+      return std::unique_ptr<ScanCursor>(new TupleFirstCursor(
+          heap_.get(), &schema_, index_->MaterializeBranch(spec.branch), {},
+          {}, spec, &scan_counters_));
+    }
+    case ScanView::kCommit: {
+      DECIBEL_ASSIGN_OR_RETURN(Bitmap bits, CommitBitmap(spec.commit));
+      return std::unique_ptr<ScanCursor>(
+          new TupleFirstCursor(heap_.get(), &schema_, std::move(bits), {}, {},
+                               spec, &scan_counters_));
+    }
+    case ScanView::kMulti: {
+      // One pass over the heap file, each tuple annotated with the
+      // branches it is live in (§3.2 Multi-branch Scan).
+      std::vector<Bitmap> cols;
+      cols.reserve(spec.branches.size());
+      Bitmap unioned;
+      for (BranchId b : spec.branches) {
+        cols.push_back(index_->MaterializeBranch(b));
+        unioned.OrWith(cols.back());
+      }
+      return std::unique_ptr<ScanCursor>(new TupleFirstCursor(
+          heap_.get(), &schema_, std::move(unioned), std::move(cols),
+          spec.branches, spec, &scan_counters_));
+    }
+    case ScanView::kDiff:
+      return MakeDiffScanCursor(this, spec, &scan_counters_);
+    case ScanView::kHeads:
+      break;  // rejected by ValidateScanSpec
+  }
+  return Status::InvalidArgument("tuple-first: unsupported scan view");
+}
+
+Result<Record> TupleFirstEngine::Get(BranchId branch, int64_t pk) {
+  auto branch_it = pk_index_.find(branch);
+  if (branch_it == pk_index_.end()) {
     return Status::NotFound("tuple-first: unknown branch " +
                             std::to_string(branch));
   }
-  // For the tuple-oriented layout MaterializeBranch walks the whole
-  // matrix — the single-branch scan penalty of §3.2.
-  return std::unique_ptr<RecordIterator>(new TupleFirstIterator(
-      heap_.get(), &schema_, index_->MaterializeBranch(branch)));
-}
-
-Result<std::unique_ptr<RecordIterator>> TupleFirstEngine::ScanCommit(
-    CommitId commit) {
-  DECIBEL_ASSIGN_OR_RETURN(Bitmap bits, CommitBitmap(commit));
-  return std::unique_ptr<RecordIterator>(
-      new TupleFirstIterator(heap_.get(), &schema_, std::move(bits)));
-}
-
-Status TupleFirstEngine::ScanMulti(const std::vector<BranchId>& branches,
-                                   const MultiScanCallback& callback) {
-  // One pass over the heap file, emitting each tuple annotated with the
-  // branches it is live in (§3.2 Multi-branch Scan).
-  std::vector<Bitmap> cols;
-  cols.reserve(branches.size());
-  Bitmap unioned;
-  for (BranchId b : branches) {
-    cols.push_back(index_->MaterializeBranch(b));
-    unioned.OrWith(cols.back());
+  auto rec_it = branch_it->second.find(pk);
+  if (rec_it == branch_it->second.end()) {
+    return Status::NotFound("tuple-first: no record with pk " +
+                            std::to_string(pk));
   }
-  BitmapScanner scanner(heap_.get(), &schema_, &unioned);
-  RecordRef rec;
-  uint64_t idx;
-  std::vector<uint32_t> present;
-  while (scanner.Next(&rec, &idx)) {
-    present.clear();
-    for (uint32_t i = 0; i < cols.size(); ++i) {
-      if (cols[i].Test(idx)) present.push_back(i);
-    }
-    callback(rec, present);
-  }
-  return scanner.status();
+  std::string buf;
+  DECIBEL_RETURN_NOT_OK(heap_->Get(rec_it->second, &buf));
+  return Record(&schema_, Slice(buf));
 }
 
 Status TupleFirstEngine::Diff(BranchId a, BranchId b, DiffMode mode,
@@ -508,6 +573,8 @@ EngineStats TupleFirstEngine::Stats() const {
   }
   stats.num_segments = 1;
   stats.num_records = heap_->num_records();
+  stats.rows_scanned = scan_counters_.rows();
+  stats.bytes_scanned = scan_counters_.bytes();
   return stats;
 }
 

@@ -38,10 +38,8 @@ class TupleFirstEngine : public StorageEngine {
 
   Status ApplyBatch(BranchId branch, const WriteBatch& batch) override;
 
-  Result<std::unique_ptr<RecordIterator>> ScanBranch(BranchId branch) override;
-  Result<std::unique_ptr<RecordIterator>> ScanCommit(CommitId commit) override;
-  Status ScanMulti(const std::vector<BranchId>& branches,
-                   const MultiScanCallback& callback) override;
+  Result<std::unique_ptr<ScanCursor>> NewScan(const ScanSpec& spec) override;
+  Result<Record> Get(BranchId branch, int64_t pk) override;
   Status Diff(BranchId a, BranchId b, DiffMode mode, const DiffCallback& pos,
               const DiffCallback& neg) override;
   Result<MergeResult> Merge(BranchId into, BranchId from, CommitId lca,
@@ -75,6 +73,8 @@ class TupleFirstEngine : public StorageEngine {
   Schema schema_;
   EngineOptions options_;
   BufferPool pool_;
+  /// Lifetime scan-work totals (EngineStats::rows_scanned/bytes_scanned).
+  ScanCounters scan_counters_;
   /// Serializes the mutating entry points (ApplyBatch, CreateBranch,
   /// Merge, Commit) across branches: tuple-first shares one heap file and
   /// one bitmap universe between all branches, so the facade's per-branch

@@ -5,6 +5,7 @@
 
 #include "common/coding.h"
 #include "engine/merge_util.h"
+#include "engine/scan_util.h"
 
 namespace decibel {
 
@@ -392,14 +393,24 @@ std::vector<VersionFirstEngine::ScanStep> VersionFirstEngine::ComputeScanOrder(
 
 /// Streaming single-version scan: walk the scan order newest-to-oldest,
 /// suppressing keys already seen ("Decibel uses an in-memory set to track
-/// emitted tuples", §3.3).
-class VersionFirstEngine::BranchScanIterator : public RecordIterator {
+/// emitted tuples", §3.3). The pushed-down predicate is evaluated inside
+/// the segment walk, after version resolution — an old version of a key
+/// must still shadow, even when the newest version fails the filter — so
+/// a row failing the predicate costs one raw-bytes comparison and never
+/// surfaces through the cursor boundary.
+class VersionFirstEngine::BranchScanCursor : public ScanCursor {
  public:
-  BranchScanIterator(const VersionFirstEngine* engine,
-                     std::vector<ScanStep> order)
-      : engine_(engine), order_(std::move(order)) {}
+  BranchScanCursor(const VersionFirstEngine* engine,
+                   std::vector<ScanStep> order, const ScanSpec& spec)
+      : engine_(engine),
+        order_(std::move(order)),
+        prepared_(spec.predicate, engine->schema_),
+        limit_(spec.limit),
+        row_bytes_(ProjectedRowBytes(engine->schema_, spec.projection)) {}
+  ~BranchScanCursor() override { engine_->scan_counters_.Add(stats_); }
 
-  bool Next(RecordRef* out) override {
+  bool Next(ScanRow* out) override {
+    if (limit_ != 0 && stats_.rows_emitted >= limit_) return false;
     for (;;) {
       if (!reader_.has_value()) {
         if (step_ >= order_.size()) return false;
@@ -419,12 +430,18 @@ class VersionFirstEngine::BranchScanIterator : public RecordIterator {
       }
       if (!seen_.insert(rec.pk()).second) continue;
       if (rec.tombstone()) continue;
-      *out = rec;
+      ++stats_.rows_scanned;
+      stats_.bytes_scanned += row_bytes_;
+      if (!prepared_.Matches(rec.data().data())) continue;
+      out->record = rec;
+      out->branches = nullptr;
+      ++stats_.rows_emitted;
       return true;
     }
   }
 
   const Status& status() const override { return status_; }
+  const ScanStats& stats() const override { return stats_; }
 
  private:
   const VersionFirstEngine* engine_;
@@ -432,21 +449,150 @@ class VersionFirstEngine::BranchScanIterator : public RecordIterator {
   size_t step_ = 0;
   std::optional<ReverseSegmentReader> reader_;
   std::unordered_set<int64_t> seen_;
+  PreparedPredicate prepared_;
+  uint64_t limit_;
+  uint32_t row_bytes_;
+  ScanStats stats_;
   Status status_;
 };
 
-Result<std::unique_ptr<RecordIterator>> VersionFirstEngine::ScanBranch(
-    BranchId branch) {
-  DECIBEL_ASSIGN_OR_RETURN(Root root, RootForBranch(branch));
-  return std::unique_ptr<RecordIterator>(
-      new BranchScanIterator(this, ComputeScanOrder(root)));
+/// Multi-branch cursor: pass 1 builds the winner tables eagerly (§3.3's
+/// intermediate hash tables); pass 2 streams the winners in (segment,
+/// record) order — the paper's output priority queue — pinning one page
+/// at a time and checking the predicate on the in-page bytes before the
+/// membership annotation, so filtered-out winners are never copied.
+class VersionFirstEngine::MultiWinnerCursor : public ScanCursor {
+ public:
+  using Output =
+      std::map<std::pair<uint32_t, uint64_t>, std::vector<uint32_t>>;
+
+  MultiWinnerCursor(const VersionFirstEngine* engine, Output output,
+                    std::vector<BranchId> branch_list, const ScanSpec& spec)
+      : engine_(engine),
+        output_(std::move(output)),
+        next_(output_.begin()),
+        branch_list_(std::move(branch_list)),
+        prepared_(spec.predicate, engine->schema_),
+        limit_(spec.limit),
+        row_bytes_(ProjectedRowBytes(engine->schema_, spec.projection)) {}
+  ~MultiWinnerCursor() override { engine_->scan_counters_.Add(stats_); }
+
+  bool Next(ScanRow* out) override {
+    if (limit_ != 0 && stats_.rows_emitted >= limit_) return false;
+    while (status_.ok() && next_ != output_.end()) {
+      const auto& [loc, roots] = *next_;
+      HeapFile* file = engine_->segments_[loc.first]->file.get();
+      const uint64_t page_no = loc.second / file->records_per_page();
+      if (loc.first != pinned_seg_ || page_no != pinned_page_no_) {
+        auto page = file->PinPage(page_no);
+        if (!page.ok()) {
+          status_ = page.status();
+          return false;
+        }
+        page_ = std::move(page).MoveValueUnsafe();
+        pinned_seg_ = loc.first;
+        pinned_page_no_ = page_no;
+      }
+      const uint64_t slot = loc.second % file->records_per_page();
+      const char* bytes = page_.payload + slot * file->record_size();
+      ++stats_.rows_scanned;
+      stats_.bytes_scanned += row_bytes_;
+      const std::vector<uint32_t>* present = &roots;
+      ++next_;
+      if (!prepared_.Matches(bytes)) continue;
+      out->record = RecordRef(&engine_->schema_,
+                              Slice(bytes, file->record_size()));
+      out->branches = present;
+      ++stats_.rows_emitted;
+      return true;
+    }
+    return false;
+  }
+
+  const Status& status() const override { return status_; }
+  const ScanStats& stats() const override { return stats_; }
+  const std::vector<BranchId>& branches() const override {
+    return branch_list_;
+  }
+
+ private:
+  const VersionFirstEngine* engine_;
+  Output output_;
+  Output::const_iterator next_;
+  std::vector<BranchId> branch_list_;
+  PreparedPredicate prepared_;
+  uint64_t limit_;
+  uint32_t row_bytes_;
+  HeapFile::PinnedPage page_;
+  uint32_t pinned_seg_ = UINT32_MAX;
+  uint64_t pinned_page_no_ = UINT64_MAX;
+  ScanStats stats_;
+  Status status_;
+};
+
+Result<std::unique_ptr<ScanCursor>> VersionFirstEngine::NewScan(
+    const ScanSpec& spec) {
+  DECIBEL_RETURN_NOT_OK(ValidateScanSpec(spec, schema_));
+  switch (spec.view) {
+    case ScanView::kBranch: {
+      DECIBEL_ASSIGN_OR_RETURN(Root root, RootForBranch(spec.branch));
+      return std::unique_ptr<ScanCursor>(
+          new BranchScanCursor(this, ComputeScanOrder(root), spec));
+    }
+    case ScanView::kCommit: {
+      DECIBEL_ASSIGN_OR_RETURN(Root root, RootForCommit(spec.commit));
+      return std::unique_ptr<ScanCursor>(
+          new BranchScanCursor(this, ComputeScanOrder(root), spec));
+    }
+    case ScanView::kMulti: {
+      std::vector<Root> roots;
+      roots.reserve(spec.branches.size());
+      for (BranchId b : spec.branches) {
+        DECIBEL_ASSIGN_OR_RETURN(Root root, RootForBranch(b));
+        roots.push_back(root);
+      }
+      std::vector<WinnerTable> tables;
+      DECIBEL_RETURN_NOT_OK(BuildWinnerTables(roots, &tables, nullptr));
+      MultiWinnerCursor::Output output;
+      for (uint32_t r = 0; r < tables.size(); ++r) {
+        for (const auto& [pk, winner] : tables[r]) {
+          if (winner.tombstone) continue;
+          output[{winner.seg, winner.idx}].push_back(r);
+        }
+      }
+      return std::unique_ptr<ScanCursor>(new MultiWinnerCursor(
+          this, std::move(output), spec.branches, spec));
+    }
+    case ScanView::kDiff:
+      return MakeDiffScanCursor(this, spec, &scan_counters_);
+    case ScanView::kHeads:
+      break;  // rejected by ValidateScanSpec
+  }
+  return Status::InvalidArgument("version-first: unsupported scan view");
 }
 
-Result<std::unique_ptr<RecordIterator>> VersionFirstEngine::ScanCommit(
-    CommitId commit) {
-  DECIBEL_ASSIGN_OR_RETURN(Root root, RootForCommit(commit));
-  return std::unique_ptr<RecordIterator>(
-      new BranchScanIterator(this, ComputeScanOrder(root)));
+Result<Record> VersionFirstEngine::Get(BranchId branch, int64_t pk) {
+  // No pk index in this layout (§3.3): walk the ancestry newest-to-oldest
+  // and stop at the first version of the key — the same resolution order
+  // as a branch scan, with early exit.
+  DECIBEL_ASSIGN_OR_RETURN(Root root, RootForBranch(branch));
+  for (const ScanStep& step : ComputeScanOrder(root)) {
+    ReverseSegmentReader reader(segments_[step.seg]->file.get(), &schema_,
+                                step.bound);
+    RecordRef rec;
+    while (reader.Prev(&rec, nullptr)) {
+      if (rec.pk() != pk) continue;
+      if (rec.tombstone()) {
+        return Status::NotFound("version-first: pk " + std::to_string(pk) +
+                                " deleted in branch " +
+                                std::to_string(branch));
+      }
+      return Record(&schema_, rec.data());
+    }
+    DECIBEL_RETURN_NOT_OK(reader.status());
+  }
+  return Status::NotFound("version-first: no record with pk " +
+                          std::to_string(pk));
 }
 
 // ------------------------------------------------------------ winner tables
@@ -505,40 +651,6 @@ Status VersionFirstEngine::BuildWinnerTables(
 Status VersionFirstEngine::FetchRecord(uint32_t seg, uint64_t idx,
                                        std::string* buf) const {
   return segments_[seg]->file->Get(idx, buf);
-}
-
-Status VersionFirstEngine::EmitWinners(
-    const std::vector<WinnerTable>& tables,
-    const MultiScanCallback& callback) const {
-  // Aggregate winners by physical location, then emit in (segment,
-  // record) order — the paper's "output priority queue (sorted in
-  // record-id order)".
-  std::map<std::pair<uint32_t, uint64_t>, std::vector<uint32_t>> output;
-  for (uint32_t r = 0; r < tables.size(); ++r) {
-    for (const auto& [pk, winner] : tables[r]) {
-      if (winner.tombstone) continue;
-      output[{winner.seg, winner.idx}].push_back(r);
-    }
-  }
-  std::string buf;
-  for (const auto& [loc, roots] : output) {
-    DECIBEL_RETURN_NOT_OK(FetchRecord(loc.first, loc.second, &buf));
-    callback(RecordRef(&schema_, buf), roots);
-  }
-  return Status::OK();
-}
-
-Status VersionFirstEngine::ScanMulti(const std::vector<BranchId>& branches,
-                                     const MultiScanCallback& callback) {
-  std::vector<Root> roots;
-  roots.reserve(branches.size());
-  for (BranchId b : branches) {
-    DECIBEL_ASSIGN_OR_RETURN(Root root, RootForBranch(b));
-    roots.push_back(root);
-  }
-  std::vector<WinnerTable> tables;
-  DECIBEL_RETURN_NOT_OK(BuildWinnerTables(roots, &tables, nullptr));
-  return EmitWinners(tables, callback);
 }
 
 // --------------------------------------------------------------------- diff
@@ -780,6 +892,8 @@ EngineStats VersionFirstEngine::Stats() const {
   stats.num_segments = segments_.size();
   // Commits are (segment, offset) pairs — the whole registry is tiny.
   stats.commit_store_bytes = commits_.size() * 20;
+  stats.rows_scanned = scan_counters_.rows();
+  stats.bytes_scanned = scan_counters_.bytes();
   return stats;
 }
 

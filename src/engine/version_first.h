@@ -48,10 +48,8 @@ class VersionFirstEngine : public StorageEngine {
 
   Status ApplyBatch(BranchId branch, const WriteBatch& batch) override;
 
-  Result<std::unique_ptr<RecordIterator>> ScanBranch(BranchId branch) override;
-  Result<std::unique_ptr<RecordIterator>> ScanCommit(CommitId commit) override;
-  Status ScanMulti(const std::vector<BranchId>& branches,
-                   const MultiScanCallback& callback) override;
+  Result<std::unique_ptr<ScanCursor>> NewScan(const ScanSpec& spec) override;
+  Result<Record> Get(BranchId branch, int64_t pk) override;
   Status Diff(BranchId a, BranchId b, DiffMode mode, const DiffCallback& pos,
               const DiffCallback& neg) override;
   Result<MergeResult> Merge(BranchId into, BranchId from, CommitId lca,
@@ -126,14 +124,12 @@ class VersionFirstEngine : public StorageEngine {
   /// Reads record \p idx of segment \p seg into \p buf.
   Status FetchRecord(uint32_t seg, uint64_t idx, std::string* buf) const;
 
-  /// Emits winners (sorted segment/record order) annotated with the roots
-  /// that own them — pass 2 of the multi-branch scan.
-  Status EmitWinners(const std::vector<WinnerTable>& tables,
-                     const MultiScanCallback& callback) const;
-
   Schema schema_;
   EngineOptions options_;
   BufferPool pool_;
+  /// Lifetime scan-work totals (EngineStats::rows_scanned/bytes_scanned);
+  /// mutable so cursors over a const engine can flush into it.
+  mutable ScanCounters scan_counters_;
 
   /// Serializes the mutating entry points (ApplyBatch, CreateBranch,
   /// Merge, Commit): CreateBranch/Merge grow the shared segments_ vector
@@ -145,7 +141,8 @@ class VersionFirstEngine : public StorageEngine {
   std::unordered_map<BranchId, uint32_t> head_seg_;
   std::unordered_map<CommitId, Root> commits_;
 
-  class BranchScanIterator;
+  class BranchScanCursor;
+  class MultiWinnerCursor;
 };
 
 }  // namespace decibel

@@ -20,29 +20,6 @@ const char* CompareOpName(CompareOp op) {
   return "?";
 }
 
-namespace {
-
-template <typename T>
-bool ApplyOp(CompareOp op, const T& lhs, const T& rhs) {
-  switch (op) {
-    case CompareOp::kEq:
-      return lhs == rhs;
-    case CompareOp::kNe:
-      return lhs != rhs;
-    case CompareOp::kLt:
-      return lhs < rhs;
-    case CompareOp::kLe:
-      return lhs <= rhs;
-    case CompareOp::kGt:
-      return lhs > rhs;
-    case CompareOp::kGe:
-      return lhs >= rhs;
-  }
-  return false;
-}
-
-}  // namespace
-
 Result<Predicate> Predicate::Compare(const Schema& schema,
                                      const std::string& column, CompareOp op,
                                      int64_t value) {
@@ -60,6 +37,26 @@ Result<Predicate> Predicate::Compare(const Schema& schema,
   cmp.column = static_cast<size_t>(col);
   cmp.op = op;
   cmp.int_value = value;
+  p.And(std::move(cmp));
+  return p;
+}
+
+Result<Predicate> Predicate::CompareDouble(const Schema& schema,
+                                           const std::string& column,
+                                           CompareOp op, double value) {
+  const int col = schema.FindColumn(column);
+  if (col < 0) {
+    return Status::InvalidArgument("predicate: no column '" + column + "'");
+  }
+  if (schema.column(static_cast<size_t>(col)).type != FieldType::kDouble) {
+    return Status::InvalidArgument("predicate: column '" + column +
+                                   "' is not a double");
+  }
+  Predicate p;
+  Comparison cmp;
+  cmp.column = static_cast<size_t>(col);
+  cmp.op = op;
+  cmp.double_value = value;
   p.And(std::move(cmp));
   return p;
 }
@@ -90,18 +87,18 @@ bool Predicate::Matches(const RecordRef& record) const {
     switch (schema.column(cmp.column).type) {
       case FieldType::kInt32:
       case FieldType::kInt64:
-        if (!ApplyOp(cmp.op, record.GetNumeric(cmp.column), cmp.int_value)) {
+        if (!ApplyCompareOp(cmp.op, record.GetNumeric(cmp.column), cmp.int_value)) {
           return false;
         }
         break;
       case FieldType::kDouble:
-        if (!ApplyOp(cmp.op, record.GetDouble(cmp.column),
+        if (!ApplyCompareOp(cmp.op, record.GetDouble(cmp.column),
                      cmp.double_value)) {
           return false;
         }
         break;
       case FieldType::kString:
-        if (!ApplyOp(cmp.op, std::string(record.GetString(cmp.column)),
+        if (!ApplyCompareOp(cmp.op, std::string(record.GetString(cmp.column)),
                      cmp.string_value)) {
           return false;
         }

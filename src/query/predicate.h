@@ -19,6 +19,27 @@ enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
 
 const char* CompareOpName(CompareOp op);
 
+/// Applies \p op to an (lhs, rhs) pair — the one comparison dispatch
+/// shared by Predicate::Matches and the engines' PreparedPredicate.
+template <typename T>
+bool ApplyCompareOp(CompareOp op, const T& lhs, const T& rhs) {
+  switch (op) {
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      return lhs != rhs;
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs <= rhs;
+    case CompareOp::kGt:
+      return lhs > rhs;
+    case CompareOp::kGe:
+      return lhs >= rhs;
+  }
+  return false;
+}
+
 /// One comparison: <column> <op> <literal>.
 struct Comparison {
   size_t column = 0;
@@ -38,6 +59,11 @@ class Predicate {
   static Result<Predicate> Compare(const Schema& schema,
                                    const std::string& column, CompareOp op,
                                    int64_t value);
+
+  /// Builds a single-comparison predicate against a double column.
+  static Result<Predicate> CompareDouble(const Schema& schema,
+                                         const std::string& column,
+                                         CompareOp op, double value);
 
   /// Builds a single-comparison predicate against a string column (the
   /// "R1.Name = 'Sam'" shape of Table 1's query 3).

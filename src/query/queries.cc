@@ -7,22 +7,26 @@ namespace query {
 
 namespace {
 
-Result<QueryStats> ScanIteratorWithPredicate(
-    Result<std::unique_ptr<RecordIterator>> iter, uint32_t record_size,
-    const Predicate& predicate, const RowCallback& callback) {
-  if (!iter.ok()) return iter.status();
-  QueryStats stats;
-  RecordRef rec;
-  while ((*iter)->Next(&rec)) {
-    ++stats.rows_scanned;
-    stats.bytes_scanned += record_size;
-    if (predicate.Matches(rec)) {
-      ++stats.rows_emitted;
-      if (callback) callback(rec);
-    }
+QueryStats ToQueryStats(const ScanStats& stats) {
+  QueryStats out;
+  out.rows_emitted = stats.rows_emitted;
+  out.rows_scanned = stats.rows_scanned;
+  out.bytes_scanned = stats.bytes_scanned;
+  return out;
+}
+
+/// Drains a pushed-down scan, forwarding the matching rows. The work
+/// counters come straight from the cursor — the engine reports what it
+/// scanned; nothing is re-derived here.
+Result<QueryStats> RunScan(Decibel* db, ScanSpec spec,
+                           const RowCallback& callback) {
+  DECIBEL_ASSIGN_OR_RETURN(auto cursor, db->NewScan(std::move(spec)));
+  ScanRow row;
+  while (cursor->Next(&row)) {
+    if (callback) callback(row.record);
   }
-  DECIBEL_RETURN_NOT_OK((*iter)->status());
-  return stats;
+  DECIBEL_RETURN_NOT_OK(cursor->status());
+  return ToQueryStats(cursor->stats());
 }
 
 }  // namespace
@@ -30,85 +34,69 @@ Result<QueryStats> ScanIteratorWithPredicate(
 Result<QueryStats> ScanVersion(Decibel* db, BranchId branch,
                                const Predicate& predicate,
                                const RowCallback& callback) {
-  return ScanIteratorWithPredicate(db->ScanBranch(branch),
-                                   db->schema().record_size(), predicate,
-                                   callback);
+  return RunScan(db, ScanSpec::Branch(branch).Where(predicate), callback);
 }
 
 Result<QueryStats> ScanVersionAt(Decibel* db, CommitId commit,
                                  const Predicate& predicate,
                                  const RowCallback& callback) {
-  return ScanIteratorWithPredicate(db->ScanCommit(commit),
-                                   db->schema().record_size(), predicate,
-                                   callback);
+  return RunScan(db, ScanSpec::Commit(commit).Where(predicate), callback);
 }
 
 Result<QueryStats> PositiveDiff(Decibel* db, BranchId a, BranchId b,
                                 const RowCallback& callback) {
-  QueryStats stats;
-  const uint32_t rs = db->schema().record_size();
-  DECIBEL_RETURN_NOT_OK(db->Diff(
-      a, b, DiffMode::kByKey,
-      [&](const RecordRef& rec) {
-        ++stats.rows_emitted;
-        stats.bytes_scanned += rs;
-        if (callback) callback(rec);
-      },
-      /*neg=*/nullptr));
-  return stats;
+  // Table 1's "id NOT IN" shape is the diff view of the scan API; the
+  // engine's bitmap algebra / winner tables run under the cursor.
+  return RunScan(db, ScanSpec::Diff(a, b, DiffMode::kByKey), callback);
 }
 
 Result<QueryStats> JoinVersions(Decibel* db, BranchId a, BranchId b,
                                 const Predicate& predicate,
                                 const JoinCallback& callback) {
   QueryStats stats;
-  const uint32_t rs = db->schema().record_size();
   const Schema* schema = &db->schema();
 
-  // Build side: branch a filtered by the predicate.
+  // Build side: branch a with the predicate pushed into the engine —
+  // non-matching rows never cross the cursor boundary.
   std::unordered_map<int64_t, std::string> build;
-  DECIBEL_ASSIGN_OR_RETURN(auto it_a, db->ScanBranch(a));
-  RecordRef rec;
-  while (it_a->Next(&rec)) {
-    ++stats.rows_scanned;
-    stats.bytes_scanned += rs;
-    if (predicate.Matches(rec)) {
-      build.emplace(rec.pk(), rec.data().ToString());
-    }
+  DECIBEL_ASSIGN_OR_RETURN(auto build_cursor,
+                           db->NewScan(ScanSpec::Branch(a).Where(predicate)));
+  ScanRow row;
+  while (build_cursor->Next(&row)) {
+    build.emplace(row.record.pk(), row.record.data().ToString());
   }
-  DECIBEL_RETURN_NOT_OK(it_a->status());
+  DECIBEL_RETURN_NOT_OK(build_cursor->status());
+  stats.rows_scanned += build_cursor->stats().rows_scanned;
+  stats.bytes_scanned += build_cursor->stats().bytes_scanned;
 
   // Probe side: branch b, pipelined.
-  DECIBEL_ASSIGN_OR_RETURN(auto it_b, db->ScanBranch(b));
-  while (it_b->Next(&rec)) {
-    ++stats.rows_scanned;
-    stats.bytes_scanned += rs;
-    auto hit = build.find(rec.pk());
+  DECIBEL_ASSIGN_OR_RETURN(auto probe_cursor,
+                           db->NewScan(ScanSpec::Branch(b)));
+  while (probe_cursor->Next(&row)) {
+    auto hit = build.find(row.record.pk());
     if (hit != build.end()) {
       ++stats.rows_emitted;
       if (callback) {
-        callback(RecordRef(schema, hit->second), rec);
+        callback(RecordRef(schema, hit->second), row.record);
       }
     }
   }
-  DECIBEL_RETURN_NOT_OK(it_b->status());
+  DECIBEL_RETURN_NOT_OK(probe_cursor->status());
+  stats.rows_scanned += probe_cursor->stats().rows_scanned;
+  stats.bytes_scanned += probe_cursor->stats().bytes_scanned;
   return stats;
 }
 
 Result<QueryStats> ScanHeads(Decibel* db, const Predicate& predicate,
                              const AnnotatedRowCallback& callback) {
-  QueryStats stats;
-  const uint32_t rs = db->schema().record_size();
-  DECIBEL_RETURN_NOT_OK(db->ScanHeads(
-      [&](const RecordRef& rec, const std::vector<uint32_t>& branches) {
-        ++stats.rows_scanned;
-        stats.bytes_scanned += rs;
-        if (predicate.Matches(rec)) {
-          ++stats.rows_emitted;
-          if (callback) callback(rec, branches);
-        }
-      }));
-  return stats;
+  DECIBEL_ASSIGN_OR_RETURN(auto cursor,
+                           db->NewScan(ScanSpec::Heads().Where(predicate)));
+  ScanRow row;
+  while (cursor->Next(&row)) {
+    if (callback) callback(row.record, *row.branches);
+  }
+  DECIBEL_RETURN_NOT_OK(cursor->status());
+  return ToQueryStats(cursor->stats());
 }
 
 namespace {
@@ -153,11 +141,16 @@ Result<AggregateResult> AggregateColumn(Decibel* db, BranchId branch,
                                         const Predicate& predicate) {
   DECIBEL_ASSIGN_OR_RETURN(size_t col,
                            ResolveNumericColumn(db->schema(), column));
+  // Project to the aggregated column so copy-out paths move only the
+  // bytes the aggregate reads.
   AggregateResult agg;
   DECIBEL_RETURN_NOT_OK(
-      ScanVersion(db, branch, predicate, [&](const RecordRef& rec) {
-        Accumulate(&agg, rec.GetNumeric(col));
-      }).status());
+      RunScan(db,
+              ScanSpec::Branch(branch).Where(predicate).Project({col}),
+              [&](const RecordRef& rec) {
+                Accumulate(&agg, rec.GetNumeric(col));
+              })
+          .status());
   Finalize(&agg);
   return agg;
 }
@@ -171,15 +164,18 @@ Result<std::vector<AggregateResult>> AggregatePerBranch(
   // "if a query is calculating an average of some value per branch, the
   // query executor makes a single pass on the heap file, emitting each
   // tuple annotated with the branches it is active in" (§3.2).
-  DECIBEL_RETURN_NOT_OK(db->ScanMulti(
-      branches,
-      [&](const RecordRef& rec, const std::vector<uint32_t>& present) {
-        if (!predicate.Matches(rec)) return;
-        const int64_t value = rec.GetNumeric(col);
-        for (uint32_t p : present) {
-          Accumulate(&aggs[p], value);
-        }
-      }));
+  DECIBEL_ASSIGN_OR_RETURN(
+      auto cursor, db->NewScan(ScanSpec::Multi(branches)
+                                   .Where(predicate)
+                                   .Project({col})));
+  ScanRow row;
+  while (cursor->Next(&row)) {
+    const int64_t value = row.record.GetNumeric(col);
+    for (uint32_t p : *row.branches) {
+      Accumulate(&aggs[p], value);
+    }
+  }
+  DECIBEL_RETURN_NOT_OK(cursor->status());
   for (AggregateResult& agg : aggs) Finalize(&agg);
   return aggs;
 }

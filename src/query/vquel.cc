@@ -76,26 +76,42 @@ Result<Predicate> ParseWhere(Decibel* db,
   return Predicate::Compare(db->schema(), tokens[i + 1], op, value);
 }
 
+void FormatColumn(std::ostream& out, const RecordRef& rec, size_t c) {
+  switch (rec.schema()->column(c).type) {
+    case FieldType::kInt32:
+      out << rec.GetInt32(c);
+      break;
+    case FieldType::kInt64:
+      out << rec.GetInt64(c);
+      break;
+    case FieldType::kDouble:
+      out << rec.GetDouble(c);
+      break;
+    case FieldType::kString:
+      out << rec.GetString(c);
+      break;
+  }
+}
+
 std::string FormatRecord(const RecordRef& rec) {
   std::ostringstream out;
   const Schema& schema = *rec.schema();
   out << rec.pk();
   for (size_t c = 1; c < schema.num_columns(); ++c) {
     out << " | ";
-    switch (schema.column(c).type) {
-      case FieldType::kInt32:
-        out << rec.GetInt32(c);
-        break;
-      case FieldType::kInt64:
-        out << rec.GetInt64(c);
-        break;
-      case FieldType::kDouble:
-        out << rec.GetDouble(c);
-        break;
-      case FieldType::kString:
-        out << rec.GetString(c);
-        break;
-    }
+    FormatColumn(out, rec, c);
+  }
+  return out.str();
+}
+
+/// Formats only the projected columns, in the SELECT list's order.
+std::string FormatProjected(const RecordRef& rec,
+                            const std::vector<size_t>& projection) {
+  if (projection.empty()) return FormatRecord(rec);
+  std::ostringstream out;
+  for (size_t i = 0; i < projection.size(); ++i) {
+    if (i > 0) out << " | ";
+    FormatColumn(out, rec, projection[i]);
   }
   return out.str();
 }
@@ -164,7 +180,96 @@ Result<ExecResult> Interpreter::Execute(const std::string& statement) {
   ExecResult result;
   std::ostringstream out;
 
-  if (verb == "SCAN") {
+  if (verb == "SELECT") {
+    // SELECT <col[,col...]|*> FROM <branch|COMMIT id> [WHERE col op int]
+    // [LIMIT n] — the whole statement maps onto one ScanSpec, so the
+    // column list, the filter and the limit all push into the engine.
+    size_t i = 1;
+    std::vector<std::string> names;
+    bool star = false;
+    for (; i < tokens.size() && Upper(tokens[i]) != "FROM"; ++i) {
+      const std::string& tok = tokens[i];
+      size_t start = 0;
+      while (start <= tok.size()) {
+        const size_t comma = tok.find(',', start);
+        const std::string piece =
+            tok.substr(start, comma == std::string::npos ? std::string::npos
+                                                         : comma - start);
+        if (piece == "*") {
+          star = true;
+        } else if (!piece.empty()) {
+          names.push_back(piece);
+        }
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    }
+    if (i >= tokens.size() || (names.empty() && !star)) {
+      return Status::InvalidArgument(
+          "vquel: SELECT <cols|*> FROM <branch|COMMIT id>");
+    }
+    ++i;  // past FROM
+    if (i >= tokens.size()) {
+      return Status::InvalidArgument("vquel: SELECT needs a source");
+    }
+    ScanSpec spec;
+    if (Upper(tokens[i]) == "COMMIT") {
+      int64_t commit;
+      if (i + 1 >= tokens.size() || !ParseInt(tokens[i + 1], &commit)) {
+        return Status::InvalidArgument("vquel: bad commit id");
+      }
+      spec = ScanSpec::Commit(static_cast<CommitId>(commit));
+      i += 2;
+    } else {
+      DECIBEL_ASSIGN_OR_RETURN(BranchId branch, ResolveBranch(db, tokens[i]));
+      spec = ScanSpec::Branch(branch);
+      ++i;
+    }
+    if (i < tokens.size() && Upper(tokens[i]) == "WHERE") {
+      if (i + 4 > tokens.size()) {
+        return Status::InvalidArgument("vquel: incomplete WHERE clause");
+      }
+      DECIBEL_ASSIGN_OR_RETURN(CompareOp op, ParseOp(tokens[i + 2]));
+      int64_t value;
+      if (!ParseInt(tokens[i + 3], &value)) {
+        return Status::InvalidArgument("vquel: bad literal '" +
+                                       tokens[i + 3] + "'");
+      }
+      DECIBEL_ASSIGN_OR_RETURN(
+          Predicate pred,
+          Predicate::Compare(db->schema(), tokens[i + 1], op, value));
+      spec.Where(std::move(pred));
+      i += 4;
+    }
+    if (i < tokens.size() && Upper(tokens[i]) == "LIMIT") {
+      int64_t n;
+      // ScanSpec uses limit 0 as the "unlimited" sentinel, so a literal
+      // LIMIT 0 would silently mean the opposite; reject it.
+      if (i + 1 >= tokens.size() || !ParseInt(tokens[i + 1], &n) || n <= 0) {
+        return Status::InvalidArgument("vquel: LIMIT must be positive");
+      }
+      spec.WithLimit(static_cast<uint64_t>(n));
+      i += 2;
+    }
+    if (i < tokens.size()) {
+      return Status::InvalidArgument("vquel: trailing tokens after '" +
+                                     tokens[i - 1] + "'");
+    }
+    std::vector<size_t> projection;
+    if (!star) {
+      DECIBEL_ASSIGN_OR_RETURN(projection,
+                               ResolveProjection(db->schema(), names));
+      spec.Project(projection);
+    }
+    DECIBEL_ASSIGN_OR_RETURN(auto cursor, db->NewScan(std::move(spec)));
+    ScanRow row;
+    while (cursor->Next(&row)) {
+      out << FormatProjected(row.record, projection) << "\n";
+      ++result.rows;
+    }
+    DECIBEL_RETURN_NOT_OK(cursor->status());
+    out << "(" << result.rows << " rows)";
+  } else if (verb == "SCAN") {
     if (tokens.size() < 2) {
       return Status::InvalidArgument("vquel: SCAN needs a branch");
     }

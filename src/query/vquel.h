@@ -9,6 +9,12 @@
 /// and tests.
 ///
 /// Statements (case-insensitive keywords):
+///   SELECT <col[,col...]|*> FROM <branch> [WHERE <col> <op> <int>]
+///          [LIMIT <n>]                    -- ScanSpec cursor end-to-end:
+///                                            the column list, the WHERE
+///                                            clause and the LIMIT are
+///                                            pushed into the engine
+///   SELECT ... FROM COMMIT <id> [WHERE ...] [LIMIT <n>]
 ///   SCAN <branch> [WHERE <col> <op> <int>]
 ///   SCAN COMMIT <id> [WHERE ...]
 ///   DIFF <a> <b>                      -- positive diff, Q2

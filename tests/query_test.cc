@@ -68,6 +68,60 @@ TEST(PredicateTest, RejectsUnknownColumn) {
   EXPECT_FALSE(Predicate::Compare(schema, "nope", CompareOp::kEq, 1).ok());
 }
 
+TEST(PredicateTest, DoubleComparisons) {
+  auto schema = Schema::Make({{"pk", FieldType::kInt64, 0},
+                              {"score", FieldType::kDouble, 0}});
+  ASSERT_TRUE(schema.ok());
+  Record rec(&*schema);
+  rec.SetPk(1);
+  rec.SetDouble(1, 2.5);
+  struct {
+    CompareOp op;
+    double value;
+    bool want;
+  } cases[] = {
+      {CompareOp::kEq, 2.5, true},  {CompareOp::kEq, 2.4, false},
+      {CompareOp::kNe, 2.4, true},  {CompareOp::kLt, 3.0, true},
+      {CompareOp::kLt, 2.5, false}, {CompareOp::kLe, 2.5, true},
+      {CompareOp::kGt, 2.0, true},  {CompareOp::kGe, 2.5, true},
+      {CompareOp::kGe, 2.6, false},
+  };
+  for (const auto& c : cases) {
+    auto pred = Predicate::CompareDouble(*schema, "score", c.op, c.value);
+    ASSERT_TRUE(pred.ok());
+    EXPECT_EQ(pred->Matches(rec.ref()), c.want)
+        << CompareOpName(c.op) << " " << c.value;
+  }
+  // Unknown columns and type mismatches are rejected.
+  EXPECT_FALSE(
+      Predicate::CompareDouble(*schema, "nope", CompareOp::kEq, 1).ok());
+  EXPECT_FALSE(
+      Predicate::CompareDouble(*schema, "pk", CompareOp::kEq, 1).ok());
+}
+
+TEST(PredicateTest, DoublePushdownThroughScan) {
+  ScratchDir dir("pred_double");
+  auto schema = Schema::Make({{"pk", FieldType::kInt64, 0},
+                              {"score", FieldType::kDouble, 0}});
+  ASSERT_TRUE(schema.ok());
+  auto db = Decibel::Open(dir.path(), *schema, DecibelOptions{});
+  ASSERT_TRUE(db.ok());
+  for (int64_t pk = 0; pk < 10; ++pk) {
+    Record rec(&*schema);
+    rec.SetPk(pk);
+    rec.SetDouble(1, 0.5 * static_cast<double>(pk));
+    ASSERT_OK((*db)->InsertInto(kMasterBranch, rec));
+  }
+  auto pred =
+      Predicate::CompareDouble(*schema, "score", CompareOp::kGt, 3.0);
+  ASSERT_TRUE(pred.ok());
+  ASSERT_OK_AND_ASSIGN(
+      query::QueryStats stats,
+      query::ScanVersion(db->get(), kMasterBranch, *pred, nullptr));
+  EXPECT_EQ(stats.rows_scanned, 10u);
+  EXPECT_EQ(stats.rows_emitted, 3u);  // scores 3.5, 4.0, 4.5
+}
+
 // ------------------------------------------------------------- Query plans
 
 class QueryTest : public ::testing::TestWithParam<EngineType> {
@@ -286,6 +340,50 @@ TEST_F(VquelTest, WhereClause) {
   const std::string out = Exec("SCAN master WHERE c1 > 15");
   EXPECT_EQ(out.find("1 | 10"), std::string::npos);
   EXPECT_NE(out.find("2 | 30"), std::string::npos);
+}
+
+TEST_F(VquelTest, SelectProjectionWhereAndLimit) {
+  Exec("INSERT master 1 10 20");
+  Exec("INSERT master 2 30 40");
+  Exec("INSERT master 3 50 60");
+  // Column list + WHERE push down through the ScanSpec cursor.
+  const std::string out = Exec("SELECT c2, pk FROM master WHERE c1 > 15");
+  EXPECT_NE(out.find("40 | 2"), std::string::npos);
+  EXPECT_NE(out.find("60 | 3"), std::string::npos);
+  EXPECT_EQ(out.find("10"), std::string::npos);  // c1 not in the list
+  EXPECT_NE(out.find("(2 rows)"), std::string::npos);
+  // SELECT * keeps the full row.
+  const std::string star = Exec("SELECT * FROM master WHERE pk = 1");
+  EXPECT_NE(star.find("1 | 10 | 20"), std::string::npos);
+  // LIMIT caps the cursor.
+  EXPECT_NE(Exec("SELECT * FROM master LIMIT 2").find("(2 rows)"),
+            std::string::npos);
+}
+
+TEST_F(VquelTest, SelectFromCommit) {
+  Exec("INSERT master 1 10 20");
+  const std::string commit = Exec("COMMIT master");
+  const CommitId id = std::stoull(commit.substr(commit.rfind(' ') + 1));
+  Exec("UPDATE master 1 99 20");
+  std::string stmt = "SELECT c1 FROM COMMIT " + std::to_string(id);
+  const std::string out = Exec(stmt);
+  EXPECT_NE(out.find("10"), std::string::npos);  // pre-update value
+  EXPECT_EQ(out.find("99"), std::string::npos);
+}
+
+TEST_F(VquelTest, SelectErrors) {
+  EXPECT_FALSE(vquel::Execute(db_.get(), "SELECT").ok());
+  EXPECT_FALSE(vquel::Execute(db_.get(), "SELECT * FROM").ok());
+  EXPECT_FALSE(vquel::Execute(db_.get(), "SELECT nope FROM master").ok());
+  EXPECT_FALSE(
+      vquel::Execute(db_.get(), "SELECT * FROM master WHERE c1").ok());
+  EXPECT_FALSE(
+      vquel::Execute(db_.get(), "SELECT * FROM master LIMIT x").ok());
+  // LIMIT 0 would collide with ScanSpec's "unlimited" sentinel.
+  EXPECT_FALSE(
+      vquel::Execute(db_.get(), "SELECT * FROM master LIMIT 0").ok());
+  EXPECT_FALSE(
+      vquel::Execute(db_.get(), "SELECT * FROM master extra junk").ok());
 }
 
 TEST_F(VquelTest, BranchDiffMergeFlow) {
