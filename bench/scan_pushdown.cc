@@ -2,15 +2,15 @@
 ///
 /// Two comparisons per engine over a pre-loaded master branch:
 ///
-///  1. Point lookup — the seed-era way (full ScanBranch iteration until
+///  1. Point lookup — the seed-era way (full branch scan iteration until
 ///     the key turns up) vs Decibel::Get. Tuple-first and hybrid answer
 ///     Get through their pk indexes in O(1); version-first walks its
 ///     segment ancestry newest-to-oldest with early exit.
 ///
 ///  2. Filtered scan, selectivity sweep — "filter on top" (the seed-era
-///     pattern: pull every row through the deprecated RecordIterator
-///     boundary and test the predicate in the client) vs the same
-///     predicate pushed into the engine with NewScan. Pushdown evaluates
+///     pattern: pull every row through the cursor boundary and test the
+///     predicate in the client) vs the same predicate pushed into the
+///     engine with NewScan. Pushdown evaluates
 ///     the comparison on the in-page record bytes inside the engine scan
 ///     loop, so non-matching rows never cross the cursor boundary.
 ///
@@ -52,11 +52,12 @@ Result<uint64_t> LoadSequential(Decibel* db, uint64_t num_records) {
 Result<double> TimeFullScanLookup(Decibel* db, const std::vector<int64_t>& pks) {
   Stopwatch timer;
   for (int64_t pk : pks) {
-    DECIBEL_ASSIGN_OR_RETURN(auto it, db->ScanBranch(kMasterBranch));
-    RecordRef rec;
+    DECIBEL_ASSIGN_OR_RETURN(auto it,
+                             db->NewScan(ScanSpec::Branch(kMasterBranch)));
+    ScanRow row;
     bool found = false;
-    while (it->Next(&rec)) {
-      if (rec.pk() == pk) {
+    while (it->Next(&row)) {
+      if (row.record.pk() == pk) {
         found = true;
         break;
       }
@@ -76,16 +77,17 @@ Result<double> TimeGetLookup(Decibel* db, const std::vector<int64_t>& pks) {
   return timer.ElapsedSeconds() / static_cast<double>(pks.size());
 }
 
-/// Filter on top: the deprecated iterator pulls every row; the client
+/// Filter on top: an unfiltered cursor pulls every row; the client
 /// evaluates the predicate.
 Result<std::pair<double, uint64_t>> TimeFilterOnTop(Decibel* db,
                                                     const Predicate& pred) {
   Stopwatch timer;
-  DECIBEL_ASSIGN_OR_RETURN(auto it, db->ScanBranch(kMasterBranch));
+  DECIBEL_ASSIGN_OR_RETURN(auto it,
+                           db->NewScan(ScanSpec::Branch(kMasterBranch)));
   uint64_t matches = 0;
-  RecordRef rec;
-  while (it->Next(&rec)) {
-    if (pred.Matches(rec)) ++matches;
+  ScanRow row;
+  while (it->Next(&row)) {
+    if (pred.Matches(row.record)) ++matches;
   }
   DECIBEL_RETURN_NOT_OK(it->status());
   return std::make_pair(timer.ElapsedSeconds(), matches);

@@ -28,9 +28,10 @@ Record Poi(const Schema& schema, int64_t pk, int32_t lat, int32_t lon,
 }
 
 void Show(Decibel* db, BranchId branch, int64_t pk, const char* label) {
-  auto it = db->ScanBranch(branch);
-  RecordRef rec;
-  while ((*it)->Next(&rec)) {
+  auto it = db->NewScan(ScanSpec::Branch(branch));
+  ScanRow row;
+  while ((*it)->Next(&row)) {
+    const RecordRef& rec = row.record;
     if (rec.pk() == pk) {
       printf("  %-22s pk=%lld lat=%d lon=%d cat=%d hours=%d\n", label,
              static_cast<long long>(pk), rec.GetInt32(1), rec.GetInt32(2),

@@ -69,11 +69,12 @@ int main(int argc, char** argv) {
   int cleaned = 0;
   {
     std::vector<Record> fixes;
-    auto it = db->ScanBranch(cleaning);
-    RecordRef rec;
-    while ((*it)->Next(&rec)) {
-      if (rec.GetInt32(1) > 90) {  // "improper capitalization" of scores
-        fixes.push_back(Row(*schema, rec.pk(), 90, rec.GetInt32(2)));
+    auto it = db->NewScan(ScanSpec::Branch(cleaning));
+    ScanRow row;
+    while ((*it)->Next(&row)) {
+      if (row.record.GetInt32(1) > 90) {  // "improper capitalization"
+        fixes.push_back(
+            Row(*schema, row.record.pk(), 90, row.record.GetInt32(2)));
       }
     }
     // The whole cleaning pass is one transaction: either all outliers are
@@ -115,12 +116,12 @@ int main(int argc, char** argv) {
   {
     Session fix = db->NewSession();
     db->Checkout(&fix, snapshot).ok();
-    auto it = db->Scan(fix);
-    RecordRef rec;
-    while ((*it)->Next(&rec)) {
-      if (rec.pk() % 5 == 0) {
-        db->UpdateIn(labeling,
-                     Row(*schema, rec.pk(), rec.GetInt32(1), 1))
+    auto it = db->NewScan(fix);
+    ScanRow row;
+    while ((*it)->Next(&row)) {
+      if (row.record.pk() % 5 == 0) {
+        db->UpdateIn(labeling, Row(*schema, row.record.pk(),
+                                   row.record.GetInt32(1), 1))
             .ok();
       }
     }
@@ -145,14 +146,18 @@ int main(int argc, char** argv) {
          static_cast<unsigned long long>(behind));
 
   // And the team lead can scan every active line of work at once (Q4).
-  std::vector<BranchId> heads;
+  size_t heads = 0;
   uint64_t rows = 0;
-  db->ScanHeads(
-        [&](const RecordRef&, const std::vector<uint32_t>&) { ++rows; },
-        &heads)
-      .ok();
+  {
+    auto it = db->NewScan(ScanSpec::Heads());
+    if (it.ok()) {
+      ScanRow row;
+      while ((*it)->Next(&row)) ++rows;
+      heads = (*it)->branches().size();
+    }
+  }
   printf("Q4 over %zu active branches touched %llu distinct records\n",
-         heads.size(), static_cast<unsigned long long>(rows));
+         heads, static_cast<unsigned long long>(rows));
   printf("final averages: mainline %.2f, alice %.2f, bob %.2f\n",
          AverageScore(db.get(), kMasterBranch),
          AverageScore(db.get(), cleaning),

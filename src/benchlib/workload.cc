@@ -504,10 +504,10 @@ Result<LoadStats> TableWiseUpdate(Decibel* db, BranchId branch) {
   // would feed the scanner its own appends.
   std::vector<std::string> rows;
   {
-    DECIBEL_ASSIGN_OR_RETURN(auto it, db->ScanBranch(branch));
-    RecordRef rec;
-    while (it->Next(&rec)) {
-      rows.push_back(rec.data().ToString());
+    DECIBEL_ASSIGN_OR_RETURN(auto it, db->NewScan(ScanSpec::Branch(branch)));
+    ScanRow row;
+    while (it->Next(&row)) {
+      rows.push_back(row.record.data().ToString());
     }
     DECIBEL_RETURN_NOT_OK(it->status());
   }

@@ -60,7 +60,7 @@ uint64_t BranchOrientedIndex::MemoryBytes() const {
 
 void BranchOrientedIndex::EncodeTo(std::string* dst) const {
   dst->push_back(static_cast<char>(BitmapOrientation::kBranchOriented));
-  PutVarint64(dst, num_tuples_);
+  PutVarint64(dst, num_tuples());
   PutVarint64(dst, columns_.size());
   for (const auto& [id, bm] : columns_) {
     PutVarint32(dst, id);
@@ -106,6 +106,14 @@ void TupleOrientedIndex::CloneBranch(uint32_t parent, uint32_t child) {
 
 void TupleOrientedIndex::AppendTuples(uint64_t count) {
   num_tuples_ += count;
+  matrix_.resize(num_tuples_ * words_per_row_, 0);
+}
+
+void TupleOrientedIndex::EnsureTuples(uint64_t bound) {
+  // Callers hold every write stripe (the matrix is physically shared), so
+  // a plain grow-to-bound resize is safe here.
+  if (bound <= num_tuples_) return;
+  num_tuples_ = bound;
   matrix_.resize(num_tuples_ * words_per_row_, 0);
 }
 
@@ -175,7 +183,7 @@ Result<std::unique_ptr<BitmapIndex>> BitmapIndex::DecodeFrom(Slice* input) {
         !GetVarint64(input, &num_branches)) {
       return Status::Corruption("bitmap index: truncated header");
     }
-    idx->num_tuples_ = num_tuples;
+    idx->num_tuples_.store(num_tuples, std::memory_order_relaxed);
     for (uint64_t i = 0; i < num_branches; ++i) {
       uint32_t id;
       Bitmap bm;

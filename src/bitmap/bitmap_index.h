@@ -9,6 +9,7 @@
 /// engine takes either; the hybrid engine uses one branch-oriented index
 /// per segment.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -38,6 +39,12 @@ class BitmapIndex {
 
   /// Makes tuple indexes [num_tuples, num_tuples + count) addressable.
   virtual void AppendTuples(uint64_t count) = 0;
+
+  /// Makes every tuple index below \p bound addressable (grow-only). The
+  /// striped write path uses this instead of AppendTuples: stripes learn
+  /// their global index ranges from the heap's extent allocator, so the
+  /// universe grows to the allocated bound rather than by a local count.
+  virtual void EnsureTuples(uint64_t bound) = 0;
 
   virtual void Set(uint64_t tuple, uint32_t branch, bool value) = 0;
   virtual bool Test(uint64_t tuple, uint32_t branch) const = 0;
@@ -75,12 +82,36 @@ class BitmapIndex {
 /// overflowing only grows that branch's column (§3.1).
 class BranchOrientedIndex : public BitmapIndex {
  public:
+  BranchOrientedIndex() = default;
+  // num_tuples_ is atomic (concurrent stripes grow the universe without a
+  // shared lock), which deletes the implicit moves the hybrid engine's
+  // by-value Segment::local relies on.
+  BranchOrientedIndex(BranchOrientedIndex&& other) noexcept
+      : columns_(std::move(other.columns_)),
+        num_tuples_(other.num_tuples_.load(std::memory_order_relaxed)) {}
+  BranchOrientedIndex& operator=(BranchOrientedIndex&& other) noexcept {
+    columns_ = std::move(other.columns_);
+    num_tuples_.store(other.num_tuples_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    return *this;
+  }
+
   void AddBranch(uint32_t branch) override;
   void CloneBranch(uint32_t parent, uint32_t child) override;
-  void AppendTuples(uint64_t count) override { num_tuples_ += count; }
+  void AppendTuples(uint64_t count) override {
+    num_tuples_.fetch_add(count, std::memory_order_relaxed);
+  }
+  void EnsureTuples(uint64_t bound) override {
+    uint64_t cur = num_tuples_.load(std::memory_order_relaxed);
+    while (cur < bound && !num_tuples_.compare_exchange_weak(
+                              cur, bound, std::memory_order_relaxed)) {
+    }
+  }
   void Set(uint64_t tuple, uint32_t branch, bool value) override;
   bool Test(uint64_t tuple, uint32_t branch) const override;
-  uint64_t num_tuples() const override { return num_tuples_; }
+  uint64_t num_tuples() const override {
+    return num_tuples_.load(std::memory_order_relaxed);
+  }
   Bitmap MaterializeBranch(uint32_t branch) const override;
   const Bitmap* BranchView(uint32_t branch) const override;
   void RestoreBranch(uint32_t branch, const Bitmap& bits) override;
@@ -94,7 +125,7 @@ class BranchOrientedIndex : public BitmapIndex {
  private:
   friend class BitmapIndex;
   std::unordered_map<uint32_t, Bitmap> columns_;
-  uint64_t num_tuples_ = 0;
+  std::atomic<uint64_t> num_tuples_{0};
 };
 
 /// All rows in one block of memory, kRowBits bits per tuple, doubling the
@@ -104,6 +135,7 @@ class TupleOrientedIndex : public BitmapIndex {
   void AddBranch(uint32_t branch) override;
   void CloneBranch(uint32_t parent, uint32_t child) override;
   void AppendTuples(uint64_t count) override;
+  void EnsureTuples(uint64_t bound) override;
   void Set(uint64_t tuple, uint32_t branch, bool value) override;
   bool Test(uint64_t tuple, uint32_t branch) const override;
   uint64_t num_tuples() const override { return num_tuples_; }

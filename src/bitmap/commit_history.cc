@@ -103,6 +103,7 @@ Status CommitHistory::WriteRecord(uint8_t layer, uint64_t seq, uint64_t nbits,
 }
 
 Status CommitHistory::AppendCommit(uint64_t seq, const Bitmap& bitmap) {
+  std::lock_guard<std::mutex> guard(mu_);
   if (!layer0_.empty() && seq <= layer0_.back().seq) {
     return Status::InvalidArgument(
         "commit history: sequence numbers must increase");
@@ -167,6 +168,7 @@ Status CommitHistory::ReplayTo(size_t pos, std::string* bytes) const {
 }
 
 Result<Bitmap> CommitHistory::Checkout(uint64_t seq) const {
+  std::lock_guard<std::mutex> guard(mu_);
   // Floor lookup: last entry with entry.seq <= seq.
   auto it = std::upper_bound(
       layer0_.begin(), layer0_.end(), seq,
@@ -182,10 +184,12 @@ Result<Bitmap> CommitHistory::Checkout(uint64_t seq) const {
 }
 
 bool CommitHistory::HasCommitAtOrBefore(uint64_t seq) const {
+  std::lock_guard<std::mutex> guard(mu_);
   return !layer0_.empty() && layer0_.front().seq <= seq;
 }
 
 uint64_t CommitHistory::SizeBytes() const {
+  std::lock_guard<std::mutex> guard(mu_);
   return writer_.has_value() ? writer_->Size() : 0;
 }
 

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -53,7 +54,10 @@ class CommitHistory {
   }
 
   /// Records the bitmap state at commit \p seq. Sequence numbers must be
-  /// strictly increasing.
+  /// strictly increasing. Thread-safe against concurrent Checkout /
+  /// HasCommitAtOrBefore / SizeBytes (snapshot readers walk a branch's
+  /// history while its owner commits); concurrent AppendCommit calls must
+  /// still be serialized by the caller's branch/stripe lock.
   Status AppendCommit(uint64_t seq, const Bitmap& bitmap);
 
   /// Reconstructs the bitmap at the latest commit whose seq <= \p seq
@@ -64,7 +68,10 @@ class CommitHistory {
   /// True if some commit with seq' <= seq exists.
   bool HasCommitAtOrBefore(uint64_t seq) const;
 
-  uint64_t num_commits() const { return layer0_.size(); }
+  uint64_t num_commits() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return layer0_.size();
+  }
   /// Compressed on-disk size (Table 2's "Agg. Pack File Size").
   uint64_t SizeBytes() const;
   const std::string& path() const { return path_; }
@@ -90,6 +97,12 @@ class CommitHistory {
   const std::string path_;
   const Options options_;
 
+  /// One lock for the whole object: the record indexes, the lazily-opened
+  /// reader, and the writer state. Held across the (file-backed) replay a
+  /// Checkout performs, which serializes reads of one history — but each
+  /// branch (tuple-first) or (branch, segment) pair (hybrid) has its own
+  /// history, so only same-branch readers queue here.
+  mutable std::mutex mu_;
   std::optional<WritableFile> writer_;
   mutable std::optional<RandomAccessFile> reader_;
 

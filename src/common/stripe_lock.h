@@ -1,0 +1,105 @@
+#ifndef DECIBEL_COMMON_STRIPE_LOCK_H_
+#define DECIBEL_COMMON_STRIPE_LOCK_H_
+
+/// \file stripe_lock.h
+/// A fixed array of mutexes indexed by branch id — the lock striping that
+/// lets transactions on disjoint branches mutate engine state
+/// concurrently. Two branches contend only if they hash to the same
+/// stripe; cross-branch operations (merge, branch-from-parent) take the
+/// stripes of every branch they touch in ascending index order, so any
+/// set of MultiGuard/AllGuard holders is deadlock-free by construction.
+///
+/// Each engine orders its locks registry -> stripes -> leaf mutexes;
+/// StripeLocks only covers the middle tier and never blocks on anything
+/// itself.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace decibel {
+
+class StripeLocks {
+ public:
+  explicit StripeLocks(size_t stripes)
+      : locks_(std::make_unique<std::mutex[]>(stripes == 0 ? 1 : stripes)),
+        count_(stripes == 0 ? 1 : stripes) {}
+
+  size_t count() const { return count_; }
+  size_t IndexOf(uint32_t branch) const { return branch % count_; }
+  std::mutex& At(size_t stripe) { return locks_[stripe]; }
+  std::mutex& ForBranch(uint32_t branch) { return locks_[IndexOf(branch)]; }
+
+  /// Holds the stripes of a set of branches, acquired in ascending stripe
+  /// order with duplicates collapsed (two branches on the same stripe need
+  /// — and can only take — that stripe once). The common cases — one
+  /// branch on the per-transaction write path, two on a merge — stay on
+  /// the inline buffer and never allocate.
+  class MultiGuard {
+   public:
+    MultiGuard(StripeLocks& locks, std::initializer_list<uint32_t> branches)
+        : locks_(locks) {
+      Init(branches.begin(), branches.size());
+    }
+    MultiGuard(StripeLocks& locks, const std::vector<uint32_t>& branches)
+        : locks_(locks) {
+      Init(branches.data(), branches.size());
+    }
+    ~MultiGuard() {
+      for (size_t i = count_; i-- > 0;) locks_.At(stripes_[i]).unlock();
+    }
+    MultiGuard(const MultiGuard&) = delete;
+    MultiGuard& operator=(const MultiGuard&) = delete;
+
+   private:
+    static constexpr size_t kInline = 8;
+
+    void Init(const uint32_t* branches, size_t n) {
+      if (n > kInline) {
+        overflow_.resize(n);
+        stripes_ = overflow_.data();
+      }
+      for (size_t i = 0; i < n; ++i) stripes_[i] = locks_.IndexOf(branches[i]);
+      std::sort(stripes_, stripes_ + n);
+      count_ = static_cast<size_t>(std::unique(stripes_, stripes_ + n) -
+                                   stripes_);
+      for (size_t i = 0; i < count_; ++i) locks_.At(stripes_[i]).lock();
+    }
+
+    StripeLocks& locks_;
+    size_t inline_[kInline];
+    std::vector<size_t> overflow_;
+    size_t* stripes_ = inline_;
+    size_t count_ = 0;
+  };
+
+  /// Holds every stripe (ascending order): the degenerate mode for state
+  /// that is physically shared across branches, e.g. the tuple-oriented
+  /// bitmap matrix whose Set() can reallocate every row.
+  class AllGuard {
+   public:
+    explicit AllGuard(StripeLocks& locks) : locks_(locks) {
+      for (size_t s = 0; s < locks_.count(); ++s) locks_.At(s).lock();
+    }
+    ~AllGuard() {
+      for (size_t s = locks_.count(); s-- > 0;) locks_.At(s).unlock();
+    }
+    AllGuard(const AllGuard&) = delete;
+    AllGuard& operator=(const AllGuard&) = delete;
+
+   private:
+    StripeLocks& locks_;
+  };
+
+ private:
+  std::unique_ptr<std::mutex[]> locks_;
+  size_t count_;
+};
+
+}  // namespace decibel
+
+#endif  // DECIBEL_COMMON_STRIPE_LOCK_H_

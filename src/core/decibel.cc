@@ -85,6 +85,7 @@ Result<std::unique_ptr<Decibel>> Decibel::Open(const std::string& path,
   engine_options.composite_every = options.composite_every;
   engine_options.verify_checksums = options.verify_checksums;
   engine_options.scan_threads = options.scan_threads;
+  engine_options.write_stripes = options.write_stripes;
   DECIBEL_ASSIGN_OR_RETURN(db->engine_,
                            MakeEngine(options.engine, schema, engine_options));
 
@@ -150,8 +151,11 @@ Session Decibel::NewSession() {
 }
 
 Status Decibel::Use(Session* session, BranchId branch) {
-  if (!graph_.HasBranch(branch)) {
-    return Status::NotFound("no branch " + std::to_string(branch));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!graph_.HasBranch(branch)) {
+      return Status::NotFound("no branch " + std::to_string(branch));
+    }
   }
   session->branch_ = branch;
   session->checked_out_ = kInvalidCommit;
@@ -159,12 +163,20 @@ Status Decibel::Use(Session* session, BranchId branch) {
 }
 
 Status Decibel::Use(Session* session, const std::string& branch_name) {
-  DECIBEL_ASSIGN_OR_RETURN(BranchId b, graph_.FindBranchByName(branch_name));
+  BranchId b;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DECIBEL_ASSIGN_OR_RETURN(b, graph_.FindBranchByName(branch_name));
+  }
   return Use(session, b);
 }
 
 Status Decibel::Checkout(Session* session, CommitId commit) {
-  DECIBEL_ASSIGN_OR_RETURN(CommitInfo info, graph_.GetCommit(commit));
+  CommitInfo info;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DECIBEL_ASSIGN_OR_RETURN(info, graph_.GetCommit(commit));
+  }
   DECIBEL_RETURN_NOT_OK(engine_->Checkout(commit));
   session->branch_ = info.branch;
   session->checked_out_ = commit;
@@ -400,48 +412,6 @@ Result<Record> Decibel::GetAt(CommitId commit, int64_t pk) {
   DECIBEL_RETURN_NOT_OK(cursor->status());
   return Status::NotFound("no record with pk " + std::to_string(pk) +
                           " in commit " + std::to_string(commit));
-}
-
-Result<std::unique_ptr<RecordIterator>> Decibel::Scan(const Session& session) {
-  if (session.at_head()) return ScanBranch(session.branch_);
-  return ScanCommit(session.checked_out_);
-}
-
-Result<std::unique_ptr<RecordIterator>> Decibel::ScanBranch(BranchId branch) {
-  DECIBEL_ASSIGN_OR_RETURN(auto cursor, NewScan(ScanSpec::Branch(branch)));
-  return std::unique_ptr<RecordIterator>(
-      new CursorRecordIterator(std::move(cursor)));
-}
-
-Result<std::unique_ptr<RecordIterator>> Decibel::ScanCommit(CommitId commit) {
-  DECIBEL_ASSIGN_OR_RETURN(auto cursor, NewScan(ScanSpec::Commit(commit)));
-  return std::unique_ptr<RecordIterator>(
-      new CursorRecordIterator(std::move(cursor)));
-}
-
-namespace {
-
-Status DrainMulti(ScanCursor* cursor, const MultiScanCallback& callback) {
-  ScanRow row;
-  while (cursor->Next(&row)) {
-    callback(row.record, *row.branches);
-  }
-  return cursor->status();
-}
-
-}  // namespace
-
-Status Decibel::ScanMulti(const std::vector<BranchId>& branches,
-                          const MultiScanCallback& callback) {
-  DECIBEL_ASSIGN_OR_RETURN(auto cursor, NewScan(ScanSpec::Multi(branches)));
-  return DrainMulti(cursor.get(), callback);
-}
-
-Status Decibel::ScanHeads(const MultiScanCallback& callback,
-                          std::vector<BranchId>* branches_out) {
-  DECIBEL_ASSIGN_OR_RETURN(auto cursor, NewScan(ScanSpec::Heads()));
-  if (branches_out != nullptr) *branches_out = cursor->branches();
-  return DrainMulti(cursor.get(), callback);
 }
 
 Status Decibel::Diff(BranchId a, BranchId b, DiffMode mode,

@@ -71,6 +71,9 @@ struct DecibelOptions {
   /// Branch-lock deadlock timeout: a lock not granted within this window
   /// fails with the retryable Status::Aborted (§2.2.3's 2PL discipline).
   uint32_t lock_timeout_ms = 1000;
+  /// Engine write-lock stripes: transactions on branches that hash to
+  /// different stripes commit concurrently (see EngineOptions).
+  uint32_t write_stripes = 32;
 };
 
 /// A user session: the commit/branch the user's operations target
@@ -267,27 +270,6 @@ class Decibel {
   /// Point lookup in a historical commit (a pushed-down pk-equality scan
   /// of the commit view; commits have no pk index).
   Result<Record> GetAt(CommitId commit, int64_t pk);
-
-  // --- deprecated-style wrappers over NewScan, kept for the transition
-  //     from the seed-era read API. Prefer NewScan/Get.
-
-  /// \deprecated Use NewScan(session).
-  Result<std::unique_ptr<RecordIterator>> Scan(const Session& session);
-  /// \deprecated Use NewScan(ScanSpec::Branch(branch)).
-  Result<std::unique_ptr<RecordIterator>> ScanBranch(BranchId branch);
-  /// \deprecated Use NewScan(ScanSpec::Commit(commit)).
-  Result<std::unique_ptr<RecordIterator>> ScanCommit(CommitId commit);
-
-  /// Scans several branches at once, annotating records with the branches
-  /// containing them (positions into \p branches).
-  /// \deprecated Use NewScan(ScanSpec::Multi(branches)).
-  Status ScanMulti(const std::vector<BranchId>& branches,
-                   const MultiScanCallback& callback);
-
-  /// Scans the heads of all active branches (Table 1 query 4).
-  /// \deprecated Use NewScan(ScanSpec::Heads()).
-  Status ScanHeads(const MultiScanCallback& callback,
-                   std::vector<BranchId>* branches_out = nullptr);
 
   Status Diff(BranchId a, BranchId b, DiffMode mode, const DiffCallback& pos,
               const DiffCallback& neg);

@@ -57,17 +57,11 @@ struct EngineOptions {
   bool verify_checksums = true;
   /// >0 enables the hybrid engine's parallel segment scanning (§3.4).
   int scan_threads = 0;
-};
-
-/// Pull iterator over the records of one version — the seed-era read
-/// interface, kept for the deprecated facade wrappers (Decibel::Scan*).
-/// The RecordRef handed out stays valid until the next call to Next().
-/// New code should use ScanCursor via NewScan.
-class RecordIterator {
- public:
-  virtual ~RecordIterator() = default;
-  virtual bool Next(RecordRef* out) = 0;
-  virtual const Status& status() const = 0;
+  /// Write-lock stripes per engine: branches on different stripes
+  /// (stripe = branch % write_stripes) commit concurrently. Also the
+  /// number of heap-file shards the tuple-first engine splits its shared
+  /// heap into.
+  uint32_t write_stripes = 32;
 };
 
 /// Multi-branch scans push each live record once, annotated with the

@@ -72,6 +72,7 @@ Result<uint32_t> HybridEngine::NewHeadSegment(BranchId owner) {
 Status HybridEngine::InitFresh() {
   pk_index_.try_emplace(kMasterBranch);
   branch_segments_.try_emplace(kMasterBranch);
+  dirty_.try_emplace(kMasterBranch);
   return NewHeadSegment(kMasterBranch).status();
 }
 
@@ -146,6 +147,7 @@ Status HybridEngine::LoadExisting() {
     }
     branch_segments_[branch] = std::move(row);
     pk_index_.try_emplace(branch);
+    dirty_.try_emplace(branch);
   }
   uint64_t num_commits;
   if (!GetVarint64(&input, &num_commits)) {
@@ -181,6 +183,7 @@ Status HybridEngine::LoadExisting() {
 }
 
 Status HybridEngine::Flush() {
+  std::unique_lock<std::shared_mutex> registry_lock(registry_mu_);
   for (auto& segment : segments_) {
     DECIBEL_RETURN_NOT_OK(segment->file->Flush());
   }
@@ -205,18 +208,23 @@ Status HybridEngine::Flush() {
     PutVarint32(&meta, branch);
     row.EncodeTo(&meta);
   }
-  PutVarint64(&meta, commit_branch_.size());
-  for (const auto& [commit, branch] : commit_branch_) {
-    PutVarint64(&meta, commit);
-    PutVarint32(&meta, branch);
-  }
-  uint64_t hist_entries = 0;
-  for (const auto& [branch, segs] : history_segs_) hist_entries += segs.size();
-  PutVarint64(&meta, hist_entries);
-  for (const auto& [branch, segs] : history_segs_) {
-    for (uint32_t seg : segs) {
+  {
+    std::lock_guard<std::mutex> commit_lock(commit_mu_);
+    PutVarint64(&meta, commit_branch_.size());
+    for (const auto& [commit, branch] : commit_branch_) {
+      PutVarint64(&meta, commit);
       PutVarint32(&meta, branch);
-      PutVarint32(&meta, seg);
+    }
+    uint64_t hist_entries = 0;
+    for (const auto& [branch, segs] : history_segs_) {
+      hist_entries += segs.size();
+    }
+    PutVarint64(&meta, hist_entries);
+    for (const auto& [branch, segs] : history_segs_) {
+      for (uint32_t seg : segs) {
+        PutVarint32(&meta, branch);
+        PutVarint32(&meta, seg);
+      }
     }
   }
   return WriteStringToFile(MetaPath(), meta);
@@ -235,6 +243,9 @@ std::vector<uint32_t> HybridEngine::SegmentsOf(BranchId b) const {
 
 Result<CommitHistory*> HybridEngine::HistoryFor(BranchId branch,
                                                 uint32_t seg) {
+  // Held across the (rare) first open of a history file: concurrent
+  // readers of the same commit would otherwise race to create one.
+  std::lock_guard<std::mutex> commit_lock(commit_mu_);
   const uint64_t key = HistoryKey(branch, seg);
   auto it = histories_.find(key);
   if (it != histories_.end()) return it->second.get();
@@ -254,9 +265,11 @@ Result<CommitHistory*> HybridEngine::HistoryFor(BranchId branch,
 
 Status HybridEngine::CreateBranch(BranchId child, BranchId parent,
                                   CommitId base_commit, bool at_head) {
-  std::lock_guard<std::mutex> write_lock(write_mu_);
+  // Grows segments_, the branch maps, and local-index column sets.
+  std::unique_lock<std::shared_mutex> registry_lock(registry_mu_);
   pk_index_.try_emplace(child);
   branch_segments_.try_emplace(child);
+  dirty_.try_emplace(child);
   if (at_head) {
     // §3.4 Branch: the parent's head freezes into an internal segment
     // whose bitmap gains a column for the child; both branches get fresh
@@ -291,7 +304,10 @@ Status HybridEngine::CreateBranch(BranchId child, BranchId parent,
 }
 
 Status HybridEngine::Commit(BranchId branch, CommitId commit_id) {
-  std::lock_guard<std::mutex> write_lock(write_mu_);
+  std::shared_lock<std::shared_mutex> registry_lock(registry_mu_);
+  // The stripe pins the branch's columns and dirty set while they are
+  // snapshotted into the history files.
+  std::lock_guard<std::mutex> stripe_lock(stripes_.ForBranch(branch));
   return CommitImpl(branch, commit_id);
 }
 
@@ -312,21 +328,30 @@ Status HybridEngine::CommitImpl(BranchId branch, CommitId commit_id) {
     }
     dirty_it->second.clear();
   }
+  std::lock_guard<std::mutex> commit_lock(commit_mu_);
   commit_branch_[commit_id] = branch;
   return Status::OK();
 }
 
 Status HybridEngine::CommitColumns(
     CommitId commit, std::vector<std::pair<uint32_t, Bitmap>>* out) {
-  auto it = commit_branch_.find(commit);
-  if (it == commit_branch_.end()) {
-    return Status::NotFound("hybrid: unknown commit " +
-                            std::to_string(commit));
+  // Snapshot the registry entries under the leaf lock, then replay the
+  // history files outside it (each file has its own internal lock).
+  BranchId branch;
+  std::vector<uint32_t> segs;
+  {
+    std::lock_guard<std::mutex> commit_lock(commit_mu_);
+    auto it = commit_branch_.find(commit);
+    if (it == commit_branch_.end()) {
+      return Status::NotFound("hybrid: unknown commit " +
+                              std::to_string(commit));
+    }
+    branch = it->second;
+    auto segs_it = history_segs_.find(branch);
+    if (segs_it == history_segs_.end()) return Status::OK();
+    segs = segs_it->second;
   }
-  const BranchId branch = it->second;
-  auto segs_it = history_segs_.find(branch);
-  if (segs_it == history_segs_.end()) return Status::OK();
-  for (uint32_t seg : segs_it->second) {
+  for (uint32_t seg : segs) {
     DECIBEL_ASSIGN_OR_RETURN(CommitHistory * history, HistoryFor(branch, seg));
     if (!history->HasCommitAtOrBefore(commit)) continue;  // not yet member
     DECIBEL_ASSIGN_OR_RETURN(Bitmap bits, history->Checkout(commit));
@@ -360,11 +385,13 @@ Status HybridEngine::RebuildPkIndex(BranchId b) {
 // ----------------------------------------------------------------- mutation
 
 Status HybridEngine::ApplyBatch(BranchId branch, const WriteBatch& batch) {
-  // One writer at a time across the segment graph: updates/deletes of
-  // inherited records touch shared ancestor-segment bitmaps (see
-  // write_mu_). Writers on one branch are already serialized by the
-  // facade's branch lock.
-  std::lock_guard<std::mutex> write_lock(write_mu_);
+  // Registry shared (CreateBranch/Merge may not reshape segments_ or the
+  // local indexes' column sets under us) + the branch's stripe. Updates
+  // and deletes of records inherited from shared ancestor segments flip
+  // bits only in *this branch's* column of those segments' local
+  // bitmaps, so sibling writers never touch the same bitmap.
+  std::shared_lock<std::shared_mutex> registry_lock(registry_mu_);
+  std::lock_guard<std::mutex> stripe_lock(stripes_.ForBranch(branch));
   auto head_it = head_seg_.find(branch);
   if (head_it == head_seg_.end()) {
     return Status::NotFound("hybrid: unknown branch " +
@@ -432,9 +459,8 @@ class HybridEngine::PartsCursor : public ScanCursor {
     for (;;) {
       if (!scanner_.has_value()) {
         if (next_part_ >= parts_.size()) return false;
-        scanner_.emplace(
-            engine_->segments_[parts_[next_part_].seg]->file.get(),
-            &engine_->schema_, &parts_[next_part_].unioned);
+        scanner_.emplace(parts_[next_part_].file, &engine_->schema_,
+                         &parts_[next_part_].unioned);
       }
       RecordRef rec;
       uint64_t idx;
@@ -488,6 +514,11 @@ class HybridEngine::PartsCursor : public ScanCursor {
 
 Result<std::vector<HybridEngine::ScanPart>> HybridEngine::BuildScanParts(
     const ScanSpec& spec) {
+  // Live-branch views materialize their bitmap copies under the branch's
+  // stripe lock, so a snapshot always lands on a batch boundary; every
+  // part also captures its segment's file pointer so the cursor streams
+  // without re-reading segments_.
+  std::shared_lock<std::shared_mutex> registry_lock(registry_mu_);
   std::vector<ScanPart> parts;
   switch (spec.view) {
     case ScanView::kBranch: {
@@ -497,9 +528,12 @@ Result<std::vector<HybridEngine::ScanPart>> HybridEngine::BuildScanParts(
       }
       // "Single branch scans check the branch-segment index to identify
       // the segments that need to be read" (§3.4); order is irrelevant.
+      std::lock_guard<std::mutex> stripe_lock(
+          stripes_.ForBranch(spec.branch));
       for (uint32_t seg : SegmentsOf(spec.branch)) {
         ScanPart part;
         part.seg = seg;
+        part.file = segments_[seg]->file.get();
         part.unioned = segments_[seg]->local.MaterializeBranch(spec.branch);
         parts.push_back(std::move(part));
       }
@@ -511,6 +545,7 @@ Result<std::vector<HybridEngine::ScanPart>> HybridEngine::BuildScanParts(
       for (auto& [seg, bits] : columns) {
         ScanPart part;
         part.seg = seg;
+        part.file = segments_[seg]->file.get();
         part.unioned = std::move(bits);
         parts.push_back(std::move(part));
       }
@@ -519,6 +554,7 @@ Result<std::vector<HybridEngine::ScanPart>> HybridEngine::BuildScanParts(
     case ScanView::kMulti: {
       // Segments relevant to any requested branch: a logical OR of rows
       // of the branch-segment bitmap (§3.4).
+      StripeLocks::MultiGuard stripe_locks(stripes_, spec.branches);
       Bitmap segs;
       for (BranchId b : spec.branches) {
         auto it = branch_segments_.find(b);
@@ -527,6 +563,7 @@ Result<std::vector<HybridEngine::ScanPart>> HybridEngine::BuildScanParts(
       segs.ForEachSet([&](uint64_t seg) {
         ScanPart part;
         part.seg = static_cast<uint32_t>(seg);
+        part.file = segments_[seg]->file.get();
         part.cols.resize(spec.branches.size());
         for (size_t i = 0; i < spec.branches.size(); ++i) {
           part.cols[i] =
@@ -566,8 +603,7 @@ Result<std::unique_ptr<ScanCursor>> HybridEngine::ParallelScan(
       pool.Submit([&, p] {
         const ScanPart& part = parts[p];
         PartResult& result = results[p];
-        BitmapScanner scanner(segments_[part.seg]->file.get(), &schema_,
-                              &part.unioned);
+        BitmapScanner scanner(part.file, &schema_, &part.unioned);
         RecordRef rec;
         uint64_t idx;
         std::vector<uint32_t> present;
@@ -636,64 +672,81 @@ Result<std::unique_ptr<ScanCursor>> HybridEngine::NewScan(
 }
 
 Result<Record> HybridEngine::Get(BranchId branch, int64_t pk) {
-  auto branch_it = pk_index_.find(branch);
-  if (branch_it == pk_index_.end()) {
-    return Status::NotFound("hybrid: unknown branch " +
-                            std::to_string(branch));
-  }
-  auto rec_it = branch_it->second.find(pk);
-  if (rec_it == branch_it->second.end()) {
-    return Status::NotFound("hybrid: no record with pk " +
-                            std::to_string(pk));
+  std::shared_lock<std::shared_mutex> registry_lock(registry_mu_);
+  Loc loc;
+  {
+    // The pk index is per-branch state guarded by the branch's stripe.
+    std::lock_guard<std::mutex> stripe_lock(stripes_.ForBranch(branch));
+    auto branch_it = pk_index_.find(branch);
+    if (branch_it == pk_index_.end()) {
+      return Status::NotFound("hybrid: unknown branch " +
+                              std::to_string(branch));
+    }
+    auto rec_it = branch_it->second.find(pk);
+    if (rec_it == branch_it->second.end()) {
+      return Status::NotFound("hybrid: no record with pk " +
+                              std::to_string(pk));
+    }
+    loc = rec_it->second;
   }
   std::string buf;
-  DECIBEL_RETURN_NOT_OK(
-      segments_[rec_it->second.seg]->file->Get(rec_it->second.idx, &buf));
+  DECIBEL_RETURN_NOT_OK(segments_[loc.seg]->file->Get(loc.idx, &buf));
   return Record(&schema_, Slice(buf));
 }
 
 Status HybridEngine::Diff(BranchId a, BranchId b, DiffMode mode,
                           const DiffCallback& pos, const DiffCallback& neg) {
-  Bitmap segs;
-  for (BranchId x : {a, b}) {
-    auto it = branch_segments_.find(x);
-    if (it != branch_segments_.end()) segs.OrWith(it->second);
+  // Materialize both sides' per-segment deltas under the two branches'
+  // stripes (ascending order via MultiGuard), then scan the snapshot
+  // with the stripes released.
+  std::shared_lock<std::shared_mutex> registry_lock(registry_mu_);
+  struct SegDiff {
+    HeapFile* file = nullptr;
+    Bitmap only_a;
+    Bitmap only_b;
+    Bitmap both;
+  };
+  std::vector<SegDiff> seg_diffs;
+  {
+    StripeLocks::MultiGuard stripe_locks(stripes_, {a, b});
+    Bitmap segs;
+    for (BranchId x : {a, b}) {
+      auto it = branch_segments_.find(x);
+      if (it != branch_segments_.end()) segs.OrWith(it->second);
+    }
+    segs.ForEachSet([&](uint64_t seg) {
+      SegDiff d;
+      d.file = segments_[seg]->file.get();
+      const Bitmap la = segments_[seg]->local.MaterializeBranch(a);
+      const Bitmap lb = segments_[seg]->local.MaterializeBranch(b);
+      d.only_a = Bitmap::AndNot(la, lb);
+      d.only_b = Bitmap::AndNot(lb, la);
+      d.both = Bitmap::Or(d.only_a, d.only_b);
+      seg_diffs.push_back(std::move(d));
+    });
   }
-  std::vector<uint32_t> seg_list;
-  segs.ForEachSet(
-      [&](uint64_t s) { seg_list.push_back(static_cast<uint32_t>(s)); });
 
   // By-key mode needs each side's touched keys before emitting.
   std::unordered_set<int64_t> pks_a, pks_b;
   if (mode == DiffMode::kByKey) {
-    for (uint32_t seg : seg_list) {
-      const Bitmap la = segments_[seg]->local.MaterializeBranch(a);
-      const Bitmap lb = segments_[seg]->local.MaterializeBranch(b);
-      const Bitmap only_a = Bitmap::AndNot(la, lb);
-      const Bitmap only_b = Bitmap::AndNot(lb, la);
-      const Bitmap both = Bitmap::Or(only_a, only_b);
-      BitmapScanner scanner(segments_[seg]->file.get(), &schema_, &both);
+    for (const SegDiff& d : seg_diffs) {
+      BitmapScanner scanner(d.file, &schema_, &d.both);
       RecordRef rec;
       uint64_t idx;
       while (scanner.Next(&rec, &idx)) {
-        if (only_a.Test(idx)) pks_a.insert(rec.pk());
-        if (only_b.Test(idx)) pks_b.insert(rec.pk());
+        if (d.only_a.Test(idx)) pks_a.insert(rec.pk());
+        if (d.only_b.Test(idx)) pks_b.insert(rec.pk());
       }
       DECIBEL_RETURN_NOT_OK(scanner.status());
     }
   }
 
-  for (uint32_t seg : seg_list) {
-    const Bitmap la = segments_[seg]->local.MaterializeBranch(a);
-    const Bitmap lb = segments_[seg]->local.MaterializeBranch(b);
-    const Bitmap only_a = Bitmap::AndNot(la, lb);
-    const Bitmap only_b = Bitmap::AndNot(lb, la);
-    const Bitmap both = Bitmap::Or(only_a, only_b);
-    BitmapScanner scanner(segments_[seg]->file.get(), &schema_, &both);
+  for (const SegDiff& d : seg_diffs) {
+    BitmapScanner scanner(d.file, &schema_, &d.both);
     RecordRef rec;
     uint64_t idx;
     while (scanner.Next(&rec, &idx)) {
-      const bool in_a = only_a.Test(idx);
+      const bool in_a = d.only_a.Test(idx);
       if (in_a && pos) {
         if (mode == DiffMode::kByContent || pks_b.count(rec.pk()) == 0) {
           pos(rec);
@@ -715,7 +768,10 @@ Status HybridEngine::Diff(BranchId a, BranchId b, DiffMode mode,
 Result<MergeResult> HybridEngine::Merge(BranchId into, BranchId from,
                                         CommitId lca, CommitId new_commit,
                                         MergePolicy policy) {
-  std::lock_guard<std::mutex> write_lock(write_mu_);
+  // Merge adds 'into' columns to segments inherited from 'from' (a
+  // column-set shape change), so it excludes every writer and scan-open
+  // with the unique registry lock for its duration.
+  std::unique_lock<std::shared_mutex> registry_lock(registry_mu_);
   MergeResult result;
   const uint32_t rs = schema_.record_size();
   const bool left_wins = LeftWins(policy);
@@ -885,19 +941,27 @@ Result<MergeResult> HybridEngine::Merge(BranchId into, BranchId from,
 
 EngineStats HybridEngine::Stats() const {
   EngineStats stats;
-  for (const auto& segment : segments_) {
-    stats.data_bytes += segment->file->SizeBytes();
-    stats.num_records += segment->file->num_records();
-    stats.index_memory_bytes += segment->local.MemoryBytes();
+  std::shared_lock<std::shared_mutex> registry_lock(registry_mu_);
+  {
+    // Every stripe: the walk reads all branches' columns and pk indexes.
+    StripeLocks::AllGuard stripe_locks(stripes_);
+    for (const auto& segment : segments_) {
+      stats.data_bytes += segment->file->SizeBytes();
+      stats.num_records += segment->file->num_records();
+      stats.index_memory_bytes += segment->local.MemoryBytes();
+    }
+    for (const auto& [branch, row] : branch_segments_) {
+      stats.index_memory_bytes += row.MemoryBytes();
+    }
+    for (const auto& [branch, pks] : pk_index_) {
+      stats.index_memory_bytes += pks.size() * 24;
+    }
   }
-  for (const auto& [branch, row] : branch_segments_) {
-    stats.index_memory_bytes += row.MemoryBytes();
-  }
-  for (const auto& [branch, pks] : pk_index_) {
-    stats.index_memory_bytes += pks.size() * 24;
-  }
-  for (const auto& [key, history] : histories_) {
-    stats.commit_store_bytes += history->SizeBytes();
+  {
+    std::lock_guard<std::mutex> commit_lock(commit_mu_);
+    for (const auto& [key, history] : histories_) {
+      stats.commit_store_bytes += history->SizeBytes();
+    }
   }
   stats.num_segments = segments_.size();
   stats.rows_scanned = scan_counters_.rows();

@@ -13,14 +13,28 @@
 ///
 /// Segments are either *head* segments (the working tail of one branch)
 /// or *internal* segments (frozen at the first branch taken from them).
+///
+/// Concurrency: a branch's writes touch only its own head-segment tail,
+/// its own pk index, and its own columns of the per-segment local
+/// bitmaps (a column is private to its branch even when the segment is
+/// shared with siblings), so writers on disjoint branches proceed in
+/// parallel. The lock hierarchy is registry_mu_ (the segments_ vector,
+/// head_seg_/branch_segments_/pk_index_/dirty_ map shapes, and the local
+/// indexes' column sets; writers take it shared, CreateBranch/Merge/
+/// Flush take it unique) -> stripe locks (branch % write_stripes) ->
+/// commit_mu_ (the commit registries, a leaf). Scans materialize bitmap
+/// copies under the stripe lock, capture per-segment file pointers, and
+/// stream without any lock.
 
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "bitmap/commit_history.h"
+#include "common/stripe_lock.h"
 #include "engine/engine.h"
 #include "storage/buffer_pool.h"
 #include "storage/heap_file.h"
@@ -72,7 +86,10 @@ class HybridEngine : public StorageEngine {
   };
 
   HybridEngine(const Schema& schema, const EngineOptions& options)
-      : schema_(schema), options_(options), pool_(options.buffer_pool_bytes) {}
+      : schema_(schema),
+        options_(options),
+        pool_(options.buffer_pool_bytes),
+        stripes_(options.write_stripes == 0 ? 1 : options.write_stripes) {}
 
   Status InitFresh();
   Status LoadExisting();
@@ -80,10 +97,16 @@ class HybridEngine : public StorageEngine {
   std::string SegmentPath(uint32_t seg) const;
   std::string HistoryPath(BranchId branch, uint32_t seg) const;
 
+  /// Caller holds registry_mu_ unique (grows segments_ and the maps).
   Result<uint32_t> NewHeadSegment(BranchId owner);
+  /// The (branch, segment) commit history, creating it on first use.
+  /// Takes commit_mu_ internally for the registry maps.
   Result<CommitHistory*> HistoryFor(BranchId branch, uint32_t seg);
-  /// Commit body without write_mu_, for callers already holding it.
+  /// Commit body; caller holds registry_mu_ (shared or unique) and the
+  /// branch's stripe. Takes commit_mu_ internally.
   Status CommitImpl(BranchId branch, CommitId commit_id);
+  /// dirty_ entries are pre-created when the branch is created, so this
+  /// only mutates the per-branch set — safe under the branch's stripe.
   void MarkDirty(BranchId branch, uint32_t seg) {
     dirty_[branch].insert(seg);
   }
@@ -101,13 +124,15 @@ class HybridEngine : public StorageEngine {
   /// mutable so cursors over a const engine can flush into it.
   mutable ScanCounters scan_counters_;
 
-  /// Serializes the mutating entry points (ApplyBatch, CreateBranch,
-  /// Merge, Commit) across branches: although each branch appends to its
-  /// own head segment, updates and deletes of records inherited from a
-  /// shared ancestor segment flip bits in that segment's local bitmap,
-  /// which sibling branches share — the facade's per-branch locks cannot
-  /// order those.
-  std::mutex write_mu_;
+  /// Shape of segments_, the branch maps, and the local indexes' column
+  /// sets: writers take it shared, CreateBranch/Merge/Flush take it
+  /// unique. Ordered before the stripe locks.
+  mutable std::shared_mutex registry_mu_;
+  /// Per-branch write serialization; see file comment for the hierarchy.
+  mutable StripeLocks stripes_;
+  /// Leaf lock: histories_/history_segs_/commit_branch_ shape. Never
+  /// acquire another engine lock while holding it.
+  mutable std::mutex commit_mu_;
 
   std::vector<std::unique_ptr<Segment>> segments_;
   std::unordered_map<BranchId, uint32_t> head_seg_;
@@ -124,8 +149,12 @@ class HybridEngine : public StorageEngine {
 
   /// One unit of a segmented scan: a segment plus the bitmap(s) selecting
   /// its rows (cols carries per-requested-branch columns for multi views).
+  /// The file pointer is captured under the registry lock at open so
+  /// cursors stream without re-reading segments_ (Segment objects are
+  /// stable; only the vector itself reallocates as branches appear).
   struct ScanPart {
     uint32_t seg = 0;
+    HeapFile* file = nullptr;
     Bitmap unioned;
     std::vector<Bitmap> cols;
   };

@@ -4,8 +4,7 @@
 /// \file scan_util.h
 /// Shared ScanCursor building blocks: a buffered cursor for read paths
 /// that are naturally producer-driven (diff views, parallel segment
-/// scans), and the RecordIterator adapter behind the deprecated
-/// Scan/ScanBranch/ScanCommit facade entry points.
+/// scans), and the shared kDiff cursor factory.
 
 #include <cstring>
 #include <memory>
@@ -92,25 +91,6 @@ class BufferedCursor : public ScanCursor {
   size_t next_ = 0;
   ScanStats stats_;
   Status status_;
-};
-
-/// Adapts a ScanCursor to the seed-era RecordIterator pull interface;
-/// multi-branch annotations are dropped.
-class CursorRecordIterator : public RecordIterator {
- public:
-  explicit CursorRecordIterator(std::unique_ptr<ScanCursor> cursor)
-      : cursor_(std::move(cursor)) {}
-
-  bool Next(RecordRef* out) override {
-    ScanRow row;
-    if (!cursor_->Next(&row)) return false;
-    *out = row.record;
-    return true;
-  }
-  const Status& status() const override { return cursor_->status(); }
-
- private:
-  std::unique_ptr<ScanCursor> cursor_;
 };
 
 /// Serves a kDiff ScanSpec on top of an engine's Diff machinery: runs the

@@ -3,7 +3,6 @@
 #include <unordered_set>
 
 #include "common/coding.h"
-#include "engine/bitmap_scan.h"
 #include "engine/merge_util.h"
 #include "engine/scan_util.h"
 
@@ -11,20 +10,25 @@ namespace decibel {
 
 namespace {
 
-/// Streaming cursor over one materialized bitmap view of the shared heap
-/// file. For multi-branch views `cols` holds the requested branches'
-/// columns and `bits` their union; the predicate is evaluated on the raw
-/// in-page record bytes *before* the per-branch membership annotation, so
+/// Streaming cursor over one materialized bitmap view of the striped heap.
+/// For multi-branch views `cols` holds the requested branches' columns and
+/// `bits` their union; the predicate is evaluated on the raw in-page
+/// record bytes *before* the per-branch membership annotation, so
 /// predicate-failing tuples cost one comparison and no bitmap probes.
+///
+/// The cursor owns its bitmap snapshot and extent-mapping snapshot, so it
+/// never touches engine state after construction: scans stream lock-free
+/// and never observe a half-applied batch.
 class TupleFirstCursor : public ScanCursor {
  public:
-  TupleFirstCursor(HeapFile* heap, const Schema* schema, Bitmap bits,
-                   std::vector<Bitmap> cols, std::vector<BranchId> branch_list,
-                   const ScanSpec& spec, ScanCounters* counters)
+  TupleFirstCursor(StripedHeap::Mapping mapping, const Schema* schema,
+                   Bitmap bits, std::vector<Bitmap> cols,
+                   std::vector<BranchId> branch_list, const ScanSpec& spec,
+                   ScanCounters* counters)
       : bits_(std::move(bits)),
         cols_(std::move(cols)),
         branch_list_(std::move(branch_list)),
-        scanner_(heap, schema, &bits_),
+        scanner_(std::move(mapping), schema, &bits_),
         prepared_(spec.predicate, *schema),
         limit_(spec.limit),
         row_bytes_(ProjectedRowBytes(*schema, spec.projection)),
@@ -65,7 +69,7 @@ class TupleFirstCursor : public ScanCursor {
   Bitmap bits_;
   std::vector<Bitmap> cols_;
   std::vector<BranchId> branch_list_;
-  BitmapScanner scanner_;
+  StripedBitmapScanner scanner_;
   PreparedPredicate prepared_;
   uint64_t limit_;
   uint32_t row_bytes_;
@@ -101,12 +105,13 @@ std::string TupleFirstEngine::HistoryPath(BranchId branch) const {
 }
 
 Status TupleFirstEngine::InitFresh() {
-  HeapFile::Options hopts;
+  StripedHeap::Options hopts;
   hopts.page_size = options_.page_size;
   hopts.verify_checksums = options_.verify_checksums;
+  hopts.stripes = static_cast<uint32_t>(stripes_.count());
   DECIBEL_ASSIGN_OR_RETURN(
-      heap_, HeapFile::Create(JoinPath(options_.directory, "heap.dbhf"),
-                              schema_.record_size(), hopts, &pool_));
+      heap_, StripedHeap::Create(options_.directory, schema_.record_size(),
+                                 hopts, &pool_));
   index_ = BitmapIndex::Make(options_.orientation);
   // The master branch exists from the start.
   index_->AddBranch(kMasterBranch);
@@ -115,11 +120,11 @@ Status TupleFirstEngine::InitFresh() {
 }
 
 Status TupleFirstEngine::LoadExisting() {
-  HeapFile::Options hopts;
+  StripedHeap::Options hopts;
   hopts.verify_checksums = options_.verify_checksums;
-  DECIBEL_ASSIGN_OR_RETURN(
-      heap_, HeapFile::Open(JoinPath(options_.directory, "heap.dbhf"), hopts,
-                            &pool_));
+  DECIBEL_ASSIGN_OR_RETURN(heap_,
+                           StripedHeap::Open(options_.directory, hopts,
+                                             &pool_));
   DECIBEL_ASSIGN_OR_RETURN(std::string meta, ReadFileToString(MetaPath()));
   Slice input(meta);
   Slice schema_blob;
@@ -164,6 +169,9 @@ Status TupleFirstEngine::LoadExisting() {
 }
 
 Status TupleFirstEngine::Flush() {
+  // Unique registry: no writer holds its shared mode, so every stripe is
+  // quiesced and the index/commit registries are stable.
+  std::unique_lock<std::shared_mutex> registry(registry_mu_);
   DECIBEL_RETURN_NOT_OK(heap_->Flush());
   std::string meta;
   std::string schema_blob;
@@ -183,6 +191,7 @@ Status TupleFirstEngine::Flush() {
 }
 
 Result<CommitHistory*> TupleFirstEngine::HistoryFor(BranchId branch) {
+  std::lock_guard<std::mutex> commits(commit_mu_);
   auto it = histories_.find(branch);
   if (it != histories_.end()) return it->second.get();
   const std::string path = HistoryPath(branch);
@@ -201,13 +210,8 @@ Result<CommitHistory*> TupleFirstEngine::HistoryFor(BranchId branch) {
 Status TupleFirstEngine::RebuildPkIndex(BranchId b) {
   PkIndex& idx = pk_index_[b];
   idx.clear();
-  const Bitmap* view = index_->BranchView(b);
-  Bitmap owned;
-  if (view == nullptr) {
-    owned = index_->MaterializeBranch(b);
-    view = &owned;
-  }
-  BitmapScanner scanner(heap_.get(), &schema_, view);
+  const Bitmap view = index_->MaterializeBranch(b);
+  StripedBitmapScanner scanner(heap_->SnapshotMapping(), &schema_, &view);
   RecordRef rec;
   uint64_t pos;
   while (scanner.Next(&rec, &pos)) {
@@ -220,7 +224,9 @@ Status TupleFirstEngine::RebuildPkIndex(BranchId b) {
 
 Status TupleFirstEngine::CreateBranch(BranchId child, BranchId parent,
                                       CommitId base_commit, bool at_head) {
-  std::lock_guard<std::mutex> write_lock(write_mu_);
+  // Branch creation changes registry shape (new bitmap column, new pk
+  // map), so it is the one writer that excludes everything engine-wide.
+  std::unique_lock<std::shared_mutex> registry(registry_mu_);
   if (at_head) {
     // "A branch operation clones the state of the parent branch's bitmap"
     // (§3.2) — plus the parent's pk index for update support.
@@ -235,7 +241,8 @@ Status TupleFirstEngine::CreateBranch(BranchId child, BranchId parent,
 }
 
 Status TupleFirstEngine::Commit(BranchId branch, CommitId commit_id) {
-  std::lock_guard<std::mutex> write_lock(write_mu_);
+  std::shared_lock<std::shared_mutex> registry(registry_mu_);
+  StripeGuard stripe(this, {branch});
   return CommitImpl(branch, commit_id);
 }
 
@@ -248,17 +255,25 @@ Status TupleFirstEngine::CommitImpl(BranchId branch, CommitId commit_id) {
     view = &owned;
   }
   DECIBEL_RETURN_NOT_OK(history->AppendCommit(commit_id, *view));
+  std::lock_guard<std::mutex> commits(commit_mu_);
   commit_branch_[commit_id] = branch;
   return Status::OK();
 }
 
 Result<Bitmap> TupleFirstEngine::CommitBitmap(CommitId commit) {
-  auto it = commit_branch_.find(commit);
-  if (it == commit_branch_.end()) {
-    return Status::NotFound("tuple-first: unknown commit " +
-                            std::to_string(commit));
+  BranchId branch;
+  {
+    std::lock_guard<std::mutex> commits(commit_mu_);
+    auto it = commit_branch_.find(commit);
+    if (it == commit_branch_.end()) {
+      return Status::NotFound("tuple-first: unknown commit " +
+                              std::to_string(commit));
+    }
+    branch = it->second;
   }
-  DECIBEL_ASSIGN_OR_RETURN(CommitHistory * history, HistoryFor(it->second));
+  DECIBEL_ASSIGN_OR_RETURN(CommitHistory * history, HistoryFor(branch));
+  // The CommitHistory's own lock makes the checkout safe against the
+  // owning branch appending a newer commit concurrently.
   return history->Checkout(commit);
 }
 
@@ -269,9 +284,11 @@ Status TupleFirstEngine::Checkout(CommitId commit) {
 // ----------------------------------------------------------------- mutation
 
 Status TupleFirstEngine::ApplyBatch(BranchId branch, const WriteBatch& batch) {
-  // One writer at a time into the shared heap/bitmap universe; writers on
-  // the same branch are already serialized by the facade's branch lock.
-  std::lock_guard<std::mutex> write_lock(write_mu_);
+  // Writers on the same stripe serialize here; disjoint stripes commit in
+  // parallel. Writers on the same *branch* are already serialized above
+  // us by the facade's branch lock.
+  std::shared_lock<std::shared_mutex> registry(registry_mu_);
+  StripeGuard stripe(this, {branch});
   auto pk_it = pk_index_.find(branch);
   if (pk_it == pk_index_.end()) {
     return Status::NotFound("tuple-first: unknown branch " +
@@ -281,16 +298,20 @@ Status TupleFirstEngine::ApplyBatch(BranchId branch, const WriteBatch& batch) {
   DECIBEL_RETURN_NOT_OK(ValidateBatchDeletes(
       batch, [&pks](int64_t pk) { return pks.count(pk) != 0; }));
 
-  // One pass: the record payloads go to the heap file in page-sized
-  // chunks, the bitmap universe grows once for the whole batch, and the
-  // pk index is pre-sized — instead of paying each per record.
-  uint64_t next_idx = 0;
+  // One pass: the record payloads go to this branch's heap stripe in
+  // page-sized chunks (the stripe allocator hands back the assigned
+  // global indices as at most two contiguous runs), the bitmap universe
+  // grows once to the heap's allocated bound, and the pk index is
+  // pre-sized — instead of paying each per record.
+  StripedHeap::RunList runs;
   if (batch.num_appends() > 0) {
-    DECIBEL_ASSIGN_OR_RETURN(
-        next_idx, heap_->AppendBatch(batch.arena(), batch.num_appends()));
+    DECIBEL_RETURN_NOT_OK(heap_->AppendBatch(
+        StripeOf(branch), batch.arena(), batch.num_appends(), &runs));
+    index_->EnsureTuples(heap_->allocated_bound());
   }
-  index_->AppendTuples(batch.num_appends());
   pks.reserve(pks.size() + batch.num_appends());
+  size_t run_pos = 0;
+  uint64_t run_off = 0;
   for (const WriteBatch::Op& op : batch.ops()) {
     if (op.kind == WriteBatch::OpKind::kDelete) {
       auto old = pks.find(op.pk);
@@ -298,7 +319,11 @@ Status TupleFirstEngine::ApplyBatch(BranchId branch, const WriteBatch& batch) {
       pks.erase(old);
       continue;
     }
-    const uint64_t idx = next_idx++;
+    while (run_off == runs[run_pos].count) {
+      ++run_pos;
+      run_off = 0;
+    }
+    const uint64_t idx = runs[run_pos].base + run_off++;
     auto [it, inserted] = pks.try_emplace(batch.RecordAt(op).pk(), idx);
     if (!inserted) {
       // "the index bit of the previous version of the record is unset"
@@ -318,35 +343,47 @@ Result<std::unique_ptr<ScanCursor>> TupleFirstEngine::NewScan(
   DECIBEL_RETURN_NOT_OK(ValidateScanSpec(spec, schema_));
   switch (spec.view) {
     case ScanView::kBranch: {
+      std::shared_lock<std::shared_mutex> registry(registry_mu_);
       if (pk_index_.count(spec.branch) == 0) {
         return Status::NotFound("tuple-first: unknown branch " +
                                 std::to_string(spec.branch));
       }
-      // For the tuple-oriented layout MaterializeBranch walks the whole
-      // matrix — the single-branch scan penalty of §3.2.
+      // Materialize the snapshot under the branch's stripe (for the
+      // tuple-oriented layout this walks the whole matrix — the
+      // single-branch scan penalty of §3.2), then stream lock-free.
+      Bitmap bits;
+      {
+        StripeGuard stripe(this, {spec.branch});
+        bits = index_->MaterializeBranch(spec.branch);
+      }
       return std::unique_ptr<ScanCursor>(new TupleFirstCursor(
-          heap_.get(), &schema_, index_->MaterializeBranch(spec.branch), {},
-          {}, spec, &scan_counters_));
+          heap_->SnapshotMapping(), &schema_, std::move(bits), {}, {}, spec,
+          &scan_counters_));
     }
     case ScanView::kCommit: {
       DECIBEL_ASSIGN_OR_RETURN(Bitmap bits, CommitBitmap(spec.commit));
-      return std::unique_ptr<ScanCursor>(
-          new TupleFirstCursor(heap_.get(), &schema_, std::move(bits), {}, {},
-                               spec, &scan_counters_));
+      return std::unique_ptr<ScanCursor>(new TupleFirstCursor(
+          heap_->SnapshotMapping(), &schema_, std::move(bits), {}, {}, spec,
+          &scan_counters_));
     }
     case ScanView::kMulti: {
-      // One pass over the heap file, each tuple annotated with the
-      // branches it is live in (§3.2 Multi-branch Scan).
+      // One pass over the heap, each tuple annotated with the branches it
+      // is live in (§3.2 Multi-branch Scan). All requested stripes are
+      // held together so the cross-branch snapshot is consistent.
+      std::shared_lock<std::shared_mutex> registry(registry_mu_);
       std::vector<Bitmap> cols;
       cols.reserve(spec.branches.size());
       Bitmap unioned;
-      for (BranchId b : spec.branches) {
-        cols.push_back(index_->MaterializeBranch(b));
-        unioned.OrWith(cols.back());
+      {
+        StripeGuard stripes(this, spec.branches);
+        for (BranchId b : spec.branches) {
+          cols.push_back(index_->MaterializeBranch(b));
+          unioned.OrWith(cols.back());
+        }
       }
       return std::unique_ptr<ScanCursor>(new TupleFirstCursor(
-          heap_.get(), &schema_, std::move(unioned), std::move(cols),
-          spec.branches, spec, &scan_counters_));
+          heap_->SnapshotMapping(), &schema_, std::move(unioned),
+          std::move(cols), spec.branches, spec, &scan_counters_));
     }
     case ScanView::kDiff:
       return MakeDiffScanCursor(this, spec, &scan_counters_);
@@ -357,18 +394,25 @@ Result<std::unique_ptr<ScanCursor>> TupleFirstEngine::NewScan(
 }
 
 Result<Record> TupleFirstEngine::Get(BranchId branch, int64_t pk) {
-  auto branch_it = pk_index_.find(branch);
-  if (branch_it == pk_index_.end()) {
-    return Status::NotFound("tuple-first: unknown branch " +
-                            std::to_string(branch));
+  uint64_t idx;
+  {
+    std::shared_lock<std::shared_mutex> registry(registry_mu_);
+    StripeGuard stripe(this, {branch});
+    auto branch_it = pk_index_.find(branch);
+    if (branch_it == pk_index_.end()) {
+      return Status::NotFound("tuple-first: unknown branch " +
+                              std::to_string(branch));
+    }
+    auto rec_it = branch_it->second.find(pk);
+    if (rec_it == branch_it->second.end()) {
+      return Status::NotFound("tuple-first: no record with pk " +
+                              std::to_string(pk));
+    }
+    idx = rec_it->second;
   }
-  auto rec_it = branch_it->second.find(pk);
-  if (rec_it == branch_it->second.end()) {
-    return Status::NotFound("tuple-first: no record with pk " +
-                            std::to_string(pk));
-  }
+  // Appended records are immutable; the read needs no lock.
   std::string buf;
-  DECIBEL_RETURN_NOT_OK(heap_->Get(rec_it->second, &buf));
+  DECIBEL_RETURN_NOT_OK(heap_->Get(idx, &buf));
   return Record(&schema_, Slice(buf));
 }
 
@@ -377,8 +421,16 @@ Status TupleFirstEngine::Diff(BranchId a, BranchId b, DiffMode mode,
                               const DiffCallback& neg) {
   // "Diff is straightforward to compute in tuple-first: we simply XOR
   // bitmaps together and emit records on the appropriate iterator" (§3.2).
-  const Bitmap bits_a = index_->MaterializeBranch(a);
-  const Bitmap bits_b = index_->MaterializeBranch(b);
+  // Both stripes are taken together (ascending order) so the two columns
+  // form one consistent snapshot; the record passes then run lock-free.
+  Bitmap bits_a, bits_b;
+  {
+    std::shared_lock<std::shared_mutex> registry(registry_mu_);
+    StripeGuard stripes(this, {a, b});
+    bits_a = index_->MaterializeBranch(a);
+    bits_b = index_->MaterializeBranch(b);
+  }
+  const StripedHeap::Mapping mapping = heap_->SnapshotMapping();
   const Bitmap only_a = Bitmap::AndNot(bits_a, bits_b);
   const Bitmap only_b = Bitmap::AndNot(bits_b, bits_a);
 
@@ -387,7 +439,7 @@ Status TupleFirstEngine::Diff(BranchId a, BranchId b, DiffMode mode,
     // Key-presence semantics: a key updated on the other side is still
     // "present" there, so collect each side's touched keys first.
     const Bitmap both = Bitmap::Or(only_a, only_b);
-    BitmapScanner pass1(heap_.get(), &schema_, &both);
+    StripedBitmapScanner pass1(mapping, &schema_, &both);
     RecordRef rec;
     uint64_t idx;
     while (pass1.Next(&rec, &idx)) {
@@ -398,7 +450,7 @@ Status TupleFirstEngine::Diff(BranchId a, BranchId b, DiffMode mode,
   }
 
   const Bitmap both = Bitmap::Or(only_a, only_b);
-  BitmapScanner scanner(heap_.get(), &schema_, &both);
+  StripedBitmapScanner scanner(mapping, &schema_, &both);
   RecordRef rec;
   uint64_t idx;
   while (scanner.Next(&rec, &idx)) {
@@ -422,13 +474,18 @@ Status TupleFirstEngine::Diff(BranchId a, BranchId b, DiffMode mode,
 Result<MergeResult> TupleFirstEngine::Merge(BranchId into, BranchId from,
                                             CommitId lca, CommitId new_commit,
                                             MergePolicy policy) {
-  std::lock_guard<std::mutex> write_lock(write_mu_);
+  // Cross-branch writer: hold both branches' stripes (ascending order —
+  // deadlock-free against any other multi-stripe holder) for the whole
+  // merge so 'from' cannot move while we fold it into 'into'.
+  std::shared_lock<std::shared_mutex> registry(registry_mu_);
+  StripeGuard stripes(this, {into, from});
   MergeResult result;
   const uint32_t rs = schema_.record_size();
 
   const Bitmap bits_a = index_->MaterializeBranch(into);
   const Bitmap bits_b = index_->MaterializeBranch(from);
   DECIBEL_ASSIGN_OR_RETURN(Bitmap bits_l, CommitBitmap(lca));
+  const StripedHeap::Mapping mapping = heap_->SnapshotMapping();
 
   // Records added since the lca on each side (new inserts + new versions).
   const Bitmap diff_a = Bitmap::AndNot(bits_a, bits_l);
@@ -444,7 +501,7 @@ Result<MergeResult> TupleFirstEngine::Merge(BranchId into, BranchId from,
   std::unordered_map<int64_t, uint64_t> table_a, table_b;
   {
     const Bitmap changed = Bitmap::Or(diff_a, diff_b);
-    BitmapScanner scanner(heap_.get(), &schema_, &changed);
+    StripedBitmapScanner scanner(mapping, &schema_, &changed);
     RecordRef rec;
     uint64_t idx;
     while (scanner.Next(&rec, &idx)) {
@@ -464,7 +521,7 @@ Result<MergeResult> TupleFirstEngine::Merge(BranchId into, BranchId from,
   std::unordered_set<int64_t> gone_a_pks, gone_b_pks;
   {
     const Bitmap gone = Bitmap::Or(gone_a, gone_b);
-    BitmapScanner scanner(heap_.get(), &schema_, &gone);
+    StripedBitmapScanner scanner(mapping, &schema_, &gone);
     RecordRef rec;
     uint64_t idx;
     while (scanner.Next(&rec, &idx)) {
@@ -525,9 +582,10 @@ Result<MergeResult> TupleFirstEngine::Merge(BranchId into, BranchId from,
       if (outcome.conflict) ++result.conflicts;
       if (outcome.needs_new_record) {
         ++result.field_merges;
-        DECIBEL_ASSIGN_OR_RETURN(uint64_t merged_idx,
-                                 heap_->Append(outcome.merged->data()));
-        index_->AppendTuples(1);
+        DECIBEL_ASSIGN_OR_RETURN(
+            uint64_t merged_idx,
+            heap_->Append(StripeOf(into), outcome.merged->data()));
+        index_->EnsureTuples(heap_->allocated_bound());
         apply_b_state(pk, merged_idx, false);
       } else if (!outcome.keep_left) {
         apply_b_state(pk, idx_b, false);
@@ -562,16 +620,21 @@ Result<MergeResult> TupleFirstEngine::Merge(BranchId into, BranchId from,
 // -------------------------------------------------------------------- stats
 
 EngineStats TupleFirstEngine::Stats() const {
+  std::shared_lock<std::shared_mutex> registry(registry_mu_);
+  StripeLocks::AllGuard stripes(stripes_);
   EngineStats stats;
   stats.data_bytes = heap_->SizeBytes();
   stats.index_memory_bytes = index_->MemoryBytes();
   for (const auto& [branch, pks] : pk_index_) {
     stats.index_memory_bytes += pks.size() * 16;
   }
-  for (const auto& [branch, history] : histories_) {
-    stats.commit_store_bytes += history->SizeBytes();
+  {
+    std::lock_guard<std::mutex> commits(commit_mu_);
+    for (const auto& [branch, history] : histories_) {
+      stats.commit_store_bytes += history->SizeBytes();
+    }
   }
-  stats.num_segments = 1;
+  stats.num_segments = heap_->stripe_count();
   stats.num_records = heap_->num_records();
   stats.rows_scanned = scan_counters_.rows();
   stats.bytes_scanned = scan_counters_.bytes();

@@ -3,21 +3,34 @@
 
 /// \file tuple_first.h
 /// The tuple-first storage engine (§3.2): every tuple that has ever
-/// existed in any version lives in a single shared heap file; a bitmap
-/// index with one bit per (tuple, branch) records liveness. Branching
-/// clones a bitmap column; commits snapshot a column into a per-branch
-/// XOR-delta commit history; diffs and multi-branch scans are bitmap
-/// algebra; single-branch scans pay for the interleaving of branches in
-/// the shared file.
+/// existed in any version lives in one shared global index space; a
+/// bitmap index with one bit per (tuple, branch) records liveness.
+/// Branching clones a bitmap column; commits snapshot a column into a
+/// per-branch XOR-delta commit history; diffs and multi-branch scans are
+/// bitmap algebra; single-branch scans pay for the interleaving of
+/// branches in the shared file.
+///
+/// Concurrency: writers on disjoint branches proceed in parallel. The
+/// lock hierarchy is registry_mu_ (shape of the branch registries, taken
+/// shared by every operation and unique only by branch creation and
+/// flush) -> stripe locks (branch % write_stripes; all per-branch state —
+/// the pk index, the branch's bitmap column, its heap-file shard's tail)
+/// -> commit_mu_ (the commit registry, a leaf). Cross-branch operations
+/// (merge, diff) take their stripes in ascending order. Readers
+/// materialize a bitmap snapshot under the stripe lock, snapshot the
+/// heap's extent mapping, and then stream without any lock.
 
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <shared_mutex>
 #include <unordered_map>
 
 #include "bitmap/commit_history.h"
+#include "common/stripe_lock.h"
 #include "engine/engine.h"
 #include "storage/buffer_pool.h"
-#include "storage/heap_file.h"
+#include "storage/striped_heap.h"
 
 namespace decibel {
 
@@ -54,16 +67,52 @@ class TupleFirstEngine : public StorageEngine {
   Result<Bitmap> CommitBitmap(CommitId commit);
 
  private:
+  /// Holds the write stripes of a set of branches — or every stripe when
+  /// the tuple-oriented matrix is in use, because its Set()/EnsureTuples
+  /// reallocate storage shared by all branches.
+  class StripeGuard {
+   public:
+    StripeGuard(const TupleFirstEngine* engine,
+                std::initializer_list<BranchId> branches) {
+      if (engine->options_.orientation == BitmapOrientation::kTupleOriented) {
+        all_.emplace(engine->stripes_);
+      } else {
+        some_.emplace(engine->stripes_, branches);
+      }
+    }
+    StripeGuard(const TupleFirstEngine* engine,
+                const std::vector<BranchId>& branches) {
+      if (engine->options_.orientation == BitmapOrientation::kTupleOriented) {
+        all_.emplace(engine->stripes_);
+      } else {
+        some_.emplace(engine->stripes_, branches);
+      }
+    }
+
+   private:
+    std::optional<StripeLocks::MultiGuard> some_;
+    std::optional<StripeLocks::AllGuard> all_;
+  };
+
   TupleFirstEngine(const Schema& schema, const EngineOptions& options)
-      : schema_(schema), options_(options), pool_(options.buffer_pool_bytes) {}
+      : schema_(schema),
+        options_(options),
+        pool_(options.buffer_pool_bytes),
+        stripes_(options.write_stripes == 0 ? 1 : options.write_stripes) {}
 
   Status LoadExisting();
   Status InitFresh();
+  uint32_t StripeOf(BranchId branch) const {
+    return static_cast<uint32_t>(stripes_.IndexOf(branch));
+  }
   /// The commit-history file for \p branch, creating it on first use.
+  /// Takes commit_mu_ internally.
   Result<CommitHistory*> HistoryFor(BranchId branch);
-  /// Commit body without write_mu_, for callers already holding it.
+  /// Commit body; caller holds registry (shared or unique) and the
+  /// branch's stripe.
   Status CommitImpl(BranchId branch, CommitId commit_id);
   /// Rebuilds branch \p b's pk index by scanning its bitmap column.
+  /// Caller holds the registry unique (load/branch-create paths).
   Status RebuildPkIndex(BranchId b);
   std::string MetaPath() const;
   std::string HistoryPath(BranchId branch) const;
@@ -75,14 +124,18 @@ class TupleFirstEngine : public StorageEngine {
   BufferPool pool_;
   /// Lifetime scan-work totals (EngineStats::rows_scanned/bytes_scanned).
   ScanCounters scan_counters_;
-  /// Serializes the mutating entry points (ApplyBatch, CreateBranch,
-  /// Merge, Commit) across branches: tuple-first shares one heap file and
-  /// one bitmap universe between all branches, so the facade's per-branch
-  /// locks are not enough to keep concurrent operations on distinct
-  /// branches from interleaving their index reservations or racing a
-  /// branch clone against a bitmap resize.
-  std::mutex write_mu_;
-  std::unique_ptr<HeapFile> heap_;
+
+  /// Shape of the branch registries (pk_index_ keys, bitmap branch set).
+  /// Writers/readers take it shared; CreateBranch and Flush take it
+  /// unique. Ordered before the stripe locks.
+  mutable std::shared_mutex registry_mu_;
+  /// Per-branch write serialization; see file comment for the hierarchy.
+  mutable StripeLocks stripes_;
+  /// Leaf lock: commit_branch_ and the histories_ map shape. Never
+  /// acquire another engine lock while holding it.
+  mutable std::mutex commit_mu_;
+
+  std::unique_ptr<StripedHeap> heap_;
   std::unique_ptr<BitmapIndex> index_;
   std::unordered_map<BranchId, PkIndex> pk_index_;
   std::unordered_map<BranchId, std::unique_ptr<CommitHistory>> histories_;

@@ -182,6 +182,7 @@ Status VersionFirstEngine::LoadExisting() {
 }
 
 Status VersionFirstEngine::Flush() {
+  std::unique_lock<std::shared_mutex> registry_lock(registry_mu_);
   for (auto& segment : segments_) {
     DECIBEL_RETURN_NOT_OK(segment->file->Flush());
   }
@@ -204,11 +205,14 @@ Status VersionFirstEngine::Flush() {
     PutVarint32(&meta, branch);
     PutVarint32(&meta, seg);
   }
-  PutVarint64(&meta, commits_.size());
-  for (const auto& [commit, root] : commits_) {
-    PutVarint64(&meta, commit);
-    PutVarint32(&meta, root.seg);
-    PutVarint64(&meta, root.bound);
+  {
+    std::lock_guard<std::mutex> commit_lock(commit_mu_);
+    PutVarint64(&meta, commits_.size());
+    for (const auto& [commit, root] : commits_) {
+      PutVarint64(&meta, commit);
+      PutVarint32(&meta, root.seg);
+      PutVarint64(&meta, root.bound);
+    }
   }
   return WriteStringToFile(MetaPath(), meta);
 }
@@ -227,6 +231,7 @@ Result<VersionFirstEngine::Root> VersionFirstEngine::RootForBranch(
 
 Result<VersionFirstEngine::Root> VersionFirstEngine::RootForCommit(
     CommitId commit) const {
+  std::lock_guard<std::mutex> commit_lock(commit_mu_);
   auto it = commits_.find(commit);
   if (it == commits_.end()) {
     return Status::NotFound("version-first: unknown commit " +
@@ -240,6 +245,8 @@ Status VersionFirstEngine::CreateBranch(BranchId child, BranchId parent,
   // "a new child segment file is created that notes the parent file and
   // the offset of this branch point" (§3.3). The parent keeps appending
   // to its own segment; records after the branch point are isolated.
+  // Growing segments_/head_seg_ changes the registry shape.
+  std::unique_lock<std::shared_mutex> registry_lock(registry_mu_);
   Root base{0, 0};
   if (at_head) {
     DECIBEL_ASSIGN_OR_RETURN(base, RootForBranch(parent));
@@ -253,7 +260,9 @@ Status VersionFirstEngine::CreateBranch(BranchId child, BranchId parent,
 }
 
 Status VersionFirstEngine::Commit(BranchId branch, CommitId commit_id) {
-  std::lock_guard<std::mutex> write_lock(write_mu_);
+  std::shared_lock<std::shared_mutex> registry_lock(registry_mu_);
+  // The stripe pins the head segment's record count while we capture it.
+  std::lock_guard<std::mutex> stripe_lock(stripes_.ForBranch(branch));
   return CommitImpl(branch, commit_id);
 }
 
@@ -262,6 +271,7 @@ Status VersionFirstEngine::CommitImpl(BranchId branch, CommitId commit_id) {
   // offset of the latest record active in the committing branch's segment
   // file" (§3.3).
   DECIBEL_ASSIGN_OR_RETURN(Root root, RootForBranch(branch));
+  std::lock_guard<std::mutex> commit_lock(commit_mu_);
   commits_[commit_id] = root;
   return Status::OK();
 }
@@ -276,9 +286,11 @@ Status VersionFirstEngine::Checkout(CommitId commit) {
 
 Status VersionFirstEngine::ApplyBatch(BranchId branch,
                                       const WriteBatch& batch) {
-  // Serialized with CreateBranch/Merge/Commit: those mutate segments_ and
-  // head_seg_, which this reads (the facade holds only per-branch locks).
-  std::lock_guard<std::mutex> write_lock(write_mu_);
+  // Registry shared (CreateBranch/Merge may not reshape segments_ under
+  // us) + the branch's stripe (one writer per head-segment tail). Batches
+  // on branches mapping to different stripes run fully in parallel.
+  std::shared_lock<std::shared_mutex> registry_lock(registry_mu_);
+  std::lock_guard<std::mutex> stripe_lock(stripes_.ForBranch(branch));
   auto it = head_seg_.find(branch);
   if (it == head_seg_.end()) {
     return Status::NotFound("version-first: unknown branch " +
@@ -398,10 +410,20 @@ std::vector<VersionFirstEngine::ScanStep> VersionFirstEngine::ComputeScanOrder(
 /// must still shadow, even when the newest version fails the filter — so
 /// a row failing the predicate costs one raw-bytes comparison and never
 /// surfaces through the cursor boundary.
+///
+/// The scan order is captured as (file pointer, bound) pairs at open, so
+/// Next never reads the engine's registry: the cursor streams its
+/// snapshot while other branches append, create branches, or merge.
 class VersionFirstEngine::BranchScanCursor : public ScanCursor {
  public:
+  /// One step of the captured scan order.
+  struct FileStep {
+    HeapFile* file = nullptr;
+    uint64_t bound = 0;
+  };
+
   BranchScanCursor(const VersionFirstEngine* engine,
-                   std::vector<ScanStep> order, const ScanSpec& spec)
+                   std::vector<FileStep> order, const ScanSpec& spec)
       : engine_(engine),
         order_(std::move(order)),
         prepared_(spec.predicate, engine->schema_),
@@ -414,9 +436,8 @@ class VersionFirstEngine::BranchScanCursor : public ScanCursor {
     for (;;) {
       if (!reader_.has_value()) {
         if (step_ >= order_.size()) return false;
-        const ScanStep& step = order_[step_];
-        reader_.emplace(engine_->segments_[step.seg]->file.get(),
-                        &engine_->schema_, step.bound);
+        const FileStep& step = order_[step_];
+        reader_.emplace(step.file, &engine_->schema_, step.bound);
       }
       RecordRef rec;
       if (!reader_->Prev(&rec, nullptr)) {
@@ -445,7 +466,7 @@ class VersionFirstEngine::BranchScanCursor : public ScanCursor {
 
  private:
   const VersionFirstEngine* engine_;
-  std::vector<ScanStep> order_;
+  std::vector<FileStep> order_;
   size_t step_ = 0;
   std::optional<ReverseSegmentReader> reader_;
   std::unordered_set<int64_t> seen_;
@@ -466,9 +487,14 @@ class VersionFirstEngine::MultiWinnerCursor : public ScanCursor {
   using Output =
       std::map<std::pair<uint32_t, uint64_t>, std::vector<uint32_t>>;
 
-  MultiWinnerCursor(const VersionFirstEngine* engine, Output output,
+  /// \p files is a snapshot of per-segment file pointers (indexed by
+  /// segment id) taken under the registry lock at open; Next streams the
+  /// winner locations without touching the engine's registry.
+  MultiWinnerCursor(const VersionFirstEngine* engine,
+                    std::vector<HeapFile*> files, Output output,
                     std::vector<BranchId> branch_list, const ScanSpec& spec)
       : engine_(engine),
+        files_(std::move(files)),
         output_(std::move(output)),
         next_(output_.begin()),
         branch_list_(std::move(branch_list)),
@@ -481,7 +507,7 @@ class VersionFirstEngine::MultiWinnerCursor : public ScanCursor {
     if (limit_ != 0 && stats_.rows_emitted >= limit_) return false;
     while (status_.ok() && next_ != output_.end()) {
       const auto& [loc, roots] = *next_;
-      HeapFile* file = engine_->segments_[loc.first]->file.get();
+      HeapFile* file = files_[loc.first];
       const uint64_t page_no = loc.second / file->records_per_page();
       if (loc.first != pinned_seg_ || page_no != pinned_page_no_) {
         auto page = file->PinPage(page_no);
@@ -517,6 +543,7 @@ class VersionFirstEngine::MultiWinnerCursor : public ScanCursor {
 
  private:
   const VersionFirstEngine* engine_;
+  std::vector<HeapFile*> files_;
   Output output_;
   Output::const_iterator next_;
   std::vector<BranchId> branch_list_;
@@ -533,23 +560,45 @@ class VersionFirstEngine::MultiWinnerCursor : public ScanCursor {
 Result<std::unique_ptr<ScanCursor>> VersionFirstEngine::NewScan(
     const ScanSpec& spec) {
   DECIBEL_RETURN_NOT_OK(ValidateScanSpec(spec, schema_));
+  // Roots for live branches are captured under the branch's stripe lock:
+  // a head's record count only moves on batch boundaries there, so the
+  // snapshot never lands inside a half-applied batch. Commit roots are
+  // batch-aligned by construction.
+  auto capture_order = [this](const Root& root) {
+    std::vector<BranchScanCursor::FileStep> steps;
+    for (const ScanStep& s : ComputeScanOrder(root)) {
+      steps.push_back({segments_[s.seg]->file.get(), s.bound});
+    }
+    return steps;
+  };
   switch (spec.view) {
     case ScanView::kBranch: {
-      DECIBEL_ASSIGN_OR_RETURN(Root root, RootForBranch(spec.branch));
+      std::shared_lock<std::shared_mutex> registry_lock(registry_mu_);
+      Root root;
+      {
+        std::lock_guard<std::mutex> stripe_lock(
+            stripes_.ForBranch(spec.branch));
+        DECIBEL_ASSIGN_OR_RETURN(root, RootForBranch(spec.branch));
+      }
       return std::unique_ptr<ScanCursor>(
-          new BranchScanCursor(this, ComputeScanOrder(root), spec));
+          new BranchScanCursor(this, capture_order(root), spec));
     }
     case ScanView::kCommit: {
       DECIBEL_ASSIGN_OR_RETURN(Root root, RootForCommit(spec.commit));
+      std::shared_lock<std::shared_mutex> registry_lock(registry_mu_);
       return std::unique_ptr<ScanCursor>(
-          new BranchScanCursor(this, ComputeScanOrder(root), spec));
+          new BranchScanCursor(this, capture_order(root), spec));
     }
     case ScanView::kMulti: {
+      std::shared_lock<std::shared_mutex> registry_lock(registry_mu_);
       std::vector<Root> roots;
       roots.reserve(spec.branches.size());
-      for (BranchId b : spec.branches) {
-        DECIBEL_ASSIGN_OR_RETURN(Root root, RootForBranch(b));
-        roots.push_back(root);
+      {
+        StripeLocks::MultiGuard stripe_locks(stripes_, spec.branches);
+        for (BranchId b : spec.branches) {
+          DECIBEL_ASSIGN_OR_RETURN(Root root, RootForBranch(b));
+          roots.push_back(root);
+        }
       }
       std::vector<WinnerTable> tables;
       DECIBEL_RETURN_NOT_OK(BuildWinnerTables(roots, &tables, nullptr));
@@ -560,8 +609,11 @@ Result<std::unique_ptr<ScanCursor>> VersionFirstEngine::NewScan(
           output[{winner.seg, winner.idx}].push_back(r);
         }
       }
+      std::vector<HeapFile*> files;
+      files.reserve(segments_.size());
+      for (const auto& segment : segments_) files.push_back(segment->file.get());
       return std::unique_ptr<ScanCursor>(new MultiWinnerCursor(
-          this, std::move(output), spec.branches, spec));
+          this, std::move(files), std::move(output), spec.branches, spec));
     }
     case ScanView::kDiff:
       return MakeDiffScanCursor(this, spec, &scan_counters_);
@@ -575,7 +627,12 @@ Result<Record> VersionFirstEngine::Get(BranchId branch, int64_t pk) {
   // No pk index in this layout (§3.3): walk the ancestry newest-to-oldest
   // and stop at the first version of the key — the same resolution order
   // as a branch scan, with early exit.
-  DECIBEL_ASSIGN_OR_RETURN(Root root, RootForBranch(branch));
+  std::shared_lock<std::shared_mutex> registry_lock(registry_mu_);
+  Root root;
+  {
+    std::lock_guard<std::mutex> stripe_lock(stripes_.ForBranch(branch));
+    DECIBEL_ASSIGN_OR_RETURN(root, RootForBranch(branch));
+  }
   for (const ScanStep& step : ComputeScanOrder(root)) {
     ReverseSegmentReader reader(segments_[step.seg]->file.get(), &schema_,
                                 step.bound);
@@ -661,8 +718,13 @@ Status VersionFirstEngine::Diff(BranchId a, BranchId b, DiffMode mode,
   // Version-first diffs pay for full winner-table construction over both
   // ancestries ("the need to make multiple passes over the dataset to
   // identify the active records in both versions", §5.2).
-  DECIBEL_ASSIGN_OR_RETURN(Root root_a, RootForBranch(a));
-  DECIBEL_ASSIGN_OR_RETURN(Root root_b, RootForBranch(b));
+  std::shared_lock<std::shared_mutex> registry_lock(registry_mu_);
+  Root root_a, root_b;
+  {
+    StripeLocks::MultiGuard stripe_locks(stripes_, {a, b});
+    DECIBEL_ASSIGN_OR_RETURN(root_a, RootForBranch(a));
+    DECIBEL_ASSIGN_OR_RETURN(root_b, RootForBranch(b));
+  }
   std::vector<WinnerTable> tables;
   DECIBEL_RETURN_NOT_OK(BuildWinnerTables({root_a, root_b}, &tables, nullptr));
   const WinnerTable& wa = tables[0];
@@ -733,6 +795,9 @@ Result<MergeResult> VersionFirstEngine::Merge(BranchId into, BranchId from,
   const uint32_t rs = schema_.record_size();
   const bool left_wins = LeftWins(policy);
 
+  // Merge grows segments_ and repoints head_seg_[into]; the unique
+  // registry lock excludes every writer and scan-open for its duration.
+  std::unique_lock<std::shared_mutex> registry_lock(registry_mu_);
   DECIBEL_ASSIGN_OR_RETURN(Root root_a, RootForBranch(into));
   DECIBEL_ASSIGN_OR_RETURN(Root root_b, RootForBranch(from));
   DECIBEL_ASSIGN_OR_RETURN(Root root_l, RootForCommit(lca));
@@ -885,13 +950,17 @@ Result<MergeResult> VersionFirstEngine::Merge(BranchId into, BranchId from,
 
 EngineStats VersionFirstEngine::Stats() const {
   EngineStats stats;
+  std::shared_lock<std::shared_mutex> registry_lock(registry_mu_);
   for (const auto& segment : segments_) {
     stats.data_bytes += segment->file->SizeBytes();
     stats.num_records += segment->file->num_records();
   }
   stats.num_segments = segments_.size();
-  // Commits are (segment, offset) pairs — the whole registry is tiny.
-  stats.commit_store_bytes = commits_.size() * 20;
+  {
+    // Commits are (segment, offset) pairs — the whole registry is tiny.
+    std::lock_guard<std::mutex> commit_lock(commit_mu_);
+    stats.commit_store_bytes = commits_.size() * 20;
+  }
   stats.rows_scanned = scan_counters_.rows();
   stats.bytes_scanned = scan_counters_.bytes();
   return stats;

@@ -19,14 +19,28 @@
 /// non-conflicting updates from both sides" in every topology, so the new
 /// head segment shadows exactly the conflicting keys; everything else is
 /// resolved by the children-before-parents scan order. See DESIGN.md.
+///
+/// Concurrency: appends go to per-branch head segments, so writers on
+/// disjoint branches share no segment file and proceed in parallel. The
+/// lock hierarchy is registry_mu_ (the segments_ vector and head_seg_ map
+/// shape; writers take it shared, CreateBranch/Merge/Flush — which grow
+/// the registry — take it unique) -> stripe locks (branch %
+/// write_stripes; the branch's head-segment tail) -> commit_mu_ (the
+/// commits_ map, a leaf). Cursors capture HeapFile pointers at open
+/// (Segment objects are stable; only the vector itself reallocates) plus
+/// per-segment bounds, so established scans stream without any lock and
+/// never observe a half-applied batch (HeapFile publishes num_records
+/// after the bytes).
 
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/stripe_lock.h"
 #include "engine/engine.h"
 #include "storage/buffer_pool.h"
 #include "storage/heap_file.h"
@@ -97,16 +111,22 @@ class VersionFirstEngine : public StorageEngine {
   using WinnerTable = std::unordered_map<int64_t, Winner>;
 
   VersionFirstEngine(const Schema& schema, const EngineOptions& options)
-      : schema_(schema), options_(options), pool_(options.buffer_pool_bytes) {}
+      : schema_(schema),
+        options_(options),
+        pool_(options.buffer_pool_bytes),
+        stripes_(options.write_stripes == 0 ? 1 : options.write_stripes) {}
 
   Status InitFresh();
   Status LoadExisting();
   std::string MetaPath() const;
   std::string SegmentPath(uint32_t seg) const;
   Result<uint32_t> NewSegment(BranchId owner, std::vector<ParentLink> parents);
-  /// Commit body without write_mu_, for callers already holding it.
+  /// Commit body; caller holds registry_mu_ (shared or unique). Takes
+  /// commit_mu_ internally for the commits_ write.
   Status CommitImpl(BranchId branch, CommitId commit_id);
+  /// Caller holds registry_mu_ (shared or unique).
   Result<Root> RootForBranch(BranchId branch) const;
+  /// Takes commit_mu_ internally; safe without registry_mu_.
   Result<Root> RootForCommit(CommitId commit) const;
 
   /// Children-before-parents scan order for a root, tie-broken by parent
@@ -131,11 +151,16 @@ class VersionFirstEngine : public StorageEngine {
   /// mutable so cursors over a const engine can flush into it.
   mutable ScanCounters scan_counters_;
 
-  /// Serializes the mutating entry points (ApplyBatch, CreateBranch,
-  /// Merge, Commit): CreateBranch/Merge grow the shared segments_ vector
-  /// and head_seg_ map that ApplyBatch reads, and the facade holds only
-  /// per-branch locks.
-  std::mutex write_mu_;
+  /// Shape of segments_ and head_seg_: ApplyBatch/Commit/scan-open take
+  /// it shared, CreateBranch/Merge/Flush take it unique. Ordered before
+  /// the stripe locks.
+  mutable std::shared_mutex registry_mu_;
+  /// Per-branch write serialization (a branch's head-segment tail has a
+  /// single writer at a time); see file comment for the hierarchy.
+  mutable StripeLocks stripes_;
+  /// Leaf lock: the commits_ map. Never acquire another engine lock while
+  /// holding it.
+  mutable std::mutex commit_mu_;
 
   std::vector<std::unique_ptr<Segment>> segments_;
   std::unordered_map<BranchId, uint32_t> head_seg_;

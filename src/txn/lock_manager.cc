@@ -1,5 +1,7 @@
 #include "txn/lock_manager.h"
 
+#include <algorithm>
+
 namespace decibel {
 
 bool LockManager::TryAcquireLocked(uint64_t owner, BranchLock& lock,
@@ -22,14 +24,58 @@ bool LockManager::TryAcquireLocked(uint64_t owner, BranchLock& lock,
   return false;
 }
 
+void LockManager::GrantFromQueueLocked(BranchLock& lock) {
+  while (!lock.waiters.empty()) {
+    Waiter* front = lock.waiters.front();
+    if (!TryAcquireLocked(front->owner, lock, front->mode)) break;
+    lock.waiters.pop_front();
+    front->granted = true;
+    front->cv.notify_one();
+    if (front->mode == LockMode::kExclusive) break;
+  }
+}
+
+void LockManager::MaybeEraseLocked(BranchId branch) {
+  auto it = locks_.find(branch);
+  if (it == locks_.end()) return;
+  const BranchLock& lock = it->second;
+  if (!lock.has_exclusive && lock.shared_holders.empty() &&
+      lock.waiters.empty()) {
+    locks_.erase(it);
+  }
+}
+
 Status LockManager::Acquire(uint64_t owner, BranchId branch, LockMode mode) {
   std::unique_lock<std::mutex> guard(mu_);
+  // Element references into unordered_map survive rehashes; only erasure
+  // invalidates them, and a node with waiters is never erased, so the
+  // reference stays valid across the waits below.
+  BranchLock& lock = locks_[branch];
+  const bool already_holds =
+      lock.shared_holders.count(owner) != 0 ||
+      (lock.has_exclusive && lock.exclusive_holder == owner);
+  // Fast path: an empty queue, or an owner that already holds the branch
+  // (re-acquisition / sole-shared upgrade must not park behind its own
+  // queue position). Everyone else joins the FIFO — including new shared
+  // requests while an exclusive waiter queues, so writers cannot be
+  // starved by a stream of late readers.
+  if ((already_holds || lock.waiters.empty()) &&
+      TryAcquireLocked(owner, lock, mode)) {
+    return Status::OK();
+  }
+  Waiter self;
+  self.owner = owner;
+  self.mode = mode;
+  lock.waiters.push_back(&self);
   const auto deadline = std::chrono::steady_clock::now() + timeout_;
-  // Re-index locks_ on every attempt: while this thread waits, a releasing
-  // thread may erase the branch's node (or an insert may rehash the table),
-  // so a BranchLock reference must never be held across cv_.wait_until.
-  while (!TryAcquireLocked(owner, locks_[branch], mode)) {
-    if (cv_.wait_until(guard, deadline) == std::cv_status::timeout) {
+  while (!self.granted) {
+    if (self.cv.wait_until(guard, deadline) == std::cv_status::timeout) {
+      if (self.granted) break;  // granted just before the lock re-acquire
+      auto it = std::find(lock.waiters.begin(), lock.waiters.end(), &self);
+      if (it != lock.waiters.end()) lock.waiters.erase(it);
+      // Our departure may unblock the waiters that queued behind us.
+      GrantFromQueueLocked(lock);
+      MaybeEraseLocked(branch);
       return Status::Aborted("lock timeout on branch " +
                              std::to_string(branch));
     }
@@ -38,44 +84,47 @@ Status LockManager::Acquire(uint64_t owner, BranchId branch, LockMode mode) {
 }
 
 void LockManager::Release(uint64_t owner, BranchId branch) {
-  {
-    std::lock_guard<std::mutex> guard(mu_);
-    auto it = locks_.find(branch);
-    if (it == locks_.end()) return;
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = locks_.find(branch);
+  if (it == locks_.end()) return;
+  BranchLock& lock = it->second;
+  lock.shared_holders.erase(owner);
+  if (lock.has_exclusive && lock.exclusive_holder == owner) {
+    lock.has_exclusive = false;
+  }
+  GrantFromQueueLocked(lock);
+  MaybeEraseLocked(branch);
+}
+
+void LockManager::ReleaseAll(uint64_t owner) {
+  std::lock_guard<std::mutex> guard(mu_);
+  for (auto it = locks_.begin(); it != locks_.end();) {
     BranchLock& lock = it->second;
     lock.shared_holders.erase(owner);
     if (lock.has_exclusive && lock.exclusive_holder == owner) {
       lock.has_exclusive = false;
     }
-    if (!lock.has_exclusive && lock.shared_holders.empty()) {
-      locks_.erase(it);
+    GrantFromQueueLocked(lock);
+    if (!lock.has_exclusive && lock.shared_holders.empty() &&
+        lock.waiters.empty()) {
+      it = locks_.erase(it);
+    } else {
+      ++it;
     }
   }
-  cv_.notify_all();
-}
-
-void LockManager::ReleaseAll(uint64_t owner) {
-  {
-    std::lock_guard<std::mutex> guard(mu_);
-    for (auto it = locks_.begin(); it != locks_.end();) {
-      BranchLock& lock = it->second;
-      lock.shared_holders.erase(owner);
-      if (lock.has_exclusive && lock.exclusive_holder == owner) {
-        lock.has_exclusive = false;
-      }
-      if (!lock.has_exclusive && lock.shared_holders.empty()) {
-        it = locks_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  }
-  cv_.notify_all();
 }
 
 bool LockManager::IsLocked(BranchId branch) const {
   std::lock_guard<std::mutex> guard(mu_);
-  return locks_.count(branch) != 0;
+  auto it = locks_.find(branch);
+  return it != locks_.end() && (it->second.has_exclusive ||
+                                !it->second.shared_holders.empty());
+}
+
+size_t LockManager::WaitingCount(BranchId branch) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = locks_.find(branch);
+  return it == locks_.end() ? 0 : it->second.waiters.size();
 }
 
 }  // namespace decibel

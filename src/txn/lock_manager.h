@@ -14,13 +14,23 @@
 /// is the classic deadlock-timeout discipline. RAII acquisition/release
 /// scopes live in txn/lock_guard.h (LockGuard, LockScope).
 ///
+/// Waiters queue FIFO per branch, each parked on its own condition
+/// variable: a release wakes exactly the waiters it grants (one
+/// exclusive, or a run of shareds) instead of notify_all'ing every
+/// blocked thread, and a stream of later arrivals cannot starve the
+/// waiter at the front. Owners that already hold the branch bypass the
+/// queue (re-acquisition and the sole-shared upgrade would otherwise
+/// deadlock behind their own queue position).
+///
 /// Owner ids must be unique per concurrent lock holder (re-acquisition by
 /// the same owner is a no-op): Decibel hands every transaction and every
 /// facade-internal operation a fresh id.
 
 #include <chrono>
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <unordered_map>
 #include <unordered_set>
@@ -50,19 +60,34 @@ class LockManager {
 
   /// Introspection for tests.
   bool IsLocked(BranchId branch) const;
+  /// Number of owners queued (not yet granted) on \p branch.
+  size_t WaitingCount(BranchId branch) const;
 
  private:
+  /// One parked Acquire call; lives on the waiting thread's stack.
+  struct Waiter {
+    uint64_t owner = 0;
+    LockMode mode = LockMode::kShared;
+    std::condition_variable cv;
+    bool granted = false;
+  };
+
   struct BranchLock {
     std::unordered_set<uint64_t> shared_holders;
     uint64_t exclusive_holder = 0;
     bool has_exclusive = false;
+    std::deque<Waiter*> waiters;  ///< FIFO; nodes owned by waiting threads
   };
 
   bool TryAcquireLocked(uint64_t owner, BranchLock& lock, LockMode mode);
+  /// Grants from the front of the queue while compatible: one exclusive
+  /// waiter, or a maximal run of shared waiters. Caller holds mu_.
+  void GrantFromQueueLocked(BranchLock& lock);
+  /// Erases the branch node once it has no holders and no waiters.
+  void MaybeEraseLocked(BranchId branch);
 
   const std::chrono::milliseconds timeout_;
   mutable std::mutex mu_;
-  std::condition_variable cv_;
   std::unordered_map<BranchId, BranchLock> locks_;
 };
 

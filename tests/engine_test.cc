@@ -125,12 +125,12 @@ TEST_P(EngineTest, ScanCommitSeesSnapshot) {
   ASSERT_OK(db_->InsertInto(kMasterBranch, MakeRecord(schema_, 2, 2)));
   ASSERT_OK_AND_ASSIGN(CommitId c2, db_->CommitBranch(kMasterBranch));
 
-  ASSERT_OK_AND_ASSIGN(auto it1, db_->ScanCommit(c1));
+  ASSERT_OK_AND_ASSIGN(auto it1, db_->NewScan(ScanSpec::Commit(c1)));
   auto rows1 = Collect(it1.get());
   EXPECT_EQ(rows1.size(), 1u);
   EXPECT_EQ(rows1[1], 1);
 
-  ASSERT_OK_AND_ASSIGN(auto it2, db_->ScanCommit(c2));
+  ASSERT_OK_AND_ASSIGN(auto it2, db_->NewScan(ScanSpec::Commit(c2)));
   auto rows2 = Collect(it2.get());
   EXPECT_EQ(rows2.size(), 2u);
   EXPECT_EQ(rows2[1], 2);
@@ -143,7 +143,7 @@ TEST_P(EngineTest, CheckoutSessionReadsHistoricalVersion) {
 
   Session s = db_->NewSession();
   ASSERT_OK(db_->Checkout(&s, c1));
-  ASSERT_OK_AND_ASSIGN(auto it, db_->Scan(s));
+  ASSERT_OK_AND_ASSIGN(auto it, db_->NewScan(s));
   auto rows = Collect(it.get());
   EXPECT_EQ(rows[1], 1);
   // Writes to a historical checkout are rejected.
@@ -219,11 +219,13 @@ TEST_P(EngineTest, MultiScanAnnotations) {
   ASSERT_OK(db_->InsertInto(kMasterBranch, MakeRecord(schema_, 3, 3)));
 
   std::map<int64_t, std::set<uint32_t>> membership;
-  ASSERT_OK(db_->ScanMulti(
-      {kMasterBranch, dev},
-      [&](const RecordRef& rec, const std::vector<uint32_t>& present) {
-        for (uint32_t p : present) membership[rec.pk()].insert(p);
-      }));
+  ASSERT_OK_AND_ASSIGN(auto it,
+                       db_->NewScan(ScanSpec::Multi({kMasterBranch, dev})));
+  ScanRow row;
+  while (it->Next(&row)) {
+    for (uint32_t p : *row.branches) membership[row.record.pk()].insert(p);
+  }
+  ASSERT_OK(it->status());
   ASSERT_EQ(membership.size(), 3u);
   EXPECT_EQ(membership[1], (std::set<uint32_t>{0, 1}));  // shared
   EXPECT_EQ(membership[2], (std::set<uint32_t>{1}));     // dev only
@@ -238,12 +240,14 @@ TEST_P(EngineTest, MultiScanEmitsEachRecordOnce) {
   ASSERT_OK_AND_ASSIGN(BranchId dev, db_->Branch("dev", &s));
   (void)dev;
   int emitted = 0;
-  ASSERT_OK(db_->ScanMulti(
-      {kMasterBranch, dev},
-      [&](const RecordRef&, const std::vector<uint32_t>& present) {
-        ++emitted;
-        EXPECT_EQ(present.size(), 2u);  // identical content in both
-      }));
+  ASSERT_OK_AND_ASSIGN(auto it,
+                       db_->NewScan(ScanSpec::Multi({kMasterBranch, dev})));
+  ScanRow row;
+  while (it->Next(&row)) {
+    ++emitted;
+    EXPECT_EQ(row.branches->size(), 2u);  // identical content in both
+  }
+  ASSERT_OK(it->status());
   EXPECT_EQ(emitted, 30);
 }
 
@@ -463,13 +467,13 @@ TEST_P(EngineTest, ScanHeadsCoversActiveBranches) {
   ASSERT_OK(db_->InsertInto(dev, MakeRecord(schema_, 2, 2)));
 
   std::set<int64_t> pks;
-  std::vector<BranchId> heads;
-  ASSERT_OK(db_->ScanHeads(
-      [&](const RecordRef& rec, const std::vector<uint32_t>&) {
-        pks.insert(rec.pk());
-      },
-      &heads));
-  EXPECT_EQ(heads.size(), 2u);
+  ASSERT_OK_AND_ASSIGN(auto it, db_->NewScan(ScanSpec::Heads()));
+  ScanRow row;
+  while (it->Next(&row)) {
+    pks.insert(row.record.pk());
+  }
+  ASSERT_OK(it->status());
+  EXPECT_EQ(it->branches().size(), 2u);
   EXPECT_EQ(pks, (std::set<int64_t>{1, 2}));
 }
 
@@ -503,7 +507,7 @@ TEST_P(EngineTest, ReopenPreservesEverything) {
   auto dev_rows = CollectBranch(db_.get(), dev);
   ASSERT_EQ(dev_rows.size(), 2u);
   EXPECT_EQ(dev_rows[2], 22);
-  ASSERT_OK_AND_ASSIGN(auto it, db_->ScanCommit(c));
+  ASSERT_OK_AND_ASSIGN(auto it, db_->NewScan(ScanSpec::Commit(c)));
   auto commit_rows = Collect(it.get());
   EXPECT_EQ(commit_rows[2], 2);
   // Branch names survive too.

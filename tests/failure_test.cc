@@ -83,10 +83,10 @@ TEST_P(FailureTest, CorruptEngineMetaIsDetected) {
   // land in recoverable padding) subsequent reads must still be sane;
   // what must never happen is a crash.
   if (reopened.ok()) {
-    auto rows = (*reopened)->ScanBranch(kMasterBranch);
+    auto rows = (*reopened)->NewScan(ScanSpec::Branch(kMasterBranch));
     if (rows.ok()) {
-      RecordRef rec;
-      while ((*rows)->Next(&rec)) {
+      ScanRow row;
+      while ((*rows)->Next(&row)) {
       }
     }
   } else {
@@ -105,13 +105,13 @@ TEST_P(FailureTest, CorruptDataFileIsDetectedOnRead) {
     SUCCEED();  // header/tail corruption caught at open
     return;
   }
-  auto it = (*reopened)->ScanBranch(kMasterBranch);
+  auto it = (*reopened)->NewScan(ScanSpec::Branch(kMasterBranch));
   if (!it.ok()) {
     EXPECT_TRUE(it.status().IsCorruption()) << it.status().ToString();
     return;
   }
-  RecordRef rec;
-  while ((*it)->Next(&rec)) {
+  ScanRow row;
+  while ((*it)->Next(&row)) {
   }
   // A checksum failure in a sealed page surfaces through the iterator.
   if (!(*it)->status().ok()) {
@@ -133,8 +133,8 @@ TEST_P(FailureTest, ApiMisuseIsStatusNotCrash) {
   ScratchDir dir("fail");
   auto db = Decibel::Open(dir.path(), schema_, Options()).MoveValueUnsafe();
   // Unknown branches and commits.
-  EXPECT_FALSE(db->ScanBranch(999).ok());
-  EXPECT_FALSE(db->ScanCommit(999).ok());
+  EXPECT_FALSE(db->NewScan(ScanSpec::Branch(999)).ok());
+  EXPECT_FALSE(db->NewScan(ScanSpec::Commit(999)).ok());
   EXPECT_FALSE(db->engine()->Checkout(999).ok());
   Session s = db->NewSession();
   EXPECT_FALSE(db->Use(&s, 999).ok());

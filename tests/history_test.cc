@@ -91,7 +91,7 @@ TEST_P(HistoryTest, BranchesFromRandomCommitsMatchSnapshots) {
         << "branch " << b;
   }
   for (const CommitId c : commits) {
-    auto it = db->ScanCommit(c);
+    auto it = db->NewScan(ScanSpec::Commit(c));
     ASSERT_TRUE(it.ok()) << it.status().ToString();
     EXPECT_EQ(testing_util::Collect(it->get()), snapshots[c])
         << "commit " << c;
@@ -101,7 +101,7 @@ TEST_P(HistoryTest, BranchesFromRandomCommitsMatchSnapshots) {
   Session s = db->NewSession();
   const CommitId probe = commits[commits.size() / 2];
   ASSERT_OK(db->Checkout(&s, probe));
-  EXPECT_EQ(testing_util::Collect(db->Scan(s).MoveValueUnsafe().get()),
+  EXPECT_EQ(testing_util::Collect(db->NewScan(s).MoveValueUnsafe().get()),
             snapshots[probe]);
 
   // And everything survives a flush + reopen.
@@ -113,7 +113,7 @@ TEST_P(HistoryTest, BranchesFromRandomCommitsMatchSnapshots) {
         << "branch " << b << " after reopen";
   }
   const CommitId last = commits.back();
-  auto it = db->ScanCommit(last);
+  auto it = db->NewScan(ScanSpec::Commit(last));
   ASSERT_TRUE(it.ok());
   EXPECT_EQ(testing_util::Collect(it->get()), snapshots[last]);
 }

@@ -51,7 +51,7 @@ TEST_P(ModelTest, RandomOperationStreamMatchesOracle) {
   int32_t next_val = 1000;
 
   auto check_branch = [&](BranchId b) {
-    auto it = db->ScanBranch(b);
+    auto it = db->NewScan(ScanSpec::Branch(b));
     ASSERT_TRUE(it.ok()) << it.status().ToString();
     auto rows = testing_util::Collect(it.value().get());
     EXPECT_EQ(rows, oracle.branches[b]) << "branch " << b << " diverged";
@@ -167,7 +167,7 @@ TEST_P(ModelTest, RandomOperationStreamMatchesOracle) {
   // Final: every branch, every remembered commit, and pairwise diffs.
   for (BranchId b : branches) check_branch(b);
   for (const auto& [commit, table] : oracle.commits) {
-    auto it = db->ScanCommit(commit);
+    auto it = db->NewScan(ScanSpec::Commit(commit));
     ASSERT_TRUE(it.ok()) << it.status().ToString();
     auto rows = testing_util::Collect(it.value().get());
     EXPECT_EQ(rows, table) << "commit " << commit << " diverged";
@@ -193,10 +193,17 @@ TEST_P(ModelTest, RandomOperationStreamMatchesOracle) {
 
   // Multi-branch scan annotations must match per-branch membership.
   std::map<int64_t, std::map<uint32_t, int32_t>> seen;
-  ASSERT_OK(db->ScanMulti(
-      branches, [&](const RecordRef& rec, const std::vector<uint32_t>& in) {
-        for (uint32_t p : in) seen[rec.pk()][p] = rec.GetInt32(1);
-      }));
+  {
+    auto it = db->NewScan(ScanSpec::Multi(branches));
+    ASSERT_TRUE(it.ok()) << it.status().ToString();
+    ScanRow row;
+    while ((*it)->Next(&row)) {
+      for (uint32_t p : *row.branches) {
+        seen[row.record.pk()][p] = row.record.GetInt32(1);
+      }
+    }
+    ASSERT_OK((*it)->status());
+  }
   for (size_t p = 0; p < branches.size(); ++p) {
     for (const auto& [pk, val] : oracle.branches[branches[p]]) {
       ASSERT_TRUE(seen.count(pk) && seen[pk].count(static_cast<uint32_t>(p)))

@@ -85,7 +85,7 @@ TEST_F(TupleOrientedEngineTest, CommitCheckoutAndMerge) {
   EXPECT_EQ(rows.size(), 2u);
   EXPECT_EQ(rows[1], 2);
 
-  ASSERT_OK_AND_ASSIGN(auto it, db_->ScanCommit(c1));
+  ASSERT_OK_AND_ASSIGN(auto it, db_->NewScan(ScanSpec::Commit(c1)));
   auto old_rows = testing_util::Collect(it.get());
   EXPECT_EQ(old_rows.size(), 1u);
   EXPECT_EQ(old_rows[1], 1);

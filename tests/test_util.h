@@ -60,43 +60,43 @@ inline Record MakeRecordVals(const Schema& schema, int64_t pk,
   return r;
 }
 
-/// Materializes an iterator into pk -> first int column.
-inline std::map<int64_t, int32_t> Collect(RecordIterator* it) {
+/// Materializes a cursor into pk -> first int column.
+inline std::map<int64_t, int32_t> Collect(ScanCursor* cursor) {
   std::map<int64_t, int32_t> out;
-  RecordRef rec;
-  while (it->Next(&rec)) {
-    out[rec.pk()] = rec.GetInt32(1);
+  ScanRow row;
+  while (cursor->Next(&row)) {
+    out[row.record.pk()] = row.record.GetInt32(1);
   }
-  EXPECT_TRUE(it->status().ok()) << it->status().ToString();
+  EXPECT_TRUE(cursor->status().ok()) << cursor->status().ToString();
   return out;
 }
 
-/// Materializes an iterator into pk -> all column values.
-inline std::map<int64_t, std::vector<int32_t>> CollectAll(RecordIterator* it) {
+/// Materializes a cursor into pk -> all column values.
+inline std::map<int64_t, std::vector<int32_t>> CollectAll(ScanCursor* cursor) {
   std::map<int64_t, std::vector<int32_t>> out;
-  RecordRef rec;
-  while (it->Next(&rec)) {
+  ScanRow row;
+  while (cursor->Next(&row)) {
     std::vector<int32_t> vals;
-    for (size_t c = 1; c < rec.schema()->num_columns(); ++c) {
-      vals.push_back(rec.GetInt32(c));
+    for (size_t c = 1; c < row.record.schema()->num_columns(); ++c) {
+      vals.push_back(row.record.GetInt32(c));
     }
-    out[rec.pk()] = vals;
+    out[row.record.pk()] = vals;
   }
-  EXPECT_TRUE(it->status().ok()) << it->status().ToString();
+  EXPECT_TRUE(cursor->status().ok()) << cursor->status().ToString();
   return out;
 }
 
 inline std::map<int64_t, int32_t> CollectBranch(Decibel* db, BranchId b) {
-  auto it = db->ScanBranch(b);
-  EXPECT_TRUE(it.ok()) << it.status().ToString();
-  return Collect(it.value().get());
+  auto cursor = db->NewScan(ScanSpec::Branch(b));
+  EXPECT_TRUE(cursor.ok()) << cursor.status().ToString();
+  return Collect(cursor.value().get());
 }
 
 inline std::map<int64_t, std::vector<int32_t>> CollectBranchAll(Decibel* db,
                                                                 BranchId b) {
-  auto it = db->ScanBranch(b);
-  EXPECT_TRUE(it.ok()) << it.status().ToString();
-  return CollectAll(it.value().get());
+  auto cursor = db->NewScan(ScanSpec::Branch(b));
+  EXPECT_TRUE(cursor.ok()) << cursor.status().ToString();
+  return CollectAll(cursor.value().get());
 }
 
 #define ASSERT_OK(expr)                                          \

@@ -137,9 +137,9 @@ TEST(SessionTest, ConcurrentReadersDifferentSessions) {
   ASSERT_OK(db->Use(&head, kMasterBranch));
 
   auto hist_rows = testing_util::Collect(
-      db->Scan(historical).MoveValueUnsafe().get());
+      db->NewScan(historical).MoveValueUnsafe().get());
   auto head_rows =
-      testing_util::Collect(db->Scan(head).MoveValueUnsafe().get());
+      testing_util::Collect(db->NewScan(head).MoveValueUnsafe().get());
   EXPECT_EQ(hist_rows[0], 1);
   EXPECT_EQ(head_rows[0], 2);
 }
@@ -203,12 +203,13 @@ TEST(ParallelScanTest, MatchesSequentialResults) {
 
   auto collect = [](Decibel* db) {
     std::map<int64_t, std::set<uint32_t>> out;
-    std::vector<BranchId> heads;
-    EXPECT_OK(db->ScanHeads(
-        [&](const RecordRef& rec, const std::vector<uint32_t>& branches) {
-          for (uint32_t b : branches) out[rec.pk()].insert(b);
-        },
-        &heads));
+    auto it = db->NewScan(ScanSpec::Heads());
+    EXPECT_TRUE(it.ok()) << it.status().ToString();
+    ScanRow row;
+    while ((*it)->Next(&row)) {
+      for (uint32_t b : *row.branches) out[row.record.pk()].insert(b);
+    }
+    EXPECT_OK((*it)->status());
     return out;
   };
   EXPECT_EQ(collect(db_seq.get()), collect(db_par.get()));
