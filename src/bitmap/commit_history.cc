@@ -193,4 +193,9 @@ uint64_t CommitHistory::SizeBytes() const {
   return writer_.has_value() ? writer_->Size() : 0;
 }
 
+Status CommitHistory::Sync() {
+  std::lock_guard<std::mutex> guard(mu_);
+  return writer_.has_value() ? writer_->Sync() : Status::OK();
+}
+
 }  // namespace decibel

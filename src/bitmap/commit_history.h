@@ -72,8 +72,13 @@ class CommitHistory {
     std::lock_guard<std::mutex> guard(mu_);
     return layer0_.size();
   }
-  /// Compressed on-disk size (Table 2's "Agg. Pack File Size").
+  /// Compressed on-disk size (Table 2's "Agg. Pack File Size"). Records
+  /// are flushed as they are written, so this is also the exact byte
+  /// count a checkpoint can truncate the file back to on recovery.
   uint64_t SizeBytes() const;
+
+  /// fdatasyncs the file so every appended record survives a power loss.
+  Status Sync();
   const std::string& path() const { return path_; }
 
  private:

@@ -100,6 +100,10 @@ Status WritableFile::Flush() {
 
 Status WritableFile::Sync() {
   DECIBEL_RETURN_NOT_OK(Flush());
+  return SyncData();
+}
+
+Status WritableFile::SyncData() {
   if (::fdatasync(fd_) != 0) return ErrnoStatus("fdatasync " + path_);
   return Status::OK();
 }
@@ -187,6 +191,13 @@ Status RandomWriteFile::WriteAt(uint64_t offset, Slice data) {
     p += n;
     left -= static_cast<size_t>(n);
     off += static_cast<uint64_t>(n);
+  }
+  return Status::OK();
+}
+
+Status RandomWriteFile::Truncate(uint64_t size) {
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return ErrnoStatus("ftruncate " + path_);
   }
   return Status::OK();
 }
@@ -321,11 +332,53 @@ Result<std::string> ReadFileToString(const std::string& path) {
   return out;
 }
 
+Status SyncDir(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return ErrnoStatus("open dir " + path);
+  Status s = Status::OK();
+  if (::fsync(fd) != 0) s = ErrnoStatus("fsync dir " + path);
+  ::close(fd);
+  return s;
+}
+
+Status TruncateFile(const std::string& path, uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return ErrnoStatus("truncate " + path);
+  }
+  return Status::OK();
+}
+
+Status RenameFile(const std::string& from, const std::string& to, bool sync) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return ErrnoStatus("rename " + from + " -> " + to);
+  }
+  if (sync) return SyncDir(ParentDir(to));
+  return Status::OK();
+}
+
+Status AtomicWriteFile(const std::string& path, Slice data, bool sync) {
+  const std::string tmp = path + ".tmp";
+  {
+    DECIBEL_ASSIGN_OR_RETURN(WritableFile f, WritableFile::Open(tmp, true));
+    DECIBEL_RETURN_NOT_OK(f.Append(data));
+    if (sync) DECIBEL_RETURN_NOT_OK(f.Sync());
+    DECIBEL_RETURN_NOT_OK(f.Close());
+  }
+  return RenameFile(tmp, path, sync);
+}
+
 std::string JoinPath(const std::string& a, const std::string& b) {
   if (a.empty()) return b;
   if (b.empty()) return a;
   if (a.back() == '/') return a + b;
   return a + "/" + b;
+}
+
+std::string ParentDir(const std::string& path) {
+  const size_t pos = path.find_last_of('/');
+  if (pos == std::string::npos) return ".";
+  if (pos == 0) return "/";
+  return path.substr(0, pos);
 }
 
 }  // namespace decibel

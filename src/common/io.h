@@ -33,6 +33,11 @@ class WritableFile {
   Status Append(Slice data);
   Status Flush();
   Status Sync();
+  /// fdatasyncs the descriptor without touching the write buffer. Callers
+  /// that Flush() under a lock can persist the flushed bytes off the lock
+  /// (the WAL's group-commit leader); any bytes still buffered when this
+  /// runs are NOT covered.
+  Status SyncData();
   Status Close();
 
   /// Size including unflushed buffered bytes.
@@ -88,6 +93,8 @@ class RandomWriteFile {
 
   /// Writes all of \p data at \p offset.
   Status WriteAt(uint64_t offset, Slice data);
+  /// Truncates the file to exactly \p size bytes (grow or shrink).
+  Status Truncate(uint64_t size);
   Status Sync();
   Status Close();
 
@@ -112,8 +119,32 @@ uint64_t DirSizeBytes(const std::string& path);
 Status WriteStringToFile(const std::string& path, Slice data);
 Result<std::string> ReadFileToString(const std::string& path);
 
+/// fsyncs the directory at \p path so entries created or renamed inside
+/// it survive a power loss. A file's own fsync does not persist its
+/// directory entry; every crash-safe create/rename must be followed by a
+/// SyncDir of the parent.
+Status SyncDir(const std::string& path);
+
+/// Truncates the file at \p path to exactly \p size bytes.
+Status TruncateFile(const std::string& path, uint64_t size);
+
+/// Renames \p from to \p to. If \p sync, fsyncs the destination's parent
+/// directory afterwards so the rename is durable.
+Status RenameFile(const std::string& from, const std::string& to,
+                  bool sync = false);
+
+/// Atomically replaces the contents of \p path: writes \p data to a
+/// temporary sibling, then renames it over \p path. Readers see either
+/// the old contents or the new, never a torn mix. If \p sync, the data
+/// is fsynced before the rename and the parent directory after it, so
+/// the replacement also survives power loss.
+Status AtomicWriteFile(const std::string& path, Slice data, bool sync = false);
+
 /// Joins two path components with exactly one separator.
 std::string JoinPath(const std::string& a, const std::string& b);
+
+/// Everything before the final separator ("." when there is none).
+std::string ParentDir(const std::string& path);
 
 }  // namespace decibel
 

@@ -1,9 +1,13 @@
 #include "core/decibel.h"
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "common/coding.h"
 #include "common/crc32.h"
 #include "common/io.h"
 #include "engine/scan_util.h"
+#include "wal/wal_reader.h"
 
 namespace decibel {
 
@@ -71,11 +75,66 @@ Status Transaction::Abort() {
 
 // --------------------------------------------------------------------- open
 
+namespace {
+
+Status ValidateOptions(const std::string& path, const DecibelOptions& o) {
+  if (o.write_stripes == 0) {
+    return Status::InvalidArgument(
+        "DecibelOptions::write_stripes must be > 0");
+  }
+  if (o.page_size < 512 || o.page_size > (1ull << 31)) {
+    return Status::InvalidArgument(
+        "DecibelOptions::page_size out of range [512 B, 2 GiB]");
+  }
+  if (o.wal_segment_bytes == 0) {
+    return Status::InvalidArgument(
+        "DecibelOptions::wal_segment_bytes must be > 0");
+  }
+  if (o.checkpoint_interval_bytes == 0) {
+    return Status::InvalidArgument(
+        "DecibelOptions::checkpoint_interval_bytes must be > 0");
+  }
+  if (!o.data_dir.empty() && o.data_dir != path) {
+    return Status::InvalidArgument(
+        "DecibelOptions::data_dir must equal the Open path (" + path + ")");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Result<std::unique_ptr<Decibel>> Decibel::Open(const std::string& path,
                                                const Schema& schema,
                                                const DecibelOptions& options) {
+  DECIBEL_RETURN_NOT_OK(ValidateOptions(path, options));
   std::unique_ptr<Decibel> db(new Decibel(path, schema, options));
   DECIBEL_RETURN_NOT_OK(CreateDir(path));
+
+  // Durable reopen: the manifest pins the checkpoint the engines restore
+  // to and the WAL suffix to replay on top.
+  const bool durable = !options.data_dir.empty();
+  wal::ManifestData manifest;
+  bool have_manifest = false;
+  if (durable) {
+    auto m = wal::ReadCurrentManifest(path);
+    if (m.ok()) {
+      manifest = std::move(*m);
+      have_manifest = true;
+      std::string mine;
+      schema.EncodeTo(&mine);
+      if (mine != manifest.schema) {
+        return Status::InvalidArgument(
+            "schema does not match the database at " + path);
+      }
+      if (manifest.engine != options.engine) {
+        return Status::InvalidArgument(
+            "engine type does not match the database at " + path +
+            " (on disk: " + EngineTypeName(manifest.engine) + ")");
+      }
+    } else if (!m.status().IsNotFound()) {
+      return m.status();
+    }
+  }
 
   EngineOptions engine_options;
   engine_options.directory = JoinPath(path, EngineTypeName(options.engine));
@@ -86,8 +145,16 @@ Result<std::unique_ptr<Decibel>> Decibel::Open(const std::string& path,
   engine_options.verify_checksums = options.verify_checksums;
   engine_options.scan_threads = options.scan_threads;
   engine_options.write_stripes = options.write_stripes;
+  if (have_manifest) engine_options.checkpoint_tag = manifest.checkpoint_tag;
   DECIBEL_ASSIGN_OR_RETURN(db->engine_,
                            MakeEngine(options.engine, schema, engine_options));
+
+  if (durable && !have_manifest && FileExists(db->GraphPath())) {
+    // No manifest means no Open ever completed here (the first checkpoint
+    // runs inside Open), so nothing was ever acknowledged: discard the
+    // half-initialized graph and start over.
+    DECIBEL_RETURN_NOT_OK(RemoveFile(db->GraphPath()));
+  }
 
   if (FileExists(db->GraphPath())) {
     DECIBEL_ASSIGN_OR_RETURN(std::string blob,
@@ -108,12 +175,38 @@ Result<std::unique_ptr<Decibel>> Decibel::Open(const std::string& path,
     DECIBEL_RETURN_NOT_OK(db->engine_->Commit(kMasterBranch, init));
     DECIBEL_RETURN_NOT_OK(db->PersistGraph());
   }
+
+  if (durable) {
+    db->manifest_ = std::move(manifest);
+    DECIBEL_RETURN_NOT_OK(db->InitDurability(have_manifest));
+  }
   return db;
 }
 
+Result<std::unique_ptr<Decibel>> Decibel::Open(const std::string& data_dir,
+                                               const DecibelOptions& options) {
+  if (!FileExists(data_dir)) {
+    return Status::NotFound("no Decibel database at " + data_dir);
+  }
+  DECIBEL_ASSIGN_OR_RETURN(wal::ManifestData m,
+                           wal::ReadCurrentManifest(data_dir));
+  Slice schema_in(m.schema);
+  DECIBEL_ASSIGN_OR_RETURN(Schema schema, Schema::DecodeFrom(&schema_in));
+  DecibelOptions opts = options;
+  opts.data_dir = data_dir;
+  opts.engine = m.engine;
+  return Open(data_dir, schema, opts);
+}
+
 Decibel::~Decibel() {
-  // Best-effort flush; engine_ is null when Open failed part-way through.
-  if (engine_ != nullptr) {
+  // Stop the background checkpointer before tearing anything down, then
+  // leave a final checkpoint so the next Open replays an empty tail.
+  if (checkpointer_ != nullptr) checkpointer_->Stop();
+  if (engine_ == nullptr) return;  // Open failed part-way through
+  if (durable()) {
+    CheckpointNow().ok();
+    wal_->Close().ok();
+  } else {
     engine_->Flush().ok();
     PersistGraph().ok();
   }
@@ -123,18 +216,224 @@ std::string Decibel::GraphPath() const {
   return JoinPath(path_, "graph.bin");
 }
 
-Status Decibel::PersistGraph() {
+std::string Decibel::WalDir() const { return JoinPath(path_, "wal"); }
+
+Status Decibel::PersistGraph(bool sync) {
   // "this graph is updated and persisted on disk as a part of each branch
-  // or commit operation" (§3). Write-then-rename keeps it atomic.
+  // or commit operation" (§3). Write-then-rename keeps it atomic; \p sync
+  // additionally makes it power-loss durable (checkpoints need that, the
+  // per-operation persists do not — recovery rebuilds anything newer than
+  // the checkpoint from the WAL).
   std::string blob;
   graph_.EncodeTo(&blob);
   PutFixed32(&blob, MaskCrc(Crc32(blob)));
-  const std::string tmp = GraphPath() + ".tmp";
-  DECIBEL_RETURN_NOT_OK(WriteStringToFile(tmp, blob));
-  if (::rename(tmp.c_str(), GraphPath().c_str()) != 0) {
-    return Status::IOError("rename " + tmp);
+  return AtomicWriteFile(GraphPath(), blob, sync);
+}
+
+// ------------------------------------------------------------- durability
+
+Status Decibel::InitDurability(bool have_manifest) {
+  uint64_t next_lsn = 1;
+  uint64_t next_seg = 1;
+  if (have_manifest) {
+    DECIBEL_RETURN_NOT_OK(ReplayWal(&next_lsn, &next_seg));
   }
+  wal::Writer::Options wopts;
+  wopts.sync_mode = options_.sync_mode;
+  wopts.segment_bytes = options_.wal_segment_bytes;
+  DECIBEL_ASSIGN_OR_RETURN(
+      wal_, wal::Writer::Open(WalDir(), wopts, next_lsn, next_seg));
+  checkpointer_ = std::make_unique<wal::CheckpointScheduler>(
+      [this] { return CheckpointNow(); }, options_.checkpoint_interval_bytes);
+  // Checkpoint the opened state right away: a fresh database gets its
+  // first manifest before Open returns, and a recovered one folds the
+  // replayed tail in so repeated crash/reopen cycles cannot grow the WAL
+  // without bound.
+  DECIBEL_RETURN_NOT_OK(CheckpointNow());
+  checkpointer_->Start();
   return Status::OK();
+}
+
+Status Decibel::ReplayWal(uint64_t* next_lsn, uint64_t* next_seg) {
+  std::vector<uint64_t> seqs;
+  if (FileExists(WalDir())) {
+    DECIBEL_ASSIGN_OR_RETURN(std::vector<std::string> names, ListDir(WalDir()));
+    for (const std::string& name : names) {
+      if (name.size() < 5 || name.substr(name.size() - 4) != ".wal") continue;
+      const uint64_t seq = std::strtoull(name.c_str(), nullptr, 10);
+      if (seq >= manifest_.wal_start_seq) seqs.push_back(seq);
+    }
+    std::sort(seqs.begin(), seqs.end());
+  }
+  for (size_t i = 1; i < seqs.size(); ++i) {
+    if (seqs[i] != seqs[i - 1] + 1) {
+      return Status::Corruption("WAL segment " + std::to_string(seqs[i - 1] + 1) +
+                                " missing from " + WalDir());
+    }
+  }
+
+  uint64_t max_lsn =
+      manifest_.next_lsn > 0 ? manifest_.next_lsn - 1 : manifest_.checkpoint_lsn;
+  for (size_t i = 0; i < seqs.size(); ++i) {
+    const std::string path = wal::Writer::SegmentPath(WalDir(), seqs[i]);
+    DECIBEL_ASSIGN_OR_RETURN(std::unique_ptr<wal::Reader> reader,
+                             wal::Reader::Open(path));
+    wal::FrameView frame;
+    while (reader->Next(&frame)) {
+      if (frame.lsn <= manifest_.checkpoint_lsn) continue;
+      DECIBEL_RETURN_NOT_OK(ApplyWalRecord(frame));
+      if (frame.lsn > max_lsn) max_lsn = frame.lsn;
+    }
+    if (reader->torn_tail()) {
+      // Only the last segment may end mid-record (the crash point); a torn
+      // frame with sealed segments after it means records were lost.
+      if (i + 1 != seqs.size()) {
+        return Status::Corruption("torn WAL record mid-sequence in " + path);
+      }
+      DECIBEL_ASSIGN_OR_RETURN(RandomWriteFile f, RandomWriteFile::Open(path));
+      DECIBEL_RETURN_NOT_OK(f.Truncate(reader->valid_end()));
+      if (options_.sync_mode == wal::SyncMode::kFsync) {
+        DECIBEL_RETURN_NOT_OK(f.Sync());
+      }
+      DECIBEL_RETURN_NOT_OK(f.Close());
+    }
+  }
+  *next_lsn = max_lsn + 1;
+  *next_seg = seqs.empty() ? manifest_.wal_start_seq : seqs.back() + 1;
+  return Status::OK();
+}
+
+Status Decibel::ApplyWalRecord(const wal::FrameView& frame) {
+  // Runs single-threaded inside Open. The graph replays idempotently
+  // (graph.bin may already be ahead of this record); the engine — rolled
+  // back to the checkpoint — has seen nothing past checkpoint_lsn, so it
+  // gets every record exactly once. Deterministic user-level failures
+  // (a batch whose delete was invalid, a merge that was rejected) failed
+  // identically in the original timeline and are skipped, not fatal.
+  switch (frame.type) {
+    case wal::RecordType::kBatch: {
+      WriteBatch batch(&schema_);
+      BranchId branch = kInvalidBranch;
+      DECIBEL_RETURN_NOT_OK(wal::DecodeBatchBody(frame.body, &branch, &batch));
+      const Status applied = engine_->ApplyBatch(branch, batch);
+      if (applied.ok()) {
+        dirty_.insert(branch);
+        return Status::OK();
+      }
+      if (applied.IsNotFound() || applied.IsInvalidArgument()) {
+        return Status::OK();
+      }
+      return applied;
+    }
+    case wal::RecordType::kCommit: {
+      wal::CommitBody b;
+      DECIBEL_RETURN_NOT_OK(wal::DecodeCommitBody(frame.body, &b));
+      DECIBEL_RETURN_NOT_OK(graph_.ReplayCommit(b.commit, b.branch, b.parents));
+      DECIBEL_RETURN_NOT_OK(engine_->Commit(b.branch, b.commit));
+      dirty_.erase(b.branch);
+      return Status::OK();
+    }
+    case wal::RecordType::kBranch: {
+      wal::BranchBody b;
+      DECIBEL_RETURN_NOT_OK(wal::DecodeBranchBody(frame.body, &b));
+      DECIBEL_RETURN_NOT_OK(graph_.ReplayBranch(b.child, b.name, b.base,
+                                                b.parent_branch, b.head));
+      return engine_->CreateBranch(b.child, b.parent_branch, b.base,
+                                   b.at_head);
+    }
+    case wal::RecordType::kMerge: {
+      wal::MergeBody b;
+      DECIBEL_RETURN_NOT_OK(wal::DecodeMergeBody(frame.body, &b));
+      DECIBEL_RETURN_NOT_OK(graph_.ReplayCommit(b.commit, b.into, b.parents));
+      auto merged =
+          engine_->Merge(b.into, b.from, b.lca, b.commit, b.policy);
+      if (merged.ok()) {
+        dirty_.erase(b.into);
+        return Status::OK();
+      }
+      if (merged.status().IsNotFound() ||
+          merged.status().IsInvalidArgument()) {
+        return Status::OK();
+      }
+      return merged.status();
+    }
+  }
+  return Status::Corruption("unknown WAL record type " +
+                            std::to_string(static_cast<int>(frame.type)));
+}
+
+Status Decibel::LogWal(wal::RecordType type, const std::string& body) {
+  DECIBEL_ASSIGN_OR_RETURN(const uint64_t lsn, wal_->Append(type, body));
+  DECIBEL_RETURN_NOT_OK(wal_->Sync(lsn));
+  checkpointer_->NotifyBytes(body.size() + wal::kFrameHeaderSize);
+  return Status::OK();
+}
+
+Status Decibel::CheckpointNow() {
+  if (!durable()) return Flush();
+  // Quiesce the write path: writers hold checkpoint_mu_ shared across
+  // {WAL append, engine apply, graph mutate}, so under the unique lock
+  // every logged operation is fully applied and the engines are at an
+  // exact record boundary.
+  std::unique_lock<std::shared_mutex> barrier(checkpoint_mu_);
+  std::lock_guard<std::mutex> lock(mu_);
+  return CheckpointLocked();
+}
+
+Status Decibel::CheckpointLocked() {
+  const uint64_t version = manifest_.version + 1;
+  const bool sync = options_.sync_mode == wal::SyncMode::kFsync;
+
+  wal::ManifestData m;
+  m.version = version;
+  m.checkpoint_tag = wal::CheckpointTag(version);
+  m.checkpoint_lsn = wal_->last_lsn();
+  // Roll first so the checkpoint owns a whole-segment boundary: segments
+  // below the new one hold only records the checkpoint covers, and WAL
+  // truncation is pure file deletion.
+  DECIBEL_ASSIGN_OR_RETURN(m.wal_start_seq, wal_->Roll());
+  m.next_lsn = wal_->next_lsn();
+  schema_.EncodeTo(&m.schema);
+  m.engine = options_.engine;
+
+  DECIBEL_RETURN_NOT_OK(engine_->Checkpoint(m.checkpoint_tag, sync));
+  DECIBEL_RETURN_NOT_OK(PersistGraph(sync));
+  DECIBEL_RETURN_NOT_OK(wal::WriteManifest(path_, m, sync));
+
+  const wal::ManifestData prev = manifest_;
+  manifest_ = std::move(m);
+  // Keep the previous generation (manifest fallback needs its engine
+  // checkpoint and WAL suffix); everything older is garbage.
+  if (prev.version > 0) CleanupObsolete(prev);
+  return Status::OK();
+}
+
+void Decibel::CleanupObsolete(const wal::ManifestData& keep) {
+  auto listing = ListDir(path_);
+  if (listing.ok()) {
+    for (const std::string& name : *listing) {
+      if (name.rfind("MANIFEST-", 0) != 0) continue;
+      const uint64_t v = std::strtoull(name.c_str() + 9, nullptr, 10);
+      if (v >= keep.version) continue;
+      RemoveFile(JoinPath(path_, name)).ok();
+      engine_->RemoveCheckpoint(wal::CheckpointTag(v)).ok();
+    }
+  }
+  auto wals = ListDir(WalDir());
+  if (wals.ok()) {
+    for (const std::string& name : *wals) {
+      if (name.size() < 5 || name.substr(name.size() - 4) != ".wal") continue;
+      const uint64_t seq = std::strtoull(name.c_str(), nullptr, 10);
+      if (seq < keep.wal_start_seq) {
+        RemoveFile(JoinPath(WalDir(), name)).ok();
+      }
+    }
+  }
+}
+
+uint64_t Decibel::checkpoint_generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return manifest_.version;
 }
 
 // ---------------------------------------------------------------- sessions
@@ -206,6 +505,19 @@ Result<Transaction> Decibel::Begin(BranchId branch) {
 
 Result<CommitId> Decibel::CommitLocked(BranchId branch) {
   DECIBEL_ASSIGN_OR_RETURN(CommitId commit, graph_.AddCommit(branch));
+  if (durable()) {
+    // The commit id is graph-assigned, so the record is logged right
+    // after allocation and before the engine snapshot — replay re-applies
+    // both sides idempotently from the id.
+    wal::CommitBody b;
+    b.branch = branch;
+    b.commit = commit;
+    DECIBEL_ASSIGN_OR_RETURN(CommitInfo info, graph_.GetCommit(commit));
+    b.parents = std::move(info.parents);
+    std::string body;
+    wal::EncodeCommitBody(&body, b);
+    DECIBEL_RETURN_NOT_OK(LogWal(wal::RecordType::kCommit, body));
+  }
   DECIBEL_RETURN_NOT_OK(engine_->Commit(branch, commit));
   dirty_.erase(branch);
   DECIBEL_RETURN_NOT_OK(PersistGraph());
@@ -231,6 +543,9 @@ Result<CommitId> Decibel::CommitBranch(BranchId branch) {
   DECIBEL_ASSIGN_OR_RETURN(
       LockGuard guard, LockGuard::Acquire(&locks_, NextOwnerId(), branch,
                                           LockMode::kExclusive));
+  std::shared_lock<std::shared_mutex> barrier(checkpoint_mu_,
+                                              std::defer_lock);
+  if (durable()) barrier.lock();
   std::lock_guard<std::mutex> lock(mu_);
   return CommitLocked(branch);
 }
@@ -244,9 +559,14 @@ Result<BranchId> Decibel::Branch(const std::string& name, Session* session) {
   DECIBEL_ASSIGN_OR_RETURN(
       LockGuard guard, LockGuard::Acquire(&locks_, NextOwnerId(), parent,
                                           LockMode::kExclusive));
+  std::shared_lock<std::shared_mutex> barrier(checkpoint_mu_,
+                                              std::defer_lock);
+  if (durable()) barrier.lock();
   std::lock_guard<std::mutex> lock(mu_);
   DECIBEL_ASSIGN_OR_RETURN(CommitId base, EnsureCommitted(parent));
   DECIBEL_ASSIGN_OR_RETURN(BranchId child, graph_.CreateBranch(name, base));
+  DECIBEL_RETURN_NOT_OK(
+      LogBranchCreation(child, name, base, parent, /*at_head=*/true));
   DECIBEL_RETURN_NOT_OK(
       engine_->CreateBranch(child, parent, base, /*at_head=*/true));
   DECIBEL_RETURN_NOT_OK(PersistGraph());
@@ -254,15 +574,36 @@ Result<BranchId> Decibel::Branch(const std::string& name, Session* session) {
 }
 
 Result<BranchId> Decibel::BranchAt(const std::string& name, CommitId commit) {
+  std::shared_lock<std::shared_mutex> barrier(checkpoint_mu_,
+                                              std::defer_lock);
+  if (durable()) barrier.lock();
   std::lock_guard<std::mutex> lock(mu_);
   DECIBEL_ASSIGN_OR_RETURN(CommitInfo info, graph_.GetCommit(commit));
   const bool at_head =
       graph_.Head(info.branch) == commit && dirty_.count(info.branch) == 0;
   DECIBEL_ASSIGN_OR_RETURN(BranchId child, graph_.CreateBranch(name, commit));
   DECIBEL_RETURN_NOT_OK(
+      LogBranchCreation(child, name, commit, info.branch, at_head));
+  DECIBEL_RETURN_NOT_OK(
       engine_->CreateBranch(child, info.branch, commit, at_head));
   DECIBEL_RETURN_NOT_OK(PersistGraph());
   return child;
+}
+
+Status Decibel::LogBranchCreation(BranchId child, const std::string& name,
+                                  CommitId base, BranchId parent,
+                                  bool at_head) {
+  if (!durable()) return Status::OK();
+  wal::BranchBody b;
+  b.child = child;
+  b.name = name;
+  b.base = base;
+  b.parent_branch = parent;
+  b.at_head = at_head;
+  b.head = graph_.Head(child);
+  std::string body;
+  wal::EncodeBranchBody(&body, b);
+  return LogWal(wal::RecordType::kBranch, body);
 }
 
 Result<MergeInfo> Decibel::Merge(BranchId into, BranchId from,
@@ -273,6 +614,9 @@ Result<MergeInfo> Decibel::Merge(BranchId into, BranchId from,
   DECIBEL_RETURN_NOT_OK(scope.Lock(into, LockMode::kExclusive));
   DECIBEL_RETURN_NOT_OK(scope.Lock(from, LockMode::kShared));
 
+  std::shared_lock<std::shared_mutex> barrier(checkpoint_mu_,
+                                              std::defer_lock);
+  if (durable()) barrier.lock();
   std::lock_guard<std::mutex> lock(mu_);
   // Both heads must be committed so the lca and the merge commit are
   // well-defined versions.
@@ -281,6 +625,19 @@ Result<MergeInfo> Decibel::Merge(BranchId into, BranchId from,
   DECIBEL_ASSIGN_OR_RETURN(CommitId lca, graph_.Lca(head_into, head_from));
   DECIBEL_ASSIGN_OR_RETURN(CommitId commit,
                            graph_.AddMergeCommit(into, from));
+  if (durable()) {
+    wal::MergeBody b;
+    b.into = into;
+    b.from = from;
+    b.lca = lca;
+    b.commit = commit;
+    b.policy = policy;
+    DECIBEL_ASSIGN_OR_RETURN(CommitInfo minfo, graph_.GetCommit(commit));
+    b.parents = std::move(minfo.parents);
+    std::string body;
+    wal::EncodeMergeBody(&body, b);
+    DECIBEL_RETURN_NOT_OK(LogWal(wal::RecordType::kMerge, body));
+  }
   auto merged = engine_->Merge(into, from, lca, commit, policy);
   if (!merged.ok()) return merged.status();
   DECIBEL_RETURN_NOT_OK(PersistGraph());
@@ -302,6 +659,19 @@ Status Decibel::WriteGuard(const Session& session) const {
 }
 
 Status Decibel::ApplyBatchLocked(BranchId branch, const WriteBatch& batch) {
+  // Caller holds the branch's exclusive lock. The checkpoint barrier is
+  // shared — batches on different branches log and apply concurrently
+  // (the WAL writer group-commits their fsyncs) — and spans both the log
+  // append and the engine apply so a checkpoint never captures one
+  // without the other.
+  std::shared_lock<std::shared_mutex> barrier(checkpoint_mu_,
+                                              std::defer_lock);
+  if (durable()) {
+    barrier.lock();
+    std::string body;
+    wal::EncodeBatchBody(&body, branch, batch);
+    DECIBEL_RETURN_NOT_OK(LogWal(wal::RecordType::kBatch, body));
+  }
   DECIBEL_RETURN_NOT_OK(engine_->ApplyBatch(branch, batch));
   std::lock_guard<std::mutex> lock(mu_);
   dirty_.insert(branch);
@@ -420,6 +790,9 @@ Status Decibel::Diff(BranchId a, BranchId b, DiffMode mode,
 }
 
 Status Decibel::Flush() {
+  // A durable Flush is a checkpoint: it both persists and truncates the
+  // log, which is strictly stronger than the legacy meta rewrite.
+  if (durable()) return CheckpointNow();
   DECIBEL_RETURN_NOT_OK(engine_->Flush());
   std::lock_guard<std::mutex> lock(mu_);
   return PersistGraph();

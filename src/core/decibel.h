@@ -48,6 +48,7 @@
 
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -57,6 +58,9 @@
 #include "txn/lock_manager.h"
 #include "txn/write_batch.h"
 #include "version/version_graph.h"
+#include "wal/checkpoint.h"
+#include "wal/manifest.h"
+#include "wal/wal_writer.h"
 
 namespace decibel {
 
@@ -74,6 +78,30 @@ struct DecibelOptions {
   /// Engine write-lock stripes: transactions on branches that hash to
   /// different stripes commit concurrently (see EngineOptions).
   uint32_t write_stripes = 32;
+
+  // ------------------------------------------------------------ durability
+  //
+  // Non-empty data_dir (it must equal the Open path) switches on the
+  // durability subsystem: every mutation is written to a write-ahead log
+  // before it reaches the engine, a background thread periodically
+  // checkpoints the engine state and truncates the log, and a versioned
+  // manifest records which checkpoint + WAL suffix reconstitute the
+  // database. Reopening then replays the WAL tail, so — under kFsync —
+  // every acknowledged commit survives even a kill -9 / power loss.
+  // Empty data_dir (the default) keeps the historical behavior: engine
+  // files are written but there is no log; a crash loses everything
+  // since the last Flush().
+
+  /// Durability root; empty disables the WAL subsystem.
+  std::string data_dir;
+  /// How durable an acknowledged write is (see wal::SyncMode): kNone
+  /// buffers in-process, kFlush survives process death, kFsync survives
+  /// power loss.
+  wal::SyncMode sync_mode = wal::SyncMode::kFlush;
+  /// WAL segment rollover threshold.
+  uint64_t wal_segment_bytes = 16ull << 20;
+  /// WAL bytes between automatic background checkpoints.
+  uint64_t checkpoint_interval_bytes = 64ull << 20;
 };
 
 /// A user session: the commit/branch the user's operations target
@@ -171,6 +199,13 @@ class Decibel {
   /// database is Init-ed with a master branch holding \p schema (§2.2.3).
   static Result<std::unique_ptr<Decibel>> Open(const std::string& path,
                                                const Schema& schema,
+                                               const DecibelOptions& options);
+
+  /// Reopens a durable database without knowing its schema: the schema
+  /// and engine type are restored from the manifest at \p data_dir, the
+  /// engines from the last checkpoint, and the WAL tail is replayed.
+  /// NotFound when no manifest exists there.
+  static Result<std::unique_ptr<Decibel>> Open(const std::string& data_dir,
                                                const DecibelOptions& options);
 
   ~Decibel();
@@ -283,7 +318,19 @@ class Decibel {
   /// True if \p branch has modifications not yet captured by a commit.
   bool IsDirty(BranchId branch) const;
 
+  /// In durable mode, Flush() runs a full checkpoint (CheckpointNow).
   Status Flush();
+
+  /// Quiesces writers, checkpoints the engine under a fresh tag, rolls
+  /// the WAL, and publishes a new manifest generation (the previous one
+  /// is retained as a fallback; older generations are garbage-collected).
+  /// In non-durable mode this is Flush().
+  Status CheckpointNow();
+
+  /// True when the durability subsystem (WAL + checkpoints) is active.
+  bool durable() const { return wal_ != nullptr; }
+  /// Current manifest generation (0 until the first checkpoint).
+  uint64_t checkpoint_generation() const;
 
  private:
   friend class Transaction;
@@ -294,8 +341,41 @@ class Decibel {
         options_(options),
         locks_(std::chrono::milliseconds(options.lock_timeout_ms)) {}
 
-  Status PersistGraph();
+  Status PersistGraph(bool sync = false);
   std::string GraphPath() const;
+  std::string WalDir() const;
+
+  // ----------------------------------------------------------- durability
+  //
+  // Lock order on the write path: LockManager branch locks first, then
+  // checkpoint_mu_ (shared for writers — held across {WAL append, engine
+  // apply, graph mutate} so a checkpoint sees no half-logged operation —
+  // unique for the checkpointer, which never takes branch locks), then
+  // mu_, then the engine's internal locks.
+
+  /// Opens the WAL writer (replaying any tail first when \p have_manifest)
+  /// and starts the background checkpointer. Called from Open only.
+  Status InitDurability(bool have_manifest);
+  /// Replays every WAL record past the manifest's checkpoint_lsn, then
+  /// truncates the (sole permissible) torn tail. Outputs the next lsn and
+  /// the segment seq the writer should continue at.
+  Status ReplayWal(uint64_t* next_lsn, uint64_t* next_seg);
+  /// Applies one replayed record to the graph + engine, idempotently on
+  /// the graph side; deterministic user-level failures (a batch whose
+  /// original apply also failed) are skipped, not fatal.
+  Status ApplyWalRecord(const wal::FrameView& frame);
+  /// Appends + syncs one WAL record per the configured sync mode and
+  /// credits the checkpoint scheduler. Caller holds checkpoint_mu_ shared.
+  Status LogWal(wal::RecordType type, const std::string& body);
+  /// Logs a kBranch record for an already graph-registered child branch.
+  /// Caller holds checkpoint_mu_ shared and mu_. No-op when not durable.
+  Status LogBranchCreation(BranchId child, const std::string& name,
+                           CommitId base, BranchId parent, bool at_head);
+  /// Checkpoint body; caller holds checkpoint_mu_ unique and mu_.
+  Status CheckpointLocked();
+  /// Deletes manifests/engine checkpoints older than \p keep and WAL
+  /// segments below its replay window. Best effort.
+  void CleanupObsolete(const wal::ManifestData& keep);
   /// Commits \p branch if it has uncommitted changes; returns its head.
   Result<CommitId> EnsureCommitted(BranchId branch);
   Result<CommitId> CommitLocked(BranchId branch);
@@ -319,6 +399,14 @@ class Decibel {
   std::unique_ptr<StorageEngine> engine_;
   VersionGraph graph_;
   LockManager locks_;
+
+  /// Writer/checkpointer barrier; see the durability lock-order note.
+  mutable std::shared_mutex checkpoint_mu_;
+  std::unique_ptr<wal::Writer> wal_;
+  std::unique_ptr<wal::CheckpointScheduler> checkpointer_;
+  /// Current manifest generation (guarded by checkpoint_mu_ unique +
+  /// mu_ inside CheckpointLocked; read-only elsewhere).
+  wal::ManifestData manifest_;
 
   mutable std::mutex mu_;  // guards graph_, dirty_, id counter
   std::unordered_set<BranchId> dirty_;

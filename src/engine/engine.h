@@ -62,6 +62,11 @@ struct EngineOptions {
   /// number of heap-file shards the tuple-first engine splits its shared
   /// heap into.
   uint32_t write_stripes = 32;
+  /// Non-empty: open the engine at the named checkpoint instead of the
+  /// last Flush — data files are rolled back to exactly the state the
+  /// checkpoint captured, so a WAL tail can be replayed on top (crash
+  /// recovery).
+  std::string checkpoint_tag;
 };
 
 /// Multi-branch scans push each live record once, annotated with the
@@ -179,6 +184,16 @@ class StorageEngine {
   // -------------------------------------------------------- maintenance
 
   virtual Status Flush() = 0;
+  /// Checkpoints the engine under \p tag: data files are flushed (and, if
+  /// \p sync, fsynced) and a tagged metadata snapshot is written that
+  /// records exactly how many bytes of each file belong to the
+  /// checkpoint. Reopening with EngineOptions::checkpoint_tag == tag
+  /// restores this state bit-for-bit, discarding anything written later.
+  /// The caller must quiesce writers for the duration of the call.
+  virtual Status Checkpoint(const std::string& tag, bool sync) = 0;
+  /// Deletes the tagged metadata written by Checkpoint(tag); data files
+  /// are shared across checkpoints and stay.
+  virtual Status RemoveCheckpoint(const std::string& tag) = 0;
   /// Evicts the buffer pool so the next query starts cold (§5 flushes OS
   /// caches before each measured operation; this is the unprivileged
   /// equivalent for our own caches).

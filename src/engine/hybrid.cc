@@ -27,7 +27,7 @@ Result<std::unique_ptr<HybridEngine>> HybridEngine::Make(
   std::unique_ptr<HybridEngine> engine(new HybridEngine(schema, options));
   DECIBEL_RETURN_NOT_OK(CreateDir(options.directory));
   DECIBEL_RETURN_NOT_OK(CreateDir(JoinPath(options.directory, "commits")));
-  if (FileExists(engine->MetaPath())) {
+  if (!options.checkpoint_tag.empty() || FileExists(engine->MetaPath())) {
     DECIBEL_RETURN_NOT_OK(engine->LoadExisting());
   } else {
     DECIBEL_RETURN_NOT_OK(engine->InitFresh());
@@ -35,8 +35,9 @@ Result<std::unique_ptr<HybridEngine>> HybridEngine::Make(
   return engine;
 }
 
-std::string HybridEngine::MetaPath() const {
-  return JoinPath(options_.directory, "engine.meta");
+std::string HybridEngine::MetaPath(const std::string& tag) const {
+  const std::string base = JoinPath(options_.directory, "engine.meta");
+  return tag.empty() ? base : base + "." + tag;
 }
 
 std::string HybridEngine::SegmentPath(uint32_t seg) const {
@@ -77,7 +78,8 @@ Status HybridEngine::InitFresh() {
 }
 
 Status HybridEngine::LoadExisting() {
-  DECIBEL_ASSIGN_OR_RETURN(std::string meta, ReadFileToString(MetaPath()));
+  const std::string& tag = options_.checkpoint_tag;
+  DECIBEL_ASSIGN_OR_RETURN(std::string meta, ReadFileToString(MetaPath(tag)));
   Slice input(meta);
   Slice schema_blob;
   if (!GetLengthPrefixed(&input, &schema_blob)) {
@@ -113,9 +115,23 @@ Status HybridEngine::LoadExisting() {
       return Status::Corruption("hybrid: local index wrong orientation");
     }
     segment->local = std::move(*branch_oriented);
-    DECIBEL_ASSIGN_OR_RETURN(
-        segment->file,
-        HeapFile::Open(SegmentPath(segment->id), hopts, &pool_));
+    HeapFile::CheckpointState cs;
+    uint32_t tail_crc;
+    if (!GetVarint64(&input, &cs.num_records) ||
+        !GetVarint32(&input, &tail_crc)) {
+      return Status::Corruption("hybrid: truncated segment state");
+    }
+    cs.tail_crc = tail_crc;
+    if (!tag.empty()) {
+      DECIBEL_ASSIGN_OR_RETURN(
+          segment->file,
+          HeapFile::OpenAtCheckpoint(SegmentPath(segment->id), hopts, &pool_,
+                                     cs));
+    } else {
+      DECIBEL_ASSIGN_OR_RETURN(
+          segment->file,
+          HeapFile::Open(SegmentPath(segment->id), hopts, &pool_));
+    }
     segments_.push_back(std::move(segment));
   }
   uint64_t num_heads;
@@ -167,13 +183,20 @@ Status HybridEngine::LoadExisting() {
   }
   for (uint64_t i = 0; i < num_hist; ++i) {
     uint32_t branch, seg;
-    if (!GetVarint32(&input, &branch) || !GetVarint32(&input, &seg)) {
+    uint64_t bytes;
+    if (!GetVarint32(&input, &branch) || !GetVarint32(&input, &seg) ||
+        !GetVarint64(&input, &bytes)) {
       return Status::Corruption("hybrid: truncated history entry");
     }
     if (seg >= segments_.size()) {
       return Status::Corruption("hybrid: history points past segments");
     }
     history_segs_[branch].push_back(seg);
+    // History files open lazily (HistoryFor); cut post-checkpoint records
+    // away now so whoever opens one first parses the checkpointed state.
+    if (!tag.empty()) {
+      DECIBEL_RETURN_NOT_OK(TruncateFile(HistoryPath(branch, seg), bytes));
+    }
   }
   // The pk indexes are memory-only; rebuild them from the local bitmaps.
   for (const auto& [branch, row] : branch_segments_) {
@@ -182,11 +205,7 @@ Status HybridEngine::LoadExisting() {
   return Status::OK();
 }
 
-Status HybridEngine::Flush() {
-  std::unique_lock<std::shared_mutex> registry_lock(registry_mu_);
-  for (auto& segment : segments_) {
-    DECIBEL_RETURN_NOT_OK(segment->file->Flush());
-  }
+std::string HybridEngine::EncodeMeta() {
   std::string meta;
   std::string schema_blob;
   schema_.EncodeTo(&schema_blob);
@@ -197,6 +216,9 @@ Status HybridEngine::Flush() {
     PutVarint32(&meta, segment->owner);
     meta.push_back(segment->is_head ? 1 : 0);
     segment->local.EncodeTo(&meta);
+    const HeapFile::CheckpointState cs = segment->file->GetCheckpointState();
+    PutVarint64(&meta, cs.num_records);
+    PutVarint32(&meta, cs.tail_crc);
   }
   PutVarint64(&meta, head_seg_.size());
   for (const auto& [branch, seg] : head_seg_) {
@@ -224,10 +246,48 @@ Status HybridEngine::Flush() {
       for (uint32_t seg : segs) {
         PutVarint32(&meta, branch);
         PutVarint32(&meta, seg);
+        // Lazily-opened histories may not be in histories_; their on-disk
+        // size is still the truth (records are flushed as written).
+        auto it = histories_.find(HistoryKey(branch, seg));
+        uint64_t bytes = 0;
+        if (it != histories_.end()) {
+          bytes = it->second->SizeBytes();
+        } else {
+          Result<uint64_t> sz = FileSize(HistoryPath(branch, seg));
+          if (sz.ok()) bytes = sz.value();
+        }
+        PutVarint64(&meta, bytes);
       }
     }
   }
-  return WriteStringToFile(MetaPath(), meta);
+  return meta;
+}
+
+Status HybridEngine::Flush() {
+  std::unique_lock<std::shared_mutex> registry_lock(registry_mu_);
+  for (auto& segment : segments_) {
+    DECIBEL_RETURN_NOT_OK(segment->file->Flush());
+  }
+  return WriteStringToFile(MetaPath(), EncodeMeta());
+}
+
+Status HybridEngine::Checkpoint(const std::string& tag, bool sync) {
+  std::unique_lock<std::shared_mutex> registry_lock(registry_mu_);
+  for (auto& segment : segments_) {
+    DECIBEL_RETURN_NOT_OK(sync ? segment->file->Sync()
+                               : segment->file->Flush());
+  }
+  if (sync) {
+    std::lock_guard<std::mutex> commit_lock(commit_mu_);
+    for (auto& [key, history] : histories_) {
+      DECIBEL_RETURN_NOT_OK(history->Sync());
+    }
+  }
+  return AtomicWriteFile(MetaPath(tag), EncodeMeta(), sync);
+}
+
+Status HybridEngine::RemoveCheckpoint(const std::string& tag) {
+  return RemoveFile(MetaPath(tag));
 }
 
 // --------------------------------------------------------- version control
@@ -250,16 +310,24 @@ Result<CommitHistory*> HybridEngine::HistoryFor(BranchId branch,
   auto it = histories_.find(key);
   if (it != histories_.end()) return it->second.get();
   const std::string path = HistoryPath(branch, seg);
-  const bool existed = FileExists(path);
+  // The registry (restored from the meta on reopen) is authoritative: a
+  // history file on disk for a (branch, seg) the registry does not know
+  // is stale post-checkpoint debris from a crash, and Create truncates
+  // it away (WAL replay re-appends its commits).
+  auto segs_it = history_segs_.find(branch);
+  const bool known =
+      segs_it != history_segs_.end() &&
+      std::find(segs_it->second.begin(), segs_it->second.end(), seg) !=
+          segs_it->second.end();
   Result<std::unique_ptr<CommitHistory>> h =
-      existed ? CommitHistory::Open(
-                    path, {.composite_every = options_.composite_every})
-              : CommitHistory::Create(
-                    path, {.composite_every = options_.composite_every});
+      known ? CommitHistory::Open(
+                  path, {.composite_every = options_.composite_every})
+            : CommitHistory::Create(
+                  path, {.composite_every = options_.composite_every});
   if (!h.ok()) return h.status();
   CommitHistory* raw = h.value().get();
   histories_.emplace(key, std::move(h).MoveValueUnsafe());
-  if (!existed) history_segs_[branch].push_back(seg);
+  if (!known) history_segs_[branch].push_back(seg);
   return raw;
 }
 

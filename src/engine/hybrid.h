@@ -64,6 +64,8 @@ class HybridEngine : public StorageEngine {
                             CommitId new_commit, MergePolicy policy) override;
 
   Status Flush() override;
+  Status Checkpoint(const std::string& tag, bool sync) override;
+  Status RemoveCheckpoint(const std::string& tag) override;
   void DropCaches() override { pool_.EvictAll(); }
   EngineStats Stats() const override;
 
@@ -93,9 +95,14 @@ class HybridEngine : public StorageEngine {
 
   Status InitFresh();
   Status LoadExisting();
-  std::string MetaPath() const;
+  std::string MetaPath(const std::string& tag = "") const;
   std::string SegmentPath(uint32_t seg) const;
   std::string HistoryPath(BranchId branch, uint32_t seg) const;
+  /// Serializes the engine meta (schema, segments with local indexes and
+  /// checkpoint state, heads, branch-segment bitmap, commit and history
+  /// registries with history byte sizes). Caller holds the registry
+  /// unique.
+  std::string EncodeMeta();
 
   /// Caller holds registry_mu_ unique (grows segments_ and the maps).
   Result<uint32_t> NewHeadSegment(BranchId owner);

@@ -87,7 +87,7 @@ Result<std::unique_ptr<TupleFirstEngine>> TupleFirstEngine::Make(
   DECIBEL_RETURN_NOT_OK(CreateDir(options.directory));
   DECIBEL_RETURN_NOT_OK(
       CreateDir(JoinPath(options.directory, "commits")));
-  if (FileExists(engine->MetaPath())) {
+  if (!options.checkpoint_tag.empty() || FileExists(engine->MetaPath())) {
     DECIBEL_RETURN_NOT_OK(engine->LoadExisting());
   } else {
     DECIBEL_RETURN_NOT_OK(engine->InitFresh());
@@ -95,8 +95,9 @@ Result<std::unique_ptr<TupleFirstEngine>> TupleFirstEngine::Make(
   return engine;
 }
 
-std::string TupleFirstEngine::MetaPath() const {
-  return JoinPath(options_.directory, "engine.meta");
+std::string TupleFirstEngine::MetaPath(const std::string& tag) const {
+  const std::string base = JoinPath(options_.directory, "engine.meta");
+  return tag.empty() ? base : base + "." + tag;
 }
 
 std::string TupleFirstEngine::HistoryPath(BranchId branch) const {
@@ -120,12 +121,13 @@ Status TupleFirstEngine::InitFresh() {
 }
 
 Status TupleFirstEngine::LoadExisting() {
+  const std::string& tag = options_.checkpoint_tag;
   StripedHeap::Options hopts;
   hopts.verify_checksums = options_.verify_checksums;
   DECIBEL_ASSIGN_OR_RETURN(heap_,
                            StripedHeap::Open(options_.directory, hopts,
-                                             &pool_));
-  DECIBEL_ASSIGN_OR_RETURN(std::string meta, ReadFileToString(MetaPath()));
+                                             &pool_, tag));
+  DECIBEL_ASSIGN_OR_RETURN(std::string meta, ReadFileToString(MetaPath(tag)));
   Slice input(meta);
   Slice schema_blob;
   if (!GetLengthPrefixed(&input, &schema_blob)) {
@@ -148,31 +150,47 @@ Status TupleFirstEngine::LoadExisting() {
       return Status::Corruption("tuple-first: truncated commit entry");
     }
     commit_branch_[commit] = branch;
-    if (histories_.count(branch) == 0 && FileExists(HistoryPath(branch))) {
-      DECIBEL_ASSIGN_OR_RETURN(histories_[branch],
-                               CommitHistory::Open(HistoryPath(branch)));
-    }
   }
   uint64_t num_branches;
   if (!GetVarint64(&input, &num_branches)) {
     return Status::Corruption("tuple-first: truncated branch list");
   }
+  std::vector<BranchId> branches(num_branches);
   for (uint64_t i = 0; i < num_branches; ++i) {
-    uint32_t branch;
-    if (!GetVarint32(&input, &branch)) {
+    if (!GetVarint32(&input, &branches[i])) {
       return Status::Corruption("tuple-first: truncated branch entry");
     }
+  }
+  uint64_t num_histories;
+  if (!GetVarint64(&input, &num_histories)) {
+    return Status::Corruption("tuple-first: truncated history registry");
+  }
+  for (uint64_t i = 0; i < num_histories; ++i) {
+    uint32_t branch;
+    uint64_t bytes;
+    if (!GetVarint32(&input, &branch) || !GetVarint64(&input, &bytes)) {
+      return Status::Corruption("tuple-first: truncated history entry");
+    }
+    // When recovering to a checkpoint, records appended to the history
+    // after the checkpoint (and any torn tail record) are cut away first
+    // so Open parses exactly the checkpointed state and WAL replay can
+    // re-append from there.
+    if (!tag.empty()) {
+      DECIBEL_RETURN_NOT_OK(TruncateFile(HistoryPath(branch), bytes));
+    }
+    DECIBEL_ASSIGN_OR_RETURN(
+        histories_[branch],
+        CommitHistory::Open(HistoryPath(branch),
+                            {.composite_every = options_.composite_every}));
+  }
+  for (BranchId branch : branches) {
     // The pk index is memory-only; rebuild it from the branch's bitmap.
     DECIBEL_RETURN_NOT_OK(RebuildPkIndex(branch));
   }
   return Status::OK();
 }
 
-Status TupleFirstEngine::Flush() {
-  // Unique registry: no writer holds its shared mode, so every stripe is
-  // quiesced and the index/commit registries are stable.
-  std::unique_lock<std::shared_mutex> registry(registry_mu_);
-  DECIBEL_RETURN_NOT_OK(heap_->Flush());
+std::string TupleFirstEngine::EncodeMeta() {
   std::string meta;
   std::string schema_blob;
   schema_.EncodeTo(&schema_blob);
@@ -187,7 +205,40 @@ Status TupleFirstEngine::Flush() {
   for (const auto& [branch, pks] : pk_index_) {
     PutVarint32(&meta, branch);
   }
-  return WriteStringToFile(MetaPath(), meta);
+  {
+    std::lock_guard<std::mutex> commits(commit_mu_);
+    PutVarint64(&meta, histories_.size());
+    for (const auto& [branch, history] : histories_) {
+      PutVarint32(&meta, branch);
+      PutVarint64(&meta, history->SizeBytes());
+    }
+  }
+  return meta;
+}
+
+Status TupleFirstEngine::Flush() {
+  // Unique registry: no writer holds its shared mode, so every stripe is
+  // quiesced and the index/commit registries are stable.
+  std::unique_lock<std::shared_mutex> registry(registry_mu_);
+  DECIBEL_RETURN_NOT_OK(heap_->Flush());
+  return WriteStringToFile(MetaPath(), EncodeMeta());
+}
+
+Status TupleFirstEngine::Checkpoint(const std::string& tag, bool sync) {
+  std::unique_lock<std::shared_mutex> registry(registry_mu_);
+  DECIBEL_RETURN_NOT_OK(heap_->Checkpoint(tag, sync));
+  if (sync) {
+    std::lock_guard<std::mutex> commits(commit_mu_);
+    for (auto& [branch, history] : histories_) {
+      DECIBEL_RETURN_NOT_OK(history->Sync());
+    }
+  }
+  return AtomicWriteFile(MetaPath(tag), EncodeMeta(), sync);
+}
+
+Status TupleFirstEngine::RemoveCheckpoint(const std::string& tag) {
+  DECIBEL_RETURN_NOT_OK(heap_->RemoveCheckpoint(tag));
+  return RemoveFile(MetaPath(tag));
 }
 
 Result<CommitHistory*> TupleFirstEngine::HistoryFor(BranchId branch) {
@@ -195,12 +246,12 @@ Result<CommitHistory*> TupleFirstEngine::HistoryFor(BranchId branch) {
   auto it = histories_.find(branch);
   if (it != histories_.end()) return it->second.get();
   const std::string path = HistoryPath(branch);
-  Result<std::unique_ptr<CommitHistory>> h =
-      FileExists(path)
-          ? CommitHistory::Open(path,
-                                {.composite_every = options_.composite_every})
-          : CommitHistory::Create(
-                path, {.composite_every = options_.composite_every});
+  // histories_ (restored from the meta on reopen) is authoritative: a
+  // miss means any on-disk history file for this branch is stale
+  // post-checkpoint debris from a crash, and Create truncates it away
+  // (WAL replay re-appends its commits).
+  Result<std::unique_ptr<CommitHistory>> h = CommitHistory::Create(
+      path, {.composite_every = options_.composite_every});
   if (!h.ok()) return h.status();
   CommitHistory* raw = h.value().get();
   histories_.emplace(branch, std::move(h).MoveValueUnsafe());

@@ -59,6 +59,8 @@ class TupleFirstEngine : public StorageEngine {
                             CommitId new_commit, MergePolicy policy) override;
 
   Status Flush() override;
+  Status Checkpoint(const std::string& tag, bool sync) override;
+  Status RemoveCheckpoint(const std::string& tag) override;
   void DropCaches() override { pool_.EvictAll(); }
   EngineStats Stats() const override;
 
@@ -114,8 +116,12 @@ class TupleFirstEngine : public StorageEngine {
   /// Rebuilds branch \p b's pk index by scanning its bitmap column.
   /// Caller holds the registry unique (load/branch-create paths).
   Status RebuildPkIndex(BranchId b);
-  std::string MetaPath() const;
+  std::string MetaPath(const std::string& tag = "") const;
   std::string HistoryPath(BranchId branch) const;
+  /// Serializes the engine meta (schema, bitmap index, commit registry,
+  /// branch list, per-branch history byte sizes). Caller holds the
+  /// registry unique.
+  std::string EncodeMeta();
 
   using PkIndex = std::unordered_map<int64_t, uint64_t>;  // pk -> record idx
 

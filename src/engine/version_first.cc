@@ -63,7 +63,7 @@ Result<std::unique_ptr<VersionFirstEngine>> VersionFirstEngine::Make(
   std::unique_ptr<VersionFirstEngine> engine(
       new VersionFirstEngine(schema, options));
   DECIBEL_RETURN_NOT_OK(CreateDir(options.directory));
-  if (FileExists(engine->MetaPath())) {
+  if (!options.checkpoint_tag.empty() || FileExists(engine->MetaPath())) {
     DECIBEL_RETURN_NOT_OK(engine->LoadExisting());
   } else {
     DECIBEL_RETURN_NOT_OK(engine->InitFresh());
@@ -71,8 +71,9 @@ Result<std::unique_ptr<VersionFirstEngine>> VersionFirstEngine::Make(
   return engine;
 }
 
-std::string VersionFirstEngine::MetaPath() const {
-  return JoinPath(options_.directory, "engine.meta");
+std::string VersionFirstEngine::MetaPath(const std::string& tag) const {
+  const std::string base = JoinPath(options_.directory, "engine.meta");
+  return tag.empty() ? base : base + "." + tag;
 }
 
 std::string VersionFirstEngine::SegmentPath(uint32_t seg) const {
@@ -102,7 +103,8 @@ Status VersionFirstEngine::InitFresh() {
 }
 
 Status VersionFirstEngine::LoadExisting() {
-  DECIBEL_ASSIGN_OR_RETURN(std::string meta, ReadFileToString(MetaPath()));
+  const std::string& tag = options_.checkpoint_tag;
+  DECIBEL_ASSIGN_OR_RETURN(std::string meta, ReadFileToString(MetaPath(tag)));
   Slice input(meta);
   Slice schema_blob;
   if (!GetLengthPrefixed(&input, &schema_blob)) {
@@ -143,9 +145,26 @@ Status VersionFirstEngine::LoadExisting() {
       }
       segment->parents.push_back(link);
     }
-    DECIBEL_ASSIGN_OR_RETURN(
-        segment->file, HeapFile::Open(SegmentPath(segment->id), hopts,
-                                      &pool_));
+    HeapFile::CheckpointState cs;
+    uint32_t tail_crc;
+    if (!GetVarint64(&input, &cs.num_records) ||
+        !GetVarint32(&input, &tail_crc)) {
+      return Status::Corruption("version-first: truncated segment state");
+    }
+    cs.tail_crc = tail_crc;
+    if (!tag.empty()) {
+      // Branch heads resolve to file->num_records(), so post-checkpoint
+      // appends must be physically discarded — roll the segment back to
+      // its checkpointed record count before anything reads it.
+      DECIBEL_ASSIGN_OR_RETURN(
+          segment->file,
+          HeapFile::OpenAtCheckpoint(SegmentPath(segment->id), hopts, &pool_,
+                                     cs));
+    } else {
+      DECIBEL_ASSIGN_OR_RETURN(
+          segment->file, HeapFile::Open(SegmentPath(segment->id), hopts,
+                                        &pool_));
+    }
     segments_.push_back(std::move(segment));
   }
   uint64_t num_heads, num_commits;
@@ -181,11 +200,7 @@ Status VersionFirstEngine::LoadExisting() {
   return Status::OK();
 }
 
-Status VersionFirstEngine::Flush() {
-  std::unique_lock<std::shared_mutex> registry_lock(registry_mu_);
-  for (auto& segment : segments_) {
-    DECIBEL_RETURN_NOT_OK(segment->file->Flush());
-  }
+std::string VersionFirstEngine::EncodeMeta() {
   std::string meta;
   std::string schema_blob;
   schema_.EncodeTo(&schema_blob);
@@ -199,6 +214,9 @@ Status VersionFirstEngine::Flush() {
       PutVarint32(&meta, link.seg);
       PutVarint64(&meta, link.bound);
     }
+    const HeapFile::CheckpointState cs = segment->file->GetCheckpointState();
+    PutVarint64(&meta, cs.num_records);
+    PutVarint32(&meta, cs.tail_crc);
   }
   PutVarint64(&meta, head_seg_.size());
   for (const auto& [branch, seg] : head_seg_) {
@@ -214,7 +232,28 @@ Status VersionFirstEngine::Flush() {
       PutVarint64(&meta, root.bound);
     }
   }
-  return WriteStringToFile(MetaPath(), meta);
+  return meta;
+}
+
+Status VersionFirstEngine::Flush() {
+  std::unique_lock<std::shared_mutex> registry_lock(registry_mu_);
+  for (auto& segment : segments_) {
+    DECIBEL_RETURN_NOT_OK(segment->file->Flush());
+  }
+  return WriteStringToFile(MetaPath(), EncodeMeta());
+}
+
+Status VersionFirstEngine::Checkpoint(const std::string& tag, bool sync) {
+  std::unique_lock<std::shared_mutex> registry_lock(registry_mu_);
+  for (auto& segment : segments_) {
+    DECIBEL_RETURN_NOT_OK(sync ? segment->file->Sync()
+                               : segment->file->Flush());
+  }
+  return AtomicWriteFile(MetaPath(tag), EncodeMeta(), sync);
+}
+
+Status VersionFirstEngine::RemoveCheckpoint(const std::string& tag) {
+  return RemoveFile(MetaPath(tag));
 }
 
 // --------------------------------------------------------- version control

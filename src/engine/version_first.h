@@ -70,6 +70,8 @@ class VersionFirstEngine : public StorageEngine {
                             CommitId new_commit, MergePolicy policy) override;
 
   Status Flush() override;
+  Status Checkpoint(const std::string& tag, bool sync) override;
+  Status RemoveCheckpoint(const std::string& tag) override;
   void DropCaches() override { pool_.EvictAll(); }
   EngineStats Stats() const override;
 
@@ -118,8 +120,11 @@ class VersionFirstEngine : public StorageEngine {
 
   Status InitFresh();
   Status LoadExisting();
-  std::string MetaPath() const;
+  std::string MetaPath(const std::string& tag = "") const;
   std::string SegmentPath(uint32_t seg) const;
+  /// Serializes the engine meta (schema, segment graph with per-segment
+  /// checkpoint state, heads, commits). Caller holds the registry unique.
+  std::string EncodeMeta();
   Result<uint32_t> NewSegment(BranchId owner, std::vector<ParentLink> parents);
   /// Commit body; caller holds registry_mu_ (shared or unique). Takes
   /// commit_mu_ internally for the commits_ write.

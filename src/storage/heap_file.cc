@@ -15,6 +15,28 @@ constexpr uint32_t kFormatVersion = 1;
 constexpr uint64_t kFileHeaderSize = 64;
 constexpr uint64_t kPageHeaderSize = 8;  // count u32 + masked crc u32
 
+Status ParseHeader(const RandomAccessFile& r, const std::string& path,
+                   uint64_t* page_size, uint32_t* record_size) {
+  if (r.Size() < kFileHeaderSize) {
+    return Status::Corruption("heapfile: missing header in " + path);
+  }
+  std::string header;
+  DECIBEL_RETURN_NOT_OK(r.Read(0, kFileHeaderSize, &header));
+  if (DecodeFixed32(header.data()) != kMagic) {
+    return Status::Corruption("heapfile: bad magic in " + path);
+  }
+  if (DecodeFixed32(header.data() + 4) != kFormatVersion) {
+    return Status::Corruption("heapfile: unsupported version in " + path);
+  }
+  *page_size = DecodeFixed64(header.data() + 8);
+  *record_size = DecodeFixed32(header.data() + 16);
+  const uint32_t stored_crc = UnmaskCrc(DecodeFixed32(header.data() + 60));
+  if (stored_crc != Crc32(Slice(header.data(), 60))) {
+    return Status::Corruption("heapfile: header checksum mismatch in " + path);
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 std::atomic<uint64_t> HeapFile::next_file_id_{1};
@@ -48,7 +70,10 @@ Result<std::unique_ptr<HeapFile>> HeapFile::Create(const std::string& path,
                                    " does not fit a page");
   }
   if (FileExists(path)) {
-    return Status::AlreadyExists("heapfile: " + path);
+    // Stale leftover from a crash after the last checkpoint: the caller's
+    // metadata has no record of this file, so its contents were never
+    // acknowledged. Remove it and start fresh (WAL replay refills it).
+    DECIBEL_RETURN_NOT_OK(RemoveFile(path));
   }
   std::unique_ptr<HeapFile> file(
       new HeapFile(path, record_size, options, pool));
@@ -62,23 +87,9 @@ Result<std::unique_ptr<HeapFile>> HeapFile::Open(const std::string& path,
                                                  const Options& options,
                                                  BufferPool* pool) {
   DECIBEL_ASSIGN_OR_RETURN(RandomAccessFile r, RandomAccessFile::Open(path));
-  if (r.Size() < kFileHeaderSize) {
-    return Status::Corruption("heapfile: missing header in " + path);
-  }
-  std::string header;
-  DECIBEL_RETURN_NOT_OK(r.Read(0, kFileHeaderSize, &header));
-  if (DecodeFixed32(header.data()) != kMagic) {
-    return Status::Corruption("heapfile: bad magic in " + path);
-  }
-  if (DecodeFixed32(header.data() + 4) != kFormatVersion) {
-    return Status::Corruption("heapfile: unsupported version in " + path);
-  }
-  const uint64_t page_size = DecodeFixed64(header.data() + 8);
-  const uint32_t record_size = DecodeFixed32(header.data() + 16);
-  const uint32_t stored_crc = UnmaskCrc(DecodeFixed32(header.data() + 60));
-  if (stored_crc != Crc32(Slice(header.data(), 60))) {
-    return Status::Corruption("heapfile: header checksum mismatch in " + path);
-  }
+  uint64_t page_size = 0;
+  uint32_t record_size = 0;
+  DECIBEL_RETURN_NOT_OK(ParseHeader(r, path, &page_size, &record_size));
 
   Options opts = options;
   opts.page_size = page_size;
@@ -124,6 +135,75 @@ Result<std::unique_ptr<HeapFile>> HeapFile::Open(const std::string& path,
   }
   DECIBEL_ASSIGN_OR_RETURN(RandomWriteFile w, RandomWriteFile::Open(path));
   file->writer_.emplace(std::move(w));
+  return file;
+}
+
+Result<std::unique_ptr<HeapFile>> HeapFile::OpenAtCheckpoint(
+    const std::string& path, const Options& options, BufferPool* pool,
+    const CheckpointState& state) {
+  uint64_t page_size = 0;
+  uint32_t record_size = 0;
+  {
+    DECIBEL_ASSIGN_OR_RETURN(RandomAccessFile r, RandomAccessFile::Open(path));
+    DECIBEL_RETURN_NOT_OK(ParseHeader(r, path, &page_size, &record_size));
+
+    const uint64_t records_per_page =
+        (page_size - kPageHeaderSize) / record_size;
+    const uint64_t sealed = state.num_records / records_per_page;
+    const uint32_t tail_count =
+        static_cast<uint32_t>(state.num_records % records_per_page);
+    const uint64_t pages = sealed + (tail_count > 0 ? 1 : 0);
+    const uint64_t need = kFileHeaderSize + pages * page_size;
+    if (r.Size() < need) {
+      // Every checkpointed page was written and synced before the
+      // checkpoint acknowledged it; a shorter file means the checkpoint
+      // metadata does not belong to this file.
+      return Status::Corruption("heapfile: " + path + " shorter than its " +
+                                "checkpoint (" + std::to_string(r.Size()) +
+                                " < " + std::to_string(need) + " bytes)");
+    }
+    std::string tail;
+    if (tail_count > 0) {
+      // The tail page may have been rewritten in place (and torn) after
+      // the checkpoint. Ignore its on-disk count/CRC; the checkpoint's
+      // own CRC over the first tail_count records is the authority.
+      DECIBEL_RETURN_NOT_OK(
+          r.Read(kFileHeaderSize + sealed * page_size, page_size, &tail));
+      const Slice prefix(tail.data() + kPageHeaderSize,
+                         static_cast<uint64_t>(tail_count) * record_size);
+      if (Crc32(prefix) != state.tail_crc) {
+        return Status::Corruption("heapfile: tail page torn past recovery in " +
+                                  path);
+      }
+    }
+
+    // Roll the file back to the checkpoint: drop post-checkpoint pages and
+    // rewrite the tail page with a header matching the surviving prefix.
+    DECIBEL_ASSIGN_OR_RETURN(RandomWriteFile w, RandomWriteFile::Open(path));
+    DECIBEL_RETURN_NOT_OK(w.Truncate(need));
+    if (tail_count > 0) {
+      std::string page(kPageHeaderSize, '\0');
+      const Slice prefix(tail.data() + kPageHeaderSize,
+                         static_cast<uint64_t>(tail_count) * record_size);
+      EncodeFixed32(page.data(), tail_count);
+      EncodeFixed32(page.data() + 4, MaskCrc(Crc32(prefix)));
+      page.append(prefix.data(), prefix.size());
+      page.resize(page_size, '\0');
+      DECIBEL_RETURN_NOT_OK(w.WriteAt(kFileHeaderSize + sealed * page_size,
+                                      page));
+    }
+    DECIBEL_RETURN_NOT_OK(w.Sync());
+    DECIBEL_RETURN_NOT_OK(w.Close());
+  }
+  // The file now satisfies the ordinary Open invariants.
+  DECIBEL_ASSIGN_OR_RETURN(std::unique_ptr<HeapFile> file,
+                           Open(path, options, pool));
+  if (file->num_records() != state.num_records) {
+    return Status::Corruption("heapfile: " + path + " recovered " +
+                              std::to_string(file->num_records()) +
+                              " records, checkpoint expects " +
+                              std::to_string(state.num_records));
+  }
   return file;
 }
 
@@ -253,6 +333,19 @@ Status HeapFile::Flush() {
     tail_dirty_ = false;
   }
   return Status::OK();
+}
+
+Status HeapFile::Sync() {
+  DECIBEL_RETURN_NOT_OK(Flush());
+  return writer_->Sync();
+}
+
+HeapFile::CheckpointState HeapFile::GetCheckpointState() const {
+  std::lock_guard<std::mutex> lock(tail_mu_);
+  CheckpointState s;
+  s.num_records = sealed_pages_ * records_per_page_ + tail_count_;
+  s.tail_crc = tail_count_ > 0 ? Crc32(Slice(tail_)) : 0;
+  return s;
 }
 
 Status HeapFile::Seal() {

@@ -37,7 +37,10 @@ class HeapFile : public PageSource {
     bool verify_checksums = true;
   };
 
-  /// Creates a new heap file at \p path (fails if it exists).
+  /// Creates a new heap file at \p path. A pre-existing file there is
+  /// removed first: Create is only reached when the engine's metadata
+  /// says no such file exists, so anything on disk is stale debris from
+  /// a crash after the last checkpoint (WAL replay recreates the file).
   static Result<std::unique_ptr<HeapFile>> Create(const std::string& path,
                                                   uint32_t record_size,
                                                   const Options& options,
@@ -47,6 +50,31 @@ class HeapFile : public PageSource {
   static Result<std::unique_ptr<HeapFile>> Open(const std::string& path,
                                                 const Options& options,
                                                 BufferPool* pool);
+
+  /// What a checkpoint records about this file: how many records were
+  /// durable at checkpoint time and the CRC of the partial tail page's
+  /// payload at that moment. Enough to (a) discard records appended
+  /// after the checkpoint on recovery and (b) detect a tail page torn by
+  /// a crash mid-rewrite.
+  struct CheckpointState {
+    uint64_t num_records = 0;
+    uint32_t tail_crc = 0;  ///< CRC32 of the tail payload (0 if tail empty)
+  };
+
+  /// Snapshot of the current checkpoint state. Call after Flush/Sync with
+  /// writers quiesced — the state describes what is on disk.
+  CheckpointState GetCheckpointState() const;
+
+  /// Opens an existing heap file and rolls it back to \p state: records
+  /// appended after the checkpoint are truncated away and the tail page
+  /// is rewritten with a valid header. Fails with Corruption if the first
+  /// state.num_records records do not verify (a genuinely torn write
+  /// inside checkpointed data). This is the crash-recovery entry point —
+  /// after it succeeds the file is byte-identical (up to zero padding) to
+  /// the checkpoint.
+  static Result<std::unique_ptr<HeapFile>> OpenAtCheckpoint(
+      const std::string& path, const Options& options, BufferPool* pool,
+      const CheckpointState& state);
 
   ~HeapFile() override;
   HeapFile(const HeapFile&) = delete;
@@ -71,6 +99,10 @@ class HeapFile : public PageSource {
 
   /// Writes the partial tail page to disk.
   Status Flush();
+
+  /// Flushes, then fdatasyncs the file so every record survives a power
+  /// loss (not just a process crash).
+  Status Sync();
 
   /// Flushes and forbids further appends (hybrid freezes head segments on
   /// branch, §3.4).

@@ -8,7 +8,9 @@ namespace decibel {
 
 namespace {
 constexpr uint32_t kManifestMagic = 0x53485053;  // "SPHS"
-constexpr uint32_t kManifestVersion = 1;
+// v2 appends per-stripe checkpoint state (record count + tail CRC) so a
+// tagged manifest can roll stripe files back to its exact moment.
+constexpr uint32_t kManifestVersion = 2;
 }  // namespace
 
 StripedHeap::StripedHeap(std::string dir, uint32_t record_size,
@@ -22,8 +24,9 @@ std::string StripedHeap::StripePath(uint32_t stripe) const {
   return JoinPath(dir_, "heap." + std::to_string(stripe) + ".dbhf");
 }
 
-std::string StripedHeap::ManifestPath() const {
-  return JoinPath(dir_, "heap.manifest");
+std::string StripedHeap::ManifestPath(const std::string& tag) const {
+  const std::string base = JoinPath(dir_, "heap.manifest");
+  return tag.empty() ? base : base + "." + tag;
 }
 
 Result<std::unique_ptr<StripedHeap>> StripedHeap::Create(
@@ -49,17 +52,19 @@ Result<std::unique_ptr<StripedHeap>> StripedHeap::Create(
   return heap;
 }
 
-Result<std::unique_ptr<StripedHeap>> StripedHeap::Open(const std::string& dir,
-                                                       const Options& options,
-                                                       BufferPool* pool) {
+Result<std::unique_ptr<StripedHeap>> StripedHeap::Open(
+    const std::string& dir, const Options& options, BufferPool* pool,
+    const std::string& checkpoint_tag) {
   std::unique_ptr<StripedHeap> heap(new StripedHeap(dir, 0, options, pool));
-  DECIBEL_ASSIGN_OR_RETURN(std::string manifest,
-                           ReadFileToString(heap->ManifestPath()));
-  DECIBEL_RETURN_NOT_OK(heap->LoadManifest(Slice(manifest)));
+  DECIBEL_ASSIGN_OR_RETURN(
+      std::string manifest,
+      ReadFileToString(heap->ManifestPath(checkpoint_tag)));
+  DECIBEL_RETURN_NOT_OK(
+      heap->LoadManifest(Slice(manifest), !checkpoint_tag.empty()));
   return heap;
 }
 
-Status StripedHeap::LoadManifest(Slice input) {
+Status StripedHeap::LoadManifest(Slice input, bool recover) {
   uint32_t magic, version, stripes;
   uint64_t record_size, extent_records, extent_count;
   if (!GetVarint32(&input, &magic) || magic != kManifestMagic ||
@@ -72,13 +77,7 @@ Status StripedHeap::LoadManifest(Slice input) {
   record_size_ = static_cast<uint32_t>(record_size);
   extent_records_ = extent_records;
 
-  HeapFile::Options hopts;
-  hopts.verify_checksums = options_.verify_checksums;
   stripes_.resize(stripes == 0 ? 1 : stripes);
-  for (uint32_t s = 0; s < stripes_.size(); ++s) {
-    DECIBEL_ASSIGN_OR_RETURN(stripes_[s].file,
-                             HeapFile::Open(StripePath(s), hopts, pool_));
-  }
 
   uint64_t bound = 0;
   uint64_t total = 0;
@@ -98,6 +97,30 @@ Status StripedHeap::LoadManifest(Slice input) {
     extents_.push_back(e);
   }
   allocated_bound_.store(bound, std::memory_order_release);
+
+  std::vector<HeapFile::CheckpointState> states(stripes_.size());
+  for (size_t s = 0; s < stripes_.size(); ++s) {
+    uint32_t crc;
+    if (!GetVarint64(&input, &states[s].num_records) ||
+        !GetVarint32(&input, &crc)) {
+      return Status::Corruption("striped heap: truncated stripe state in " +
+                                dir_);
+    }
+    states[s].tail_crc = crc;
+  }
+
+  HeapFile::Options hopts;
+  hopts.verify_checksums = options_.verify_checksums;
+  for (uint32_t s = 0; s < stripes_.size(); ++s) {
+    if (recover) {
+      DECIBEL_ASSIGN_OR_RETURN(
+          stripes_[s].file,
+          HeapFile::OpenAtCheckpoint(StripePath(s), hopts, pool_, states[s]));
+    } else {
+      DECIBEL_ASSIGN_OR_RETURN(stripes_[s].file,
+                               HeapFile::Open(StripePath(s), hopts, pool_));
+    }
+  }
 
   // The last extent of each stripe may still be open: records appended
   // since its allocation tell us how far it is filled. Records beyond the
@@ -123,7 +146,7 @@ Status StripedHeap::LoadManifest(Slice input) {
   return Status::OK();
 }
 
-Status StripedHeap::WriteManifest() {
+std::string StripedHeap::EncodeManifest() {
   std::string out;
   PutVarint32(&out, kManifestMagic);
   PutVarint32(&out, kManifestVersion);
@@ -140,7 +163,27 @@ Status StripedHeap::WriteManifest() {
       PutVarint64(&out, e.local_base);
     }
   }
-  return WriteStringToFile(ManifestPath(), out);
+  for (const StripeState& st : stripes_) {
+    const HeapFile::CheckpointState cs = st.file->GetCheckpointState();
+    PutVarint64(&out, cs.num_records);
+    PutVarint32(&out, cs.tail_crc);
+  }
+  return out;
+}
+
+Status StripedHeap::WriteManifest() {
+  return WriteStringToFile(ManifestPath(), EncodeManifest());
+}
+
+Status StripedHeap::Checkpoint(const std::string& tag, bool sync) {
+  for (StripeState& st : stripes_) {
+    DECIBEL_RETURN_NOT_OK(sync ? st.file->Sync() : st.file->Flush());
+  }
+  return AtomicWriteFile(ManifestPath(tag), EncodeManifest(), sync);
+}
+
+Status StripedHeap::RemoveCheckpoint(const std::string& tag) {
+  return RemoveFile(ManifestPath(tag));
 }
 
 Status StripedHeap::AllocateExtent(uint32_t stripe, uint64_t needed) {

@@ -98,10 +98,13 @@ class StripedHeap {
                                                      BufferPool* pool);
 
   /// Reopens a striped heap from its manifest; the stripe count persisted
-  /// there wins over options.stripes.
-  static Result<std::unique_ptr<StripedHeap>> Open(const std::string& dir,
-                                                   const Options& options,
-                                                   BufferPool* pool);
+  /// there wins over options.stripes. A non-empty \p checkpoint_tag loads
+  /// the tagged manifest written by Checkpoint(tag) instead and rolls
+  /// every stripe file back to that checkpoint's record counts (crash
+  /// recovery).
+  static Result<std::unique_ptr<StripedHeap>> Open(
+      const std::string& dir, const Options& options, BufferPool* pool,
+      const std::string& checkpoint_tag = "");
 
   /// Appends \p count records (packed, count * record_size bytes) to
   /// \p stripe and reports the assigned global indices as contiguous
@@ -134,6 +137,16 @@ class StripedHeap {
 
   /// Flushes every stripe file, then rewrites the manifest.
   Status Flush();
+
+  /// Checkpoints the heap under \p tag: flushes (and, if \p sync, fsyncs)
+  /// every stripe file, then atomically writes `heap.manifest.<tag>`
+  /// recording the extent table plus each stripe's durable record count
+  /// and tail CRC. Open(dir, ..., tag) restores exactly this state.
+  /// Writers must be quiesced by the caller.
+  Status Checkpoint(const std::string& tag, bool sync);
+
+  /// Deletes the tagged manifest written by Checkpoint(tag).
+  Status RemoveCheckpoint(const std::string& tag);
 
   /// An immutable snapshot of the global->(file, local) translation.
   /// Cheap to copy around; resolves monotonically-increasing lookups in
@@ -175,9 +188,12 @@ class StripedHeap {
               BufferPool* pool);
 
   std::string StripePath(uint32_t stripe) const;
-  std::string ManifestPath() const;
+  std::string ManifestPath(const std::string& tag = "") const;
   Status WriteManifest();
-  Status LoadManifest(Slice input);
+  std::string EncodeManifest();
+  /// Parses \p input and opens the stripe files. With \p recover, each
+  /// file is rolled back to the manifest's per-stripe checkpoint state.
+  Status LoadManifest(Slice input, bool recover);
   /// Carves a fresh extent of max(extent_records_, needed) global indices
   /// for \p stripe.
   Status AllocateExtent(uint32_t stripe, uint64_t needed);

@@ -191,6 +191,43 @@ Result<CommitId> VersionGraph::Lca(CommitId a, CommitId b) const {
   return Status::NotFound("version graph: no common ancestor");
 }
 
+Status VersionGraph::ReplayCommit(CommitId id, BranchId branch,
+                                  const std::vector<CommitId>& parents) {
+  if (!HasBranch(branch)) {
+    return Status::Corruption("version graph: replayed commit " +
+                              std::to_string(id) + " on unknown branch " +
+                              std::to_string(branch));
+  }
+  if (HasCommit(id)) return Status::OK();  // already in the persisted graph
+  CommitInfo info;
+  info.id = id;
+  info.branch = branch;
+  info.parents = parents;
+  commits_.emplace(id, std::move(info));
+  branches_[branch].head = id;
+  if (id >= next_commit_) next_commit_ = id + 1;
+  return Status::OK();
+}
+
+Status VersionGraph::ReplayBranch(BranchId id, const std::string& name,
+                                  CommitId base, BranchId parent_branch,
+                                  CommitId head) {
+  if (HasBranch(id)) return Status::OK();  // already in the persisted graph
+  if (id != branches_.size()) {
+    return Status::Corruption("version graph: replayed branch " +
+                              std::to_string(id) + " leaves a gap (have " +
+                              std::to_string(branches_.size()) + ")");
+  }
+  BranchInfo info;
+  info.id = id;
+  info.name = name;
+  info.base_commit = base;
+  info.parent_branch = parent_branch;
+  info.head = head;
+  branches_.push_back(std::move(info));
+  return Status::OK();
+}
+
 void VersionGraph::EncodeTo(std::string* dst) const {
   PutVarint64(dst, next_commit_);
   PutVarint64(dst, branches_.size());

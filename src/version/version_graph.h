@@ -102,6 +102,19 @@ class VersionGraph {
   void EncodeTo(std::string* dst) const;
   static Result<VersionGraph> DecodeFrom(Slice input);
 
+  /// WAL-replay entry points. Unlike AddCommit/CreateBranch these take the
+  /// ids the original operation assigned and are idempotent: re-applying a
+  /// record whose effect already reached the persisted graph is a no-op,
+  /// so recovery may replay from any point at or before the graph's state.
+
+  /// Re-applies a (possibly merge) commit \p id on \p branch.
+  Status ReplayCommit(CommitId id, BranchId branch,
+                      const std::vector<CommitId>& parents);
+  /// Re-applies the creation of branch \p id; \p head is the head the
+  /// branch started with (its base commit, or older for BranchAt).
+  Status ReplayBranch(BranchId id, const std::string& name, CommitId base,
+                      BranchId parent_branch, CommitId head);
+
  private:
   Result<CommitId> AddCommitInternal(BranchId branch,
                                      std::vector<CommitId> parents);

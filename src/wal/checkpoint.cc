@@ -1,0 +1,66 @@
+#include "wal/checkpoint.h"
+
+namespace decibel {
+namespace wal {
+
+CheckpointScheduler::CheckpointScheduler(std::function<Status()> fn,
+                                         uint64_t interval_bytes)
+    : fn_(std::move(fn)), interval_bytes_(interval_bytes) {}
+
+CheckpointScheduler::~CheckpointScheduler() { Stop(); }
+
+void CheckpointScheduler::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  stop_ = false;
+  thread_ = std::thread(&CheckpointScheduler::Run, this);
+}
+
+void CheckpointScheduler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    stop_ = true;
+    cv_.notify_all();
+  }
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  started_ = false;
+}
+
+void CheckpointScheduler::NotifyBytes(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_bytes_ += n;
+  if (pending_bytes_ >= interval_bytes_) cv_.notify_all();
+}
+
+void CheckpointScheduler::TriggerNow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  trigger_ = true;
+  cv_.notify_all();
+}
+
+Status CheckpointScheduler::last_status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_status_;
+}
+
+void CheckpointScheduler::Run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] {
+      return stop_ || trigger_ || pending_bytes_ >= interval_bytes_;
+    });
+    if (stop_) return;
+    pending_bytes_ = 0;
+    trigger_ = false;
+    lock.unlock();
+    Status s = fn_();
+    lock.lock();
+    last_status_ = s;
+  }
+}
+
+}  // namespace wal
+}  // namespace decibel

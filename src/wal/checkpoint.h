@@ -1,0 +1,68 @@
+#ifndef DECIBEL_WAL_CHECKPOINT_H_
+#define DECIBEL_WAL_CHECKPOINT_H_
+
+/// \file checkpoint.h
+/// The background checkpoint scheduler: a single worker thread that runs
+/// the owner's checkpoint function whenever enough WAL bytes have
+/// accumulated (or on demand), so the log is truncated and recovery time
+/// stays bounded while writers keep committing. Modeled on the background
+/// "dropper" threads of LSM/time-series stores: producers only bump a
+/// byte counter and poke a condition variable; all heavy work happens on
+/// the worker.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "common/status.h"
+
+namespace decibel {
+namespace wal {
+
+class CheckpointScheduler {
+ public:
+  /// \p fn runs on the worker thread with no scheduler lock held; it is
+  /// expected to take its own barrier (the facade's checkpoint_mu_).
+  CheckpointScheduler(std::function<Status()> fn, uint64_t interval_bytes);
+  ~CheckpointScheduler();
+
+  CheckpointScheduler(const CheckpointScheduler&) = delete;
+  CheckpointScheduler& operator=(const CheckpointScheduler&) = delete;
+
+  void Start();
+  /// Wakes the worker, waits for any in-flight checkpoint to finish, and
+  /// joins the thread. Idempotent.
+  void Stop();
+
+  /// Credits \p n WAL bytes toward the next checkpoint; wakes the worker
+  /// once the interval is reached. Cheap enough for every commit.
+  void NotifyBytes(uint64_t n);
+
+  /// Asks the worker to checkpoint now regardless of the byte counter.
+  void TriggerNow();
+
+  /// Status of the most recent background checkpoint (OK before any ran).
+  Status last_status() const;
+
+ private:
+  void Run();
+
+  const std::function<Status()> fn_;
+  const uint64_t interval_bytes_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t pending_bytes_ = 0;
+  bool trigger_ = false;
+  bool stop_ = false;
+  bool started_ = false;
+  Status last_status_;
+  std::thread thread_;
+};
+
+}  // namespace wal
+}  // namespace decibel
+
+#endif  // DECIBEL_WAL_CHECKPOINT_H_

@@ -1,0 +1,175 @@
+#include "wal/wal_format.h"
+
+#include "common/coding.h"
+#include "common/crc32.h"
+
+namespace decibel {
+namespace wal {
+
+void EncodeFrame(std::string* dst, uint64_t lsn, RecordType type, Slice body) {
+  std::string payload;
+  payload.reserve(body.size() + 11);
+  PutVarint64(&payload, lsn);
+  payload.push_back(static_cast<char>(type));
+  payload.append(body.data(), body.size());
+  PutFixed32(dst, static_cast<uint32_t>(payload.size()));
+  PutFixed32(dst, MaskCrc(Crc32(payload)));
+  dst->append(payload);
+}
+
+// ----------------------------------------------------------------- batch
+
+void EncodeBatchBody(std::string* dst, BranchId branch,
+                     const WriteBatch& batch) {
+  PutVarint32(dst, branch);
+  const uint32_t record_size =
+      static_cast<uint32_t>(batch.schema()->record_size());
+  PutVarint32(dst, record_size);
+  PutVarint64(dst, batch.size());
+  for (const WriteBatch::Op& op : batch.ops()) {
+    dst->push_back(static_cast<char>(op.kind));
+    if (op.kind == WriteBatch::OpKind::kDelete) {
+      PutVarint64(dst, ZigZagEncode(op.pk));
+    } else {
+      const Slice rec = batch.RecordAt(op).data();
+      dst->append(rec.data(), rec.size());
+    }
+  }
+}
+
+Status DecodeBatchBody(Slice body, BranchId* branch, WriteBatch* batch) {
+  batch->Clear();
+  uint32_t b = 0, record_size = 0;
+  uint64_t nops = 0;
+  if (!GetVarint32(&body, &b) || !GetVarint32(&body, &record_size) ||
+      !GetVarint64(&body, &nops)) {
+    return Status::Corruption("WAL batch record: truncated header");
+  }
+  if (record_size != batch->schema()->record_size()) {
+    return Status::Corruption("WAL batch record: record size mismatch");
+  }
+  *branch = b;
+  batch->Reserve(nops);
+  for (uint64_t i = 0; i < nops; ++i) {
+    if (body.empty()) {
+      return Status::Corruption("WAL batch record: truncated op list");
+    }
+    const uint8_t kind = static_cast<uint8_t>(body[0]);
+    body.RemovePrefix(1);
+    switch (static_cast<WriteBatch::OpKind>(kind)) {
+      case WriteBatch::OpKind::kDelete: {
+        uint64_t zz = 0;
+        if (!GetVarint64(&body, &zz)) {
+          return Status::Corruption("WAL batch record: truncated delete pk");
+        }
+        batch->Delete(ZigZagDecode(zz));
+        break;
+      }
+      case WriteBatch::OpKind::kInsert:
+      case WriteBatch::OpKind::kUpdate: {
+        if (body.size() < record_size) {
+          return Status::Corruption("WAL batch record: truncated payload");
+        }
+        Record rec(batch->schema(), Slice(body.data(), record_size));
+        if (kind == static_cast<uint8_t>(WriteBatch::OpKind::kInsert)) {
+          batch->Insert(rec);
+        } else {
+          batch->Update(rec);
+        }
+        body.RemovePrefix(record_size);
+        break;
+      }
+      default:
+        return Status::Corruption("WAL batch record: unknown op kind " +
+                                  std::to_string(kind));
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------- commit
+
+void EncodeCommitBody(std::string* dst, const CommitBody& b) {
+  PutVarint32(dst, b.branch);
+  PutVarint64(dst, b.commit);
+  PutVarint32(dst, static_cast<uint32_t>(b.parents.size()));
+  for (CommitId p : b.parents) PutVarint64(dst, p);
+}
+
+Status DecodeCommitBody(Slice body, CommitBody* out) {
+  uint32_t nparents = 0;
+  if (!GetVarint32(&body, &out->branch) || !GetVarint64(&body, &out->commit) ||
+      !GetVarint32(&body, &nparents) || nparents > 2) {
+    return Status::Corruption("WAL commit record: malformed");
+  }
+  out->parents.resize(nparents);
+  for (uint32_t i = 0; i < nparents; ++i) {
+    if (!GetVarint64(&body, &out->parents[i])) {
+      return Status::Corruption("WAL commit record: truncated parents");
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------- branch
+
+void EncodeBranchBody(std::string* dst, const BranchBody& b) {
+  PutVarint32(dst, b.child);
+  PutLengthPrefixed(dst, Slice(b.name));
+  PutVarint64(dst, b.base);
+  PutVarint32(dst, b.parent_branch);
+  dst->push_back(b.at_head ? 1 : 0);
+  PutVarint64(dst, b.head);
+}
+
+Status DecodeBranchBody(Slice body, BranchBody* out) {
+  Slice name;
+  if (!GetVarint32(&body, &out->child) || !GetLengthPrefixed(&body, &name) ||
+      !GetVarint64(&body, &out->base) ||
+      !GetVarint32(&body, &out->parent_branch) || body.empty()) {
+    return Status::Corruption("WAL branch record: malformed");
+  }
+  out->name.assign(name.data(), name.size());
+  out->at_head = body[0] != 0;
+  body.RemovePrefix(1);
+  if (!GetVarint64(&body, &out->head)) {
+    return Status::Corruption("WAL branch record: truncated head");
+  }
+  return Status::OK();
+}
+
+// ----------------------------------------------------------------- merge
+
+void EncodeMergeBody(std::string* dst, const MergeBody& b) {
+  PutVarint32(dst, b.into);
+  PutVarint32(dst, b.from);
+  PutVarint64(dst, b.lca);
+  PutVarint64(dst, b.commit);
+  dst->push_back(static_cast<char>(b.policy));
+  PutVarint32(dst, static_cast<uint32_t>(b.parents.size()));
+  for (CommitId p : b.parents) PutVarint64(dst, p);
+}
+
+Status DecodeMergeBody(Slice body, MergeBody* out) {
+  if (!GetVarint32(&body, &out->into) || !GetVarint32(&body, &out->from) ||
+      !GetVarint64(&body, &out->lca) || !GetVarint64(&body, &out->commit) ||
+      body.empty()) {
+    return Status::Corruption("WAL merge record: malformed");
+  }
+  out->policy = static_cast<MergePolicy>(body[0]);
+  body.RemovePrefix(1);
+  uint32_t nparents = 0;
+  if (!GetVarint32(&body, &nparents) || nparents > 2) {
+    return Status::Corruption("WAL merge record: malformed parents");
+  }
+  out->parents.resize(nparents);
+  for (uint32_t i = 0; i < nparents; ++i) {
+    if (!GetVarint64(&body, &out->parents[i])) {
+      return Status::Corruption("WAL merge record: truncated parents");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace wal
+}  // namespace decibel

@@ -1,0 +1,60 @@
+#include "wal/wal_reader.h"
+
+#include "common/coding.h"
+#include "common/crc32.h"
+#include "common/io.h"
+
+namespace decibel {
+namespace wal {
+
+Result<std::unique_ptr<Reader>> Reader::Open(const std::string& path) {
+  DECIBEL_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  return std::unique_ptr<Reader>(new Reader(std::move(data)));
+}
+
+bool Reader::Next(FrameView* frame) {
+  if (done_) return false;
+  const uint64_t remaining = data_.size() - pos_;
+  if (remaining < kFrameHeaderSize) {
+    // A clean segment ends exactly at a frame boundary; anything shorter
+    // is the start of a frame whose write never completed.
+    torn_tail_ = remaining != 0;
+    valid_end_ = pos_;
+    done_ = true;
+    return false;
+  }
+  const uint32_t len = DecodeFixed32(data_.data() + pos_);
+  const uint32_t stored_crc = UnmaskCrc(DecodeFixed32(data_.data() + pos_ + 4));
+  if (len == 0 || len > kMaxPayloadSize ||
+      len > remaining - kFrameHeaderSize) {
+    torn_tail_ = true;
+    valid_end_ = pos_;
+    done_ = true;
+    return false;
+  }
+  const Slice payload(data_.data() + pos_ + kFrameHeaderSize, len);
+  if (Crc32(payload) != stored_crc) {
+    torn_tail_ = true;
+    valid_end_ = pos_;
+    done_ = true;
+    return false;
+  }
+  Slice p = payload;
+  uint64_t lsn = 0;
+  if (!GetVarint64(&p, &lsn) || p.empty()) {
+    torn_tail_ = true;
+    valid_end_ = pos_;
+    done_ = true;
+    return false;
+  }
+  frame->lsn = lsn;
+  frame->type = static_cast<RecordType>(p[0]);
+  p.RemovePrefix(1);
+  frame->body = p;
+  pos_ += kFrameHeaderSize + len;
+  valid_end_ = pos_;
+  return true;
+}
+
+}  // namespace wal
+}  // namespace decibel

@@ -1,0 +1,120 @@
+#ifndef DECIBEL_WAL_WAL_WRITER_H_
+#define DECIBEL_WAL_WAL_WRITER_H_
+
+/// \file wal_writer.h
+/// The write-ahead-log writer: thread-safe appends of framed records
+/// (wal_format.h) into numbered segment files, with a configurable
+/// durability level and leader/follower group commit.
+///
+/// Sync modes:
+///  - kNone:  records sit in the writer's userspace buffer; fastest, a
+///            crash (even a plain process kill) can lose recent records.
+///  - kFlush: every Sync() pushes the buffer into the OS page cache; a
+///            process kill loses nothing, an OS crash / power loss can.
+///  - kFsync: Sync() fdatasyncs; acknowledged records survive power loss.
+///            Concurrent committers group-commit: the first waiter
+///            becomes the leader and fdatasyncs once for every record
+///            written so far, while followers (and fresh appenders —
+///            the append lock is not held across the fdatasync) proceed.
+///
+/// Segments roll at segment_bytes; rolling fsyncs the directory entry so
+/// the new file survives a crash (sync mode permitting). Checkpoints call
+/// Roll() explicitly so WAL truncation is whole-segment deletion.
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/io.h"
+#include "common/result.h"
+#include "wal/wal_format.h"
+
+namespace decibel {
+namespace wal {
+
+enum class SyncMode : uint8_t { kNone = 0, kFlush = 1, kFsync = 2 };
+
+class Writer {
+ public:
+  struct Options {
+    SyncMode sync_mode = SyncMode::kFlush;
+    uint64_t segment_bytes = 16ull << 20;
+  };
+
+  /// Opens a writer in \p dir (created if needed) that starts a fresh
+  /// segment \p segment_seq and assigns lsns from \p next_lsn. Recovery
+  /// never appends to an existing segment — a torn tail stays truncated
+  /// and sealed, and the writer continues in a new file.
+  static Result<std::unique_ptr<Writer>> Open(const std::string& dir,
+                                              const Options& options,
+                                              uint64_t next_lsn,
+                                              uint64_t segment_seq);
+
+  /// Appends one framed record and returns its lsn. Thread-safe; the
+  /// record is buffered (durability comes from Sync).
+  Result<uint64_t> Append(RecordType type, Slice body);
+
+  /// Makes every record up to \p lsn as durable as the sync mode asks.
+  Status Sync(uint64_t lsn);
+
+  /// Seals the current segment (flush + fdatasync in kFsync) and starts
+  /// the next one. Callers must have quiesced Append/Sync (the
+  /// checkpointer's barrier does). Returns the new segment's seq.
+  Result<uint64_t> Roll();
+
+  /// Last assigned lsn (0 if none); the checkpoint boundary.
+  uint64_t last_lsn() const;
+  /// Next lsn to be assigned.
+  uint64_t next_lsn() const;
+  /// Current segment sequence number.
+  uint64_t segment_seq() const;
+  /// Frame bytes appended over this writer's lifetime.
+  uint64_t bytes_appended() const;
+
+  Status Close();
+
+  /// Path of segment \p seq under \p dir ("<dir>/<seq 6-digit>.wal").
+  static std::string SegmentPath(const std::string& dir, uint64_t seq);
+
+ private:
+  Writer(std::string dir, const Options& options, uint64_t next_lsn,
+         uint64_t segment_seq)
+      : dir_(std::move(dir)),
+        options_(options),
+        next_lsn_(next_lsn),
+        segment_seq_(segment_seq) {}
+
+  /// Opens segment segment_seq_; fsyncs the directory entry in kFsync.
+  Status OpenSegment();
+  /// Caller holds mu_. Rolls if the active segment is over budget.
+  Status MaybeRollLocked();
+
+  const std::string dir_;
+  const Options options_;
+
+  /// Append state: the active file, lsn counter, rollover. Never held
+  /// across an fdatasync.
+  mutable std::mutex mu_;
+  /// shared_ptr so the group-commit leader can fdatasync a stable handle
+  /// after releasing mu_ even if a rollover swaps the active segment.
+  std::shared_ptr<WritableFile> file_;
+  uint64_t next_lsn_ = 1;
+  uint64_t segment_seq_ = 1;
+  uint64_t flushed_lsn_ = 0;  ///< highest lsn pushed to the OS
+  uint64_t bytes_appended_ = 0;
+  std::string frame_;  ///< reused encode scratch
+
+  /// Group-commit state. Lock order: sync_mu_ then mu_ (the leader takes
+  /// mu_ briefly to flush; Append never takes sync_mu_).
+  mutable std::mutex sync_mu_;
+  std::condition_variable sync_cv_;
+  uint64_t synced_lsn_ = 0;  ///< highest lsn fdatasynced
+  bool sync_active_ = false;
+};
+
+}  // namespace wal
+}  // namespace decibel
+
+#endif  // DECIBEL_WAL_WAL_WRITER_H_

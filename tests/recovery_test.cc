@@ -1,0 +1,799 @@
+/// Durability and crash-recovery tests: the io.cc crash-safety helpers,
+/// WAL framing and torn-tail handling, manifest generations and fallback,
+/// and full Decibel recovery — clean reopen, crash-consistent reopen,
+/// torn WAL tails, missing segments, corrupt manifests, and a fork/_exit
+/// child killed mid-load whose acknowledged commits the parent verifies —
+/// across all three storage engines.
+
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/io.h"
+#include "core/decibel.h"
+#include "test_util.h"
+#include "wal/manifest.h"
+#include "wal/wal_format.h"
+#include "wal/wal_reader.h"
+#include "wal/wal_writer.h"
+
+namespace decibel {
+namespace {
+
+using testing_util::CollectBranch;
+using testing_util::MakeRecord;
+using testing_util::ScratchDir;
+using testing_util::TestSchema;
+
+// --------------------------------------------------------------- helpers
+
+/// Recursively copies \p src into \p dst through ordinary reads: the copy
+/// observes the page-cache view of every file, i.e. exactly the bytes a
+/// crashed process would leave behind under SyncMode::kFlush (userspace
+/// buffers lost, flushed data retained).
+Status CopyDirRecursive(const std::string& src, const std::string& dst) {
+  DECIBEL_RETURN_NOT_OK(CreateDir(dst));
+  DECIBEL_ASSIGN_OR_RETURN(std::vector<std::string> names, ListDir(src));
+  for (const std::string& name : names) {
+    const std::string from = JoinPath(src, name);
+    const std::string to = JoinPath(dst, name);
+    struct ::stat st;
+    if (::stat(from.c_str(), &st) != 0) {
+      return Status::IOError("stat " + from);
+    }
+    if (S_ISDIR(st.st_mode)) {
+      DECIBEL_RETURN_NOT_OK(CopyDirRecursive(from, to));
+    } else {
+      DECIBEL_ASSIGN_OR_RETURN(std::string data, ReadFileToString(from));
+      DECIBEL_RETURN_NOT_OK(WriteStringToFile(to, data));
+    }
+  }
+  return Status::OK();
+}
+
+/// Sorted *.wal segment paths under <dir>/wal.
+std::vector<std::string> WalSegments(const std::string& dir) {
+  std::vector<std::string> out;
+  auto names = ListDir(JoinPath(dir, "wal"));
+  if (!names.ok()) return out;
+  for (const auto& name : *names) {
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".wal") == 0) {
+      out.push_back(JoinPath(JoinPath(dir, "wal"), name));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Frame start offsets within one WAL segment (parsed from the length
+/// prefixes), plus the clean end of the final frame.
+std::vector<uint64_t> FrameOffsets(const std::string& data, uint64_t* end) {
+  std::vector<uint64_t> offsets;
+  uint64_t pos = 0;
+  while (pos + wal::kFrameHeaderSize <= data.size()) {
+    const uint32_t len = DecodeFixed32(data.data() + pos);
+    if (len == 0 || pos + wal::kFrameHeaderSize + len > data.size()) break;
+    offsets.push_back(pos);
+    pos += wal::kFrameHeaderSize + len;
+  }
+  *end = pos;
+  return offsets;
+}
+
+void FlipByte(const std::string& path, uint64_t offset) {
+  auto data = ReadFileToString(path);
+  ASSERT_OK(data.status());
+  ASSERT_LT(offset, data->size());
+  (*data)[offset] ^= 0x5a;
+  ASSERT_OK(WriteStringToFile(path, *data));
+}
+
+DecibelOptions DurableOptions(const std::string& dir, EngineType engine,
+                              wal::SyncMode mode = wal::SyncMode::kFlush) {
+  DecibelOptions options;
+  options.engine = engine;
+  options.data_dir = dir;
+  options.sync_mode = mode;
+  options.page_size = 1 << 16;
+  return options;
+}
+
+// ------------------------------------------------------- io.cc helpers
+
+TEST(DurableIoTest, AtomicWriteFileReplacesContents) {
+  ScratchDir dir("io_atomic");
+  const std::string path = JoinPath(dir.path(), "blob");
+  ASSERT_OK(AtomicWriteFile(path, "first"));
+  ASSERT_OK_AND_ASSIGN(std::string got, ReadFileToString(path));
+  EXPECT_EQ(got, "first");
+  ASSERT_OK(AtomicWriteFile(path, "second", /*sync=*/true));
+  ASSERT_OK_AND_ASSIGN(got, ReadFileToString(path));
+  EXPECT_EQ(got, "second");
+  // The temporary sibling must not linger.
+  ASSERT_OK_AND_ASSIGN(std::vector<std::string> names, ListDir(dir.path()));
+  EXPECT_EQ(names.size(), 1u);
+}
+
+TEST(DurableIoTest, TruncateFileShrinksAndGrows) {
+  ScratchDir dir("io_trunc");
+  const std::string path = JoinPath(dir.path(), "f");
+  ASSERT_OK(WriteStringToFile(path, "abcdefgh"));
+  ASSERT_OK(TruncateFile(path, 3));
+  ASSERT_OK_AND_ASSIGN(std::string got, ReadFileToString(path));
+  EXPECT_EQ(got, "abc");
+  ASSERT_OK(TruncateFile(path, 5));
+  ASSERT_OK_AND_ASSIGN(uint64_t size, FileSize(path));
+  EXPECT_EQ(size, 5u);
+}
+
+TEST(DurableIoTest, RenameFileSyncedMovesContents) {
+  ScratchDir dir("io_rename");
+  const std::string from = JoinPath(dir.path(), "from");
+  const std::string to = JoinPath(dir.path(), "to");
+  ASSERT_OK(WriteStringToFile(from, "payload"));
+  ASSERT_OK(RenameFile(from, to, /*sync=*/true));
+  EXPECT_FALSE(FileExists(from));
+  ASSERT_OK_AND_ASSIGN(std::string got, ReadFileToString(to));
+  EXPECT_EQ(got, "payload");
+}
+
+TEST(DurableIoTest, SyncDirAndParentDir) {
+  ScratchDir dir("io_syncdir");
+  ASSERT_OK(SyncDir(dir.path()));
+  EXPECT_TRUE(SyncDir(JoinPath(dir.path(), "missing")).IsIOError());
+  EXPECT_EQ(ParentDir(JoinPath(dir.path(), "leaf")), dir.path());
+  EXPECT_EQ(ParentDir("plain"), ".");
+}
+
+TEST(DurableIoTest, SyncDataPersistsFlushedBytes) {
+  ScratchDir dir("io_syncdata");
+  const std::string path = JoinPath(dir.path(), "f");
+  ASSERT_OK_AND_ASSIGN(WritableFile f, WritableFile::Open(path));
+  ASSERT_OK(f.Append("hello"));
+  ASSERT_OK(f.Flush());
+  ASSERT_OK(f.SyncData());
+  ASSERT_OK_AND_ASSIGN(std::string got, ReadFileToString(path));
+  EXPECT_EQ(got, "hello");
+  ASSERT_OK(f.Close());
+}
+
+// ------------------------------------------------- options validation
+
+TEST(DecibelOptionsTest, RejectsInvalidOptions) {
+  ScratchDir dir("opts");
+  const Schema schema = TestSchema();
+
+  DecibelOptions zero_stripes;
+  zero_stripes.write_stripes = 0;
+  EXPECT_TRUE(Decibel::Open(dir.path(), schema, zero_stripes)
+                  .status()
+                  .IsInvalidArgument());
+
+  DecibelOptions tiny_page;
+  tiny_page.page_size = 128;
+  EXPECT_TRUE(Decibel::Open(dir.path(), schema, tiny_page)
+                  .status()
+                  .IsInvalidArgument());
+
+  DecibelOptions huge_page;
+  huge_page.page_size = 3ull << 30;
+  EXPECT_TRUE(Decibel::Open(dir.path(), schema, huge_page)
+                  .status()
+                  .IsInvalidArgument());
+
+  DecibelOptions zero_segment;
+  zero_segment.data_dir = dir.path();
+  zero_segment.wal_segment_bytes = 0;
+  EXPECT_TRUE(Decibel::Open(dir.path(), schema, zero_segment)
+                  .status()
+                  .IsInvalidArgument());
+
+  DecibelOptions zero_interval;
+  zero_interval.data_dir = dir.path();
+  zero_interval.checkpoint_interval_bytes = 0;
+  EXPECT_TRUE(Decibel::Open(dir.path(), schema, zero_interval)
+                  .status()
+                  .IsInvalidArgument());
+
+  DecibelOptions mismatched_dir;
+  mismatched_dir.data_dir = dir.path() + "_elsewhere";
+  EXPECT_TRUE(Decibel::Open(dir.path(), schema, mismatched_dir)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(DecibelOptionsTest, DurableReopenValidatesSchemaAndEngine) {
+  ScratchDir dir("opts_reopen");
+  auto options = DurableOptions(dir.path(), EngineType::kHybrid);
+  {
+    ASSERT_OK_AND_ASSIGN(auto db,
+                         Decibel::Open(dir.path(), TestSchema(3), options));
+    ASSERT_OK(db->InsertInto(kMasterBranch, MakeRecord(db->schema(), 1, 10)));
+  }
+  // Wrong schema shape.
+  EXPECT_TRUE(Decibel::Open(dir.path(), TestSchema(5), options)
+                  .status()
+                  .IsInvalidArgument());
+  // Wrong engine.
+  auto wrong_engine = DurableOptions(dir.path(), EngineType::kTupleFirst);
+  EXPECT_TRUE(Decibel::Open(dir.path(), TestSchema(3), wrong_engine)
+                  .status()
+                  .IsInvalidArgument());
+  // The schema-less overload needs a manifest.
+  ScratchDir empty("opts_empty");
+  EXPECT_TRUE(
+      Decibel::Open(empty.path(), DecibelOptions{}).status().IsNotFound());
+}
+
+// ------------------------------------------------------------ WAL layer
+
+TEST(WalFormatTest, BodyRoundTrips) {
+  const Schema schema = TestSchema();
+  WriteBatch batch(&schema);
+  batch.Insert(MakeRecord(schema, 1, 11));
+  batch.Update(MakeRecord(schema, 2, 22));
+  batch.Delete(3);
+
+  std::string body;
+  wal::EncodeBatchBody(&body, /*branch=*/7, batch);
+  WriteBatch decoded(&schema);
+  BranchId branch = kInvalidBranch;
+  ASSERT_OK(wal::DecodeBatchBody(Slice(body), &branch, &decoded));
+  EXPECT_EQ(branch, 7u);
+  ASSERT_EQ(decoded.size(), 3u);
+  EXPECT_EQ(decoded.ops()[0].kind, WriteBatch::OpKind::kInsert);
+  EXPECT_EQ(decoded.ops()[1].kind, WriteBatch::OpKind::kUpdate);
+  EXPECT_EQ(decoded.ops()[2].kind, WriteBatch::OpKind::kDelete);
+  EXPECT_EQ(decoded.ops()[2].pk, 3);
+  EXPECT_EQ(decoded.RecordAt(decoded.ops()[0]).pk(), 1);
+
+  wal::CommitBody commit{5, 42, {40, 41}};
+  body.clear();
+  wal::EncodeCommitBody(&body, commit);
+  wal::CommitBody commit_out;
+  ASSERT_OK(wal::DecodeCommitBody(Slice(body), &commit_out));
+  EXPECT_EQ(commit_out.branch, 5u);
+  EXPECT_EQ(commit_out.commit, 42u);
+  EXPECT_EQ(commit_out.parents, (std::vector<CommitId>{40, 41}));
+
+  wal::BranchBody br{9, "dev", 17, 2, false, 19};
+  body.clear();
+  wal::EncodeBranchBody(&body, br);
+  wal::BranchBody br_out;
+  ASSERT_OK(wal::DecodeBranchBody(Slice(body), &br_out));
+  EXPECT_EQ(br_out.child, 9u);
+  EXPECT_EQ(br_out.name, "dev");
+  EXPECT_EQ(br_out.base, 17u);
+  EXPECT_EQ(br_out.parent_branch, 2u);
+  EXPECT_FALSE(br_out.at_head);
+  EXPECT_EQ(br_out.head, 19u);
+
+  wal::MergeBody mg{1, 2, 30, 31, MergePolicy::kThreeWayLeft, {29, 30}};
+  body.clear();
+  wal::EncodeMergeBody(&body, mg);
+  wal::MergeBody mg_out;
+  ASSERT_OK(wal::DecodeMergeBody(Slice(body), &mg_out));
+  EXPECT_EQ(mg_out.into, 1u);
+  EXPECT_EQ(mg_out.from, 2u);
+  EXPECT_EQ(mg_out.lca, 30u);
+  EXPECT_EQ(mg_out.commit, 31u);
+  EXPECT_EQ(mg_out.policy, MergePolicy::kThreeWayLeft);
+  EXPECT_EQ(mg_out.parents, (std::vector<CommitId>{29, 30}));
+}
+
+TEST(WalWriterTest, AppendReadRoundTripAndRoll) {
+  ScratchDir dir("wal_rt");
+  wal::Writer::Options wopts;
+  wopts.sync_mode = wal::SyncMode::kNone;
+  wopts.segment_bytes = 64;  // force a roll between records
+  ASSERT_OK_AND_ASSIGN(
+      auto writer, wal::Writer::Open(dir.path(), wopts, /*next_lsn=*/1,
+                                     /*segment_seq=*/1));
+  const std::string big(80, 'x');
+  ASSERT_OK_AND_ASSIGN(uint64_t lsn1,
+                       writer->Append(wal::RecordType::kBatch, Slice(big)));
+  ASSERT_OK_AND_ASSIGN(uint64_t lsn2,
+                       writer->Append(wal::RecordType::kCommit, "tiny"));
+  EXPECT_EQ(lsn1, 1u);
+  EXPECT_EQ(lsn2, 2u);
+  EXPECT_EQ(writer->segment_seq(), 2u);  // record 2 rolled into segment 2
+  ASSERT_OK(writer->Close());
+
+  ASSERT_OK_AND_ASSIGN(auto r1,
+                       wal::Reader::Open(wal::Writer::SegmentPath(dir.path(), 1)));
+  wal::FrameView frame;
+  ASSERT_TRUE(r1->Next(&frame));
+  EXPECT_EQ(frame.lsn, 1u);
+  EXPECT_EQ(frame.type, wal::RecordType::kBatch);
+  EXPECT_EQ(frame.body.ToString(), big);
+  EXPECT_FALSE(r1->Next(&frame));
+  EXPECT_FALSE(r1->torn_tail());
+
+  ASSERT_OK_AND_ASSIGN(auto r2,
+                       wal::Reader::Open(wal::Writer::SegmentPath(dir.path(), 2)));
+  ASSERT_TRUE(r2->Next(&frame));
+  EXPECT_EQ(frame.lsn, 2u);
+  EXPECT_EQ(frame.body.ToString(), "tiny");
+  EXPECT_FALSE(r2->Next(&frame));
+}
+
+TEST(WalReaderTest, TornTailAtEveryByteOffset) {
+  ScratchDir dir("wal_torn");
+  wal::Writer::Options wopts;
+  wopts.sync_mode = wal::SyncMode::kNone;
+  ASSERT_OK_AND_ASSIGN(auto writer,
+                       wal::Writer::Open(dir.path(), wopts, 1, 1));
+  ASSERT_OK(writer->Append(wal::RecordType::kBatch, "first-record").status());
+  ASSERT_OK(writer->Append(wal::RecordType::kCommit, "second").status());
+  ASSERT_OK(
+      writer->Append(wal::RecordType::kMerge, "the-final-record").status());
+  ASSERT_OK(writer->Close());
+
+  const std::string seg = wal::Writer::SegmentPath(dir.path(), 1);
+  ASSERT_OK_AND_ASSIGN(std::string data, ReadFileToString(seg));
+  uint64_t clean_end = 0;
+  std::vector<uint64_t> offsets = FrameOffsets(data, &clean_end);
+  ASSERT_EQ(offsets.size(), 3u);
+  ASSERT_EQ(clean_end, data.size());
+  const uint64_t last_start = offsets[2];
+
+  // Truncate at every byte offset inside the last record: the reader must
+  // always yield exactly the first two records and flag the torn tail
+  // (except at the exact boundary, where the file simply ends cleanly).
+  const std::string cut_path = JoinPath(dir.path(), "cut.wal");
+  for (uint64_t cut = last_start; cut < data.size(); ++cut) {
+    ASSERT_OK(WriteStringToFile(cut_path, Slice(data.data(), cut)));
+    ASSERT_OK_AND_ASSIGN(auto reader, wal::Reader::Open(cut_path));
+    wal::FrameView frame;
+    int n = 0;
+    while (reader->Next(&frame)) ++n;
+    EXPECT_EQ(n, 2) << "cut=" << cut;
+    EXPECT_EQ(reader->valid_end(), last_start) << "cut=" << cut;
+    EXPECT_EQ(reader->torn_tail(), cut != last_start) << "cut=" << cut;
+  }
+}
+
+TEST(WalReaderTest, CorruptCrcStopsAtValidPrefix) {
+  ScratchDir dir("wal_crc");
+  wal::Writer::Options wopts;
+  wopts.sync_mode = wal::SyncMode::kNone;
+  ASSERT_OK_AND_ASSIGN(auto writer,
+                       wal::Writer::Open(dir.path(), wopts, 1, 1));
+  ASSERT_OK(writer->Append(wal::RecordType::kBatch, "intact").status());
+  ASSERT_OK(writer->Append(wal::RecordType::kCommit, "damaged").status());
+  ASSERT_OK(writer->Close());
+
+  const std::string seg = wal::Writer::SegmentPath(dir.path(), 1);
+  ASSERT_OK_AND_ASSIGN(std::string data, ReadFileToString(seg));
+  uint64_t clean_end = 0;
+  std::vector<uint64_t> offsets = FrameOffsets(data, &clean_end);
+  ASSERT_EQ(offsets.size(), 2u);
+  // Flip a payload byte of the second record: its CRC no longer matches.
+  FlipByte(seg, offsets[1] + wal::kFrameHeaderSize + 2);
+
+  ASSERT_OK_AND_ASSIGN(auto reader, wal::Reader::Open(seg));
+  wal::FrameView frame;
+  ASSERT_TRUE(reader->Next(&frame));
+  EXPECT_EQ(frame.body.ToString(), "intact");
+  EXPECT_FALSE(reader->Next(&frame));
+  EXPECT_TRUE(reader->torn_tail());
+  EXPECT_EQ(reader->valid_end(), offsets[1]);
+}
+
+// ------------------------------------------------------------- manifest
+
+TEST(ManifestTest, RoundTripAndFallback) {
+  ScratchDir dir("manifest");
+  wal::ManifestData m;
+  m.version = 1;
+  m.checkpoint_tag = wal::CheckpointTag(1);
+  m.checkpoint_lsn = 12;
+  m.next_lsn = 13;
+  m.wal_start_seq = 3;
+  m.schema = "schema-bytes";
+  m.engine = EngineType::kVersionFirst;
+  ASSERT_OK(wal::WriteManifest(dir.path(), m, /*sync=*/false));
+
+  ASSERT_OK_AND_ASSIGN(wal::ManifestData got,
+                       wal::ReadCurrentManifest(dir.path()));
+  EXPECT_EQ(got.version, 1u);
+  EXPECT_EQ(got.checkpoint_tag, "ckpt-000001");
+  EXPECT_EQ(got.checkpoint_lsn, 12u);
+  EXPECT_EQ(got.next_lsn, 13u);
+  EXPECT_EQ(got.wal_start_seq, 3u);
+  EXPECT_EQ(got.schema, "schema-bytes");
+  EXPECT_EQ(got.engine, EngineType::kVersionFirst);
+
+  // Publish generation 2, then corrupt it: reads fall back to gen 1.
+  m.version = 2;
+  m.checkpoint_tag = wal::CheckpointTag(2);
+  ASSERT_OK(wal::WriteManifest(dir.path(), m, false));
+  ASSERT_OK_AND_ASSIGN(got, wal::ReadCurrentManifest(dir.path()));
+  EXPECT_EQ(got.version, 2u);
+  FlipByte(wal::ManifestFilePath(dir.path(), 2), 10);
+  ASSERT_OK_AND_ASSIGN(got, wal::ReadCurrentManifest(dir.path()));
+  EXPECT_EQ(got.version, 1u);
+
+  // A missing CURRENT pointer also falls back to the highest readable.
+  ASSERT_OK(RemoveFile(wal::CurrentFilePath(dir.path())));
+  ASSERT_OK_AND_ASSIGN(got, wal::ReadCurrentManifest(dir.path()));
+  EXPECT_EQ(got.version, 1u);
+
+  ScratchDir empty("manifest_empty");
+  EXPECT_TRUE(wal::ReadCurrentManifest(empty.path()).status().IsNotFound());
+}
+
+// ------------------------------------------------------- full recovery
+
+class RecoveryTest : public ::testing::TestWithParam<EngineType> {
+ protected:
+  Result<std::unique_ptr<Decibel>> OpenDb(
+      const std::string& dir, wal::SyncMode mode = wal::SyncMode::kFlush) {
+    return Decibel::Open(dir, TestSchema(), DurableOptions(dir, GetParam(), mode));
+  }
+  Result<std::unique_ptr<Decibel>> ReopenDb(
+      const std::string& dir, wal::SyncMode mode = wal::SyncMode::kFlush) {
+    return Decibel::Open(dir, DurableOptions(dir, GetParam(), mode));
+  }
+};
+
+TEST_P(RecoveryTest, CleanReopenPreservesBranchesCommitsAndData) {
+  ScratchDir dir("recov_clean");
+  CommitId c1 = kInvalidCommit;
+  BranchId dev = kInvalidBranch;
+  {
+    ASSERT_OK_AND_ASSIGN(auto db, OpenDb(dir.path()));
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_OK(db->InsertInto(kMasterBranch, MakeRecord(db->schema(), i, i)));
+    }
+    ASSERT_OK_AND_ASSIGN(c1, db->CommitBranch(kMasterBranch));
+    ASSERT_OK_AND_ASSIGN(dev, db->BranchAt("dev", c1));
+    ASSERT_OK(db->InsertInto(dev, MakeRecord(db->schema(), 100, 100)));
+    ASSERT_OK(db->UpdateIn(kMasterBranch, MakeRecord(db->schema(), 3, 333)));
+    ASSERT_OK(db->DeleteFrom(kMasterBranch, 4));
+    ASSERT_OK(db->CommitBranch(dev).status());
+    ASSERT_OK(db->CommitBranch(kMasterBranch).status());
+    ASSERT_OK(
+        db->Merge(kMasterBranch, dev, MergePolicy::kThreeWayLeft).status());
+  }  // destructor checkpoints + closes the WAL
+
+  ASSERT_OK_AND_ASSIGN(auto db, ReopenDb(dir.path()));
+  EXPECT_TRUE(db->durable());
+  EXPECT_EQ(db->schema().num_columns(), TestSchema().num_columns());
+
+  auto master = CollectBranch(db.get(), kMasterBranch);
+  EXPECT_EQ(master.size(), 20u);  // 20 - deleted pk4 + merged pk100
+  EXPECT_EQ(master.count(4), 0u);
+  EXPECT_EQ(master[3], 333);
+  EXPECT_EQ(master[100], 100);
+  auto dev_rows = CollectBranch(db.get(), dev);
+  EXPECT_EQ(dev_rows.size(), 21u);
+  EXPECT_EQ(dev_rows[100], 100);
+
+  // Graph state: branch names, heads, and history all survive.
+  ASSERT_OK_AND_ASSIGN(BranchId dev_again,
+                       db->graph().FindBranchByName("dev"));
+  EXPECT_EQ(dev_again, dev);
+  EXPECT_TRUE(db->graph().HasCommit(c1));
+  EXPECT_NE(db->graph().Head(kMasterBranch), kInvalidCommit);
+  EXPECT_FALSE(db->IsDirty(kMasterBranch));
+  // Historical read at the first commit still sees the original values.
+  ASSERT_OK_AND_ASSIGN(Record old3, db->GetAt(c1, 3));
+  EXPECT_EQ(old3.ref().GetInt32(1), 3);
+
+  // The database stays writable after recovery.
+  ASSERT_OK(db->InsertInto(kMasterBranch, MakeRecord(db->schema(), 200, 2)));
+  ASSERT_OK(db->CommitBranch(kMasterBranch).status());
+}
+
+TEST_P(RecoveryTest, CrashConsistentCopyReplaysWal) {
+  ScratchDir dir("recov_crash");
+  ScratchDir crash("recov_crash_copy");
+  BranchId side = kInvalidBranch;
+  {
+    ASSERT_OK_AND_ASSIGN(auto db, OpenDb(dir.path()));
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_OK(db->InsertInto(kMasterBranch, MakeRecord(db->schema(), i, i)));
+    }
+    ASSERT_OK_AND_ASSIGN(CommitId base, db->CommitBranch(kMasterBranch));
+    ASSERT_OK_AND_ASSIGN(side, db->BranchAt("side", base));
+    ASSERT_OK(db->InsertInto(side, MakeRecord(db->schema(), 50, 5)));
+    ASSERT_OK(db->CommitBranch(side).status());
+    // Snapshot the directory while the db is still open: no destructor,
+    // no final checkpoint — recovery must come from the WAL alone.
+    ASSERT_OK(CopyDirRecursive(dir.path(), crash.path()));
+  }
+
+  ASSERT_OK_AND_ASSIGN(auto db, ReopenDb(crash.path()));
+  auto master = CollectBranch(db.get(), kMasterBranch);
+  EXPECT_EQ(master.size(), 10u);
+  auto side_rows = CollectBranch(db.get(), side);
+  EXPECT_EQ(side_rows.size(), 11u);
+  EXPECT_EQ(side_rows[50], 5);
+  ASSERT_OK_AND_ASSIGN(BranchId side_again,
+                       db->graph().FindBranchByName("side"));
+  EXPECT_EQ(side_again, side);
+  EXPECT_FALSE(db->IsDirty(side));
+}
+
+TEST_P(RecoveryTest, TornWalTailLosesOnlyTheTornSuffix) {
+  ScratchDir dir("recov_torn");
+  {
+    ASSERT_OK_AND_ASSIGN(auto db, OpenDb(dir.path()));
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_OK(db->InsertInto(kMasterBranch, MakeRecord(db->schema(), i, i)));
+    }
+    ASSERT_OK(db->CommitBranch(kMasterBranch).status());
+    // One more insert whose WAL record we will shear off.
+    ASSERT_OK(db->InsertInto(kMasterBranch, MakeRecord(db->schema(), 99, 9)));
+
+    std::vector<std::string> segments = WalSegments(dir.path());
+    ASSERT_FALSE(segments.empty());
+    const std::string& last_seg = segments.back();
+    ASSERT_OK_AND_ASSIGN(std::string data, ReadFileToString(last_seg));
+    uint64_t clean_end = 0;
+    std::vector<uint64_t> offsets = FrameOffsets(data, &clean_end);
+    ASSERT_GE(offsets.size(), 2u);
+
+    // Shear mid-way through the final record (the pk-99 insert), then
+    // abandon the db without closing it (the copy below is the "disk").
+    ScratchDir crash("recov_torn_copy");
+    ASSERT_OK(CopyDirRecursive(dir.path(), crash.path()));
+    const std::string crash_seg =
+        JoinPath(JoinPath(crash.path(), "wal"),
+                 last_seg.substr(last_seg.find_last_of('/') + 1));
+    ASSERT_OK(TruncateFile(crash_seg, offsets.back() + wal::kFrameHeaderSize + 1));
+
+    ASSERT_OK_AND_ASSIGN(auto recovered, ReopenDb(crash.path()));
+    auto master = CollectBranch(recovered.get(), kMasterBranch);
+    EXPECT_EQ(master.size(), 8u);  // torn pk-99 insert is gone...
+    EXPECT_EQ(master.count(99), 0u);
+    // ...and the recovered db accepts new writes where the tail was cut.
+    ASSERT_OK(recovered->InsertInto(kMasterBranch,
+                                    MakeRecord(recovered->schema(), 99, 1)));
+    EXPECT_EQ(CollectBranch(recovered.get(), kMasterBranch).size(), 9u);
+  }
+}
+
+TEST_P(RecoveryTest, MissingWalSegmentIsCorruption) {
+  ScratchDir dir("recov_gap");
+  ScratchDir crash("recov_gap_copy");
+  {
+    DecibelOptions options = DurableOptions(dir.path(), GetParam());
+    options.wal_segment_bytes = 128;  // roll constantly
+    ASSERT_OK_AND_ASSIGN(auto db,
+                         Decibel::Open(dir.path(), TestSchema(), options));
+    for (int i = 0; i < 30; ++i) {
+      ASSERT_OK(db->InsertInto(kMasterBranch, MakeRecord(db->schema(), i, i)));
+    }
+    ASSERT_OK(db->CommitBranch(kMasterBranch).status());
+    ASSERT_OK(CopyDirRecursive(dir.path(), crash.path()));
+  }
+  std::vector<std::string> segments = WalSegments(crash.path());
+  ASSERT_GE(segments.size(), 3u);
+  ASSERT_OK(RemoveFile(segments[segments.size() / 2]));
+  EXPECT_TRUE(ReopenDb(crash.path()).status().IsCorruption());
+}
+
+TEST_P(RecoveryTest, CorruptManifestFallsBackToPreviousGeneration) {
+  ScratchDir dir("recov_manifest");
+  ScratchDir crash("recov_manifest_copy");
+  uint64_t generation = 0;
+  {
+    ASSERT_OK_AND_ASSIGN(auto db, OpenDb(dir.path()));
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_OK(db->InsertInto(kMasterBranch, MakeRecord(db->schema(), i, i)));
+    }
+    ASSERT_OK(db->CommitBranch(kMasterBranch).status());
+    ASSERT_OK(db->CheckpointNow());  // publishes a new manifest generation
+    generation = db->checkpoint_generation();
+    // More acknowledged work after the checkpoint: it lives only in the
+    // WAL suffix, which the fallback generation must also replay.
+    ASSERT_OK(db->InsertInto(kMasterBranch, MakeRecord(db->schema(), 77, 7)));
+    ASSERT_OK(db->CommitBranch(kMasterBranch).status());
+    ASSERT_OK(CopyDirRecursive(dir.path(), crash.path()));
+  }
+  ASSERT_GE(generation, 2u);
+  // Corrupt the newest manifest in the snapshot; recovery must fall back
+  // to the previous generation and still replay up to the last commit.
+  FlipByte(wal::ManifestFilePath(crash.path(), generation), 12);
+  ASSERT_OK_AND_ASSIGN(auto db, ReopenDb(crash.path()));
+  auto master = CollectBranch(db.get(), kMasterBranch);
+  EXPECT_EQ(master.size(), 11u);
+  EXPECT_EQ(master[77], 7);
+}
+
+TEST_P(RecoveryTest, BackgroundCheckpointsTruncateTheWal) {
+  ScratchDir dir("recov_trunc");
+  DecibelOptions options =
+      DurableOptions(dir.path(), GetParam(), wal::SyncMode::kNone);
+  options.checkpoint_interval_bytes = 512;  // checkpoint eagerly
+  uint64_t generation = 0;
+  {
+    ASSERT_OK_AND_ASSIGN(auto db,
+                         Decibel::Open(dir.path(), TestSchema(), options));
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_OK(db->InsertInto(kMasterBranch, MakeRecord(db->schema(), i, i)));
+      if (i % 50 == 49) ASSERT_OK(db->CommitBranch(kMasterBranch).status());
+    }
+    // Give the background checkpointer a chance to run at least once.
+    for (int spin = 0; spin < 100 && db->checkpoint_generation() < 3; ++spin) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    generation = db->checkpoint_generation();
+  }
+  EXPECT_GE(generation, 3u) << "background checkpointer never ran";
+  // Old generations are garbage-collected: at most two manifests and a
+  // short WAL suffix remain.
+  int manifests = 0;
+  ASSERT_OK_AND_ASSIGN(std::vector<std::string> names, ListDir(dir.path()));
+  for (const auto& name : names) {
+    if (name.rfind("MANIFEST-", 0) == 0) ++manifests;
+  }
+  EXPECT_LE(manifests, 2);
+  ASSERT_OK_AND_ASSIGN(auto db, ReopenDb(dir.path()));
+  EXPECT_EQ(CollectBranch(db.get(), kMasterBranch).size(), 200u);
+}
+
+/// The acceptance crash test: a forked child loads records under kFsync,
+/// recording each acknowledged commit in a side file, then dies with
+/// _exit — no destructors, no flushes, exactly like kill -9. The parent
+/// reopens the directory and verifies every acknowledged commit survived.
+TEST_P(RecoveryTest, KilledChildLosesNoAcknowledgedCommit) {
+  ScratchDir dir("recov_kill");
+  // Lives outside the db directory so recovery never sees it.
+  const std::string progress = dir.path() + "_progress";
+  RemoveFile(progress).ok();
+
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: no gtest machinery, no return — only _exit.
+    DecibelOptions options =
+        DurableOptions(dir.path(), GetParam(), wal::SyncMode::kFsync);
+    auto db = Decibel::Open(dir.path(), TestSchema(), options);
+    if (!db.ok()) _exit(3);
+    auto side = (*db)->BranchAt("side", (*db)->graph().Head(kMasterBranch));
+    if (!side.ok()) _exit(4);
+    int acked = -1;
+    for (int i = 0; i < 60; ++i) {
+      const BranchId target = (i % 2 == 0) ? kMasterBranch : *side;
+      if (!(*db)->InsertInto(target, MakeRecord((*db)->schema(), i, i)).ok()) {
+        _exit(5);
+      }
+      if (i % 5 == 4) {
+        auto c = (*db)->CommitBranch(kMasterBranch);
+        auto c2 = (*db)->CommitBranch(*side);
+        if (!c.ok() || !c2.ok()) _exit(6);
+        // The commits are acknowledged: record that durably, then keep
+        // loading so the crash lands with acknowledged state at risk.
+        acked = i;
+        std::string note = std::to_string(acked) + "," +
+                           std::to_string(*c) + "," + std::to_string(*c2);
+        if (!AtomicWriteFile(progress, note, /*sync=*/true).ok()) _exit(7);
+      }
+      if (i == 42) _exit(42);  // crash mid-load, uncommitted tail pending
+    }
+    _exit(8);  // unreachable: the crash above fires first
+  }
+
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFEXITED(wstatus));
+  ASSERT_EQ(WEXITSTATUS(wstatus), 42) << "child failed before the crash point";
+
+  ASSERT_OK_AND_ASSIGN(std::string note, ReadFileToString(progress));
+  const int acked = std::stoi(note.substr(0, note.find(',')));
+  std::string rest = note.substr(note.find(',') + 1);
+  const CommitId master_commit = std::stoull(rest.substr(0, rest.find(',')));
+  const CommitId side_commit = std::stoull(rest.substr(rest.find(',') + 1));
+  ASSERT_GE(acked, 39);  // the i==39 round committed before the i==42 crash
+
+  ASSERT_OK_AND_ASSIGN(
+      auto db, ReopenDb(dir.path(), wal::SyncMode::kFsync));
+  ASSERT_OK_AND_ASSIGN(BranchId side, db->graph().FindBranchByName("side"));
+  // Every record up to the acknowledged commit is present on its branch.
+  for (int i = 0; i <= acked; ++i) {
+    const BranchId target = (i % 2 == 0) ? kMasterBranch : side;
+    ASSERT_OK_AND_ASSIGN(Record rec, db->Get(target, i));
+    EXPECT_EQ(rec.ref().GetInt32(1), i) << "pk " << i;
+  }
+  // The acknowledged commit ids themselves survive in the graph, at the
+  // heads of their branches or among their ancestors.
+  EXPECT_TRUE(db->graph().HasCommit(master_commit));
+  EXPECT_TRUE(db->graph().HasCommit(side_commit));
+  EXPECT_TRUE(db->graph().IsAncestor(master_commit,
+                                     db->graph().Head(kMasterBranch)) ||
+              db->graph().Head(kMasterBranch) == master_commit);
+  RemoveFile(progress).ok();
+}
+
+TEST_P(RecoveryTest, ConcurrentWritersSurviveBackgroundCheckpoints) {
+  ScratchDir dir("recov_conc");
+  DecibelOptions options = DurableOptions(dir.path(), GetParam());
+  options.checkpoint_interval_bytes = 2048;
+  constexpr int kThreads = 4;
+  constexpr int kTxns = 15;
+  constexpr int kRowsPerTxn = 4;
+  std::vector<BranchId> branches;
+  {
+    ASSERT_OK_AND_ASSIGN(auto db,
+                         Decibel::Open(dir.path(), TestSchema(), options));
+    for (int t = 0; t < kThreads; ++t) {
+      ASSERT_OK_AND_ASSIGN(
+          BranchId b, db->BranchAt("writer-" + std::to_string(t),
+                                   db->graph().Head(kMasterBranch)));
+      branches.push_back(b);
+    }
+    std::atomic<bool> failed{false};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < kTxns && !failed.load(); ++i) {
+          auto txn = db->Begin(branches[t]);
+          if (!txn.ok()) { failed = true; return; }
+          for (int r = 0; r < kRowsPerTxn; ++r) {
+            const int64_t pk = t * 100000 + i * kRowsPerTxn + r;
+            if (!txn->Insert(MakeRecord(db->schema(), pk, t)).ok()) {
+              failed = true;
+              return;
+            }
+          }
+          Status s = txn->Commit();
+          while (s.IsAborted()) s = txn->Commit();  // lock-timeout retry
+          if (!s.ok()) { failed = true; return; }
+          if (!db->CommitBranch(branches[t]).ok()) { failed = true; return; }
+        }
+      });
+    }
+    // Foreground checkpoints racing the writers and the background thread.
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_OK(db->CheckpointNow());
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    for (auto& th : threads) th.join();
+    ASSERT_FALSE(failed.load());
+    for (int t = 0; t < kThreads; ++t) {
+      EXPECT_EQ(CollectBranch(db.get(), branches[t]).size(),
+                size_t(kTxns * kRowsPerTxn));
+    }
+  }
+  ASSERT_OK_AND_ASSIGN(auto db, ReopenDb(dir.path()));
+  for (int t = 0; t < kThreads; ++t) {
+    auto rows = CollectBranch(db.get(), branches[t]);
+    ASSERT_EQ(rows.size(), size_t(kTxns * kRowsPerTxn)) << "branch " << t;
+    for (const auto& [pk, val] : rows) {
+      EXPECT_EQ(val, t) << "pk " << pk;
+    }
+    EXPECT_FALSE(db->IsDirty(branches[t]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, RecoveryTest,
+                         ::testing::Values(EngineType::kTupleFirst,
+                                           EngineType::kVersionFirst,
+                                           EngineType::kHybrid),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case EngineType::kTupleFirst:
+                               return "TupleFirst";
+                             case EngineType::kVersionFirst:
+                               return "VersionFirst";
+                             default:
+                               return "Hybrid";
+                           }
+                         });
+
+}  // namespace
+}  // namespace decibel
