@@ -77,6 +77,20 @@ Status Transaction::Abort() {
 
 namespace {
 
+Result<VersionGraph> LoadGraphFile(const std::string& path) {
+  DECIBEL_ASSIGN_OR_RETURN(std::string blob, ReadFileToString(path));
+  if (blob.size() < sizeof(uint32_t)) {
+    return Status::Corruption("version graph file truncated: " + path);
+  }
+  const uint32_t stored =
+      UnmaskCrc(DecodeFixed32(blob.data() + blob.size() - 4));
+  blob.resize(blob.size() - 4);
+  if (stored != Crc32(blob)) {
+    return Status::Corruption("version graph checksum mismatch: " + path);
+  }
+  return VersionGraph::DecodeFrom(blob);
+}
+
 Status ValidateOptions(const std::string& path, const DecibelOptions& o) {
   if (o.write_stripes == 0) {
     return Status::InvalidArgument(
@@ -149,27 +163,24 @@ Result<std::unique_ptr<Decibel>> Decibel::Open(const std::string& path,
   DECIBEL_ASSIGN_OR_RETURN(db->engine_,
                            MakeEngine(options.engine, schema, engine_options));
 
-  if (durable && !have_manifest && FileExists(db->GraphPath())) {
-    // No manifest means no Open ever completed here (the first checkpoint
-    // runs inside Open), so nothing was ever acknowledged: discard the
-    // half-initialized graph and start over.
-    DECIBEL_RETURN_NOT_OK(RemoveFile(db->GraphPath()));
-  }
-
-  if (FileExists(db->GraphPath())) {
-    DECIBEL_ASSIGN_OR_RETURN(std::string blob,
-                             ReadFileToString(db->GraphPath()));
-    if (blob.size() < sizeof(uint32_t)) {
-      return Status::Corruption("version graph file truncated");
-    }
-    const uint32_t stored =
-        UnmaskCrc(DecodeFixed32(blob.data() + blob.size() - 4));
-    blob.resize(blob.size() - 4);
-    if (stored != Crc32(blob)) {
-      return Status::Corruption("version graph checksum mismatch");
-    }
-    DECIBEL_ASSIGN_OR_RETURN(db->graph_, VersionGraph::DecodeFrom(blob));
+  if (durable && have_manifest) {
+    // Durable recovery never reads the per-commit graph.bin (its
+    // write-then-rename is not fsynced, so after a power loss it can be
+    // stale or garbage even though the WAL has everything). It starts
+    // from the checkpoint's synced graph.bin.<tag> copy — written by the
+    // same CheckpointLocked that produced this manifest — and WAL replay
+    // rebuilds every newer branch/commit on top.
+    DECIBEL_ASSIGN_OR_RETURN(
+        db->graph_, LoadGraphFile(db->GraphPath(manifest.checkpoint_tag)));
+  } else if (!durable && FileExists(db->GraphPath())) {
+    DECIBEL_ASSIGN_OR_RETURN(db->graph_, LoadGraphFile(db->GraphPath()));
   } else {
+    if (durable && FileExists(db->GraphPath())) {
+      // No manifest means no durable Open ever completed here (the first
+      // checkpoint runs inside Open), so nothing was ever acknowledged:
+      // discard the leftover graph and start over.
+      DECIBEL_RETURN_NOT_OK(RemoveFile(db->GraphPath()));
+    }
     // Init (§2.2.3): create the master branch and its initial commit.
     DECIBEL_ASSIGN_OR_RETURN(CommitId init, db->graph_.Init());
     DECIBEL_RETURN_NOT_OK(db->engine_->Commit(kMasterBranch, init));
@@ -212,22 +223,28 @@ Decibel::~Decibel() {
   }
 }
 
-std::string Decibel::GraphPath() const {
-  return JoinPath(path_, "graph.bin");
+std::string Decibel::GraphPath(const std::string& tag) const {
+  const std::string base = JoinPath(path_, "graph.bin");
+  return tag.empty() ? base : base + "." + tag;
 }
 
 std::string Decibel::WalDir() const { return JoinPath(path_, "wal"); }
 
 Status Decibel::PersistGraph(bool sync) {
   // "this graph is updated and persisted on disk as a part of each branch
-  // or commit operation" (§3). Write-then-rename keeps it atomic; \p sync
-  // additionally makes it power-loss durable (checkpoints need that, the
-  // per-operation persists do not — recovery rebuilds anything newer than
-  // the checkpoint from the WAL).
+  // or commit operation" (§3). In durable mode the WAL record is that
+  // persistence — the unsynced graph.bin rename can roll back arbitrarily
+  // far under power loss, so recovery only ever reads the per-checkpoint
+  // graph.bin.<tag> copies (CheckpointLocked) and this is a no-op.
+  if (!options_.data_dir.empty()) return Status::OK();
+  return PersistGraphTo(GraphPath(), sync);
+}
+
+Status Decibel::PersistGraphTo(const std::string& path, bool sync) {
   std::string blob;
   graph_.EncodeTo(&blob);
   PutFixed32(&blob, MaskCrc(Crc32(blob)));
-  return AtomicWriteFile(GraphPath(), blob, sync);
+  return AtomicWriteFile(path, blob, sync);
 }
 
 // ------------------------------------------------------------- durability
@@ -265,6 +282,14 @@ Status Decibel::ReplayWal(uint64_t* next_lsn, uint64_t* next_seg) {
     }
     std::sort(seqs.begin(), seqs.end());
   }
+  // A hole anywhere in the live window means acknowledged records are
+  // gone: the first live segment must be the one the manifest pinned, and
+  // each subsequent one must follow without a gap.
+  if (!seqs.empty() && seqs.front() != manifest_.wal_start_seq) {
+    return Status::Corruption(
+        "first live WAL segment " + std::to_string(manifest_.wal_start_seq) +
+        " missing from " + WalDir());
+  }
   for (size_t i = 1; i < seqs.size(); ++i) {
     if (seqs[i] != seqs[i - 1] + 1) {
       return Status::Corruption("WAL segment " + std::to_string(seqs[i - 1] + 1) +
@@ -274,6 +299,9 @@ Status Decibel::ReplayWal(uint64_t* next_lsn, uint64_t* next_seg) {
 
   uint64_t max_lsn =
       manifest_.next_lsn > 0 ? manifest_.next_lsn - 1 : manifest_.checkpoint_lsn;
+  // Lsns are assigned densely, so replay must see checkpoint_lsn + 1,
+  // + 2, ... in order; any skip is silent loss of acknowledged records.
+  uint64_t expected_lsn = manifest_.checkpoint_lsn + 1;
   for (size_t i = 0; i < seqs.size(); ++i) {
     const std::string path = wal::Writer::SegmentPath(WalDir(), seqs[i]);
     DECIBEL_ASSIGN_OR_RETURN(std::unique_ptr<wal::Reader> reader,
@@ -281,6 +309,13 @@ Status Decibel::ReplayWal(uint64_t* next_lsn, uint64_t* next_seg) {
     wal::FrameView frame;
     while (reader->Next(&frame)) {
       if (frame.lsn <= manifest_.checkpoint_lsn) continue;
+      if (frame.lsn != expected_lsn) {
+        return Status::Corruption(
+            "WAL lsn discontinuity in " + path + ": expected " +
+            std::to_string(expected_lsn) + ", found " +
+            std::to_string(frame.lsn));
+      }
+      ++expected_lsn;
       DECIBEL_RETURN_NOT_OK(ApplyWalRecord(frame));
       if (frame.lsn > max_lsn) max_lsn = frame.lsn;
     }
@@ -329,7 +364,15 @@ Status Decibel::ApplyWalRecord(const wal::FrameView& frame) {
       wal::CommitBody b;
       DECIBEL_RETURN_NOT_OK(wal::DecodeCommitBody(frame.body, &b));
       DECIBEL_RETURN_NOT_OK(graph_.ReplayCommit(b.commit, b.branch, b.parents));
-      DECIBEL_RETURN_NOT_OK(engine_->Commit(b.branch, b.commit));
+      // Branch/commit records are logged before the engine call, so an
+      // engine-side rejection that happened (deterministically) in the
+      // original timeline replays as the same rejection — skipping it
+      // keeps recovery from failing on every subsequent Open.
+      const Status committed = engine_->Commit(b.branch, b.commit);
+      if (!committed.ok() && !committed.IsNotFound() &&
+          !committed.IsInvalidArgument()) {
+        return committed;
+      }
       dirty_.erase(b.branch);
       return Status::OK();
     }
@@ -338,8 +381,13 @@ Status Decibel::ApplyWalRecord(const wal::FrameView& frame) {
       DECIBEL_RETURN_NOT_OK(wal::DecodeBranchBody(frame.body, &b));
       DECIBEL_RETURN_NOT_OK(graph_.ReplayBranch(b.child, b.name, b.base,
                                                 b.parent_branch, b.head));
-      return engine_->CreateBranch(b.child, b.parent_branch, b.base,
-                                   b.at_head);
+      const Status branched = engine_->CreateBranch(b.child, b.parent_branch,
+                                                    b.base, b.at_head);
+      if (branched.ok() || branched.IsNotFound() ||
+          branched.IsInvalidArgument()) {
+        return Status::OK();
+      }
+      return branched;
     }
     case wal::RecordType::kMerge: {
       wal::MergeBody b;
@@ -397,7 +445,10 @@ Status Decibel::CheckpointLocked() {
   m.engine = options_.engine;
 
   DECIBEL_RETURN_NOT_OK(engine_->Checkpoint(m.checkpoint_tag, sync));
-  DECIBEL_RETURN_NOT_OK(PersistGraph(sync));
+  // The graph copy recovery restores from; tagged per generation so a
+  // torn rewrite of one generation never strands the fallback one.
+  DECIBEL_RETURN_NOT_OK(
+      PersistGraphTo(GraphPath(m.checkpoint_tag), sync));
   DECIBEL_RETURN_NOT_OK(wal::WriteManifest(path_, m, sync));
 
   const wal::ManifestData prev = manifest_;
@@ -417,6 +468,7 @@ void Decibel::CleanupObsolete(const wal::ManifestData& keep) {
       if (v >= keep.version) continue;
       RemoveFile(JoinPath(path_, name)).ok();
       engine_->RemoveCheckpoint(wal::CheckpointTag(v)).ok();
+      RemoveFile(GraphPath(wal::CheckpointTag(v))).ok();
     }
   }
   auto wals = ListDir(WalDir());

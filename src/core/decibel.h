@@ -341,8 +341,16 @@ class Decibel {
         options_(options),
         locks_(std::chrono::milliseconds(options.lock_timeout_ms)) {}
 
+  /// Persists the graph to graph.bin in non-durable mode. In durable
+  /// mode this is a no-op: the WAL record *is* the per-operation
+  /// persistence (graph.bin's unsynced rename cannot be trusted after a
+  /// power loss), and each checkpoint writes a synced graph.bin.<tag>
+  /// copy that recovery starts from.
   Status PersistGraph(bool sync = false);
-  std::string GraphPath() const;
+  /// Encodes the graph (CRC-trailed) and atomically replaces \p path.
+  Status PersistGraphTo(const std::string& path, bool sync);
+  /// "graph.bin", or the per-checkpoint copy "graph.bin.<tag>".
+  std::string GraphPath(const std::string& tag = {}) const;
   std::string WalDir() const;
 
   // ----------------------------------------------------------- durability

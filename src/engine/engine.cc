@@ -1,5 +1,6 @@
 #include "engine/engine.h"
 
+#include "common/coding.h"
 #include "engine/hybrid.h"
 #include "engine/scan_util.h"
 #include "engine/tuple_first.h"
@@ -25,6 +26,33 @@ Result<std::unique_ptr<ScanCursor>> MakeDiffScanCursor(
       },
       /*neg=*/nullptr));
   return std::unique_ptr<ScanCursor>(std::move(cursor));
+}
+
+void PutEngineMetaHeader(std::string* meta) {
+  PutFixed32(meta, kEngineMetaMagic);
+  PutVarint32(meta, kEngineMetaVersion);
+}
+
+Status CheckEngineMetaHeader(Slice* input, const char* engine_name) {
+  const std::string name(engine_name);
+  if (input->size() < sizeof(uint32_t) ||
+      DecodeFixed32(input->data()) != kEngineMetaMagic) {
+    return Status::InvalidArgument(
+        name + ": engine.meta has no format header — written by an older "
+               "incompatible release; this version cannot open it");
+  }
+  input->RemovePrefix(sizeof(uint32_t));
+  uint32_t version;
+  if (!GetVarint32(input, &version)) {
+    return Status::Corruption(name + ": truncated engine.meta header");
+  }
+  if (version != kEngineMetaVersion) {
+    return Status::InvalidArgument(
+        name + ": unsupported engine.meta format version " +
+        std::to_string(version) + " (expected " +
+        std::to_string(kEngineMetaVersion) + ")");
+  }
+  return Status::OK();
 }
 
 const char* EngineTypeName(EngineType type) {

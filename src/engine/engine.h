@@ -45,6 +45,22 @@ enum class EngineType {
 
 const char* EngineTypeName(EngineType type);
 
+/// engine.meta format header: a fixed magic plus a version number so a
+/// meta written by an incompatible layout fails with a clear
+/// "unsupported version" error instead of a misleading Corruption from
+/// half-way through the decode. v2 added per-segment checkpoint state
+/// and history sizes; v1 metas (pre-durability) had neither the header
+/// nor those fields and cannot be opened.
+inline constexpr uint32_t kEngineMetaMagic = 0x4d454244;  // "DBEM"
+inline constexpr uint32_t kEngineMetaVersion = 2;
+
+/// Appends the engine.meta format header to \p meta.
+void PutEngineMetaHeader(std::string* meta);
+/// Consumes and validates the format header at the front of \p input.
+/// InvalidArgument (naming \p engine_name) on a missing header or an
+/// unsupported version.
+Status CheckEngineMetaHeader(Slice* input, const char* engine_name);
+
 struct EngineOptions {
   /// Directory this engine stores its files under (created if absent).
   std::string directory;

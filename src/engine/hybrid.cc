@@ -81,6 +81,7 @@ Status HybridEngine::LoadExisting() {
   const std::string& tag = options_.checkpoint_tag;
   DECIBEL_ASSIGN_OR_RETURN(std::string meta, ReadFileToString(MetaPath(tag)));
   Slice input(meta);
+  DECIBEL_RETURN_NOT_OK(CheckEngineMetaHeader(&input, "hybrid"));
   Slice schema_blob;
   if (!GetLengthPrefixed(&input, &schema_blob)) {
     return Status::Corruption("hybrid: truncated meta");
@@ -207,6 +208,7 @@ Status HybridEngine::LoadExisting() {
 
 std::string HybridEngine::EncodeMeta() {
   std::string meta;
+  PutEngineMetaHeader(&meta);
   std::string schema_blob;
   schema_.EncodeTo(&schema_blob);
   PutLengthPrefixed(&meta, schema_blob);

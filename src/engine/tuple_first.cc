@@ -129,6 +129,7 @@ Status TupleFirstEngine::LoadExisting() {
                                              &pool_, tag));
   DECIBEL_ASSIGN_OR_RETURN(std::string meta, ReadFileToString(MetaPath(tag)));
   Slice input(meta);
+  DECIBEL_RETURN_NOT_OK(CheckEngineMetaHeader(&input, "tuple-first"));
   Slice schema_blob;
   if (!GetLengthPrefixed(&input, &schema_blob)) {
     return Status::Corruption("tuple-first: truncated meta");
@@ -192,6 +193,7 @@ Status TupleFirstEngine::LoadExisting() {
 
 std::string TupleFirstEngine::EncodeMeta() {
   std::string meta;
+  PutEngineMetaHeader(&meta);
   std::string schema_blob;
   schema_.EncodeTo(&schema_blob);
   PutLengthPrefixed(&meta, schema_blob);

@@ -106,6 +106,7 @@ Status VersionFirstEngine::LoadExisting() {
   const std::string& tag = options_.checkpoint_tag;
   DECIBEL_ASSIGN_OR_RETURN(std::string meta, ReadFileToString(MetaPath(tag)));
   Slice input(meta);
+  DECIBEL_RETURN_NOT_OK(CheckEngineMetaHeader(&input, "version-first"));
   Slice schema_blob;
   if (!GetLengthPrefixed(&input, &schema_blob)) {
     return Status::Corruption("version-first: truncated meta");
@@ -202,6 +203,7 @@ Status VersionFirstEngine::LoadExisting() {
 
 std::string VersionFirstEngine::EncodeMeta() {
   std::string meta;
+  PutEngineMetaHeader(&meta);
   std::string schema_blob;
   schema_.EncodeTo(&schema_blob);
   PutLengthPrefixed(&meta, schema_blob);

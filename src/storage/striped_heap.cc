@@ -68,8 +68,18 @@ Status StripedHeap::LoadManifest(Slice input, bool recover) {
   uint32_t magic, version, stripes;
   uint64_t record_size, extent_records, extent_count;
   if (!GetVarint32(&input, &magic) || magic != kManifestMagic ||
-      !GetVarint32(&input, &version) || version != kManifestVersion ||
-      !GetVarint64(&input, &record_size) || !GetVarint32(&input, &stripes) ||
+      !GetVarint32(&input, &version)) {
+    return Status::Corruption("striped heap: bad manifest header in " + dir_);
+  }
+  if (version != kManifestVersion) {
+    // A well-formed manifest from another release: say so instead of the
+    // misleading generic corruption (v2 added per-extent stripe layout).
+    return Status::InvalidArgument(
+        "striped heap: unsupported manifest format version " +
+        std::to_string(version) + " (expected " +
+        std::to_string(kManifestVersion) + ") in " + dir_);
+  }
+  if (!GetVarint64(&input, &record_size) || !GetVarint32(&input, &stripes) ||
       !GetVarint64(&input, &extent_records) ||
       !GetVarint64(&input, &extent_count)) {
     return Status::Corruption("striped heap: bad manifest header in " + dir_);

@@ -38,10 +38,21 @@ Status Writer::OpenSegment() {
 
 Status Writer::MaybeRollLocked() {
   if (file_->Size() < options_.segment_bytes) return Status::OK();
+  return RollLocked();
+}
+
+Status Writer::RollLocked() {
+  // Seal without Close(): a group-commit leader may hold a shared_ptr to
+  // this file and be fdatasyncing it concurrently (Close() sets fd_ = -1
+  // and is not safe against that). Flush — plus fdatasync under kFsync —
+  // makes the segment's contents final; the fd is closed by the last
+  // holder's destructor, after any in-flight sync has finished with it.
   if (options_.sync_mode == SyncMode::kFsync) {
     DECIBEL_RETURN_NOT_OK(file_->Sync());
+  } else {
+    DECIBEL_RETURN_NOT_OK(file_->Flush());
   }
-  DECIBEL_RETURN_NOT_OK(file_->Close());
+  file_.reset();
   ++segment_seq_;
   DECIBEL_RETURN_NOT_OK(OpenSegment());
   // Everything appended so far lives in sealed (flushed, and in kFsync
@@ -113,13 +124,7 @@ Status Writer::Sync(uint64_t lsn) {
 
 Result<uint64_t> Writer::Roll() {
   std::lock_guard<std::mutex> lock(mu_);
-  if (options_.sync_mode == SyncMode::kFsync) {
-    DECIBEL_RETURN_NOT_OK(file_->Sync());
-  }
-  DECIBEL_RETURN_NOT_OK(file_->Close());
-  ++segment_seq_;
-  DECIBEL_RETURN_NOT_OK(OpenSegment());
-  flushed_lsn_ = next_lsn_ - 1;
+  DECIBEL_RETURN_NOT_OK(RollLocked());
   return segment_seq_;
 }
 

@@ -90,6 +90,11 @@ class Writer {
   Status OpenSegment();
   /// Caller holds mu_. Rolls if the active segment is over budget.
   Status MaybeRollLocked();
+  /// Caller holds mu_. Seals the active segment (flush, + fdatasync in
+  /// kFsync) WITHOUT Close() — a group-commit leader may still be
+  /// fdatasyncing it off-lock — and opens the next one. The old fd is
+  /// closed by the last shared_ptr holder's destructor.
+  Status RollLocked();
 
   const std::string dir_;
   const Options options_;

@@ -566,6 +566,97 @@ TEST_P(RecoveryTest, TornWalTailLosesOnlyTheTornSuffix) {
   }
 }
 
+TEST_P(RecoveryTest, RecoveryIgnoresGarbageGraphFile) {
+  ScratchDir dir("recov_graph");
+  ScratchDir crash("recov_graph_copy");
+  BranchId feature = kInvalidBranch;
+  {
+    ASSERT_OK_AND_ASSIGN(auto db, OpenDb(dir.path()));
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_OK(db->InsertInto(kMasterBranch, MakeRecord(db->schema(), i, i)));
+    }
+    ASSERT_OK_AND_ASSIGN(CommitId base, db->CommitBranch(kMasterBranch));
+    ASSERT_OK_AND_ASSIGN(feature, db->BranchAt("feature", base));
+    ASSERT_OK(db->InsertInto(feature, MakeRecord(db->schema(), 70, 7)));
+    ASSERT_OK(db->CommitBranch(feature).status());
+    ASSERT_OK(CopyDirRecursive(dir.path(), crash.path()));
+  }
+  // A power loss can leave a legacy per-commit graph.bin rename as
+  // anything — stale bytes, garbage, an empty file. Recovery must never
+  // read it: the checkpointed graph.bin.<tag> plus WAL replay is the
+  // truth.
+  ASSERT_OK(WriteStringToFile(JoinPath(crash.path(), "graph.bin"), "junk"));
+  ASSERT_OK_AND_ASSIGN(auto db, ReopenDb(crash.path()));
+  EXPECT_EQ(CollectBranch(db.get(), kMasterBranch).size(), 10u);
+  auto feature_rows = CollectBranch(db.get(), feature);
+  EXPECT_EQ(feature_rows.size(), 11u);
+  EXPECT_EQ(feature_rows[70], 7);
+  ASSERT_OK_AND_ASSIGN(BranchId again,
+                       db->graph().FindBranchByName("feature"));
+  EXPECT_EQ(again, feature);
+}
+
+TEST_P(RecoveryTest, CorruptCheckpointGraphIsCorruption) {
+  ScratchDir dir("recov_graphckpt");
+  {
+    ASSERT_OK_AND_ASSIGN(auto db, OpenDb(dir.path()));
+    ASSERT_OK(db->InsertInto(kMasterBranch, MakeRecord(db->schema(), 1, 1)));
+    ASSERT_OK(db->CommitBranch(kMasterBranch).status());
+  }
+  // The per-checkpoint graph copy is the durable anchor; if it is
+  // damaged, recovery must say so rather than improvise.
+  ASSERT_OK_AND_ASSIGN(wal::ManifestData m,
+                       wal::ReadCurrentManifest(dir.path()));
+  FlipByte(JoinPath(dir.path(), "graph.bin." + m.checkpoint_tag), 2);
+  EXPECT_TRUE(ReopenDb(dir.path()).status().IsCorruption());
+}
+
+TEST_P(RecoveryTest, MissingFirstLiveWalSegmentIsCorruption) {
+  ScratchDir dir("recov_first");
+  ScratchDir crash("recov_first_copy");
+  {
+    DecibelOptions options = DurableOptions(dir.path(), GetParam());
+    options.wal_segment_bytes = 128;  // roll constantly
+    ASSERT_OK_AND_ASSIGN(auto db,
+                         Decibel::Open(dir.path(), TestSchema(), options));
+    for (int i = 0; i < 30; ++i) {
+      ASSERT_OK(db->InsertInto(kMasterBranch, MakeRecord(db->schema(), i, i)));
+    }
+    ASSERT_OK(db->CommitBranch(kMasterBranch).status());
+    ASSERT_OK(CopyDirRecursive(dir.path(), crash.path()));
+  }
+  // Drop exactly the segment the manifest pins as the start of the live
+  // window: the remaining segments are gap-free among themselves, but the
+  // oldest post-checkpoint records are gone.
+  ASSERT_OK_AND_ASSIGN(wal::ManifestData m,
+                       wal::ReadCurrentManifest(crash.path()));
+  ASSERT_OK(RemoveFile(wal::Writer::SegmentPath(JoinPath(crash.path(), "wal"),
+                                                m.wal_start_seq)));
+  EXPECT_TRUE(ReopenDb(crash.path()).status().IsCorruption());
+}
+
+TEST_P(RecoveryTest, EngineMetaWithoutFormatHeaderFailsClearly) {
+  ScratchDir dir("recov_meta");
+  {
+    ASSERT_OK_AND_ASSIGN(auto db, OpenDb(dir.path()));
+    ASSERT_OK(db->InsertInto(kMasterBranch, MakeRecord(db->schema(), 1, 1)));
+    ASSERT_OK(db->CommitBranch(kMasterBranch).status());
+  }
+  // Clobber the meta's magic: a headerless (pre-versioning) meta must be
+  // rejected with a clear InvalidArgument, not a misleading mid-decode
+  // Corruption.
+  ASSERT_OK_AND_ASSIGN(wal::ManifestData m,
+                       wal::ReadCurrentManifest(dir.path()));
+  const std::string meta_path =
+      JoinPath(JoinPath(dir.path(), EngineTypeName(GetParam())),
+               "engine.meta." + m.checkpoint_tag);
+  FlipByte(meta_path, 0);
+  const Status s = ReopenDb(dir.path()).status();
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_NE(s.ToString().find("format header"), std::string::npos)
+      << s.ToString();
+}
+
 TEST_P(RecoveryTest, MissingWalSegmentIsCorruption) {
   ScratchDir dir("recov_gap");
   ScratchDir crash("recov_gap_copy");
@@ -620,14 +711,22 @@ TEST_P(RecoveryTest, BackgroundCheckpointsTruncateTheWal) {
       DurableOptions(dir.path(), GetParam(), wal::SyncMode::kNone);
   options.checkpoint_interval_bytes = 512;  // checkpoint eagerly
   uint64_t generation = 0;
+  int rows = 0;
   {
     ASSERT_OK_AND_ASSIGN(auto db,
                          Decibel::Open(dir.path(), TestSchema(), options));
-    for (int i = 0; i < 200; ++i) {
-      ASSERT_OK(db->InsertInto(kMasterBranch, MakeRecord(db->schema(), i, i)));
-      if (i % 50 == 49) ASSERT_OK(db->CommitBranch(kMasterBranch).status());
+    // Feed the WAL until the background checkpointer has run at least
+    // twice past Open's own checkpoint (generation 1). The scheduler
+    // coalesces any backlog of pending bytes into one run, so a fixed
+    // write count can legitimately be covered by a single background
+    // checkpoint; writing until the generation moves makes the test
+    // independent of how the scheduler thread interleaves with us.
+    while (rows < 200 ||
+           (db->checkpoint_generation() < 3 && rows < 100000)) {
+      ASSERT_OK(
+          db->InsertInto(kMasterBranch, MakeRecord(db->schema(), rows, rows)));
+      if (++rows % 50 == 0) ASSERT_OK(db->CommitBranch(kMasterBranch).status());
     }
-    // Give the background checkpointer a chance to run at least once.
     for (int spin = 0; spin < 100 && db->checkpoint_generation() < 3; ++spin) {
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
     }
@@ -643,7 +742,8 @@ TEST_P(RecoveryTest, BackgroundCheckpointsTruncateTheWal) {
   }
   EXPECT_LE(manifests, 2);
   ASSERT_OK_AND_ASSIGN(auto db, ReopenDb(dir.path()));
-  EXPECT_EQ(CollectBranch(db.get(), kMasterBranch).size(), 200u);
+  EXPECT_EQ(CollectBranch(db.get(), kMasterBranch).size(),
+            static_cast<size_t>(rows));
 }
 
 /// The acceptance crash test: a forked child loads records under kFsync,
