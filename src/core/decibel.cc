@@ -390,20 +390,27 @@ Status Decibel::ApplyWalRecord(const wal::FrameView& frame) {
       return branched;
     }
     case wal::RecordType::kMerge: {
+      // The record carries the *resolved* batch: replay re-registers the
+      // commit and applies the batch — no merge re-execution, so recovery
+      // is deterministic even for callback-resolved merges.
       wal::MergeBody b;
       DECIBEL_RETURN_NOT_OK(wal::DecodeMergeBody(frame.body, &b));
       DECIBEL_RETURN_NOT_OK(graph_.ReplayCommit(b.commit, b.into, b.parents));
-      auto merged =
-          engine_->Merge(b.into, b.from, b.lca, b.commit, b.policy);
-      if (merged.ok()) {
+      WriteBatch batch(&schema_);
+      BranchId branch = kInvalidBranch;
+      DECIBEL_RETURN_NOT_OK(
+          wal::DecodeBatchBody(Slice(b.batch_body), &branch, &batch));
+      Status applied = Status::OK();
+      if (batch.size() > 0) applied = engine_->ApplyBatch(branch, batch);
+      if (applied.ok()) applied = engine_->Commit(b.into, b.commit);
+      if (applied.ok()) {
         dirty_.erase(b.into);
         return Status::OK();
       }
-      if (merged.status().IsNotFound() ||
-          merged.status().IsInvalidArgument()) {
+      if (applied.IsNotFound() || applied.IsInvalidArgument()) {
         return Status::OK();
       }
-      return merged.status();
+      return applied;
     }
   }
   return Status::Corruption("unknown WAL record type " +
@@ -660,11 +667,15 @@ Status Decibel::LogBranchCreation(BranchId child, const std::string& name,
 
 Result<MergeInfo> Decibel::Merge(BranchId into, BranchId from,
                                  MergePolicy policy) {
+  return Merge(MergeSpec::Branches(into, from).WithPolicy(policy));
+}
+
+Result<MergeInfo> Decibel::Merge(const MergeSpec& spec) {
   // One lock scope for the whole merge: exclusive on the target, shared
   // on the source, released together (strict 2PL's shrink phase).
   LockScope scope(&locks_, NextOwnerId());
-  DECIBEL_RETURN_NOT_OK(scope.Lock(into, LockMode::kExclusive));
-  DECIBEL_RETURN_NOT_OK(scope.Lock(from, LockMode::kShared));
+  DECIBEL_RETURN_NOT_OK(scope.Lock(spec.into, LockMode::kExclusive));
+  DECIBEL_RETURN_NOT_OK(scope.Lock(spec.from, LockMode::kShared));
 
   std::shared_lock<std::shared_mutex> barrier(checkpoint_mu_,
                                               std::defer_lock);
@@ -672,31 +683,99 @@ Result<MergeInfo> Decibel::Merge(BranchId into, BranchId from,
   std::lock_guard<std::mutex> lock(mu_);
   // Both heads must be committed so the lca and the merge commit are
   // well-defined versions.
-  DECIBEL_ASSIGN_OR_RETURN(CommitId head_into, EnsureCommitted(into));
-  DECIBEL_ASSIGN_OR_RETURN(CommitId head_from, EnsureCommitted(from));
+  DECIBEL_ASSIGN_OR_RETURN(CommitId head_into, EnsureCommitted(spec.into));
+  DECIBEL_ASSIGN_OR_RETURN(CommitId head_from, EnsureCommitted(spec.from));
   DECIBEL_ASSIGN_OR_RETURN(CommitId lca, graph_.Lca(head_into, head_from));
+
+  // Stage first. Staging is pure — the walk, the conflict classification
+  // and any user callback run here, against committed state, writing
+  // nothing — so every data-dependent failure aborts the merge before a
+  // commit id is allocated or a WAL byte is written. (The previous
+  // ordering registered the graph commit and logged the kMerge record
+  // *before* running the engine merge; an engine-side failure then left
+  // a phantom commit in the graph and a WAL record that replayed a merge
+  // which never happened.)
+  MergePlan plan(&schema_);
+  StageOptions opts;
+  opts.policy = spec.policy;
+  opts.resolution = spec.resolution;
+  opts.on_conflict = &spec.on_conflict;
+  DECIBEL_RETURN_NOT_OK(StageMerge(engine_.get(), schema_, head_into,
+                                   head_from, lca, opts, &plan));
+
+  // Execute: graph commit, WAL record (carrying the resolved batch),
+  // engine apply through the one write path, engine snapshot.
   DECIBEL_ASSIGN_OR_RETURN(CommitId commit,
-                           graph_.AddMergeCommit(into, from));
+                           graph_.AddMergeCommit(spec.into, spec.from));
   if (durable()) {
     wal::MergeBody b;
-    b.into = into;
-    b.from = from;
+    b.into = spec.into;
+    b.from = spec.from;
     b.lca = lca;
     b.commit = commit;
-    b.policy = policy;
+    b.policy = spec.policy;
     DECIBEL_ASSIGN_OR_RETURN(CommitInfo minfo, graph_.GetCommit(commit));
     b.parents = std::move(minfo.parents);
+    wal::EncodeBatchBody(&b.batch_body, spec.into, plan.batch);
     std::string body;
     wal::EncodeMergeBody(&body, b);
     DECIBEL_RETURN_NOT_OK(LogWal(wal::RecordType::kMerge, body));
   }
-  auto merged = engine_->Merge(into, from, lca, commit, policy);
-  if (!merged.ok()) return merged.status();
+  if (plan.batch.size() > 0) {
+    DECIBEL_RETURN_NOT_OK(engine_->ApplyBatch(spec.into, plan.batch));
+  }
+  DECIBEL_RETURN_NOT_OK(engine_->Commit(spec.into, commit));
+  dirty_.erase(spec.into);
   DECIBEL_RETURN_NOT_OK(PersistGraph());
   MergeInfo info;
   info.commit = commit;
-  info.result = *merged;
+  info.result = plan.result;
   return info;
+}
+
+Result<std::unique_ptr<MergeCursor>> Decibel::PreviewMerge(
+    const MergeSpec& spec) {
+  // Same locks as Merge — EnsureCommitted may have to commit either head
+  // — but staging runs with stage_ops off and collect_rows on: nothing
+  // is written anywhere, and the per-key rows feed the cursor.
+  LockScope scope(&locks_, NextOwnerId());
+  DECIBEL_RETURN_NOT_OK(scope.Lock(spec.into, LockMode::kExclusive));
+  DECIBEL_RETURN_NOT_OK(scope.Lock(spec.from, LockMode::kShared));
+
+  std::shared_lock<std::shared_mutex> barrier(checkpoint_mu_,
+                                              std::defer_lock);
+  if (durable()) barrier.lock();
+  std::lock_guard<std::mutex> lock(mu_);
+  DECIBEL_ASSIGN_OR_RETURN(CommitId head_into, EnsureCommitted(spec.into));
+  DECIBEL_ASSIGN_OR_RETURN(CommitId head_from, EnsureCommitted(spec.from));
+  DECIBEL_ASSIGN_OR_RETURN(CommitId lca, graph_.Lca(head_into, head_from));
+
+  MergePlan plan(&schema_);
+  StageOptions opts;
+  opts.policy = spec.policy;
+  opts.resolution = spec.resolution;
+  opts.on_conflict = &spec.on_conflict;
+  opts.collect_rows = true;
+  opts.stage_ops = false;
+  DECIBEL_RETURN_NOT_OK(StageMerge(engine_.get(), schema_, head_into,
+                                   head_from, lca, opts, &plan));
+  return MakeMergeCursor(std::move(plan.rows), plan.result);
+}
+
+Result<std::unique_ptr<MergeCursor>> Decibel::DiffCommits(CommitId a,
+                                                          CommitId b) {
+  // Commits are immutable, so the walk itself needs no branch locks;
+  // only the ancestor lookup touches the graph.
+  CommitId base = kInvalidCommit;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto lca = graph_.Lca(a, b);
+    if (!lca.ok()) return lca.status();
+    base = *lca;
+  }
+  MergePlan plan(&schema_);
+  DECIBEL_RETURN_NOT_OK(StageDiff(engine_.get(), schema_, a, b, base, &plan));
+  return MakeMergeCursor(std::move(plan.rows), plan.result);
 }
 
 // ----------------------------------------------------------------- mutation

@@ -251,6 +251,27 @@ class Decibel {
   /// of \p into (§2.2.3 Merge).
   Result<MergeInfo> Merge(BranchId into, BranchId from, MergePolicy policy);
 
+  /// Executes the merge \p spec describes: both heads are committed, the
+  /// shared staging machinery reconciles every changed key under the
+  /// spec's policy/resolution (engine/merge_spec.h), and the resolution
+  /// is applied through the ordinary WriteBatch/ApplyBatch path — atomic,
+  /// stripe-lock-ordered and WAL-framed. Staging is pure: any
+  /// data-dependent failure (a callback error, a walk error) aborts
+  /// before a commit is allocated or a WAL byte is written.
+  Result<MergeInfo> Merge(const MergeSpec& spec);
+
+  /// Dry run of \p spec: streams every key the merge would touch —
+  /// change kind, conflict/field-merge marking, the three versions and
+  /// the resolved state — without mutating anything. The cursor's
+  /// stats() carries the same MergeResult Merge would report.
+  Result<std::unique_ptr<MergeCursor>> PreviewMerge(const MergeSpec& spec);
+
+  /// Three-way structured diff between two arbitrary commits against
+  /// their lowest common ancestor: rows classified kAdd/kDelete/kUpdate
+  /// from \p a's point of view, with conflict marking keys both commits
+  /// changed since the ancestor.
+  Result<std::unique_ptr<MergeCursor>> DiffCommits(CommitId a, CommitId b);
+
   // ------------------------------------------------------------- mutation
 
   /// One-op transaction against the session's branch head: stage, lock,

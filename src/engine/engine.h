@@ -29,6 +29,7 @@
 
 #include "bitmap/bitmap_index.h"
 #include "common/result.h"
+#include "engine/merge_spec.h"
 #include "engine/scan_spec.h"
 #include "storage/record.h"
 #include "storage/schema.h"
@@ -94,30 +95,10 @@ using MultiScanCallback =
 /// Record-at-a-time sink for diffs.
 using DiffCallback = std::function<void(const RecordRef&)>;
 
-/// Conflict handling for merges (§2.2.3 Merge).
-enum class MergePolicy {
-  kTwoWayLeft,    ///< tuple-level precedence, 'into' branch wins
-  kTwoWayRight,   ///< tuple-level precedence, 'from' branch wins
-  kThreeWayLeft,  ///< field-level three-way merge, 'into' wins conflicts
-  kThreeWayRight, ///< field-level three-way merge, 'from' wins conflicts
-};
-
-inline bool IsThreeWay(MergePolicy p) {
-  return p == MergePolicy::kThreeWayLeft || p == MergePolicy::kThreeWayRight;
-}
-inline bool LeftWins(MergePolicy p) {
-  return p == MergePolicy::kTwoWayLeft || p == MergePolicy::kThreeWayLeft;
-}
-
-struct MergeResult {
-  uint64_t conflicts = 0;        ///< records needing precedence resolution
-  uint64_t merged_records = 0;   ///< records whose state changed in 'into'
-  uint64_t field_merges = 0;     ///< records merged field-by-field (3-way)
-  /// Bytes examined to perform the merge; Table 3 reports throughput as
-  /// diff bytes / merge seconds.
-  uint64_t bytes_processed = 0;
-  uint64_t diff_bytes = 0;       ///< size of the two-sided diff
-};
+// MergePolicy, MergeResult and the merge-walk types live in
+// engine/merge_spec.h (included above): the merge surface is shared
+// semantics over a per-engine walk primitive, exactly as scan_spec.h is
+// shared pushdown over per-engine cursors.
 
 struct EngineStats {
   uint64_t data_bytes = 0;          ///< heap/segment file bytes on disk
@@ -190,12 +171,18 @@ class StorageEngine {
   virtual Status Diff(BranchId a, BranchId b, DiffMode mode,
                       const DiffCallback& pos, const DiffCallback& neg) = 0;
 
-  /// Merges \p from into \p into (§2.2.3 Merge). \p lca is the lowest
-  /// common ancestor commit (from the version graph); \p new_commit is the
-  /// id of the merge commit the engine must leave \p into snapshotted at.
-  virtual Result<MergeResult> Merge(BranchId into, BranchId from,
-                                    CommitId lca, CommitId new_commit,
-                                    MergePolicy policy) = 0;
+  /// The merge/diff substrate (§2.2.3): streams every primary key whose
+  /// record state differs between commits \p left and \p right, with the
+  /// key's state at both commits and at ancestor \p base, in ascending pk
+  /// order. A null ref means the key is not live at that commit. Refs are
+  /// valid only for the duration of the callback. Engines may emit keys
+  /// whose two sides turn out byte-equal (the shared staging skips them);
+  /// they must never *omit* a key whose states differ. All merge and diff
+  /// semantics live on top in merge_spec.cc — engines compete on the cost
+  /// of this walk, never on its answers.
+  virtual Status MergeWalk(CommitId left, CommitId right, CommitId base,
+                           const MergeWalkCallback& cb,
+                           MergeWalkStats* stats) = 0;
 
   // -------------------------------------------------------- maintenance
 

@@ -1,13 +1,13 @@
 #include "engine/hybrid.h"
 
 #include <algorithm>
+#include <map>
 #include <mutex>
 #include <optional>
 
 #include "common/coding.h"
 #include "common/thread_pool.h"
 #include "engine/bitmap_scan.h"
-#include "engine/merge_util.h"
 #include "engine/scan_util.h"
 
 namespace decibel {
@@ -835,176 +835,123 @@ Status HybridEngine::Diff(BranchId a, BranchId b, DiffMode mode,
 
 // -------------------------------------------------------------------- merge
 
-Result<MergeResult> HybridEngine::Merge(BranchId into, BranchId from,
-                                        CommitId lca, CommitId new_commit,
-                                        MergePolicy policy) {
-  // Merge adds 'into' columns to segments inherited from 'from' (a
-  // column-set shape change), so it excludes every writer and scan-open
-  // with the unique registry lock for its duration.
-  std::unique_lock<std::shared_mutex> registry_lock(registry_mu_);
-  MergeResult result;
+Status HybridEngine::MergeWalk(CommitId left, CommitId right, CommitId base,
+                               const MergeWalkCallback& cb,
+                               MergeWalkStats* stats) {
+  // The tuple-first mask algebra run per segment (§3.4): for each segment
+  // any of the three commits has columns in, (L⊕B)|(R⊕B) over the local
+  // bitmaps covers every live location of every changed key — a commit
+  // carries one live location per key *globally* (the pk index invariant),
+  // so a key with a location outside every segment's mask has the same
+  // location in all three commits and never changed. Columns come from
+  // the (branch, segment) commit histories; the history files and record
+  // pages are internally synchronized and commit snapshots are immutable,
+  // so the walk holds the registry shared only to address segments_.
+  std::shared_lock<std::shared_mutex> registry_lock(registry_mu_);
   const uint32_t rs = schema_.record_size();
-  const bool left_wins = LeftWins(policy);
 
-  // Per-segment lca columns (floor lookups over (branch, segment)
-  // histories), then the tuple-first merge algorithm per segment.
-  std::vector<std::pair<uint32_t, Bitmap>> lca_cols;
-  DECIBEL_RETURN_NOT_OK(CommitColumns(lca, &lca_cols));
-  std::unordered_map<uint32_t, const Bitmap*> lca_by_seg;
-  for (const auto& [seg, bits] : lca_cols) lca_by_seg[seg] = &bits;
+  std::unordered_map<uint32_t, Bitmap> cols_l, cols_r, cols_b;
+  auto load = [&](CommitId commit,
+                  std::unordered_map<uint32_t, Bitmap>* out) -> Status {
+    std::vector<std::pair<uint32_t, Bitmap>> cols;
+    DECIBEL_RETURN_NOT_OK(CommitColumns(commit, &cols));
+    for (auto& [seg, bits] : cols) (*out)[seg] = std::move(bits);
+    return Status::OK();
+  };
+  DECIBEL_RETURN_NOT_OK(load(left, &cols_l));
+  DECIBEL_RETURN_NOT_OK(load(right, &cols_r));
+  DECIBEL_RETURN_NOT_OK(load(base, &cols_b));
 
-  Bitmap segs;
-  for (BranchId x : {into, from}) {
-    auto it = branch_segments_.find(x);
-    if (it != branch_segments_.end()) segs.OrWith(it->second);
+  std::unordered_set<uint32_t> seg_set;
+  for (const auto* cols : {&cols_l, &cols_r, &cols_b}) {
+    for (const auto& [seg, bits] : *cols) seg_set.insert(seg);
   }
-  for (const auto& [seg, bits] : lca_cols) segs.Set(seg);
 
-  std::unordered_map<int64_t, Loc> table_a, table_b, lca_version;
-  std::unordered_set<int64_t> gone_a_pks, gone_b_pks;
+  constexpr uint64_t kAbsentSeg = ~uint64_t{0};
+  struct Positions {
+    Loc l{0, 0}, r{0, 0}, b{0, 0};
+    uint64_t l_seg = kAbsentSeg, r_seg = kAbsentSeg, b_seg = kAbsentSeg;
+  };
+  std::map<int64_t, Positions> keys;
 
-  std::vector<uint32_t> seg_list;
-  segs.ForEachSet(
-      [&](uint64_t s) { seg_list.push_back(static_cast<uint32_t>(s)); });
   static const Bitmap kEmpty;
-  for (uint32_t seg : seg_list) {
-    // Zero-copy views of the local columns (they are only read here; the
-    // apply phase below mutates them after this loop's scans finish).
-    const Bitmap* va = segments_[seg]->local.BranchView(into);
-    const Bitmap* vb = segments_[seg]->local.BranchView(from);
-    const Bitmap& bits_a = va != nullptr ? *va : kEmpty;
-    const Bitmap& bits_b = vb != nullptr ? *vb : kEmpty;
-    auto lit = lca_by_seg.find(seg);
-    const Bitmap& bits_l =
-        lit == lca_by_seg.end() ? kEmpty : *lit->second;
+  for (uint32_t seg : seg_set) {
+    auto view = [&](const std::unordered_map<uint32_t, Bitmap>& cols)
+        -> const Bitmap& {
+      auto it = cols.find(seg);
+      return it == cols.end() ? kEmpty : it->second;
+    };
+    const Bitmap& bits_l = view(cols_l);
+    const Bitmap& bits_r = view(cols_r);
+    const Bitmap& bits_b = view(cols_b);
+    const Bitmap mask =
+        Bitmap::Or(Bitmap::Xor(bits_l, bits_b), Bitmap::Xor(bits_r, bits_b));
+    if (!mask.Any()) continue;  // segment untouched between the commits
 
-    const Bitmap diff_a = Bitmap::AndNot(bits_a, bits_l);
-    const Bitmap diff_b = Bitmap::AndNot(bits_b, bits_l);
-    const Bitmap gone_a = Bitmap::AndNot(bits_l, bits_a);
-    const Bitmap gone_b = Bitmap::AndNot(bits_l, bits_b);
-    if (!diff_a.Any() && !diff_b.Any() && !gone_a.Any() && !gone_b.Any()) {
-      continue;  // segment untouched since the lca
-    }
-
-    const Bitmap changed = Bitmap::Or(diff_a, diff_b);
-    BitmapScanner scanner(segments_[seg]->file.get(), &schema_, &changed);
+    BitmapScanner scanner(segments_[seg]->file.get(), &schema_, &mask);
     RecordRef rec;
     uint64_t idx;
     while (scanner.Next(&rec, &idx)) {
-      const bool in_a = diff_a.Test(idx);
-      const bool in_b = diff_b.Test(idx);
-      if (in_a && in_b) continue;  // same version reached both sides
-      if (in_a) table_a[rec.pk()] = Loc{seg, idx};
-      if (in_b) table_b[rec.pk()] = Loc{seg, idx};
-      result.bytes_processed += rs;
+      Positions& p = keys[rec.pk()];
+      if (bits_l.Test(idx)) {
+        p.l = Loc{seg, idx};
+        p.l_seg = seg;
+      }
+      if (bits_r.Test(idx)) {
+        p.r = Loc{seg, idx};
+        p.r_seg = seg;
+      }
+      if (bits_b.Test(idx)) {
+        p.b = Loc{seg, idx};
+        p.b_seg = seg;
+      }
+      stats->bytes_processed += rs;
     }
     DECIBEL_RETURN_NOT_OK(scanner.status());
-
-    const Bitmap gone = Bitmap::Or(gone_a, gone_b);
-    BitmapScanner gone_scanner(segments_[seg]->file.get(), &schema_, &gone);
-    while (gone_scanner.Next(&rec, &idx)) {
-      lca_version[rec.pk()] = Loc{seg, idx};
-      if (gone_a.Test(idx)) gone_a_pks.insert(rec.pk());
-      if (gone_b.Test(idx)) gone_b_pks.insert(rec.pk());
-      result.bytes_processed += rs;
-    }
-    DECIBEL_RETURN_NOT_OK(gone_scanner.status());
   }
-  result.diff_bytes =
-      (table_a.size() + table_b.size()) * static_cast<uint64_t>(rs);
-
-  PkIndex& pks_into = pk_index_[into];
-
-  auto set_live = [&](Loc loc, bool value) {
-    Segment& segment = *segments_[loc.seg];
-    if (value) {
-      // "identifying the new segments from the second parent that must
-      // track records for the branch it is being merged into" (§3.4).
-      segment.local.AddBranch(into);
-      branch_segments_[into].Set(loc.seg);
-    }
-    segment.local.Set(loc.idx, into, value);
-    MarkDirty(into, loc.seg);
-  };
-
-  auto apply_b_state = [&](int64_t pk, Loc loc, bool deleted) {
-    auto it = pks_into.find(pk);
-    if (it != pks_into.end()) {
-      set_live(it->second, false);
-      if (deleted) {
-        pks_into.erase(it);
-      } else {
-        it->second = loc;
-      }
-    } else if (!deleted) {
-      pks_into.emplace(pk, loc);
-    }
-    if (!deleted) set_live(loc, true);
-    ++result.merged_records;
-  };
 
   auto fetch = [&](Loc loc, std::string* buf) {
+    stats->bytes_processed += rs;
     return segments_[loc.seg]->file->Get(loc.idx, buf);
   };
-
-  std::string buf_a, buf_b, buf_l;
-  for (const auto& [pk, loc_b] : table_b) {
-    auto it_a = table_a.find(pk);
-    if (it_a != table_a.end()) {
-      if (!IsThreeWay(policy)) {
-        ++result.conflicts;
-        if (!left_wins) apply_b_state(pk, loc_b, false);
-        continue;
-      }
-      auto base_it = lca_version.find(pk);
-      if (base_it == lca_version.end()) {
-        ++result.conflicts;
-        if (!left_wins) apply_b_state(pk, loc_b, false);
-        continue;
-      }
-      DECIBEL_RETURN_NOT_OK(fetch(it_a->second, &buf_a));
-      DECIBEL_RETURN_NOT_OK(fetch(loc_b, &buf_b));
-      DECIBEL_RETURN_NOT_OK(fetch(base_it->second, &buf_l));
-      result.bytes_processed += 3 * rs;
-      const RecordRef rec_a(&schema_, buf_a);
-      const RecordRef rec_b(&schema_, buf_b);
-      const RecordRef rec_l(&schema_, buf_l);
-      FieldMergeOutcome outcome =
-          ThreeWayFieldMerge(schema_, rec_l, rec_a, rec_b, left_wins);
-      if (outcome.conflict) ++result.conflicts;
-      if (outcome.needs_new_record) {
-        ++result.field_merges;
-        // "the records added into the child of the merge operation are
-        // marked as live in the child's bitmaps" (§3.4); merged records
-        // land in 'into's head segment.
-        Segment& head = *segments_[head_seg_[into]];
-        DECIBEL_ASSIGN_OR_RETURN(uint64_t idx,
-                                 head.file->Append(outcome.merged->data()));
-        head.local.AppendTuples(1);
-        apply_b_state(pk, Loc{head.id, idx}, false);
-      } else if (!outcome.keep_left) {
-        apply_b_state(pk, loc_b, false);
-      }
-    } else if (gone_a_pks.count(pk) != 0) {
-      ++result.conflicts;
-      if (!left_wins) apply_b_state(pk, loc_b, false);
-    } else {
-      apply_b_state(pk, loc_b, false);
+  auto same = [](uint64_t a_seg, Loc a, uint64_t b_seg, Loc b) {
+    return a_seg != kAbsentSeg && b_seg != kAbsentSeg && a.seg == b.seg &&
+           a.idx == b.idx;
+  };
+  std::string buf_l, buf_r, buf_b;
+  for (const auto& [pk, pos] : keys) {
+    MergeWalkItem item;
+    item.pk = pk;
+    std::optional<RecordRef> ref_l, ref_r, ref_b;
+    if (pos.l_seg != kAbsentSeg) {
+      DECIBEL_RETURN_NOT_OK(fetch(pos.l, &buf_l));
+      ref_l.emplace(&schema_, Slice(buf_l));
+      item.left = &*ref_l;
     }
-  }
-
-  for (int64_t pk : gone_b_pks) {
-    if (table_b.count(pk) != 0) continue;
-    if (table_a.count(pk) != 0) {
-      ++result.conflicts;
-      if (!left_wins) apply_b_state(pk, Loc{}, true);
-    } else if (gone_a_pks.count(pk) == 0) {
-      apply_b_state(pk, Loc{}, true);
+    if (pos.r_seg != kAbsentSeg) {
+      if (same(pos.r_seg, pos.r, pos.l_seg, pos.l)) {
+        item.right = item.left;
+      } else {
+        DECIBEL_RETURN_NOT_OK(fetch(pos.r, &buf_r));
+        ref_r.emplace(&schema_, Slice(buf_r));
+        item.right = &*ref_r;
+      }
     }
+    if (pos.b_seg != kAbsentSeg) {
+      if (same(pos.b_seg, pos.b, pos.l_seg, pos.l)) {
+        item.base = item.left;
+      } else if (same(pos.b_seg, pos.b, pos.r_seg, pos.r)) {
+        item.base = item.right;
+      } else {
+        DECIBEL_RETURN_NOT_OK(fetch(pos.b, &buf_b));
+        ref_b.emplace(&schema_, Slice(buf_b));
+        item.base = &*ref_b;
+      }
+    }
+    ++stats->keys_emitted;
+    DECIBEL_RETURN_NOT_OK(cb(item));
   }
-
-  DECIBEL_RETURN_NOT_OK(CommitImpl(into, new_commit));
-  return result;
+  return Status::OK();
 }
 
 // -------------------------------------------------------------------- stats

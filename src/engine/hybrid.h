@@ -20,8 +20,8 @@
 /// shared with siblings), so writers on disjoint branches proceed in
 /// parallel. The lock hierarchy is registry_mu_ (the segments_ vector,
 /// head_seg_/branch_segments_/pk_index_/dirty_ map shapes, and the local
-/// indexes' column sets; writers take it shared, CreateBranch/Merge/
-/// Flush take it unique) -> stripe locks (branch % write_stripes) ->
+/// indexes' column sets; writers take it shared, CreateBranch/Flush
+/// take it unique) -> stripe locks (branch % write_stripes) ->
 /// commit_mu_ (the commit registries, a leaf). Scans materialize bitmap
 /// copies under the stripe lock, capture per-segment file pointers, and
 /// stream without any lock.
@@ -60,8 +60,8 @@ class HybridEngine : public StorageEngine {
   Result<Record> Get(BranchId branch, int64_t pk) override;
   Status Diff(BranchId a, BranchId b, DiffMode mode, const DiffCallback& pos,
               const DiffCallback& neg) override;
-  Result<MergeResult> Merge(BranchId into, BranchId from, CommitId lca,
-                            CommitId new_commit, MergePolicy policy) override;
+  Status MergeWalk(CommitId left, CommitId right, CommitId base,
+                   const MergeWalkCallback& cb, MergeWalkStats* stats) override;
 
   Status Flush() override;
   Status Checkpoint(const std::string& tag, bool sync) override;
@@ -132,7 +132,7 @@ class HybridEngine : public StorageEngine {
   mutable ScanCounters scan_counters_;
 
   /// Shape of segments_, the branch maps, and the local indexes' column
-  /// sets: writers take it shared, CreateBranch/Merge/Flush take it
+  /// sets: writers take it shared, CreateBranch/Flush take it
   /// unique. Ordered before the stripe locks.
   mutable std::shared_mutex registry_mu_;
   /// Per-branch write serialization; see file comment for the hierarchy.

@@ -28,6 +28,7 @@ FieldMergeOutcome ThreeWayFieldMerge(const Schema& schema,
     if (left_changed && right_changed && l != r) {
       // Overlapping field update: precedence decides (§2.2.3).
       out.conflict = true;
+      out.conflict_columns.push_back(c);
       if (!left_wins) merged.CopyColumnFrom(c, right);
       (left_wins ? any_from_left : any_from_right) = true;
     } else if (right_changed && !left_changed) {

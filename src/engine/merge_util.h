@@ -9,9 +9,10 @@
 /// field updates and resolving overlapping ones by branch precedence.
 
 #include <optional>
+#include <vector>
 
-#include "engine/engine.h"
 #include "storage/record.h"
+#include "storage/schema.h"
 
 namespace decibel {
 
@@ -27,6 +28,8 @@ struct FieldMergeOutcome {
   std::optional<Record> merged;
   /// When !needs_new_record: whether the winning version is the left one.
   bool keep_left = true;
+  /// The columns both sides changed differently (set when conflict).
+  std::vector<size_t> conflict_columns;
 };
 
 /// Three-way field merge of \p left and \p right against ancestor \p base.

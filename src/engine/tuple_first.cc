@@ -1,9 +1,9 @@
 #include "engine/tuple_first.h"
 
+#include <map>
 #include <unordered_set>
 
 #include "common/coding.h"
-#include "engine/merge_util.h"
 #include "engine/scan_util.h"
 
 namespace decibel {
@@ -524,150 +524,86 @@ Status TupleFirstEngine::Diff(BranchId a, BranchId b, DiffMode mode,
 
 // -------------------------------------------------------------------- merge
 
-Result<MergeResult> TupleFirstEngine::Merge(BranchId into, BranchId from,
-                                            CommitId lca, CommitId new_commit,
-                                            MergePolicy policy) {
-  // Cross-branch writer: hold both branches' stripes (ascending order —
-  // deadlock-free against any other multi-stripe holder) for the whole
-  // merge so 'from' cannot move while we fold it into 'into'.
-  std::shared_lock<std::shared_mutex> registry(registry_mu_);
-  StripeGuard stripes(this, {into, from});
-  MergeResult result;
+Status TupleFirstEngine::MergeWalk(CommitId left, CommitId right,
+                                   CommitId base, const MergeWalkCallback& cb,
+                                   MergeWalkStats* stats) {
+  // Pure bitmap algebra over three committed snapshots (§3.2): the mask
+  // (L⊕B)|(R⊕B) covers every live position of every changed key. Proof:
+  // each commit carries at most one live position per pk (update unsets
+  // the prior version's bit); a position outside the mask is live in all
+  // three commits or none, so a pk with a live position outside the mask
+  // has that same position in left, right and base — i.e. it never
+  // changed. Commit checkouts are internally locked and heap records are
+  // immutable once appended, so the walk needs no engine locks.
+  DECIBEL_ASSIGN_OR_RETURN(Bitmap bits_l, CommitBitmap(left));
+  DECIBEL_ASSIGN_OR_RETURN(Bitmap bits_r, CommitBitmap(right));
+  DECIBEL_ASSIGN_OR_RETURN(Bitmap bits_b, CommitBitmap(base));
+  const StripedHeap::Mapping mapping = heap_->SnapshotMapping();
   const uint32_t rs = schema_.record_size();
 
-  const Bitmap bits_a = index_->MaterializeBranch(into);
-  const Bitmap bits_b = index_->MaterializeBranch(from);
-  DECIBEL_ASSIGN_OR_RETURN(Bitmap bits_l, CommitBitmap(lca));
-  const StripedHeap::Mapping mapping = heap_->SnapshotMapping();
+  const Bitmap mask =
+      Bitmap::Or(Bitmap::Xor(bits_l, bits_b), Bitmap::Xor(bits_r, bits_b));
 
-  // Records added since the lca on each side (new inserts + new versions).
-  const Bitmap diff_a = Bitmap::AndNot(bits_a, bits_l);
-  const Bitmap diff_b = Bitmap::AndNot(bits_b, bits_l);
-  // Records live at the lca that one side no longer carries: "if a row in
-  // the bitmap is encountered where the lca commit is a 1 but both
-  // branches have a 0 ... the record has been updated in both" (§3.2).
-  const Bitmap gone_a = Bitmap::AndNot(bits_l, bits_a);
-  const Bitmap gone_b = Bitmap::AndNot(bits_l, bits_b);
-
-  // Pass 1 (pipelined hash join of the two diffs): build per-side tables
-  // of changed keys.
-  std::unordered_map<int64_t, uint64_t> table_a, table_b;
-  {
-    const Bitmap changed = Bitmap::Or(diff_a, diff_b);
-    StripedBitmapScanner scanner(mapping, &schema_, &changed);
-    RecordRef rec;
-    uint64_t idx;
-    while (scanner.Next(&rec, &idx)) {
-      const bool in_a = diff_a.Test(idx);
-      const bool in_b = diff_b.Test(idx);
-      if (in_a && in_b) continue;  // identical version reached both sides
-      if (in_a) table_a[rec.pk()] = idx;
-      if (in_b) table_b[rec.pk()] = idx;
-      result.bytes_processed += rs;
-    }
-    DECIBEL_RETURN_NOT_OK(scanner.status());
-  }
-  result.diff_bytes = result.bytes_processed;
-
-  // Pass 2: the reduced lca scan — only records replaced on some side.
-  std::unordered_map<int64_t, uint64_t> lca_version;
-  std::unordered_set<int64_t> gone_a_pks, gone_b_pks;
-  {
-    const Bitmap gone = Bitmap::Or(gone_a, gone_b);
-    StripedBitmapScanner scanner(mapping, &schema_, &gone);
-    RecordRef rec;
-    uint64_t idx;
-    while (scanner.Next(&rec, &idx)) {
-      lca_version[rec.pk()] = idx;
-      if (gone_a.Test(idx)) gone_a_pks.insert(rec.pk());
-      if (gone_b.Test(idx)) gone_b_pks.insert(rec.pk());
-      result.bytes_processed += rs;
-    }
-    DECIBEL_RETURN_NOT_OK(scanner.status());
-  }
-
-  PkIndex& pks_into = pk_index_[into];
-  const bool left_wins = LeftWins(policy);
-
-  // Helper: replace 'into's live version of pk with record idx (or delete).
-  auto apply_b_state = [&](int64_t pk, uint64_t idx, bool deleted) {
-    auto it = pks_into.find(pk);
-    if (it != pks_into.end()) {
-      index_->Set(it->second, into, false);
-      if (deleted) {
-        pks_into.erase(it);
-      } else {
-        it->second = idx;
-      }
-    } else if (!deleted) {
-      pks_into.emplace(pk, idx);
-    }
-    if (!deleted) index_->Set(idx, into, true);
-    ++result.merged_records;
+  // One heap pass over the mask, grouping positions by primary key. The
+  // ordered map also gives the ascending-pk emission order.
+  constexpr uint64_t kAbsent = ~uint64_t{0};
+  struct Positions {
+    uint64_t l = kAbsent, r = kAbsent, b = kAbsent;
   };
-
-  std::string buf_a, buf_b, buf_l;
-  for (const auto& [pk, idx_b] : table_b) {
-    auto it_a = table_a.find(pk);
-    if (it_a != table_a.end()) {
-      // Modified in both branches: conflict candidate.
-      if (!IsThreeWay(policy)) {
-        ++result.conflicts;
-        if (!left_wins) apply_b_state(pk, idx_b, false);
-        continue;
-      }
-      auto base_it = lca_version.find(pk);
-      if (base_it == lca_version.end()) {
-        // Inserted independently on both sides: no base, tuple precedence.
-        ++result.conflicts;
-        if (!left_wins) apply_b_state(pk, idx_b, false);
-        continue;
-      }
-      DECIBEL_RETURN_NOT_OK(heap_->Get(it_a->second, &buf_a));
-      DECIBEL_RETURN_NOT_OK(heap_->Get(idx_b, &buf_b));
-      DECIBEL_RETURN_NOT_OK(heap_->Get(base_it->second, &buf_l));
-      result.bytes_processed += 3 * rs;
-      const RecordRef rec_a(&schema_, buf_a);
-      const RecordRef rec_b(&schema_, buf_b);
-      const RecordRef rec_l(&schema_, buf_l);
-      FieldMergeOutcome outcome =
-          ThreeWayFieldMerge(schema_, rec_l, rec_a, rec_b, left_wins);
-      if (outcome.conflict) ++result.conflicts;
-      if (outcome.needs_new_record) {
-        ++result.field_merges;
-        DECIBEL_ASSIGN_OR_RETURN(
-            uint64_t merged_idx,
-            heap_->Append(StripeOf(into), outcome.merged->data()));
-        index_->EnsureTuples(heap_->allocated_bound());
-        apply_b_state(pk, merged_idx, false);
-      } else if (!outcome.keep_left) {
-        apply_b_state(pk, idx_b, false);
-      }
-    } else if (gone_a_pks.count(pk) != 0) {
-      // Deleted in 'into', modified in 'from': conflict (§2.2.3).
-      ++result.conflicts;
-      if (!left_wins) apply_b_state(pk, idx_b, false);
-    } else {
-      // Changed only in 'from': adopt its version.
-      apply_b_state(pk, idx_b, false);
+  std::map<int64_t, Positions> keys;
+  {
+    StripedBitmapScanner scanner(mapping, &schema_, &mask);
+    RecordRef rec;
+    uint64_t idx;
+    while (scanner.Next(&rec, &idx)) {
+      Positions& p = keys[rec.pk()];
+      if (bits_l.Test(idx)) p.l = idx;
+      if (bits_r.Test(idx)) p.r = idx;
+      if (bits_b.Test(idx)) p.b = idx;
+      stats->bytes_processed += rs;
     }
+    DECIBEL_RETURN_NOT_OK(scanner.status());
   }
 
-  // Keys deleted in 'from' (live at lca, gone from B, not re-added).
-  for (int64_t pk : gone_b_pks) {
-    if (table_b.count(pk) != 0) continue;  // was an update, handled above
-    if (table_a.count(pk) != 0) {
-      // Modified in 'into', deleted in 'from': conflict.
-      ++result.conflicts;
-      if (!left_wins) apply_b_state(pk, 0, true);
-    } else if (gone_a_pks.count(pk) == 0) {
-      // Deleted only in 'from': propagate the delete.
-      apply_b_state(pk, 0, true);
+  // Emit each key's three states. Positions shared between commits share
+  // one fetch (common case: unchanged-on-one-side keys).
+  std::string buf_l, buf_r, buf_b;
+  for (const auto& [pk, pos] : keys) {
+    MergeWalkItem item;
+    item.pk = pk;
+    std::optional<RecordRef> ref_l, ref_r, ref_b;
+    if (pos.l != kAbsent) {
+      DECIBEL_RETURN_NOT_OK(heap_->Get(pos.l, &buf_l));
+      stats->bytes_processed += rs;
+      ref_l.emplace(&schema_, Slice(buf_l));
+      item.left = &*ref_l;
     }
+    if (pos.r != kAbsent) {
+      if (pos.r == pos.l) {
+        item.right = item.left;
+      } else {
+        DECIBEL_RETURN_NOT_OK(heap_->Get(pos.r, &buf_r));
+        stats->bytes_processed += rs;
+        ref_r.emplace(&schema_, Slice(buf_r));
+        item.right = &*ref_r;
+      }
+    }
+    if (pos.b != kAbsent) {
+      if (pos.b == pos.l) {
+        item.base = item.left;
+      } else if (pos.b == pos.r) {
+        item.base = item.right;
+      } else {
+        DECIBEL_RETURN_NOT_OK(heap_->Get(pos.b, &buf_b));
+        stats->bytes_processed += rs;
+        ref_b.emplace(&schema_, Slice(buf_b));
+        item.base = &*ref_b;
+      }
+    }
+    ++stats->keys_emitted;
+    DECIBEL_RETURN_NOT_OK(cb(item));
   }
-
-  DECIBEL_RETURN_NOT_OK(CommitImpl(into, new_commit));
-  return result;
+  return Status::OK();
 }
 
 // -------------------------------------------------------------------- stats

@@ -16,7 +16,8 @@
 /// flush) -> stripe locks (branch % write_stripes; all per-branch state —
 /// the pk index, the branch's bitmap column, its heap-file shard's tail)
 /// -> commit_mu_ (the commit registry, a leaf). Cross-branch operations
-/// (merge, diff) take their stripes in ascending order. Readers
+/// needing several stripes take them in ascending order; MergeWalk works
+/// off committed bitmap snapshots and takes no stripe locks. Readers
 /// materialize a bitmap snapshot under the stripe lock, snapshot the
 /// heap's extent mapping, and then stream without any lock.
 
@@ -55,8 +56,8 @@ class TupleFirstEngine : public StorageEngine {
   Result<Record> Get(BranchId branch, int64_t pk) override;
   Status Diff(BranchId a, BranchId b, DiffMode mode, const DiffCallback& pos,
               const DiffCallback& neg) override;
-  Result<MergeResult> Merge(BranchId into, BranchId from, CommitId lca,
-                            CommitId new_commit, MergePolicy policy) override;
+  Status MergeWalk(CommitId left, CommitId right, CommitId base,
+                   const MergeWalkCallback& cb, MergeWalkStats* stats) override;
 
   Status Flush() override;
   Status Checkpoint(const std::string& tag, bool sync) override;

@@ -4,7 +4,6 @@
 #include <map>
 
 #include "common/coding.h"
-#include "engine/merge_util.h"
 #include "engine/scan_util.h"
 
 namespace decibel {
@@ -828,163 +827,151 @@ Status VersionFirstEngine::Diff(BranchId a, BranchId b, DiffMode mode,
 
 // -------------------------------------------------------------------- merge
 
-Result<MergeResult> VersionFirstEngine::Merge(BranchId into, BranchId from,
-                                              CommitId lca,
-                                              CommitId new_commit,
-                                              MergePolicy policy) {
-  MergeResult result;
+Status VersionFirstEngine::MergeWalk(CommitId left, CommitId right,
+                                     CommitId base, const MergeWalkCallback& cb,
+                                     MergeWalkStats* stats) {
+  // Ancestry-aware walk. \p base must be a common ancestor of both sides
+  // (the facade passes the version graph's LCA), so each side's visible
+  // regions are base's regions plus a *suffix* — per-segment record
+  // ranges beyond base's visibility bound — minus a possible *deficit*:
+  // regions base sees but the side does not (the lca can sit on a third
+  // branch, or later on a shared ancestor segment than the side's own
+  // fork point). Two facts make suffix scanning sufficient:
+  //
+  //  1. A key with no version in a side's suffix resolves, on that side,
+  //     to the first hit among base-pass positions *visible to the side*:
+  //     the side's candidates are then a subset of base's, shared
+  //     ancestors scan in the same relative order from either root, and
+  //     any order-ambiguous versions were reconciled by the merge that
+  //     joined their chains (merges materialize every differing key into
+  //     the merged head, a descendant of both chains, so
+  //     children-before-parents order pins the content regardless of
+  //     tie-breaks). No visible hit at all means the key is absent on
+  //     that side — base seeing a record in a side's deficit region must
+  //     not resurrect it.
+  //  2. A key's first hit walking a side's suffix in scan order is that
+  //     side's winning content, by the same materialization argument.
+  //
+  // So: walk both suffixes (cheap — proportional to post-ancestor work,
+  // not history size) to collect the candidate set, then resolve the
+  // candidates' base states — and the suffix-less sides' states — with
+  // one early-exiting pass over base's scan order. This replaces the
+  // former three full winner-table passes over the union ancestry — the
+  // cost §5.4 showed version-first losing on.
+  std::shared_lock<std::shared_mutex> registry_lock(registry_mu_);
+  DECIBEL_ASSIGN_OR_RETURN(Root root_l, RootForCommit(left));
+  DECIBEL_ASSIGN_OR_RETURN(Root root_r, RootForCommit(right));
+  DECIBEL_ASSIGN_OR_RETURN(Root root_b, RootForCommit(base));
   const uint32_t rs = schema_.record_size();
-  const bool left_wins = LeftWins(policy);
 
-  // Merge grows segments_ and repoints head_seg_[into]; the unique
-  // registry lock excludes every writer and scan-open for its duration.
-  std::unique_lock<std::shared_mutex> registry_lock(registry_mu_);
-  DECIBEL_ASSIGN_OR_RETURN(Root root_a, RootForBranch(into));
-  DECIBEL_ASSIGN_OR_RETURN(Root root_b, RootForBranch(from));
-  DECIBEL_ASSIGN_OR_RETURN(Root root_l, RootForCommit(lca));
-
-  // "merging involves creating a new branch, a new child segment, and
-  // branch points within each parent" (§3.3); the stronger parent is
-  // scanned first.
-  std::vector<ParentLink> parents;
-  const ParentLink link_a{root_a.seg, root_a.bound};
-  const ParentLink link_b{root_b.seg, root_b.bound};
-  if (left_wins) {
-    parents = {link_a, link_b};
-  } else {
-    parents = {link_b, link_a};
+  // Per-root visibility bounds, seg -> bound (absent = invisible).
+  std::unordered_map<uint32_t, uint64_t> coverage, vis_l, vis_r;
+  for (const ScanStep& step : ComputeScanOrder(root_b)) {
+    coverage[step.seg] = step.bound;
   }
-  DECIBEL_ASSIGN_OR_RETURN(uint32_t new_seg, NewSegment(into, parents));
-
-  // Winner tables for both heads and the lca. The paper suggests a pure
-  // precedence-based two-way merge needs "no explicit scan" (§3.3); in a
-  // DAG with tombstones that is not sound at segment-window granularity
-  // (a key absent at the lca but live in 'from' must be adopted, which
-  // only the lca's effective state reveals), so both merge flavours
-  // materialize their resolutions against full winner tables. Three-way
-  // additionally pays the per-conflict record fetches and field compares.
-  // This is the cost profile §5.4 reports: version-first trails the bitmap
-  // engines on both flavours and loses more ground on three-way.
-  std::vector<WinnerTable> tables;
-  DECIBEL_RETURN_NOT_OK(BuildWinnerTables({root_a, root_b, root_l}, &tables,
-                                          &result.bytes_processed));
-  const WinnerTable& wa = tables[0];
-  const WinnerTable& wb = tables[1];
-  const WinnerTable& wl = tables[2];
-
-  // Merges materialize record *copies* into new head segments, so two
-  // winners at different locations can still be the same logical state;
-  // equality falls back to byte comparison. A tombstone and a missing
-  // entry are both "not present".
-  auto absent = [](const Winner* w) {
-    return w == nullptr || w->tombstone;
-  };
-  auto same_state = [&](const Winner* x, const Winner* y,
-                        bool* equal) -> Status {
-    if (absent(x) || absent(y)) {
-      *equal = absent(x) == absent(y);
-      return Status::OK();
-    }
-    if (x->seg == y->seg && x->idx == y->idx) {
-      *equal = true;
-      return Status::OK();
-    }
-    std::string bx, by;
-    DECIBEL_RETURN_NOT_OK(FetchRecord(x->seg, x->idx, &bx));
-    DECIBEL_RETURN_NOT_OK(FetchRecord(y->seg, y->idx, &by));
-    result.bytes_processed += 2 * rs;
-    *equal = bx == by;
-    return Status::OK();
-  };
-  auto changed_since_lca = [&](const WinnerTable& w, int64_t pk,
-                               const Winner** out, bool* changed) -> Status {
-    auto it = w.find(pk);
-    const Winner* cur = it == w.end() ? nullptr : &it->second;
-    auto lit = wl.find(pk);
-    const Winner* base = lit == wl.end() ? nullptr : &lit->second;
-    *out = cur;
-    bool equal = false;
-    DECIBEL_RETURN_NOT_OK(same_state(cur, base, &equal));
-    *changed = !equal;
-    return Status::OK();
-  };
-  auto append_winner = [&](int64_t pk, const Winner* w,
-                           std::string* buf) -> Status {
-    if (w == nullptr || w->tombstone) {
-      const Record tombstone = MakeTombstone(&schema_, pk);
-      return segments_[new_seg]->file->Append(tombstone.data()).status();
-    }
-    DECIBEL_RETURN_NOT_OK(FetchRecord(w->seg, w->idx, buf));
-    return segments_[new_seg]->file->Append(*buf).status();
-  };
-
-  std::string buf_a, buf_b, buf_l;
-  for (const auto& [pk, wb_winner] : wb) {
-    const Winner* cur_b;
-    bool b_changed;
-    DECIBEL_RETURN_NOT_OK(changed_since_lca(wb, pk, &cur_b, &b_changed));
-    const Winner* cur_a = nullptr;
-    auto wa_it = wa.find(pk);
-    if (wa_it != wa.end()) cur_a = &wa_it->second;
-    bool sides_equal = false;
-    DECIBEL_RETURN_NOT_OK(same_state(cur_a, cur_b, &sides_equal));
-    if (sides_equal) continue;  // any surviving copy has the same bytes
-    if (!b_changed) {
-      // Only 'into' carries a newer value, but 'from's chain joins the
-      // ancestry and its (older) record for this key may outrank 'into's
-      // in the combined scan order; pin 'into's state in the new head.
-      DECIBEL_RETURN_NOT_OK(append_winner(pk, cur_a, &buf_a));
-      continue;
-    }
-    bool a_changed;
-    DECIBEL_RETURN_NOT_OK(changed_since_lca(wa, pk, &cur_a, &a_changed));
-    if (!a_changed) {
-      // Changed only in 'from': materialize its version in the merged
-      // head so the result is independent of segment scan order.
-      result.diff_bytes += rs;
-      DECIBEL_RETURN_NOT_OK(append_winner(pk, cur_b, &buf_b));
-      ++result.merged_records;
-      continue;
-    }
-    // Changed on both sides (to different states).
-    result.diff_bytes += 2 * rs;
-    const bool a_deleted = absent(cur_a);
-    const bool b_deleted = absent(cur_b);
-    auto lit = wl.find(pk);
-    const Winner* base =
-        (lit == wl.end() || lit->second.tombstone) ? nullptr : &lit->second;
-    if (!IsThreeWay(policy) || a_deleted || b_deleted || base == nullptr) {
-      // Tuple-level precedence: two-way policy, delete-vs-modify, or a
-      // double insert with no base version (§2.2.3).
-      ++result.conflicts;
-      DECIBEL_RETURN_NOT_OK(
-          append_winner(pk, left_wins ? cur_a : cur_b, &buf_a));
-      ++result.merged_records;
-      continue;
-    }
-    DECIBEL_RETURN_NOT_OK(FetchRecord(cur_a->seg, cur_a->idx, &buf_a));
-    DECIBEL_RETURN_NOT_OK(FetchRecord(cur_b->seg, cur_b->idx, &buf_b));
-    DECIBEL_RETURN_NOT_OK(FetchRecord(base->seg, base->idx, &buf_l));
-    result.bytes_processed += 3 * rs;
-    const RecordRef rec_a(&schema_, buf_a);
-    const RecordRef rec_b(&schema_, buf_b);
-    const RecordRef rec_l(&schema_, buf_l);
-    FieldMergeOutcome outcome =
-        ThreeWayFieldMerge(schema_, rec_l, rec_a, rec_b, left_wins);
-    if (outcome.conflict) ++result.conflicts;
-    const Slice resolved = outcome.needs_new_record
-                               ? outcome.merged->data()
-                               : (outcome.keep_left ? Slice(buf_a)
-                                                    : Slice(buf_b));
-    if (outcome.needs_new_record) ++result.field_merges;
-    DECIBEL_RETURN_NOT_OK(
-        segments_[new_seg]->file->Append(resolved).status());
-    ++result.merged_records;
+  for (const ScanStep& step : ComputeScanOrder(root_l)) {
+    vis_l[step.seg] = step.bound;
+  }
+  for (const ScanStep& step : ComputeScanOrder(root_r)) {
+    vis_r[step.seg] = step.bound;
   }
 
-  head_seg_[into] = new_seg;
-  DECIBEL_RETURN_NOT_OK(CommitImpl(into, new_commit));
-  return result;
+  // pk -> the key's state at {left, right, base}; nullopt = not live.
+  // A side whose done flag never rises is absent (no visible version
+  // anywhere). The ordered map doubles as the ascending-pk emission
+  // order.
+  struct States {
+    std::optional<Record> l, r, b;
+    bool l_done = false, r_done = false, b_done = false;
+  };
+  std::map<int64_t, States> keys;
+
+  auto walk_suffix = [&](const Root& root, bool is_left) -> Status {
+    for (const ScanStep& step : ComputeScanOrder(root)) {
+      auto cov = coverage.find(step.seg);
+      const uint64_t lo = cov == coverage.end() ? 0 : cov->second;
+      if (lo >= step.bound) continue;  // fully covered by base
+      ReverseSegmentReader reader(segments_[step.seg]->file.get(), &schema_,
+                                  step.bound);
+      RecordRef rec;
+      uint64_t idx;
+      while (reader.Prev(&rec, &idx)) {
+        if (idx < lo) break;  // descended into the base-covered range
+        stats->bytes_processed += rs;
+        States& s = keys[rec.pk()];
+        bool& done = is_left ? s.l_done : s.r_done;
+        if (done) continue;  // first suffix hit wins (fact 2)
+        done = true;
+        if (!rec.tombstone()) {
+          (is_left ? s.l : s.r).emplace(&schema_, rec.data());
+        }
+      }
+      DECIBEL_RETURN_NOT_OK(reader.status());
+    }
+    return Status::OK();
+  };
+  DECIBEL_RETURN_NOT_OK(walk_suffix(root_l, /*is_left=*/true));
+  DECIBEL_RETURN_NOT_OK(walk_suffix(root_r, /*is_left=*/false));
+
+  // One base pass, filtered to the candidates, stopping as soon as every
+  // candidate is fully resolved. The first hit is the key's base state;
+  // the first hit *visible to a suffix-less side* is that side's state
+  // (fact 1). Candidates never seen are new inserts (absent at base).
+  size_t unresolved = keys.size();
+  auto visible = [](const std::unordered_map<uint32_t, uint64_t>& vis,
+                    uint32_t seg, uint64_t idx) {
+    auto it = vis.find(seg);
+    return it != vis.end() && idx < it->second;
+  };
+  for (const ScanStep& step : ComputeScanOrder(root_b)) {
+    if (unresolved == 0) break;
+    ReverseSegmentReader reader(segments_[step.seg]->file.get(), &schema_,
+                                step.bound);
+    RecordRef rec;
+    uint64_t idx;
+    while (unresolved != 0 && reader.Prev(&rec, &idx)) {
+      stats->bytes_processed += rs;
+      auto it = keys.find(rec.pk());
+      if (it == keys.end()) continue;
+      States& s = it->second;
+      if (s.b_done && s.l_done && s.r_done) continue;
+      if (!s.b_done) {
+        s.b_done = true;
+        if (!rec.tombstone()) s.b.emplace(&schema_, rec.data());
+      }
+      if (!s.l_done && visible(vis_l, step.seg, idx)) {
+        s.l_done = true;
+        if (!rec.tombstone()) s.l.emplace(&schema_, rec.data());
+      }
+      if (!s.r_done && visible(vis_r, step.seg, idx)) {
+        s.r_done = true;
+        if (!rec.tombstone()) s.r.emplace(&schema_, rec.data());
+      }
+      if (s.b_done && s.l_done && s.r_done) --unresolved;
+    }
+    DECIBEL_RETURN_NOT_OK(reader.status());
+  }
+
+  for (auto& [pk, s] : keys) {
+    MergeWalkItem item;
+    item.pk = pk;
+    std::optional<RecordRef> ref_l, ref_r, ref_b;
+    if (s.b.has_value()) {
+      ref_b.emplace(s.b->ref());
+      item.base = &*ref_b;
+    }
+    if (s.l.has_value()) {
+      ref_l.emplace(s.l->ref());
+      item.left = &*ref_l;
+    }
+    if (s.r.has_value()) {
+      ref_r.emplace(s.r->ref());
+      item.right = &*ref_r;
+    }
+    ++stats->keys_emitted;
+    DECIBEL_RETURN_NOT_OK(cb(item));
+  }
+  return Status::OK();
 }
 
 // -------------------------------------------------------------------- stats

@@ -12,18 +12,19 @@
 /// tables in a first pass (§3.3 Multi-branch Scan), which is where
 /// version-first pays its price on cross-version queries.
 ///
-/// Merge note: we record parent priority on the merged segment as the
-/// paper describes, and additionally *materialize* conflict resolutions
-/// (precedence winners or field-merged records) into the new head segment.
-/// Pure scan-order precedence cannot express "take the union of
-/// non-conflicting updates from both sides" in every topology, so the new
-/// head segment shadows exactly the conflicting keys; everything else is
-/// resolved by the children-before-parents scan order. See DESIGN.md.
+/// Merge note: merges are staged by the shared merge_spec.cc machinery
+/// over MergeWalk and executed as an ordinary WriteBatch against the
+/// 'into' head, which *materializes* every adopted or reconciled record
+/// (and tombstone) into the branch's own chain. Pure scan-order
+/// precedence cannot express "take the union of non-conflicting updates
+/// from both sides" in every topology, so materialization is what keeps
+/// the result independent of segment tie-breaks. Multi-parent segments
+/// written by older layouts are still scanned correctly. See DESIGN.md.
 ///
 /// Concurrency: appends go to per-branch head segments, so writers on
 /// disjoint branches share no segment file and proceed in parallel. The
 /// lock hierarchy is registry_mu_ (the segments_ vector and head_seg_ map
-/// shape; writers take it shared, CreateBranch/Merge/Flush — which grow
+/// shape; writers take it shared, CreateBranch/Flush — which grow
 /// the registry — take it unique) -> stripe locks (branch %
 /// write_stripes; the branch's head-segment tail) -> commit_mu_ (the
 /// commits_ map, a leaf). Cursors capture HeapFile pointers at open
@@ -66,8 +67,8 @@ class VersionFirstEngine : public StorageEngine {
   Result<Record> Get(BranchId branch, int64_t pk) override;
   Status Diff(BranchId a, BranchId b, DiffMode mode, const DiffCallback& pos,
               const DiffCallback& neg) override;
-  Result<MergeResult> Merge(BranchId into, BranchId from, CommitId lca,
-                            CommitId new_commit, MergePolicy policy) override;
+  Status MergeWalk(CommitId left, CommitId right, CommitId base,
+                   const MergeWalkCallback& cb, MergeWalkStats* stats) override;
 
   Status Flush() override;
   Status Checkpoint(const std::string& tag, bool sync) override;

@@ -297,6 +297,33 @@ Result<ExecResult> Interpreter::Execute(const std::string& statement) {
     }
     DECIBEL_RETURN_NOT_OK(stats.status());
     out << "(" << result.rows << " rows)";
+  } else if (verb == "DIFF" && tokens.size() >= 2 &&
+             Upper(tokens[1]) == "COMMIT") {
+    // Structured three-way diff between two commits: one line per key
+    // whose state differs, classified against the commits' common
+    // ancestor.
+    if (tokens.size() < 4) {
+      return Status::InvalidArgument("vquel: DIFF COMMIT <a> <b>");
+    }
+    int64_t a = 0, b = 0;
+    if (!ParseInt(tokens[2], &a) || !ParseInt(tokens[3], &b)) {
+      return Status::InvalidArgument("vquel: bad commit id");
+    }
+    DECIBEL_ASSIGN_OR_RETURN(
+        auto cursor,
+        db->DiffCommits(static_cast<CommitId>(a), static_cast<CommitId>(b)));
+    const MergeRow* row;
+    while ((row = cursor->Next()) != nullptr) {
+      const char* kind = row->change == MergeChangeKind::kAdd      ? "+"
+                         : row->change == MergeChangeKind::kDelete ? "-"
+                                                                   : "~";
+      out << kind << " " << row->pk;
+      if (row->conflict) out << "  [both sides changed]";
+      out << "\n";
+      ++result.rows;
+    }
+    DECIBEL_RETURN_NOT_OK(cursor->status());
+    out << "(" << result.rows << " differing keys)";
   } else if (verb == "DIFF") {
     if (tokens.size() < 3) {
       return Status::InvalidArgument("vquel: DIFF needs two branches");
@@ -452,25 +479,55 @@ Result<ExecResult> Interpreter::Execute(const std::string& statement) {
     }
     DECIBEL_ASSIGN_OR_RETURN(BranchId into, ResolveBranch(db, tokens[1]));
     DECIBEL_ASSIGN_OR_RETURN(BranchId from, ResolveBranch(db, tokens[2]));
-    MergePolicy policy = MergePolicy::kThreeWayLeft;
     bool three_way = true;
     bool left = true;
+    bool preview = false;
+    MergeResolution resolution = MergeResolution::kPolicy;
     for (size_t i = 3; i < tokens.size(); ++i) {
       const std::string flag = Upper(tokens[i]);
       if (flag == "TWOWAY") three_way = false;
       if (flag == "THREEWAY") three_way = true;
       if (flag == "LEFT") left = true;
       if (flag == "RIGHT") left = false;
+      if (flag == "OURS") resolution = MergeResolution::kOurs;
+      if (flag == "THEIRS") resolution = MergeResolution::kTheirs;
+      if (flag == "LATEST") resolution = MergeResolution::kLatestWins;
+      if (flag == "PREVIEW") preview = true;
     }
-    policy = three_way
-                 ? (left ? MergePolicy::kThreeWayLeft
-                         : MergePolicy::kThreeWayRight)
-                 : (left ? MergePolicy::kTwoWayLeft
-                         : MergePolicy::kTwoWayRight);
-    DECIBEL_ASSIGN_OR_RETURN(MergeInfo info, db->Merge(into, from, policy));
-    out << "merge commit " << info.commit << ", "
-        << info.result.merged_records << " records merged, "
-        << info.result.conflicts << " conflicts";
+    const MergePolicy policy =
+        three_way ? (left ? MergePolicy::kThreeWayLeft
+                          : MergePolicy::kThreeWayRight)
+                  : (left ? MergePolicy::kTwoWayLeft
+                          : MergePolicy::kTwoWayRight);
+    const MergeSpec spec =
+        MergeSpec::Branches(into, from).WithPolicy(policy).Resolve(resolution);
+    if (preview) {
+      // Dry run: stream the per-key outcomes, commit nothing.
+      DECIBEL_ASSIGN_OR_RETURN(auto cursor, db->PreviewMerge(spec));
+      const MergeRow* row;
+      while ((row = cursor->Next()) != nullptr) {
+        const char* kind = row->change == MergeChangeKind::kAdd      ? "+"
+                           : row->change == MergeChangeKind::kUpdate ? "~"
+                           : row->change == MergeChangeKind::kDelete ? "-"
+                                                                     : "=";
+        out << kind << " " << row->pk;
+        if (row->conflict) {
+          out << "  [conflict" << (row->field_merge ? ", field-merged" : "")
+              << "]";
+        }
+        out << "\n";
+        ++result.rows;
+      }
+      DECIBEL_RETURN_NOT_OK(cursor->status());
+      out << "(preview: " << cursor->stats().merged_records
+          << " records would merge, " << cursor->stats().conflicts
+          << " conflicts)";
+    } else {
+      DECIBEL_ASSIGN_OR_RETURN(MergeInfo info, db->Merge(spec));
+      out << "merge commit " << info.commit << ", "
+          << info.result.merged_records << " records merged, "
+          << info.result.conflicts << " conflicts";
+    }
   } else if (verb == "BRANCHES") {
     for (const BranchInfo& b : db->graph().branches()) {
       out << b.id << "  " << b.name << "  head=" << b.head

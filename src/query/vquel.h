@@ -18,6 +18,10 @@
 ///   SCAN <branch> [WHERE <col> <op> <int>]
 ///   SCAN COMMIT <id> [WHERE ...]
 ///   DIFF <a> <b>                      -- positive diff, Q2
+///   DIFF COMMIT <a> <b>               -- structured three-way diff: one
+///                                        +/-/~ line per differing key,
+///                                        classified against the commits'
+///                                        common ancestor
 ///   JOIN <a> <b> [WHERE ...]          -- pk join, Q3
 ///   HEADS [WHERE ...]                 -- all-heads scan, Q4
 ///   INSERT <branch> <pk> <v1> [<v2> ...]
@@ -29,6 +33,9 @@
 ///   BRANCH <name> FROM <branch>
 ///   COMMIT <branch>                   -- version snapshot of a branch
 ///   MERGE <into> <from> [TWOWAY|THREEWAY] [LEFT|RIGHT]
+///         [OURS|THEIRS|LATEST]        -- conflict resolution override
+///         [PREVIEW]                   -- dry run: stream per-key
+///                                        outcomes, commit nothing
 ///   BRANCHES                          -- list branches
 ///   LOG <branch>                      -- list commits of a branch
 ///

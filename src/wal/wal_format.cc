@@ -148,6 +148,7 @@ void EncodeMergeBody(std::string* dst, const MergeBody& b) {
   dst->push_back(static_cast<char>(b.policy));
   PutVarint32(dst, static_cast<uint32_t>(b.parents.size()));
   for (CommitId p : b.parents) PutVarint64(dst, p);
+  dst->append(b.batch_body);  // trailing bytes: the staged batch
 }
 
 Status DecodeMergeBody(Slice body, MergeBody* out) {
@@ -168,6 +169,10 @@ Status DecodeMergeBody(Slice body, MergeBody* out) {
       return Status::Corruption("WAL merge record: truncated parents");
     }
   }
+  // Whatever follows the parents is the staged batch (absent in records
+  // written before merges carried their batch; DecodeBatchBody rejects
+  // an empty body, which replay treats as a malformed record).
+  out->batch_body.assign(body.data(), body.size());
   return Status::OK();
 }
 

@@ -97,9 +97,11 @@ struct BranchBody {
 void EncodeBranchBody(std::string* dst, const BranchBody& b);
 Status DecodeBranchBody(Slice body, BranchBody* out);
 
-/// kMerge body: the merge inputs plus the graph parents of the merge
-/// commit, so replay re-runs the engine merge deterministically and
-/// re-registers the commit without recomputing heads.
+/// kMerge body: the merge inputs, the graph parents of the merge commit,
+/// and the *resolved* write batch the merge staged (a kBatch body for
+/// the 'into' branch as trailing bytes). Replay re-registers the commit
+/// and applies the carried batch — no merge re-execution, so recovery is
+/// deterministic even for callback-resolved merges.
 struct MergeBody {
   BranchId into = kInvalidBranch;
   BranchId from = kInvalidBranch;
@@ -107,6 +109,9 @@ struct MergeBody {
   CommitId commit = kInvalidCommit;
   MergePolicy policy = MergePolicy::kTwoWayLeft;
   std::vector<CommitId> parents;
+  /// The staged ops, encoded with EncodeBatchBody (decode with
+  /// DecodeBatchBody against the database schema).
+  std::string batch_body;
 };
 void EncodeMergeBody(std::string* dst, const MergeBody& b);
 Status DecodeMergeBody(Slice body, MergeBody* out);

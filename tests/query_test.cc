@@ -399,6 +399,52 @@ TEST_F(VquelTest, BranchDiffMergeFlow) {
   EXPECT_NE(out.find("(2 rows)"), std::string::npos);
 }
 
+TEST_F(VquelTest, MergePreviewAndResolutions) {
+  Exec("INSERT master 1 10 20");
+  Exec("INSERT master 2 11 21");
+  Exec("COMMIT master");
+  Exec("BRANCH dev FROM master");
+  Exec("UPDATE master 1 100 20");
+  Exec("UPDATE dev 1 500 20");  // conflicting update
+  Exec("INSERT dev 3 50 60");   // clean right-side add
+
+  // PREVIEW streams per-key outcomes and commits nothing.
+  const std::string preview = Exec("MERGE master dev PREVIEW");
+  EXPECT_NE(preview.find("[conflict"), std::string::npos);
+  EXPECT_NE(preview.find("+ 3"), std::string::npos);
+  EXPECT_NE(preview.find("1 conflicts)"), std::string::npos);
+  EXPECT_NE(Exec("SCAN master").find("(2 rows)"), std::string::npos);
+
+  // THEIRS resolves the conflict to the from-side.
+  Exec("MERGE master dev THEIRS");
+  const std::string merged = Exec("SCAN master");
+  EXPECT_NE(merged.find("1 | 500 | 20"), std::string::npos);
+  EXPECT_NE(merged.find("3 | 50 | 60"), std::string::npos);
+  EXPECT_NE(merged.find("(3 rows)"), std::string::npos);
+}
+
+TEST_F(VquelTest, DiffCommitClassifiesKeys) {
+  Exec("INSERT master 1 10 20");
+  Exec("INSERT master 2 11 21");
+  const std::string base = Exec("COMMIT master");
+  Exec("BRANCH dev FROM master");
+  Exec("UPDATE dev 1 99 20");
+  Exec("DELETE dev 2");
+  Exec("INSERT dev 3 50 60");
+  const std::string a = Exec("COMMIT master");
+  const std::string b = Exec("COMMIT dev");
+  const CommitId ca = std::stoull(a.substr(a.rfind(' ') + 1));
+  const CommitId cb = std::stoull(b.substr(b.rfind(' ') + 1));
+  const std::string out = Exec("DIFF COMMIT " + std::to_string(ca) + " " +
+                               std::to_string(cb));
+  EXPECT_NE(out.find("~ 1"), std::string::npos);
+  EXPECT_NE(out.find("- 2"), std::string::npos);  // live left, gone right
+  EXPECT_NE(out.find("+ 3"), std::string::npos);
+  EXPECT_NE(out.find("(3 differing keys)"), std::string::npos);
+  EXPECT_FALSE(vquel::Execute(db_.get(), "DIFF COMMIT 1").ok());
+  EXPECT_FALSE(vquel::Execute(db_.get(), "DIFF COMMIT x y").ok());
+}
+
 TEST_F(VquelTest, HeadsAndMetadata) {
   Exec("INSERT master 1 1 1");
   Exec("BRANCH dev FROM master");

@@ -279,7 +279,9 @@ TEST(WalFormatTest, BodyRoundTrips) {
   EXPECT_FALSE(br_out.at_head);
   EXPECT_EQ(br_out.head, 19u);
 
-  wal::MergeBody mg{1, 2, 30, 31, MergePolicy::kThreeWayLeft, {29, 30}};
+  std::string staged;
+  wal::EncodeBatchBody(&staged, /*branch=*/1, batch);
+  wal::MergeBody mg{1, 2, 30, 31, MergePolicy::kThreeWayLeft, {29, 30}, staged};
   body.clear();
   wal::EncodeMergeBody(&body, mg);
   wal::MergeBody mg_out;
@@ -290,6 +292,15 @@ TEST(WalFormatTest, BodyRoundTrips) {
   EXPECT_EQ(mg_out.commit, 31u);
   EXPECT_EQ(mg_out.policy, MergePolicy::kThreeWayLeft);
   EXPECT_EQ(mg_out.parents, (std::vector<CommitId>{29, 30}));
+  // The trailing bytes — the staged batch — survive the round trip and
+  // decode back to the original ops.
+  EXPECT_EQ(mg_out.batch_body, staged);
+  WriteBatch staged_out(&schema);
+  BranchId staged_branch = kInvalidBranch;
+  ASSERT_OK(wal::DecodeBatchBody(Slice(mg_out.batch_body), &staged_branch,
+                                 &staged_out));
+  EXPECT_EQ(staged_branch, 1u);
+  EXPECT_EQ(staged_out.size(), 3u);
 }
 
 TEST(WalWriterTest, AppendReadRoundTripAndRoll) {
@@ -525,6 +536,58 @@ TEST_P(RecoveryTest, CrashConsistentCopyReplaysWal) {
                        db->graph().FindBranchByName("side"));
   EXPECT_EQ(side_again, side);
   EXPECT_FALSE(db->IsDirty(side));
+}
+
+TEST_P(RecoveryTest, MergeInWalTailReplaysCarriedBatch) {
+  // A merge whose kMerge record sits in the WAL tail (crash after the
+  // merge, before any checkpoint) must replay to the exact merged state.
+  // The record carries the *resolved* batch, so replay applies it without
+  // re-running the merge — a callback-resolved merge recovers bit-exact
+  // even though the callback itself no longer exists at recovery time.
+  ScratchDir dir("recov_merge");
+  ScratchDir crash("recov_merge_copy");
+  BranchId dev = kInvalidBranch;
+  {
+    ASSERT_OK_AND_ASSIGN(auto db, OpenDb(dir.path()));
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_OK(db->InsertInto(kMasterBranch, MakeRecord(db->schema(), i, i)));
+    }
+    ASSERT_OK_AND_ASSIGN(CommitId base, db->CommitBranch(kMasterBranch));
+    ASSERT_OK_AND_ASSIGN(dev, db->BranchAt("dev", base));
+    // dev: update pk1, delete pk2, insert pk40. master: update pk1 too,
+    // so the merge has a genuine conflict for the callback to decide.
+    ASSERT_OK(db->UpdateIn(dev, MakeRecord(db->schema(), 1, 111)));
+    ASSERT_OK(db->DeleteFrom(dev, 2));
+    ASSERT_OK(db->InsertInto(dev, MakeRecord(db->schema(), 40, 44)));
+    ASSERT_OK(db->UpdateIn(kMasterBranch, MakeRecord(db->schema(), 1, 999)));
+    const MergeSpec spec =
+        MergeSpec::Branches(kMasterBranch, dev)
+            .OnConflict([&](const MergeConflict& c) {
+              // Resolve the pk-1 conflict to a value neither side holds:
+              // only the carried batch can reproduce it at replay.
+              return ConflictResolution::Custom(
+                  MakeRecord(db->schema(), c.pk, 555));
+            });
+    ASSERT_OK_AND_ASSIGN(MergeInfo info, db->Merge(spec));
+    EXPECT_EQ(info.result.conflicts, 1u);
+    // Snapshot with the db still open: the merge exists only in the WAL.
+    ASSERT_OK(CopyDirRecursive(dir.path(), crash.path()));
+  }
+
+  ASSERT_OK_AND_ASSIGN(auto db, ReopenDb(crash.path()));
+  auto master = CollectBranch(db.get(), kMasterBranch);
+  EXPECT_EQ(master[1], 555);       // callback's custom record
+  EXPECT_EQ(master.count(2), 0u);  // dev's delete adopted
+  EXPECT_EQ(master[40], 44);       // dev's insert adopted
+  EXPECT_EQ(master.size(), 10u);   // 10 - pk2 + pk40
+  // The merge commit survives with both parents.
+  ASSERT_OK_AND_ASSIGN(CommitInfo head,
+                       db->graph().GetCommit(db->graph().Head(kMasterBranch)));
+  EXPECT_EQ(head.parents.size(), 2u);
+  // The recovered db keeps working: scan dev and write master.
+  EXPECT_EQ(CollectBranch(db.get(), dev).size(), 10u);
+  ASSERT_OK(db->InsertInto(kMasterBranch, MakeRecord(db->schema(), 50, 5)));
+  ASSERT_OK(db->CommitBranch(kMasterBranch).status());
 }
 
 TEST_P(RecoveryTest, TornWalTailLosesOnlyTheTornSuffix) {
