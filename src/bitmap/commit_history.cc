@@ -79,6 +79,12 @@ Result<std::unique_ptr<CommitHistory>> CommitHistory::Open(
 
 Status CommitHistory::WriteRecord(uint8_t layer, uint64_t seq, uint64_t nbits,
                                   Slice payload) {
+  if (!writer_.has_value()) {
+    // Handles were released (retired branch); reopen in append mode.
+    DECIBEL_ASSIGN_OR_RETURN(WritableFile w, WritableFile::Open(path_, false));
+    writer_.emplace(std::move(w));
+    released_ = false;
+  }
   std::string header;
   header.push_back(static_cast<char>(layer));
   PutVarint64(&header, seq);
@@ -179,7 +185,13 @@ Result<Bitmap> CommitHistory::Checkout(uint64_t seq) const {
   }
   const size_t pos = static_cast<size_t>(it - layer0_.begin()) - 1;
   std::string bytes;
-  DECIBEL_RETURN_NOT_OK(ReplayTo(pos, &bytes));
+  Status replayed = ReplayTo(pos, &bytes);
+  // Released histories (rolled-away heads, retired branches) are read by
+  // every merge that replays an old commit; caching their reader would
+  // re-pin one fd per history and grow without bound under branch churn.
+  // Keep the reader for the duration of one checkout only.
+  if (released_) reader_.reset();
+  DECIBEL_RETURN_NOT_OK(replayed);
   return Bitmap::FromBytes(bytes, layer0_[pos].nbits);
 }
 
@@ -190,12 +202,29 @@ bool CommitHistory::HasCommitAtOrBefore(uint64_t seq) const {
 
 uint64_t CommitHistory::SizeBytes() const {
   std::lock_guard<std::mutex> guard(mu_);
-  return writer_.has_value() ? writer_->Size() : 0;
+  return writer_.has_value() ? writer_->Size() : released_size_;
 }
 
 Status CommitHistory::Sync() {
   std::lock_guard<std::mutex> guard(mu_);
-  return writer_.has_value() ? writer_->Sync() : Status::OK();
+  if (writer_.has_value()) return writer_->Sync();
+  if (!released_) return Status::OK();
+  // Released handles: records were flushed when written, so a transient
+  // descriptor suffices to make them durable.
+  DECIBEL_ASSIGN_OR_RETURN(WritableFile f, WritableFile::Open(path_, false));
+  return f.Sync();
+}
+
+Status CommitHistory::ReleaseFileHandles() {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (writer_.has_value()) {
+    released_size_ = writer_->Size();
+    DECIBEL_RETURN_NOT_OK(writer_->Close());
+    writer_.reset();
+    released_ = true;
+  }
+  reader_.reset();
+  return Status::OK();
 }
 
 }  // namespace decibel

@@ -79,6 +79,13 @@ class CommitHistory {
 
   /// fdatasyncs the file so every appended record survives a power loss.
   Status Sync();
+
+  /// Closes the writer and reader descriptors without losing any state:
+  /// the in-memory index stays, appends lazily reopen the writer, reads
+  /// lazily reopen the reader, and Sync() reopens transiently. Used when
+  /// a branch is retired so its histories stop pinning fds.
+  Status ReleaseFileHandles();
+
   const std::string& path() const { return path_; }
 
  private:
@@ -114,6 +121,11 @@ class CommitHistory {
   std::vector<Entry> layer0_;
   // layer1_[i] covers layer-0 records [0, (i+1)*composite_every).
   std::vector<Entry> layer1_;
+
+  /// Set while the write handle is released: SizeBytes answers from the
+  /// size captured at release, Sync syncs through a transient descriptor.
+  uint64_t released_size_ = 0;
+  bool released_ = false;
 
   // Writer state.
   std::string last_bytes_;        // raw bitmap bytes at the last commit

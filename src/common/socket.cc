@@ -1,0 +1,173 @@
+#include "common/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace decibel {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + strerror(errno));
+}
+
+Status MakeAddr(const std::string& host, uint16_t port, sockaddr_in* addr) {
+  memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr->sin_addr) != 1) {
+    return Status::InvalidArgument("bad IPv4 address '" + host + "'");
+  }
+  return Status::OK();
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+Socket::~Socket() { Close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Socket> Socket::Listen(const std::string& host, uint16_t port,
+                              int backlog) {
+  sockaddr_in addr;
+  DECIBEL_RETURN_NOT_OK(MakeAddr(host, port, &addr));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  Socket sock(fd);
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Errno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd, backlog) != 0) return Errno("listen");
+  return sock;
+}
+
+Result<Socket> Socket::Connect(const std::string& host, uint16_t port) {
+  sockaddr_in addr;
+  DECIBEL_RETURN_NOT_OK(MakeAddr(host, port, &addr));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  Socket sock(fd);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Errno("connect " + host + ":" + std::to_string(port));
+  }
+  SetNoDelay(fd);
+  return sock;
+}
+
+Result<Socket> Socket::Accept() {
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::Aborted("no pending connection");
+    }
+    return Errno("accept");
+  }
+  Socket sock(fd);
+  SetNoDelay(fd);
+  return sock;
+}
+
+Status Socket::SendAll(Slice data, int timeout_ms) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Non-blocking socket with a full send buffer: wait for writability
+      // rather than spinning, but never forever unless asked to.
+      pollfd pfd;
+      pfd.fd = fd_;
+      pfd.events = POLLOUT;
+      pfd.revents = 0;
+      const int r = ::poll(&pfd, 1, timeout_ms);
+      if (r < 0 && errno != EINTR) return Errno("poll(POLLOUT)");
+      if (r == 0) return Status::IOError("send timed out (slow peer)");
+      continue;
+    }
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+Result<size_t> Socket::Recv(char* buf, size_t n, bool* would_block) {
+  if (would_block != nullptr) *would_block = false;
+  for (;;) {
+    const ssize_t r = ::recv(fd_, buf, n, 0);
+    if (r >= 0) return static_cast<size_t>(r);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (would_block != nullptr) {
+        *would_block = true;
+        return static_cast<size_t>(0);
+      }
+      return Status::IOError("recv timed out");
+    }
+    return Errno("recv");
+  }
+}
+
+Status Socket::SetNonBlocking(bool on) {
+  const int flags = fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (fcntl(fd_, F_SETFL, want) != 0) return Errno("fcntl(F_SETFL)");
+  return Status::OK();
+}
+
+Status Socket::SetRecvTimeout(int timeout_ms) {
+  timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  if (setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt(SO_RCVTIMEO)");
+  }
+  return Status::OK();
+}
+
+Result<uint16_t> Socket::local_port() const {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+}  // namespace decibel

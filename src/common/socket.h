@@ -1,0 +1,80 @@
+#ifndef DECIBEL_COMMON_SOCKET_H_
+#define DECIBEL_COMMON_SOCKET_H_
+
+/// \file socket.h
+/// Status-returning TCP socket wrappers, the network sibling of io.h's
+/// file handles. The net/ subsystem (wire protocol, server, client) does
+/// all of its I/O through this layer so connection failures surface as
+/// ordinary Status values: a peer that vanishes mid-frame is IOError,
+/// never a crash or a hang.
+///
+/// Sockets are IPv4 TCP with TCP_NODELAY set (the wire protocol sends
+/// small request/response frames; Nagle would serialize the agentic
+/// workload's fork/write/merge round-trips). Sends suppress SIGPIPE so a
+/// reset connection is a return value, not a process signal.
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace decibel {
+
+/// An RAII TCP socket (connected stream or listener). Movable, not
+/// copyable; the descriptor closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  ~Socket();
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+
+  /// Binds and listens on \p host:\p port. Port 0 binds an ephemeral
+  /// port; read it back with local_port(). SO_REUSEADDR is set so CI
+  /// restarts do not trip over TIME_WAIT.
+  static Result<Socket> Listen(const std::string& host, uint16_t port,
+                               int backlog = 128);
+
+  /// Connects to \p host:\p port (blocking).
+  static Result<Socket> Connect(const std::string& host, uint16_t port);
+
+  /// Accepts one pending connection on a listener.
+  Result<Socket> Accept();
+
+  /// Writes all of \p data. On a non-blocking socket, waits (poll) for
+  /// writability between partial writes, up to \p timeout_ms per wait
+  /// (-1 = forever). IOError on reset/closed peers and on timeout.
+  Status SendAll(Slice data, int timeout_ms = -1);
+
+  /// Reads up to \p n bytes into \p buf. Returns 0 when the peer closed
+  /// the connection cleanly; IOError on reset. On a non-blocking socket
+  /// with no data ready, sets *would_block and returns 0 bytes (passing
+  /// no would_block treats EAGAIN as an IOError).
+  Result<size_t> Recv(char* buf, size_t n, bool* would_block = nullptr);
+
+  /// Switches O_NONBLOCK (the server's poll loop reads non-blocking).
+  Status SetNonBlocking(bool on);
+
+  /// Sets SO_RCVTIMEO so blocking reads fail with IOError("timed out")
+  /// instead of hanging forever (client-side safety net).
+  Status SetRecvTimeout(int timeout_ms);
+
+  /// The locally bound port (listener or connected socket).
+  Result<uint16_t> local_port() const;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+
+ private:
+  explicit Socket(int fd) : fd_(fd) {}
+  int fd_ = -1;
+};
+
+}  // namespace decibel
+
+#endif  // DECIBEL_COMMON_SOCKET_H_

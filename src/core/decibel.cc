@@ -352,7 +352,7 @@ Status Decibel::ApplyWalRecord(const wal::FrameView& frame) {
       DECIBEL_RETURN_NOT_OK(wal::DecodeBatchBody(frame.body, &branch, &batch));
       const Status applied = engine_->ApplyBatch(branch, batch);
       if (applied.ok()) {
-        dirty_.insert(branch);
+        dirty_[branch] += batch.size();
         return Status::OK();
       }
       if (applied.IsNotFound() || applied.IsInvalidArgument()) {
@@ -411,6 +411,14 @@ Status Decibel::ApplyWalRecord(const wal::FrameView& frame) {
         return Status::OK();
       }
       return applied;
+    }
+    case wal::RecordType::kRetire: {
+      BranchId branch = kInvalidBranch;
+      DECIBEL_RETURN_NOT_OK(wal::DecodeRetireBody(frame.body, &branch));
+      if (graph_.HasBranch(branch)) graph_.SetActive(branch, false);
+      dirty_.erase(branch);
+      DECIBEL_RETURN_NOT_OK(engine_->ReleaseBranch(branch));
+      return Status::OK();
     }
   }
   return Status::Corruption("unknown WAL record type " +
@@ -578,8 +586,20 @@ Result<CommitId> Decibel::CommitLocked(BranchId branch) {
     DECIBEL_RETURN_NOT_OK(LogWal(wal::RecordType::kCommit, body));
   }
   DECIBEL_RETURN_NOT_OK(engine_->Commit(branch, commit));
-  dirty_.erase(branch);
+  uint64_t ops = 0;
+  if (auto it = dirty_.find(branch); it != dirty_.end()) {
+    ops = it->second;
+    dirty_.erase(it);
+  }
   DECIBEL_RETURN_NOT_OK(PersistGraph());
+  CommitEvent event;
+  event.branch = branch;
+  if (Result<BranchInfo> info = graph_.GetBranch(branch); info.ok()) {
+    event.branch_name = info->name;
+  }
+  event.commit = commit;
+  event.records = ops;
+  publisher_.Publish(std::move(event));
   return commit;
 }
 
@@ -647,6 +667,40 @@ Result<BranchId> Decibel::BranchAt(const std::string& name, CommitId commit) {
       engine_->CreateBranch(child, info.branch, commit, at_head));
   DECIBEL_RETURN_NOT_OK(PersistGraph());
   return child;
+}
+
+Status Decibel::RetireBranch(BranchId branch) {
+  if (branch == kMasterBranch) {
+    return Status::InvalidArgument("cannot retire master");
+  }
+  std::shared_lock<std::shared_mutex> barrier(checkpoint_mu_,
+                                              std::defer_lock);
+  if (durable()) barrier.lock();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!graph_.HasBranch(branch)) {
+    return Status::NotFound("no branch " + std::to_string(branch));
+  }
+  DECIBEL_ASSIGN_OR_RETURN(BranchInfo info, graph_.GetBranch(branch));
+  if (!info.active) {
+    return Status::InvalidArgument("branch " + std::to_string(branch) +
+                                   " is already retired");
+  }
+  if (durable()) {
+    std::string body;
+    wal::EncodeRetireBody(&body, branch);
+    DECIBEL_RETURN_NOT_OK(LogWal(wal::RecordType::kRetire, body));
+  }
+  // Retirement is soft: the branch's commits stay merge-able ancestors
+  // and its storage stays shared (§4 — deltas are never reclaimed per
+  // branch), but it drops out of ActiveBranches / HEADS scans. Any ops
+  // staged but never committed are abandoned with it.
+  graph_.SetActive(branch, false);
+  dirty_.erase(branch);
+  // Drop the file descriptors the branch pinned (head segment, commit
+  // histories) — under agentic fork/merge/retire churn the held handles
+  // otherwise accumulate until the process hits its descriptor limit.
+  DECIBEL_RETURN_NOT_OK(engine_->ReleaseBranch(branch));
+  return PersistGraph();
 }
 
 Status Decibel::LogBranchCreation(BranchId child, const std::string& name,
@@ -727,6 +781,15 @@ Result<MergeInfo> Decibel::Merge(const MergeSpec& spec) {
   DECIBEL_RETURN_NOT_OK(engine_->Commit(spec.into, commit));
   dirty_.erase(spec.into);
   DECIBEL_RETURN_NOT_OK(PersistGraph());
+  CommitEvent event;
+  event.branch = spec.into;
+  if (Result<BranchInfo> binfo = graph_.GetBranch(spec.into); binfo.ok()) {
+    event.branch_name = binfo->name;
+  }
+  event.commit = commit;
+  event.records = plan.batch.size();
+  event.merge = true;
+  publisher_.Publish(std::move(event));
   MergeInfo info;
   info.commit = commit;
   info.result = plan.result;
@@ -805,7 +868,7 @@ Status Decibel::ApplyBatchLocked(BranchId branch, const WriteBatch& batch) {
   }
   DECIBEL_RETURN_NOT_OK(engine_->ApplyBatch(branch, batch));
   std::lock_guard<std::mutex> lock(mu_);
-  dirty_.insert(branch);
+  dirty_[branch] += batch.size();
   return Status::OK();
 }
 
@@ -858,6 +921,55 @@ Status Decibel::DeleteFrom(BranchId branch, int64_t pk) {
 bool Decibel::IsDirty(BranchId branch) const {
   std::lock_guard<std::mutex> lock(mu_);
   return dirty_.count(branch) != 0;
+}
+
+bool Decibel::HasBranch(BranchId branch) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return graph_.HasBranch(branch);
+}
+
+Result<BranchId> Decibel::FindBranchByName(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return graph_.FindBranchByName(name);
+}
+
+std::vector<BranchInfo> Decibel::ListBranches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return graph_.branches();
+}
+
+CommitId Decibel::Head(BranchId branch) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return graph_.Head(branch);
+}
+
+Result<CommitInfo> Decibel::GetCommit(CommitId commit) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return graph_.GetCommit(commit);
+}
+
+DecibelStats Decibel::Stats() const {
+  DecibelStats stats;
+  stats.engine = engine_->Stats();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.branches = graph_.num_branches();
+    stats.active_branches = graph_.ActiveBranches().size();
+    stats.commits = graph_.num_commits();
+  }
+  stats.durable = durable();
+  if (stats.durable) {
+    // Writer counters and the manifest generation move under
+    // checkpoint_mu_ unique; shared is enough for a consistent read.
+    std::shared_lock<std::shared_mutex> barrier(checkpoint_mu_);
+    stats.wal_bytes_appended = wal_->bytes_appended();
+    stats.wal_segment_seq = wal_->segment_seq();
+    stats.wal_last_lsn = wal_->last_lsn();
+    stats.checkpoint_generation = manifest_.version;
+  }
+  stats.subscriptions = publisher_.num_subscriptions();
+  stats.events_published = publisher_.events_published();
+  return stats;
 }
 
 // ------------------------------------------------------------------ queries

@@ -50,9 +50,10 @@
 #include <mutex>
 #include <shared_mutex>
 #include <string>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
+#include "core/publisher.h"
 #include "engine/engine.h"
 #include "txn/lock_guard.h"
 #include "txn/lock_manager.h"
@@ -126,6 +127,28 @@ class Session {
 struct MergeInfo {
   CommitId commit = kInvalidCommit;
   MergeResult result;
+};
+
+/// One aggregated view of the whole database: the engine's physical
+/// numbers, the version graph's logical ones, and the durability
+/// subsystem's WAL/checkpoint progress. Served by Decibel::Stats() and —
+/// over the wire — by the VQuel INFO statement (the server's health
+/// endpoint).
+struct DecibelStats {
+  EngineStats engine;
+  uint64_t branches = 0;
+  uint64_t active_branches = 0;
+  uint64_t commits = 0;
+  bool durable = false;
+  /// WAL frame bytes appended over this process's writer lifetime.
+  uint64_t wal_bytes_appended = 0;
+  /// Current WAL segment sequence number (segments created so far).
+  uint64_t wal_segment_seq = 0;
+  uint64_t wal_last_lsn = 0;
+  uint64_t checkpoint_generation = 0;
+  /// Commit-subscription counters (core/publisher.h).
+  uint64_t subscriptions = 0;
+  uint64_t events_published = 0;
 };
 
 class Decibel;
@@ -247,6 +270,14 @@ class Decibel {
   Result<CommitId> Commit(Session* session);
   Result<CommitId> CommitBranch(BranchId branch);
 
+  /// Retires \p branch: it stops appearing in HEADS scans and
+  /// ActiveBranches, ending its line of development (§4.1's branch
+  /// lifetime). Its commits and data stay readable by id. Master cannot
+  /// be retired. The agentic many-branch workload's "delete branch" —
+  /// physical storage is shared across branches and is never reclaimed
+  /// per-branch.
+  Status RetireBranch(BranchId branch);
+
   /// Merges \p from into \p into; the merge commit becomes the new head
   /// of \p into (§2.2.3 Merge).
   Result<MergeInfo> Merge(BranchId into, BranchId from, MergePolicy policy);
@@ -338,6 +369,25 @@ class Decibel {
   LockManager* lock_manager() { return &locks_; }
   /// True if \p branch has modifications not yet captured by a commit.
   bool IsDirty(BranchId branch) const;
+
+  // The bare graph() accessor above is unsynchronized — fine for
+  // single-threaded callers, but concurrent sessions (the net server,
+  // multiple interpreters over one facade) must read branch/commit
+  // metadata through these, which take the same lock writers hold
+  // while mutating the graph.
+  bool HasBranch(BranchId branch) const;
+  Result<BranchId> FindBranchByName(const std::string& name) const;
+  std::vector<BranchInfo> ListBranches() const;
+  CommitId Head(BranchId branch) const;
+  Result<CommitInfo> GetCommit(CommitId commit) const;
+
+  /// Every commit and merge is published here; subscribe per branch to
+  /// watch it (the net server's SUBSCRIBE). Delivery is asynchronous, in
+  /// commit order, covering commits made after Subscribe returns.
+  CommitPublisher* publisher() { return &publisher_; }
+
+  /// Aggregated engine + version-graph + WAL/checkpoint statistics.
+  DecibelStats Stats() const;
 
   /// In durable mode, Flush() runs a full checkpoint (CheckpointNow).
   Status Flush();
@@ -438,8 +488,13 @@ class Decibel {
   wal::ManifestData manifest_;
 
   mutable std::mutex mu_;  // guards graph_, dirty_, id counter
-  std::unordered_set<BranchId> dirty_;
+  /// Branches with uncommitted changes → ops staged since their last
+  /// commit (the record count carried by commit notifications).
+  std::unordered_map<BranchId, uint64_t> dirty_;
   uint64_t next_id_ = 1;
+
+  /// Commit/merge event hub; its own (leaf) mutex, safe under mu_.
+  CommitPublisher publisher_;
 };
 
 }  // namespace decibel

@@ -1,0 +1,94 @@
+#include "core/publisher.h"
+
+#include <utility>
+#include <vector>
+
+namespace decibel {
+
+CommitPublisher::~CommitPublisher() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+uint64_t CommitPublisher::Subscribe(BranchId branch, CommitListener listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t token = next_token_++;
+  subs_[token] = Subscription{branch, std::move(listener)};
+  EnsureThreadLocked();
+  return token;
+}
+
+void CommitPublisher::Unsubscribe(uint64_t token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  subs_.erase(token);
+}
+
+void CommitPublisher::Publish(CommitEvent event) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bool wanted = false;
+    for (const auto& [token, sub] : subs_) {
+      if (sub.branch == event.branch) {
+        wanted = true;
+        break;
+      }
+    }
+    if (!wanted) return;  // nobody is watching this branch
+    queue_.push_back(std::move(event));
+    ++published_;
+  }
+  cv_.notify_one();
+}
+
+void CommitPublisher::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [this] { return queue_.empty() && !dispatching_; });
+}
+
+uint64_t CommitPublisher::num_subscriptions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return subs_.size();
+}
+
+uint64_t CommitPublisher::events_published() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return published_;
+}
+
+void CommitPublisher::EnsureThreadLocked() {
+  if (!dispatcher_.joinable()) {
+    dispatcher_ = std::thread([this] { DispatchLoop(); });
+  }
+}
+
+void CommitPublisher::DispatchLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;  // stop after draining queued events
+      continue;
+    }
+    const CommitEvent event = std::move(queue_.front());
+    queue_.pop_front();
+    // Snapshot the matching listeners so callbacks run without mu_ —
+    // they may Subscribe/Unsubscribe (a server session resubscribing)
+    // without deadlocking. dispatching_ keeps Drain honest meanwhile.
+    std::vector<CommitListener> targets;
+    for (const auto& [token, sub] : subs_) {
+      if (sub.branch == event.branch) targets.push_back(sub.listener);
+    }
+    dispatching_ = true;
+    lock.unlock();
+    for (const CommitListener& listener : targets) listener(event);
+    lock.lock();
+    dispatching_ = false;
+    if (queue_.empty()) drain_cv_.notify_all();
+  }
+}
+
+}  // namespace decibel

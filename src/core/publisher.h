@@ -1,0 +1,110 @@
+#ifndef DECIBEL_CORE_PUBLISHER_H_
+#define DECIBEL_CORE_PUBLISHER_H_
+
+/// \file publisher.h
+/// Commit subscriptions: the hub side of the paper's "dataset hub"
+/// scenario (§1). Every commit and merge the Decibel facade performs is
+/// published as a CommitEvent; listeners subscribe per branch and receive
+/// the events asynchronously, in commit order.
+///
+/// Delivery model:
+///  - Publish() only enqueues (its mutex is a leaf — the facade calls it
+///    while holding its own graph mutex, so a listener must never be able
+///    to re-enter the facade from inside Publish).
+///  - A single dispatcher thread drains the queue and invokes listener
+///    callbacks, so one slow listener delays later events but two events
+///    are never delivered out of order, and listeners never run under any
+///    facade lock.
+///  - Events published with no subscriber on their branch are dropped at
+///    enqueue time; there is no replay. Subscribers see every commit that
+///    happens *after* their Subscribe() returns — at-most-once, ordered.
+///    (The net server layers this into SUBSCRIBE's "you will see
+///    notifications for commits after the acknowledgement" guarantee.)
+///
+/// The dispatcher thread starts lazily on the first Subscribe, so a
+/// library-only Decibel with no subscribers pays one mutex check per
+/// commit and nothing else.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "version/types.h"
+
+namespace decibel {
+
+/// One published commit or merge.
+struct CommitEvent {
+  BranchId branch = kInvalidBranch;
+  std::string branch_name;
+  CommitId commit = kInvalidCommit;
+  /// Operations captured by this commit: batch ops staged on the branch
+  /// since its previous commit (for merges, the resolved merge batch).
+  uint64_t records = 0;
+  bool merge = false;
+};
+
+using CommitListener = std::function<void(const CommitEvent&)>;
+
+class CommitPublisher {
+ public:
+  CommitPublisher() = default;
+  /// Stops the dispatcher after draining already-queued events.
+  ~CommitPublisher();
+
+  CommitPublisher(const CommitPublisher&) = delete;
+  CommitPublisher& operator=(const CommitPublisher&) = delete;
+
+  /// Registers \p listener for events on \p branch and returns a token
+  /// for Unsubscribe. The callback runs on the dispatcher thread; it must
+  /// not call back into Subscribe/Unsubscribe/Publish's caller while
+  /// holding locks the caller holds during those calls.
+  uint64_t Subscribe(BranchId branch, CommitListener listener);
+
+  /// Removes a subscription. After Unsubscribe returns, the listener is
+  /// guaranteed not to be *newly* invoked; an in-flight delivery on the
+  /// dispatcher thread may still be executing.
+  void Unsubscribe(uint64_t token);
+
+  /// Enqueues \p event for delivery to \p event.branch's subscribers.
+  /// Cheap and non-blocking; safe to call under facade locks.
+  void Publish(CommitEvent event);
+
+  /// Blocks until every event published before the call has been handed
+  /// to its listeners (tests and orderly server shutdown).
+  void Drain();
+
+  uint64_t num_subscriptions() const;
+  /// Events actually enqueued (a branch with no subscribers counts 0).
+  uint64_t events_published() const;
+
+ private:
+  void DispatchLoop();
+  /// Caller holds mu_. Starts the dispatcher if not yet running.
+  void EnsureThreadLocked();
+
+  struct Subscription {
+    BranchId branch = kInvalidBranch;
+    CommitListener listener;
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        ///< wakes the dispatcher
+  std::condition_variable drain_cv_;  ///< wakes Drain waiters
+  std::map<uint64_t, Subscription> subs_;
+  std::deque<CommitEvent> queue_;
+  std::thread dispatcher_;
+  uint64_t next_token_ = 1;
+  uint64_t published_ = 0;
+  bool dispatching_ = false;  ///< an event is being delivered right now
+  bool stop_ = false;
+};
+
+}  // namespace decibel
+
+#endif  // DECIBEL_CORE_PUBLISHER_H_

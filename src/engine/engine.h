@@ -184,6 +184,15 @@ class StorageEngine {
                            const MergeWalkCallback& cb,
                            MergeWalkStats* stats) = 0;
 
+  /// Releases the file descriptors pinned on behalf of \p branch (its
+  /// private segments' heap files, its commit-history files). Called when
+  /// the branch is retired: the data stays on disk and stays readable —
+  /// every handle reopens lazily on the next access — but a retired
+  /// branch no longer costs open fds. Without this, the agentic workload
+  /// (fork, work, merge, retire, thousands of times) exhausts the
+  /// process's descriptor limit. Unknown branches are a no-op.
+  virtual Status ReleaseBranch(BranchId /*branch*/) { return Status::OK(); }
+
   // -------------------------------------------------------- maintenance
 
   virtual Status Flush() = 0;

@@ -265,6 +265,24 @@ std::string HybridEngine::EncodeMeta() {
   return meta;
 }
 
+Status HybridEngine::ReleaseBranch(BranchId branch) {
+  // A retired branch's head segment never appends again and its history
+  // files never grow past their final commit, so close their descriptors.
+  // Registry entries stay: the data remains readable (handles reopen
+  // lazily) and the meta encoding is unchanged.
+  std::unique_lock<std::shared_mutex> registry_lock(registry_mu_);
+  for (auto& segment : segments_) {
+    if (segment->owner != branch) continue;
+    DECIBEL_RETURN_NOT_OK(segment->file->ReleaseFileHandles());
+  }
+  std::lock_guard<std::mutex> commit_lock(commit_mu_);
+  for (auto& [key, history] : histories_) {
+    if (static_cast<BranchId>(key >> 32) != branch) continue;
+    DECIBEL_RETURN_NOT_OK(history->ReleaseFileHandles());
+  }
+  return Status::OK();
+}
+
 Status HybridEngine::Flush() {
   std::unique_lock<std::shared_mutex> registry_lock(registry_mu_);
   for (auto& segment : segments_) {
@@ -356,6 +374,19 @@ Status HybridEngine::CreateBranch(BranchId child, BranchId parent,
     pk_index_[child] = pk_index_[parent];
     DECIBEL_RETURN_NOT_OK(NewHeadSegment(parent).status());
     DECIBEL_RETURN_NOT_OK(NewHeadSegment(child).status());
+    // Only a branch's current head is ever dirtied, so the parent's
+    // history for the old head will never be appended again (the facade
+    // auto-committed any dirty state before branching). Close its
+    // descriptors — under fork churn one held writer per rolled head
+    // otherwise accumulates without bound. Reads (and any append, should
+    // the assumption ever break) lazily reopen.
+    {
+      std::lock_guard<std::mutex> commit_lock(commit_mu_);
+      auto hist_it = histories_.find(HistoryKey(parent, old_head));
+      if (hist_it != histories_.end()) {
+        DECIBEL_RETURN_NOT_OK(hist_it->second->ReleaseFileHandles());
+      }
+    }
     return Status::OK();
   }
   // Branch from a historical commit: restore the parent's per-segment
@@ -388,6 +419,7 @@ Status HybridEngine::CommitImpl(BranchId branch, CommitId commit_id) {
     std::vector<uint32_t> segs(dirty_it->second.begin(),
                                dirty_it->second.end());
     std::sort(segs.begin(), segs.end());
+    const auto head_it = head_seg_.find(branch);
     for (uint32_t seg : segs) {
       DECIBEL_ASSIGN_OR_RETURN(CommitHistory * history,
                                HistoryFor(branch, seg));
@@ -395,6 +427,13 @@ Status HybridEngine::CommitImpl(BranchId branch, CommitId commit_id) {
       Bitmap empty;
       DECIBEL_RETURN_NOT_OK(
           history->AppendCommit(commit_id, view ? *view : empty));
+      // A segment that is no longer this branch's head can never be
+      // dirtied by it again, so this append was the history's last:
+      // close its descriptors rather than pinning one writer per rolled
+      // head forever (reads reopen transiently).
+      if (head_it == head_seg_.end() || seg != head_it->second) {
+        DECIBEL_RETURN_NOT_OK(history->ReleaseFileHandles());
+      }
     }
     dirty_it->second.clear();
   }

@@ -218,6 +218,17 @@ std::string TupleFirstEngine::EncodeMeta() {
   return meta;
 }
 
+Status TupleFirstEngine::ReleaseBranch(BranchId branch) {
+  // The heap is shared across branches and stays open; only the retired
+  // branch's commit-history descriptors are released. The histories_
+  // entry stays (it is the authority over the on-disk file — a map miss
+  // would truncate on the next HistoryFor) and reopens lazily if read.
+  std::lock_guard<std::mutex> commits(commit_mu_);
+  auto it = histories_.find(branch);
+  if (it == histories_.end()) return Status::OK();
+  return it->second->ReleaseFileHandles();
+}
+
 Status TupleFirstEngine::Flush() {
   // Unique registry: no writer holds its shared mode, so every stripe is
   // quiesced and the index/commit registries are stable.

@@ -58,6 +58,7 @@ class TupleFirstEngine : public StorageEngine {
               const DiffCallback& neg) override;
   Status MergeWalk(CommitId left, CommitId right, CommitId base,
                    const MergeWalkCallback& cb, MergeWalkStats* stats) override;
+  Status ReleaseBranch(BranchId branch) override;
 
   Status Flush() override;
   Status Checkpoint(const std::string& tag, bool sync) override;

@@ -236,6 +236,18 @@ std::string VersionFirstEngine::EncodeMeta() {
   return meta;
 }
 
+Status VersionFirstEngine::ReleaseBranch(BranchId branch) {
+  // A retired branch's segments never append again; close their
+  // descriptors. The segments stay in the registry — descendants keep
+  // reading inherited records through lazily-reopened handles.
+  std::unique_lock<std::shared_mutex> registry_lock(registry_mu_);
+  for (auto& segment : segments_) {
+    if (segment->owner != branch) continue;
+    DECIBEL_RETURN_NOT_OK(segment->file->ReleaseFileHandles());
+  }
+  return Status::OK();
+}
+
 Status VersionFirstEngine::Flush() {
   std::unique_lock<std::shared_mutex> registry_lock(registry_mu_);
   for (auto& segment : segments_) {

@@ -1,0 +1,134 @@
+#include "net/client.h"
+
+#include <utility>
+
+namespace decibel {
+namespace net {
+
+Result<Client> Client::Connect(const std::string& host, uint16_t port,
+                               uint32_t max_frame_bytes) {
+  DECIBEL_ASSIGN_OR_RETURN(Socket sock, Socket::Connect(host, port));
+  // Safety net: a wedged server surfaces as IOError, never a hang.
+  DECIBEL_RETURN_NOT_OK(sock.SetRecvTimeout(60 * 1000));
+  return Client(std::move(sock), max_frame_bytes);
+}
+
+Result<std::string> Client::ReadUntil(MessageType want) {
+  for (;;) {
+    // Peel complete frames off the buffer first.
+    for (;;) {
+      std::string payload;
+      DECIBEL_ASSIGN_OR_RETURN(
+          size_t n, TryDecodeFrame(Slice(rbuf_), max_frame_bytes_, &payload));
+      if (n == 0) break;
+      rbuf_.erase(0, n);
+      DECIBEL_ASSIGN_OR_RETURN(MessageType type, PayloadType(payload));
+      if (type == MessageType::kNotify) {
+        Notification note;
+        DECIBEL_RETURN_NOT_OK(DecodeNotify(payload, &note));
+        notes_.push_back(std::move(note));
+        continue;
+      }
+      if (type == want) return payload;
+      return Status::IOError("net: unexpected " +
+                             std::to_string(static_cast<int>(type)) +
+                             " frame from server");
+    }
+    char buf[64 * 1024];
+    DECIBEL_ASSIGN_OR_RETURN(size_t got, sock_.Recv(buf, sizeof(buf)));
+    if (got == 0) {
+      return Status::IOError("net: connection closed by server");
+    }
+    rbuf_.append(buf, got);
+  }
+}
+
+Result<WireResult> Client::Execute(const std::string& statement) {
+  std::string payload;
+  EncodeExecute(&payload, statement);
+  std::string frame;
+  WrapFrame(&frame, payload);
+  DECIBEL_RETURN_NOT_OK(sock_.SendAll(frame));
+  DECIBEL_ASSIGN_OR_RETURN(std::string response,
+                           ReadUntil(MessageType::kResult));
+  WireResult wr;
+  DECIBEL_RETURN_NOT_OK(DecodeResult(response, &wr));
+  return wr;
+}
+
+Status Client::Subscribe(const std::string& branch) {
+  DECIBEL_ASSIGN_OR_RETURN(WireResult wr, Execute("SUBSCRIBE " + branch));
+  return wr.ToStatus();
+}
+
+Status Client::Unsubscribe(const std::string& branch) {
+  DECIBEL_ASSIGN_OR_RETURN(WireResult wr, Execute("UNSUBSCRIBE " + branch));
+  return wr.ToStatus();
+}
+
+Status Client::Ping() {
+  std::string payload;
+  EncodePing(&payload);
+  std::string frame;
+  WrapFrame(&frame, payload);
+  DECIBEL_RETURN_NOT_OK(sock_.SendAll(frame));
+  return ReadUntil(MessageType::kPong).status();
+}
+
+bool Client::PollNotification(Notification* note) {
+  if (notes_.empty()) return false;
+  *note = std::move(notes_.front());
+  notes_.pop_front();
+  return true;
+}
+
+Result<Notification> Client::WaitNotification(int timeout_ms) {
+  Notification note;
+  if (PollNotification(&note)) return note;
+  // SO_RCVTIMEO treats 0 as "no timeout"; clamp so 0 means "immediately".
+  DECIBEL_RETURN_NOT_OK(sock_.SetRecvTimeout(timeout_ms > 0 ? timeout_ms : 1));
+  // Read frames until a notification lands in the queue; any result
+  // frame here is a protocol violation (no request is outstanding).
+  for (;;) {
+    for (;;) {
+      std::string payload;
+      Result<size_t> n = TryDecodeFrame(Slice(rbuf_), max_frame_bytes_,
+                                        &payload);
+      if (!n.ok()) {
+        RestoreTimeout();
+        return n.status();
+      }
+      if (*n == 0) break;
+      rbuf_.erase(0, *n);
+      Result<MessageType> type = PayloadType(payload);
+      if (!type.ok() || *type != MessageType::kNotify) {
+        RestoreTimeout();
+        return Status::IOError("net: unexpected frame while waiting for "
+                               "notification");
+      }
+      Status decoded = DecodeNotify(payload, &note);
+      if (!decoded.ok()) {
+        RestoreTimeout();
+        return decoded;
+      }
+      RestoreTimeout();
+      return note;
+    }
+    char buf[64 * 1024];
+    Result<size_t> got = sock_.Recv(buf, sizeof(buf));
+    if (!got.ok()) {
+      RestoreTimeout();
+      return got.status();
+    }
+    if (*got == 0) {
+      RestoreTimeout();
+      return Status::IOError("net: connection closed by server");
+    }
+    rbuf_.append(buf, *got);
+  }
+}
+
+void Client::RestoreTimeout() { (void)sock_.SetRecvTimeout(60 * 1000); }
+
+}  // namespace net
+}  // namespace decibel

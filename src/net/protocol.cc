@@ -1,0 +1,223 @@
+#include "net/protocol.h"
+
+#include "common/coding.h"
+#include "common/crc32.h"
+
+namespace decibel {
+namespace net {
+
+namespace {
+
+Status Truncated(const char* what) {
+  return Status::Corruption(std::string("net: truncated ") + what +
+                            " payload");
+}
+
+bool GetCell(Slice* input, FieldType type, ResultCell* cell) {
+  switch (type) {
+    case FieldType::kInt32:
+    case FieldType::kInt64: {
+      uint64_t zz;
+      if (!GetVarint64(input, &zz)) return false;
+      cell->i = ZigZagDecode(zz);
+      return true;
+    }
+    case FieldType::kDouble: {
+      uint64_t bits;
+      if (!GetFixed64(input, &bits)) return false;
+      memcpy(&cell->d, &bits, sizeof(cell->d));
+      return true;
+    }
+    case FieldType::kString: {
+      Slice s;
+      if (!GetLengthPrefixed(input, &s)) return false;
+      cell->s = s.ToString();
+      return true;
+    }
+  }
+  return false;
+}
+
+void PutCell(std::string* dst, FieldType type, const ResultCell& cell) {
+  switch (type) {
+    case FieldType::kInt32:
+    case FieldType::kInt64:
+      PutVarint64(dst, ZigZagEncode(cell.i));
+      return;
+    case FieldType::kDouble: {
+      uint64_t bits;
+      memcpy(&bits, &cell.d, sizeof(bits));
+      PutFixed64(dst, bits);
+      return;
+    }
+    case FieldType::kString:
+      PutLengthPrefixed(dst, Slice(cell.s));
+      return;
+  }
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- framing
+
+void WrapFrame(std::string* out, Slice payload) {
+  PutFixed32(out, static_cast<uint32_t>(payload.size()));
+  PutFixed32(out, MaskCrc(Crc32(payload)));
+  out->append(payload.data(), payload.size());
+}
+
+Result<size_t> TryDecodeFrame(Slice buffer, uint32_t max_frame_bytes,
+                              std::string* payload) {
+  if (buffer.size() < kFrameHeaderBytes) return static_cast<size_t>(0);
+  const uint32_t len = DecodeFixed32(buffer.data());
+  if (len > max_frame_bytes) {
+    return Status::Corruption("net: frame of " + std::to_string(len) +
+                              " bytes exceeds the " +
+                              std::to_string(max_frame_bytes) +
+                              "-byte frame cap");
+  }
+  if (buffer.size() < kFrameHeaderBytes + len) return static_cast<size_t>(0);
+  const uint32_t stored = UnmaskCrc(DecodeFixed32(buffer.data() + 4));
+  const Slice body(buffer.data() + kFrameHeaderBytes, len);
+  if (stored != Crc32(body)) {
+    return Status::Corruption("net: frame checksum mismatch");
+  }
+  payload->assign(body.data(), body.size());
+  return kFrameHeaderBytes + len;
+}
+
+Result<MessageType> PayloadType(Slice payload) {
+  if (payload.empty()) {
+    return Status::InvalidArgument("net: empty frame payload");
+  }
+  const uint8_t t = static_cast<uint8_t>(payload[0]);
+  if (t < static_cast<uint8_t>(MessageType::kExecute) ||
+      t > static_cast<uint8_t>(MessageType::kPong)) {
+    return Status::InvalidArgument("net: unknown message type " +
+                                   std::to_string(t));
+  }
+  return static_cast<MessageType>(t);
+}
+
+// -------------------------------------------------------------- messages
+
+void EncodeExecute(std::string* payload, Slice statement) {
+  payload->push_back(static_cast<char>(MessageType::kExecute));
+  PutLengthPrefixed(payload, statement);
+}
+
+Status DecodeExecute(Slice payload, std::string* statement) {
+  payload.RemovePrefix(1);
+  Slice body;
+  if (!GetLengthPrefixed(&payload, &body) || !payload.empty()) {
+    return Truncated("execute");
+  }
+  statement->assign(body.data(), body.size());
+  return Status::OK();
+}
+
+void EncodeResult(std::string* payload, const WireResult& result) {
+  payload->push_back(static_cast<char>(MessageType::kResult));
+  payload->push_back(static_cast<char>(result.code));
+  PutLengthPrefixed(payload, Slice(result.message));
+  PutLengthPrefixed(payload, Slice(result.output));
+  PutVarint64(payload, result.rows);
+  PutVarint32(payload, static_cast<uint32_t>(result.columns.size()));
+  for (const ResultColumn& col : result.columns) {
+    PutLengthPrefixed(payload, Slice(col.name));
+    payload->push_back(static_cast<char>(col.type));
+    PutVarint32(payload, col.width);
+  }
+  PutVarint64(payload, result.typed_rows.size());
+  for (const std::vector<ResultCell>& row : result.typed_rows) {
+    for (size_t c = 0; c < result.columns.size(); ++c) {
+      PutCell(payload, result.columns[c].type, row[c]);
+    }
+  }
+}
+
+Status DecodeResult(Slice payload, WireResult* result) {
+  payload.RemovePrefix(1);
+  if (payload.empty()) return Truncated("result");
+  result->code = static_cast<StatusCode>(payload[0]);
+  payload.RemovePrefix(1);
+  Slice message, output;
+  if (!GetLengthPrefixed(&payload, &message) ||
+      !GetLengthPrefixed(&payload, &output) ||
+      !GetVarint64(&payload, &result->rows)) {
+    return Truncated("result");
+  }
+  result->message = message.ToString();
+  result->output = output.ToString();
+  uint32_t ncols;
+  if (!GetVarint32(&payload, &ncols)) return Truncated("result");
+  result->columns.clear();
+  result->columns.reserve(ncols);
+  for (uint32_t c = 0; c < ncols; ++c) {
+    ResultColumn col;
+    Slice name;
+    if (!GetLengthPrefixed(&payload, &name) || payload.empty()) {
+      return Truncated("result column");
+    }
+    col.name = name.ToString();
+    const uint8_t type = static_cast<uint8_t>(payload[0]);
+    payload.RemovePrefix(1);
+    if (type > static_cast<uint8_t>(FieldType::kString)) {
+      return Status::Corruption("net: bad column type " +
+                                std::to_string(type));
+    }
+    col.type = static_cast<FieldType>(type);
+    if (!GetVarint32(&payload, &col.width)) return Truncated("result column");
+    result->columns.push_back(std::move(col));
+  }
+  uint64_t nrows;
+  if (!GetVarint64(&payload, &nrows)) return Truncated("result");
+  result->typed_rows.clear();
+  for (uint64_t r = 0; r < nrows; ++r) {
+    std::vector<ResultCell> row(result->columns.size());
+    for (uint32_t c = 0; c < ncols; ++c) {
+      if (!GetCell(&payload, result->columns[c].type, &row[c])) {
+        return Truncated("result row");
+      }
+    }
+    result->typed_rows.push_back(std::move(row));
+  }
+  if (!payload.empty()) {
+    return Status::Corruption("net: trailing bytes after result payload");
+  }
+  return Status::OK();
+}
+
+void EncodeNotify(std::string* payload, const Notification& note) {
+  payload->push_back(static_cast<char>(MessageType::kNotify));
+  PutVarint32(payload, note.branch);
+  PutLengthPrefixed(payload, Slice(note.branch_name));
+  PutVarint64(payload, note.commit);
+  PutVarint64(payload, note.records);
+  payload->push_back(note.merge ? 1 : 0);
+}
+
+Status DecodeNotify(Slice payload, Notification* note) {
+  payload.RemovePrefix(1);
+  Slice name;
+  if (!GetVarint32(&payload, &note->branch) ||
+      !GetLengthPrefixed(&payload, &name) ||
+      !GetVarint64(&payload, &note->commit) ||
+      !GetVarint64(&payload, &note->records) || payload.size() != 1) {
+    return Truncated("notify");
+  }
+  note->branch_name = name.ToString();
+  note->merge = payload[0] != 0;
+  return Status::OK();
+}
+
+void EncodePing(std::string* payload) {
+  payload->push_back(static_cast<char>(MessageType::kPing));
+}
+
+void EncodePong(std::string* payload) {
+  payload->push_back(static_cast<char>(MessageType::kPong));
+}
+
+}  // namespace net
+}  // namespace decibel

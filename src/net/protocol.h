@@ -1,0 +1,131 @@
+#ifndef DECIBEL_NET_PROTOCOL_H_
+#define DECIBEL_NET_PROTOCOL_H_
+
+/// \file protocol.h
+/// The Decibel wire protocol: length-prefixed, CRC-framed binary messages
+/// over a TCP stream. One frame carries one message:
+///
+///   [payload_len: u32 LE][masked crc32(payload): u32 LE][payload bytes]
+///
+/// payload[0] is the MessageType; the rest is the type-specific body in
+/// the same varint/length-prefixed encoding the WAL uses (common/coding.h).
+/// The CRC is masked in the RocksDB style (common/crc32.h) so a frame of
+/// zeros never checksums as valid. A receiver rejects frames whose length
+/// exceeds its configured cap *before* buffering the body, so a garbage
+/// length prefix cannot balloon memory, and rejects CRC mismatches before
+/// looking at a single payload byte.
+///
+/// Requests:
+///   kExecute  one VQuel statement (the server adds no second write path:
+///             every statement runs through the same vquel::Interpreter /
+///             Decibel facade the library exposes).
+///   kPing     liveness probe.
+/// Responses:
+///   kResult   Status (code + message) plus the statement's text output,
+///             row count, and — for row-returning statements — column
+///             metadata and typed rows.
+///   kPong     reply to kPing.
+/// Asynchronous server pushes (may arrive between a request and its
+/// response; clients must queue them):
+///   kNotify   a commit subscription event: branch, commit id, record
+///             count, commit-or-merge kind.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/schema.h"
+#include "version/types.h"
+
+namespace decibel {
+namespace net {
+
+/// Frame header: payload length + masked CRC, both fixed32 LE.
+inline constexpr size_t kFrameHeaderBytes = 8;
+
+/// Default cap on one frame's payload. Large enough for bulk result sets,
+/// small enough that a hostile length prefix cannot OOM the server.
+inline constexpr uint32_t kDefaultMaxFrameBytes = 32u << 20;
+
+enum class MessageType : uint8_t {
+  kExecute = 1,
+  kResult = 2,
+  kNotify = 3,
+  kPing = 4,
+  kPong = 5,
+};
+
+/// One column of a typed result set (reuses the schema Column: name,
+/// field type, byte width).
+using ResultColumn = Column;
+
+/// One typed cell; which member is meaningful follows the column type.
+struct ResultCell {
+  int64_t i = 0;    ///< kInt32 / kInt64
+  double d = 0;     ///< kDouble
+  std::string s;    ///< kString
+};
+
+/// The full response to one executed statement.
+struct WireResult {
+  StatusCode code = StatusCode::kOk;
+  std::string message;       ///< error message when code != kOk
+  std::string output;        ///< human-readable text (shell-style)
+  uint64_t rows = 0;         ///< rows returned / affected
+  std::vector<ResultColumn> columns;
+  std::vector<std::vector<ResultCell>> typed_rows;
+
+  bool ok() const { return code == StatusCode::kOk; }
+  /// The server-side Status reconstructed on the client.
+  Status ToStatus() const {
+    return ok() ? Status::OK() : Status(code, message);
+  }
+};
+
+/// One commit-subscription push.
+struct Notification {
+  BranchId branch = kInvalidBranch;
+  std::string branch_name;
+  CommitId commit = kInvalidCommit;
+  uint64_t records = 0;
+  bool merge = false;
+};
+
+// ------------------------------------------------------------- framing
+
+/// Appends a complete frame (header + payload) to \p out.
+void WrapFrame(std::string* out, Slice payload);
+
+/// Attempts to decode one frame from the front of \p buffer.
+/// - Incomplete frame: returns 0 (consume nothing, read more bytes).
+/// - Complete frame: sets *payload, returns header+payload bytes consumed.
+/// - Oversized length prefix or CRC mismatch: Corruption (the connection
+///   is poisoned — framing can't resynchronize — so callers must close).
+Result<size_t> TryDecodeFrame(Slice buffer, uint32_t max_frame_bytes,
+                              std::string* payload);
+
+/// The message type of a decoded payload (InvalidArgument on empty or
+/// unknown-type payloads).
+Result<MessageType> PayloadType(Slice payload);
+
+// ------------------------------------------------------------ messages
+
+void EncodeExecute(std::string* payload, Slice statement);
+Status DecodeExecute(Slice payload, std::string* statement);
+
+void EncodeResult(std::string* payload, const WireResult& result);
+Status DecodeResult(Slice payload, WireResult* result);
+
+void EncodeNotify(std::string* payload, const Notification& note);
+Status DecodeNotify(Slice payload, Notification* note);
+
+void EncodePing(std::string* payload);
+void EncodePong(std::string* payload);
+
+}  // namespace net
+}  // namespace decibel
+
+#endif  // DECIBEL_NET_PROTOCOL_H_

@@ -1,0 +1,393 @@
+#include "net/server.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace decibel {
+namespace net {
+
+namespace {
+
+/// First whitespace-delimited token, uppercased, and the remainder.
+void SplitVerb(const std::string& statement, std::string* verb,
+               std::string* rest) {
+  size_t b = 0;
+  while (b < statement.size() &&
+         std::isspace(static_cast<unsigned char>(statement[b]))) {
+    ++b;
+  }
+  size_t e = b;
+  while (e < statement.size() &&
+         !std::isspace(static_cast<unsigned char>(statement[e]))) {
+    ++e;
+  }
+  verb->clear();
+  for (size_t i = b; i < e; ++i) {
+    verb->push_back(static_cast<char>(
+        std::toupper(static_cast<unsigned char>(statement[i]))));
+  }
+  size_t r = e;
+  while (r < statement.size() &&
+         std::isspace(static_cast<unsigned char>(statement[r]))) {
+    ++r;
+  }
+  size_t end = statement.size();
+  while (end > r &&
+         std::isspace(static_cast<unsigned char>(statement[end - 1]))) {
+    --end;
+  }
+  *rest = statement.substr(r, end - r);
+}
+
+/// Branch by name or numeric id (the vquel convention).
+Result<BranchId> ResolveBranch(Decibel* db, const std::string& name) {
+  if (!name.empty() &&
+      name.find_first_not_of("0123456789") == std::string::npos) {
+    const unsigned long id = strtoul(name.c_str(), nullptr, 10);
+    if (db->HasBranch(static_cast<BranchId>(id))) {
+      return static_cast<BranchId>(id);
+    }
+  }
+  return db->FindBranchByName(name);
+}
+
+WireResult ErrorResult(const Status& status) {
+  WireResult wr;
+  wr.code = status.code();
+  wr.message = std::string(status.message());
+  return wr;
+}
+
+WireResult OkResult(std::string output, uint64_t rows = 0) {
+  WireResult wr;
+  wr.output = std::move(output);
+  wr.rows = rows;
+  return wr;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Server>> Server::Start(Decibel* db,
+                                              ServerOptions options) {
+  std::unique_ptr<Server> server(new Server(db, std::move(options)));
+  DECIBEL_ASSIGN_OR_RETURN(
+      server->listener_,
+      Socket::Listen(server->options_.host, server->options_.port));
+  DECIBEL_ASSIGN_OR_RETURN(server->port_, server->listener_.local_port());
+  DECIBEL_RETURN_NOT_OK(server->listener_.SetNonBlocking(true));
+  if (::pipe(server->wake_pipe_) != 0) {
+    return Status::IOError("pipe: " + std::string(strerror(errno)));
+  }
+  // The loop drains the pipe until empty; the read end must not block.
+  for (int fd : server->wake_pipe_) {
+    fcntl(fd, F_SETFL, fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+  }
+  server->loop_ = std::thread([s = server.get()] { s->EventLoop(); });
+  return server;
+}
+
+Server::~Server() { Stop(); }
+
+void Server::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopping_ = true;
+  }
+  // Wake the loop; it closes every session on the way out.
+  const char byte = 'x';
+  [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  if (loop_.joinable()) loop_.join();
+  // Let in-flight statements finish (their responses go nowhere — the
+  // sockets are closed — but the facade work completes cleanly).
+  pool_.Wait();
+  // Subscriptions are already unsubscribed (CloseSession), but one
+  // delivery may still be on the publisher's dispatcher thread with our
+  // callback on its stack; wait it out so the callback cannot outlive
+  // the server.
+  db_->publisher()->Drain();
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+  std::lock_guard<std::mutex> lock(mu_);
+  stopped_ = true;
+}
+
+uint64_t Server::num_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+void Server::EventLoop() {
+  for (;;) {
+    std::vector<pollfd> pfds;
+    std::vector<SessionPtr> polled;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) break;
+      pfds.reserve(sessions_.size() + 2);
+      pfds.push_back({wake_pipe_[0], POLLIN, 0});
+      pfds.push_back({listener_.fd(), POLLIN, 0});
+      polled.reserve(sessions_.size());
+      for (const auto& [fd, session] : sessions_) {
+        pfds.push_back({fd, POLLIN, 0});
+        polled.push_back(session);
+      }
+    }
+    const int r = ::poll(pfds.data(), pfds.size(), -1);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      break;  // poll itself failing is unrecoverable for the loop
+    }
+    if (pfds[0].revents != 0) {
+      char drain[64];
+      while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+      }
+    }
+    if (pfds[1].revents != 0) {
+      for (;;) {
+        Result<Socket> accepted = listener_.Accept();
+        if (!accepted.ok()) break;  // EAGAIN (or a transient error)
+        auto session = std::make_shared<SessionState>(db_);
+        session->sock = std::move(accepted.value());
+        if (!session->sock.SetNonBlocking(true).ok()) continue;
+        std::lock_guard<std::mutex> lock(mu_);
+        session->id = next_session_id_++;
+        sessions_[session->sock.fd()] = session;
+      }
+    }
+    for (size_t i = 2; i < pfds.size(); ++i) {
+      if (pfds[i].revents == 0) continue;
+      HandleReadable(polled[i - 2]);
+    }
+  }
+  // Shutdown path: close the listener and every session.
+  listener_.Close();
+  std::vector<SessionPtr> victims;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [fd, session] : sessions_) victims.push_back(session);
+    sessions_.clear();
+  }
+  for (const SessionPtr& session : victims) CloseSession(session);
+}
+
+void Server::HandleReadable(const SessionPtr& session) {
+  // Drain the socket into the frame buffer.
+  bool peer_gone = false;
+  char buf[64 * 1024];
+  for (;;) {
+    bool would_block = false;
+    Result<size_t> got = session->sock.Recv(buf, sizeof(buf), &would_block);
+    if (!got.ok()) {
+      peer_gone = true;  // reset
+      break;
+    }
+    if (would_block) break;
+    if (*got == 0) {
+      peer_gone = true;  // clean close
+      break;
+    }
+    session->rbuf.append(buf, *got);
+  }
+  // Peel off every complete frame.
+  size_t consumed = 0;
+  bool poisoned = false;
+  for (;;) {
+    std::string payload;
+    Result<size_t> n = TryDecodeFrame(
+        Slice(session->rbuf.data() + consumed, session->rbuf.size() - consumed),
+        options_.max_frame_bytes, &payload);
+    if (!n.ok()) {
+      // Oversized or corrupt frame: framing cannot resynchronize, so the
+      // only clean rejection is dropping the connection.
+      poisoned = true;
+      break;
+    }
+    if (*n == 0) break;  // incomplete
+    consumed += *n;
+    Result<MessageType> type = PayloadType(payload);
+    if (!type.ok()) {
+      poisoned = true;
+      break;
+    }
+    switch (*type) {
+      case MessageType::kPing: {
+        std::string pong;
+        EncodePong(&pong);
+        SendFrame(session, pong);
+        break;
+      }
+      case MessageType::kExecute:
+        EnqueueRequest(session, std::move(payload));
+        break;
+      default:
+        // kResult / kNotify / kPong are server-to-client only.
+        poisoned = true;
+        break;
+    }
+    if (poisoned) break;
+  }
+  session->rbuf.erase(0, consumed);
+  if (peer_gone || poisoned) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      sessions_.erase(session->sock.fd());
+    }
+    CloseSession(session);
+  }
+}
+
+void Server::EnqueueRequest(const SessionPtr& session, std::string payload) {
+  std::lock_guard<std::mutex> lock(session->exec_mu);
+  if (session->busy) {
+    session->pending.push_back(std::move(payload));
+    return;
+  }
+  session->busy = true;
+  pool_.Submit([this, session, p = std::move(payload)]() mutable {
+    RunRequest(session, std::move(p));
+  });
+}
+
+void Server::RunRequest(const SessionPtr& session, std::string payload) {
+  std::string statement;
+  WireResult wr;
+  const Status decoded = DecodeExecute(payload, &statement);
+  if (!decoded.ok()) {
+    wr = ErrorResult(Status::InvalidArgument("net: malformed execute frame"));
+  } else {
+    wr = ExecuteStatement(session, statement);
+  }
+  std::string response;
+  EncodeResult(&response, wr);
+  SendFrame(session, response);
+  // Pull the next queued request back through the pool (round-robin
+  // between sessions rather than letting one chatty session pin a
+  // worker).
+  std::lock_guard<std::mutex> lock(session->exec_mu);
+  if (session->pending.empty()) {
+    session->busy = false;
+    return;
+  }
+  std::string next = std::move(session->pending.front());
+  session->pending.pop_front();
+  pool_.Submit([this, session, p = std::move(next)]() mutable {
+    RunRequest(session, std::move(p));
+  });
+}
+
+WireResult Server::ExecuteStatement(const SessionPtr& session,
+                                    const std::string& statement) {
+  std::string verb, rest;
+  SplitVerb(statement, &verb, &rest);
+  if (verb == "SUBSCRIBE") return Subscribe(session, rest);
+  if (verb == "UNSUBSCRIBE") return Unsubscribe(session, rest);
+  Result<vquel::ExecResult> executed = session->interp.Execute(statement);
+  if (!executed.ok()) return ErrorResult(executed.status());
+  WireResult wr;
+  wr.output = std::move(executed->output);
+  wr.rows = executed->rows;
+  wr.columns = std::move(executed->columns);
+  wr.typed_rows.reserve(executed->typed_rows.size());
+  for (std::vector<vquel::Value>& row : executed->typed_rows) {
+    std::vector<ResultCell> cells;
+    cells.reserve(row.size());
+    for (vquel::Value& v : row) {
+      ResultCell cell;
+      cell.i = v.i;
+      cell.d = v.d;
+      cell.s = std::move(v.s);
+      cells.push_back(std::move(cell));
+    }
+    wr.typed_rows.push_back(std::move(cells));
+  }
+  return wr;
+}
+
+WireResult Server::Subscribe(const SessionPtr& session,
+                             const std::string& branch_name) {
+  if (branch_name.empty() ||
+      branch_name.find_first_of(" \t") != std::string::npos) {
+    return ErrorResult(Status::InvalidArgument("net: SUBSCRIBE <branch>"));
+  }
+  Result<BranchId> branch = ResolveBranch(db_, branch_name);
+  if (!branch.ok()) return ErrorResult(branch.status());
+  std::lock_guard<std::mutex> lock(session->exec_mu);
+  if (session->subs.count(*branch) != 0) {
+    return OkResult("already subscribed to branch " + branch_name);
+  }
+  std::weak_ptr<SessionState> weak = session;
+  const uint64_t token = db_->publisher()->Subscribe(
+      *branch, [this, weak](const CommitEvent& event) {
+        SessionPtr s = weak.lock();
+        if (s == nullptr) return;
+        Notification note;
+        note.branch = event.branch;
+        note.branch_name = event.branch_name;
+        note.commit = event.commit;
+        note.records = event.records;
+        note.merge = event.merge;
+        std::string payload;
+        EncodeNotify(&payload, note);
+        SendFrame(s, payload);
+      });
+  session->subs[*branch] = token;
+  return OkResult("subscribed to branch " + branch_name +
+                  " (commits after this acknowledgement)");
+}
+
+WireResult Server::Unsubscribe(const SessionPtr& session,
+                               const std::string& branch_name) {
+  if (branch_name.empty()) {
+    return ErrorResult(Status::InvalidArgument("net: UNSUBSCRIBE <branch>"));
+  }
+  Result<BranchId> branch = ResolveBranch(db_, branch_name);
+  if (!branch.ok()) return ErrorResult(branch.status());
+  std::lock_guard<std::mutex> lock(session->exec_mu);
+  auto it = session->subs.find(*branch);
+  if (it == session->subs.end()) {
+    return ErrorResult(Status::InvalidArgument(
+        "net: not subscribed to branch " + branch_name));
+  }
+  db_->publisher()->Unsubscribe(it->second);
+  session->subs.erase(it);
+  return OkResult("unsubscribed from branch " + branch_name);
+}
+
+void Server::SendFrame(const SessionPtr& session, Slice payload) {
+  std::string frame;
+  WrapFrame(&frame, payload);
+  std::lock_guard<std::mutex> lock(session->write_mu);
+  if (session->closed) return;
+  // A bounded wait: a peer that stopped reading must not pin a worker
+  // (or the publisher's dispatcher) forever. On failure just stop
+  // writing; the event loop reaps the session when the peer's half
+  // closes.
+  if (!session->sock.SendAll(frame, /*timeout_ms=*/30000).ok()) {
+    session->closed = true;
+  }
+}
+
+void Server::CloseSession(const SessionPtr& session) {
+  std::map<BranchId, uint64_t> subs;
+  {
+    std::lock_guard<std::mutex> lock(session->exec_mu);
+    subs.swap(session->subs);
+  }
+  for (const auto& [branch, token] : subs) {
+    db_->publisher()->Unsubscribe(token);
+  }
+  std::lock_guard<std::mutex> lock(session->write_mu);
+  session->closed = true;
+  session->sock.Close();
+}
+
+}  // namespace net
+}  // namespace decibel

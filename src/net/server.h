@@ -1,0 +1,159 @@
+#ifndef DECIBEL_NET_SERVER_H_
+#define DECIBEL_NET_SERVER_H_
+
+/// \file server.h
+/// The Decibel session server: a TCP front end over one Decibel facade.
+///
+/// Concurrency shape:
+///  - One event-loop thread owns every socket read: it accepts
+///    connections, assembles frames per session, and closes sessions
+///    whose peers vanish or send garbage. poll() plus a self-pipe keeps
+///    it wakeable, so thousands of mostly-idle sessions cost one fd each
+///    and no threads.
+///  - Complete requests run on a shared ThreadPool. A session's
+///    vquel::Interpreter is stateful (open transaction), so at most one
+///    request per session is in flight; requests arriving meanwhile
+///    queue in order behind it. Distinct sessions execute concurrently —
+///    the facade's own locking (striped registries, FIFO lock manager)
+///    is the isolation boundary, exactly as for in-process callers;
+///    the server adds no second write path.
+///  - Session writes (responses from workers, notifications from the
+///    publisher's dispatcher thread) serialize on a per-session write
+///    mutex, so frames never interleave mid-frame.
+///
+/// SUBSCRIBE <branch> / UNSUBSCRIBE <branch> are intercepted here (the
+/// library interpreter rejects them): they register the session with the
+/// facade's CommitPublisher, and every later commit or merge on that
+/// branch is pushed as a kNotify frame. Delivery is ordered and
+/// at-most-once, starting from commits after the SUBSCRIBE's (ok)
+/// response; there is no replay of earlier history.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "common/socket.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/decibel.h"
+#include "net/protocol.h"
+#include "query/vquel.h"
+
+namespace decibel {
+namespace net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read it back with Server::port().
+  uint16_t port = 0;
+  /// Workers executing statements (sessions multiplex onto these).
+  size_t worker_threads = 8;
+  /// Per-frame payload cap; oversized frames poison the connection.
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+class Server {
+ public:
+  /// Binds, starts the event loop, and returns a running server.
+  static Result<std::unique_ptr<Server>> Start(Decibel* db,
+                                               ServerOptions options);
+
+  /// Stops if still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Orderly shutdown: stop accepting, drop live sessions (peers see a
+  /// clean close), drain in-flight statements, drop subscriptions.
+  /// Idempotent.
+  void Stop();
+
+  /// The bound listening port.
+  uint16_t port() const { return port_; }
+
+  /// Live (accepted, not yet closed) sessions.
+  uint64_t num_sessions() const;
+
+ private:
+  /// Per-connection state. Owned by the sessions_ map; workers and the
+  /// publisher's dispatcher hold shared_ptrs across their callbacks, so
+  /// a session the event loop drops dies only after the last in-flight
+  /// use of it finishes.
+  struct SessionState {
+    explicit SessionState(Decibel* db) : interp(db) {}
+
+    Socket sock;
+    uint64_t id = 0;
+
+    /// Owned by the event-loop thread only: frame assembly buffer.
+    std::string rbuf;
+
+    /// Guards sock writes *and* sock.Close() — a worker mid-send and
+    /// the loop closing the fd would otherwise race.
+    std::mutex write_mu;
+    bool closed = false;  ///< under write_mu
+
+    /// Guards the execution pipeline (one request in flight).
+    std::mutex exec_mu;
+    bool busy = false;                 ///< a worker owns this session
+    std::deque<std::string> pending;   ///< queued request payloads
+
+    /// Statement state; touched only by the single in-flight worker.
+    vquel::Interpreter interp;
+
+    /// branch -> publisher token, for UNSUBSCRIBE and close-time
+    /// cleanup. Guarded by exec_mu (only the in-flight worker mutates).
+    std::map<BranchId, uint64_t> subs;
+  };
+  using SessionPtr = std::shared_ptr<SessionState>;
+
+  Server(Decibel* db, ServerOptions options)
+      : db_(db), options_(std::move(options)), pool_(options_.worker_threads) {}
+
+  void EventLoop();
+  void HandleReadable(const SessionPtr& session);
+  /// Queues or dispatches one complete request payload.
+  void EnqueueRequest(const SessionPtr& session, std::string payload);
+  /// Worker-side: execute one payload, send the response, then pull the
+  /// next queued request (if any) back onto the pool.
+  void RunRequest(const SessionPtr& session, std::string payload);
+  WireResult ExecuteStatement(const SessionPtr& session,
+                              const std::string& statement);
+  WireResult Subscribe(const SessionPtr& session, const std::string& branch);
+  WireResult Unsubscribe(const SessionPtr& session,
+                         const std::string& branch);
+  /// Frames + sends under the session write mutex. Failures mark the
+  /// session for the event loop to reap; they are not the caller's
+  /// problem (the peer is gone).
+  void SendFrame(const SessionPtr& session, Slice payload);
+  /// Close the socket (under write_mu) and drop the session's
+  /// subscriptions. Safe to call from loop and Stop.
+  void CloseSession(const SessionPtr& session);
+
+  Decibel* const db_;
+  const ServerOptions options_;
+  ThreadPool pool_;
+
+  Socket listener_;
+  uint16_t port_ = 0;
+  int wake_pipe_[2] = {-1, -1};  ///< self-pipe: [read, write]
+  std::thread loop_;
+
+  mutable std::mutex mu_;  ///< guards sessions_, stopping_
+  std::unordered_map<int, SessionPtr> sessions_;  ///< by fd
+  uint64_t next_session_id_ = 1;
+  bool stopping_ = false;
+  bool stopped_ = false;  ///< Stop() ran to completion (main thread)
+};
+
+}  // namespace net
+}  // namespace decibel
+
+#endif  // DECIBEL_NET_SERVER_H_

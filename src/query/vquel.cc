@@ -39,10 +39,10 @@ bool ParseInt(const std::string& s, int64_t* out) {
 Result<BranchId> ResolveBranch(Decibel* db, const std::string& name) {
   int64_t id;
   if (ParseInt(name, &id) && id >= 0 &&
-      db->graph().HasBranch(static_cast<BranchId>(id))) {
+      db->HasBranch(static_cast<BranchId>(id))) {
     return static_cast<BranchId>(id);
   }
-  return db->graph().FindBranchByName(name);
+  return db->FindBranchByName(name);
 }
 
 Result<CompareOp> ParseOp(const std::string& tok) {
@@ -116,12 +116,51 @@ std::string FormatProjected(const RecordRef& rec,
   return out.str();
 }
 
+Value TypedCell(const RecordRef& rec, size_t c) {
+  Value v;
+  switch (rec.schema()->column(c).type) {
+    case FieldType::kInt32:
+      v.i = rec.GetInt32(c);
+      break;
+    case FieldType::kInt64:
+      v.i = rec.GetInt64(c);
+      break;
+    case FieldType::kDouble:
+      v.d = rec.GetDouble(c);
+      break;
+    case FieldType::kString:
+      v.s = std::string(rec.GetString(c));
+      break;
+  }
+  return v;
+}
+
+/// Fills \p result->columns for \p projection (all schema columns when it
+/// is empty) and returns the column indices each typed row extracts.
+std::vector<size_t> SetResultColumns(const Schema& schema,
+                                     const std::vector<size_t>& projection,
+                                     ExecResult* result) {
+  std::vector<size_t> indices = projection;
+  if (indices.empty()) {
+    indices.resize(schema.num_columns());
+    for (size_t c = 0; c < indices.size(); ++c) indices[c] = c;
+  }
+  result->columns.reserve(indices.size());
+  for (size_t c : indices) result->columns.push_back(schema.column(c));
+  return indices;
+}
+
 Result<Record> ParseRecord(Decibel* db,
                            const std::vector<std::string>& tokens,
                            size_t first) {
   const Schema& schema = db->schema();
   if (first >= tokens.size()) {
     return Status::InvalidArgument("vquel: missing primary key");
+  }
+  if (tokens.size() > first + schema.num_columns()) {
+    return Status::InvalidArgument(
+        "vquel: too many values (schema has " +
+        std::to_string(schema.num_columns()) + " columns)");
   }
   Record rec(&schema);
   int64_t pk;
@@ -152,9 +191,17 @@ Result<Record> ParseRecord(Decibel* db,
         rec.SetInt64(c, v);
         break;
       }
-      case FieldType::kDouble:
-        rec.SetDouble(c, atof(tokens[ti].c_str()));
+      case FieldType::kDouble: {
+        char* end = nullptr;
+        errno = 0;
+        const double v = strtod(tokens[ti].c_str(), &end);
+        if (errno != 0 || end != tokens[ti].c_str() + tokens[ti].size()) {
+          return Status::InvalidArgument("vquel: bad value '" + tokens[ti] +
+                                         "'");
+        }
+        rec.SetDouble(c, v);
         break;
+      }
       case FieldType::kString:
         rec.SetString(c, tokens[ti]);
         break;
@@ -261,10 +308,16 @@ Result<ExecResult> Interpreter::Execute(const std::string& statement) {
                                ResolveProjection(db->schema(), names));
       spec.Project(projection);
     }
+    const std::vector<size_t> cells =
+        SetResultColumns(db->schema(), projection, &result);
     DECIBEL_ASSIGN_OR_RETURN(auto cursor, db->NewScan(std::move(spec)));
     ScanRow row;
     while (cursor->Next(&row)) {
       out << FormatProjected(row.record, projection) << "\n";
+      std::vector<Value> typed;
+      typed.reserve(cells.size());
+      for (size_t c : cells) typed.push_back(TypedCell(row.record, c));
+      result.typed_rows.push_back(std::move(typed));
       ++result.rows;
     }
     DECIBEL_RETURN_NOT_OK(cursor->status());
@@ -274,8 +327,14 @@ Result<ExecResult> Interpreter::Execute(const std::string& statement) {
       return Status::InvalidArgument("vquel: SCAN needs a branch");
     }
     Result<query::QueryStats> stats = Status::Unknown("unreached");
+    const std::vector<size_t> cells =
+        SetResultColumns(db->schema(), {}, &result);
     auto emit = [&](const RecordRef& rec) {
       out << FormatRecord(rec) << "\n";
+      std::vector<Value> typed;
+      typed.reserve(cells.size());
+      for (size_t c : cells) typed.push_back(TypedCell(rec, c));
+      result.typed_rows.push_back(std::move(typed));
       ++result.rows;
     };
     if (Upper(tokens[1]) == "COMMIT") {
@@ -485,14 +544,28 @@ Result<ExecResult> Interpreter::Execute(const std::string& statement) {
     MergeResolution resolution = MergeResolution::kPolicy;
     for (size_t i = 3; i < tokens.size(); ++i) {
       const std::string flag = Upper(tokens[i]);
-      if (flag == "TWOWAY") three_way = false;
-      if (flag == "THREEWAY") three_way = true;
-      if (flag == "LEFT") left = true;
-      if (flag == "RIGHT") left = false;
-      if (flag == "OURS") resolution = MergeResolution::kOurs;
-      if (flag == "THEIRS") resolution = MergeResolution::kTheirs;
-      if (flag == "LATEST") resolution = MergeResolution::kLatestWins;
-      if (flag == "PREVIEW") preview = true;
+      if (flag == "TWOWAY") {
+        three_way = false;
+      } else if (flag == "THREEWAY") {
+        three_way = true;
+      } else if (flag == "LEFT") {
+        left = true;
+      } else if (flag == "RIGHT") {
+        left = false;
+      } else if (flag == "OURS") {
+        resolution = MergeResolution::kOurs;
+      } else if (flag == "THEIRS") {
+        resolution = MergeResolution::kTheirs;
+      } else if (flag == "LATEST") {
+        resolution = MergeResolution::kLatestWins;
+      } else if (flag == "PREVIEW") {
+        preview = true;
+      } else {
+        // A typo'd flag used to be silently ignored — a MERGE that the
+        // user believed was TWOWAY/THEIRS could run with the defaults.
+        return Status::InvalidArgument("vquel: unknown MERGE flag '" +
+                                       tokens[i] + "'");
+      }
     }
     const MergePolicy policy =
         three_way ? (left ? MergePolicy::kThreeWayLeft
@@ -528,8 +601,47 @@ Result<ExecResult> Interpreter::Execute(const std::string& statement) {
           << info.result.merged_records << " records merged, "
           << info.result.conflicts << " conflicts";
     }
+  } else if (verb == "RETIRE") {
+    if (tokens.size() != 2) {
+      return Status::InvalidArgument("vquel: RETIRE <branch>");
+    }
+    DECIBEL_ASSIGN_OR_RETURN(BranchId branch, ResolveBranch(db, tokens[1]));
+    DECIBEL_RETURN_NOT_OK(db->RetireBranch(branch));
+    out << "branch " << tokens[1] << " retired";
+  } else if (verb == "INFO") {
+    if (tokens.size() != 1) {
+      return Status::InvalidArgument("vquel: INFO takes no arguments");
+    }
+    const DecibelStats s = db->Stats();
+    out << "branches: " << s.branches << "\n"
+        << "active_branches: " << s.active_branches << "\n"
+        << "commits: " << s.commits << "\n"
+        << "engine.num_records: " << s.engine.num_records << "\n"
+        << "engine.num_segments: " << s.engine.num_segments << "\n"
+        << "engine.data_bytes: " << s.engine.data_bytes << "\n"
+        << "engine.index_memory_bytes: " << s.engine.index_memory_bytes
+        << "\n"
+        << "engine.commit_store_bytes: " << s.engine.commit_store_bytes
+        << "\n"
+        << "engine.rows_scanned: " << s.engine.rows_scanned << "\n"
+        << "engine.bytes_scanned: " << s.engine.bytes_scanned << "\n"
+        << "durable: " << (s.durable ? "true" : "false") << "\n"
+        << "wal.bytes_appended: " << s.wal_bytes_appended << "\n"
+        << "wal.segment_seq: " << s.wal_segment_seq << "\n"
+        << "wal.last_lsn: " << s.wal_last_lsn << "\n"
+        << "checkpoint.generation: " << s.checkpoint_generation << "\n"
+        << "subscriptions: " << s.subscriptions << "\n"
+        << "events_published: " << s.events_published;
+    result.rows = 17;
+  } else if (verb == "SUBSCRIBE" || verb == "UNSUBSCRIBE") {
+    // Subscriptions need a connection to push notifications down; the
+    // net server intercepts these verbs per session before the
+    // interpreter ever sees them.
+    return Status::InvalidArgument("vquel: " + verb +
+                                   " requires a server connection "
+                                   "(decibel_server)");
   } else if (verb == "BRANCHES") {
-    for (const BranchInfo& b : db->graph().branches()) {
+    for (const BranchInfo& b : db->ListBranches()) {
       out << b.id << "  " << b.name << "  head=" << b.head
           << (b.active ? "" : "  (retired)") << "\n";
       ++result.rows;
@@ -541,9 +653,9 @@ Result<ExecResult> Interpreter::Execute(const std::string& statement) {
     }
     DECIBEL_ASSIGN_OR_RETURN(BranchId branch, ResolveBranch(db, tokens[1]));
     // Walk first-parent ancestry from the head.
-    CommitId cur = db->graph().Head(branch);
+    CommitId cur = db->Head(branch);
     while (cur != kInvalidCommit) {
-      auto info = db->graph().GetCommit(cur);
+      auto info = db->GetCommit(cur);
       if (!info.ok()) break;
       out << "commit " << info->id << " (branch " << info->branch << ")";
       if (info->parents.size() > 1) out << " [merge]";

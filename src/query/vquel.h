@@ -38,6 +38,16 @@
 ///                                        outcomes, commit nothing
 ///   BRANCHES                          -- list branches
 ///   LOG <branch>                      -- list commits of a branch
+///   RETIRE <branch>                   -- soft-retire a branch (drops out
+///                                        of HEADS; history stays)
+///   INFO                              -- engine / graph / WAL statistics
+///                                        (Decibel::Stats) as key: value
+///                                        lines
+///   SUBSCRIBE <branch>                -- server-only: register for commit
+///   UNSUBSCRIBE <branch>              -- notifications. The library
+///                                        interpreter rejects these with
+///                                        InvalidArgument; the net server
+///                                        intercepts them per session.
 ///
 /// Branches are referenced by name or numeric id.
 ///
@@ -50,16 +60,31 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/decibel.h"
 
 namespace decibel {
 namespace vquel {
 
+/// One typed result cell; the meaningful member follows the column type.
+struct Value {
+  int64_t i = 0;    ///< kInt32 / kInt64
+  double d = 0;     ///< kDouble
+  std::string s;    ///< kString
+};
+
 struct ExecResult {
   /// Human-readable result (a table of rows, an acknowledgement, ...).
   std::string output;
   uint64_t rows = 0;
+  /// Typed result set, populated by the row-returning verbs (SELECT,
+  /// SCAN): column metadata straight from the schema plus one Value per
+  /// (row, column). Empty for acknowledgement-style verbs, whose result
+  /// is the text output alone. The wire protocol ships these so remote
+  /// clients get real types, not re-parsed text.
+  std::vector<Column> columns;
+  std::vector<std::vector<Value>> typed_rows;
 };
 
 /// A stateful statement interpreter: one Decibel handle plus at most one

@@ -337,7 +337,11 @@ Status HeapFile::Flush() {
 
 Status HeapFile::Sync() {
   DECIBEL_RETURN_NOT_OK(Flush());
-  return writer_->Sync();
+  if (writer_.has_value()) return writer_->Sync();
+  // Sealed file whose write handle was released: everything is on disk,
+  // so a transient descriptor is enough to make it durable.
+  DECIBEL_ASSIGN_OR_RETURN(RandomWriteFile f, RandomWriteFile::Open(path_));
+  return f.Sync();
 }
 
 HeapFile::CheckpointState HeapFile::GetCheckpointState() const {
@@ -351,6 +355,18 @@ HeapFile::CheckpointState HeapFile::GetCheckpointState() const {
 Status HeapFile::Seal() {
   DECIBEL_RETURN_NOT_OK(Flush());
   sealed_ = true;
+  // Sealed files never append again; holding the write descriptor open
+  // would leak one fd per segment under branch churn (the agentic
+  // workload forks and retires branches by the thousands). Sync() reopens
+  // transiently when a checkpoint needs to make the file durable.
+  writer_.reset();
+  return Status::OK();
+}
+
+Status HeapFile::ReleaseFileHandles() {
+  DECIBEL_RETURN_NOT_OK(Seal());
+  std::lock_guard<std::mutex> lock(reader_mu_);
+  reader_.reset();
   return Status::OK();
 }
 

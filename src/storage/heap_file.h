@@ -105,9 +105,17 @@ class HeapFile : public PageSource {
   Status Sync();
 
   /// Flushes and forbids further appends (hybrid freezes head segments on
-  /// branch, §3.4).
+  /// branch, §3.4). Also releases the write descriptor — a sealed file
+  /// never appends again, and under branch churn one held fd per sealed
+  /// segment adds up to descriptor exhaustion. Sync() reopens transiently.
   Status Seal();
   bool sealed() const { return sealed_; }
+
+  /// Seals (if not already sealed) and closes every file descriptor this
+  /// heap file holds. The file stays fully readable: the reader reopens
+  /// lazily on the next page miss. Used when a branch is retired so its
+  /// segments stop pinning fds.
+  Status ReleaseFileHandles();
 
   /// Copies record \p index into \p out.
   Status Get(uint64_t index, std::string* out);

@@ -176,5 +176,18 @@ Status DecodeMergeBody(Slice body, MergeBody* out) {
   return Status::OK();
 }
 
+// ---------------------------------------------------------------- retire
+
+void EncodeRetireBody(std::string* dst, BranchId branch) {
+  PutVarint32(dst, branch);
+}
+
+Status DecodeRetireBody(Slice body, BranchId* out) {
+  if (!GetVarint32(&body, out) || !body.empty()) {
+    return Status::Corruption("WAL retire record: malformed");
+  }
+  return Status::OK();
+}
+
 }  // namespace wal
 }  // namespace decibel

@@ -52,6 +52,7 @@ enum class RecordType : uint8_t {
   kCommit = 2,
   kBranch = 3,
   kMerge = 4,
+  kRetire = 5,
 };
 
 /// Appends the frame (header + payload) for \p body to \p dst.
@@ -115,6 +116,12 @@ struct MergeBody {
 };
 void EncodeMergeBody(std::string* dst, const MergeBody& b);
 Status DecodeMergeBody(Slice body, MergeBody* out);
+
+/// kRetire body: the branch soft-retired by Decibel::RetireBranch (its
+/// active flag lives only in the graph, which durable recovery rebuilds
+/// from the checkpointed graph + WAL — so the retire itself must log).
+void EncodeRetireBody(std::string* dst, BranchId branch);
+Status DecodeRetireBody(Slice body, BranchId* out);
 
 }  // namespace wal
 }  // namespace decibel

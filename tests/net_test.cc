@@ -1,0 +1,631 @@
+/// Network layer tests: wire protocol framing and message round-trips,
+/// the commit publisher's delivery model, and the session server driven
+/// through real TCP connections — concurrent sessions, per-session
+/// transaction state, subscriptions, garbage-frame rejection, and
+/// shutdown with live sessions.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/socket.h"
+#include "core/decibel.h"
+#include "core/publisher.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "test_util.h"
+
+namespace decibel {
+namespace {
+
+using net::Client;
+using net::MessageType;
+using net::Notification;
+using net::Server;
+using net::ServerOptions;
+using net::TryDecodeFrame;
+using net::WireResult;
+using net::WrapFrame;
+using testing_util::ScratchDir;
+
+// ------------------------------------------------------------- protocol
+
+TEST(ProtocolTest, FrameRoundTrip) {
+  std::string payload;
+  net::EncodeExecute(&payload, "SCAN master");
+  std::string frame;
+  WrapFrame(&frame, payload);
+  ASSERT_EQ(frame.size(), net::kFrameHeaderBytes + payload.size());
+
+  std::string decoded;
+  auto consumed = TryDecodeFrame(Slice(frame), net::kDefaultMaxFrameBytes,
+                                 &decoded);
+  ASSERT_TRUE(consumed.ok());
+  EXPECT_EQ(*consumed, frame.size());
+  EXPECT_EQ(decoded, payload);
+
+  std::string statement;
+  ASSERT_OK(net::DecodeExecute(decoded, &statement));
+  EXPECT_EQ(statement, "SCAN master");
+}
+
+TEST(ProtocolTest, IncompleteFrameNeedsMoreBytes) {
+  std::string payload;
+  net::EncodePing(&payload);
+  std::string frame;
+  WrapFrame(&frame, payload);
+  // Every strict prefix decodes to "0 bytes consumed, keep reading".
+  for (size_t n = 0; n < frame.size(); ++n) {
+    std::string decoded;
+    auto consumed = TryDecodeFrame(Slice(frame.data(), n),
+                                   net::kDefaultMaxFrameBytes, &decoded);
+    ASSERT_TRUE(consumed.ok()) << n;
+    EXPECT_EQ(*consumed, 0u) << n;
+  }
+}
+
+TEST(ProtocolTest, OversizedFrameRejectedBeforeBuffering) {
+  // A hostile length prefix larger than the cap must fail immediately,
+  // even though the "body" never arrives.
+  std::string frame;
+  PutFixed32(&frame, 100 << 20);
+  PutFixed32(&frame, 0xdeadbeef);
+  std::string decoded;
+  auto consumed = TryDecodeFrame(Slice(frame), net::kDefaultMaxFrameBytes,
+                                 &decoded);
+  ASSERT_FALSE(consumed.ok());
+  EXPECT_TRUE(consumed.status().IsCorruption());
+}
+
+TEST(ProtocolTest, CorruptCrcRejected) {
+  std::string payload;
+  net::EncodePing(&payload);
+  std::string frame;
+  WrapFrame(&frame, payload);
+  frame[net::kFrameHeaderBytes] ^= 0x40;  // flip a payload bit
+  std::string decoded;
+  auto consumed = TryDecodeFrame(Slice(frame), net::kDefaultMaxFrameBytes,
+                                 &decoded);
+  ASSERT_FALSE(consumed.ok());
+  EXPECT_TRUE(consumed.status().IsCorruption());
+}
+
+TEST(ProtocolTest, ResultRoundTripWithTypedRows) {
+  WireResult in;
+  in.code = StatusCode::kOk;
+  in.output = "2 rows";
+  in.rows = 2;
+  in.columns.push_back(Column{"pk", FieldType::kInt64, 8});
+  in.columns.push_back(Column{"c1", FieldType::kInt32, 4});
+  in.columns.push_back(Column{"name", FieldType::kString, 16});
+  net::ResultCell pk1, c1a, s1, pk2, c1b, s2;
+  pk1.i = 1;
+  c1a.i = -42;
+  s1.s = "alpha";
+  pk2.i = 9007199254740993ll;
+  c1b.i = 7;
+  s2.s = "";
+  in.typed_rows.push_back({pk1, c1a, s1});
+  in.typed_rows.push_back({pk2, c1b, s2});
+
+  std::string payload;
+  net::EncodeResult(&payload, in);
+  WireResult out;
+  ASSERT_OK(net::DecodeResult(payload, &out));
+  EXPECT_TRUE(out.ok());
+  EXPECT_EQ(out.output, "2 rows");
+  EXPECT_EQ(out.rows, 2u);
+  ASSERT_EQ(out.columns.size(), 3u);
+  EXPECT_EQ(out.columns[2].name, "name");
+  EXPECT_EQ(out.columns[2].type, FieldType::kString);
+  ASSERT_EQ(out.typed_rows.size(), 2u);
+  EXPECT_EQ(out.typed_rows[0][0].i, 1);
+  EXPECT_EQ(out.typed_rows[0][1].i, -42);
+  EXPECT_EQ(out.typed_rows[0][2].s, "alpha");
+  EXPECT_EQ(out.typed_rows[1][0].i, 9007199254740993ll);
+}
+
+TEST(ProtocolTest, ErrorResultCarriesStatus) {
+  WireResult in;
+  in.code = StatusCode::kInvalidArgument;
+  in.message = "vquel: unknown verb 'FROB'";
+  std::string payload;
+  net::EncodeResult(&payload, in);
+  WireResult out;
+  ASSERT_OK(net::DecodeResult(payload, &out));
+  EXPECT_FALSE(out.ok());
+  const Status status = out.ToStatus();
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_EQ(status.message(), "vquel: unknown verb 'FROB'");
+}
+
+TEST(ProtocolTest, NotifyRoundTrip) {
+  Notification in;
+  in.branch = 3;
+  in.branch_name = "dev";
+  in.commit = 41;
+  in.records = 1000;
+  in.merge = true;
+  std::string payload;
+  net::EncodeNotify(&payload, in);
+  Notification out;
+  ASSERT_OK(net::DecodeNotify(payload, &out));
+  EXPECT_EQ(out.branch, 3u);
+  EXPECT_EQ(out.branch_name, "dev");
+  EXPECT_EQ(out.commit, 41u);
+  EXPECT_EQ(out.records, 1000u);
+  EXPECT_TRUE(out.merge);
+}
+
+TEST(ProtocolTest, TruncatedPayloadsRejected) {
+  std::string payload;
+  net::EncodeExecute(&payload, "SCAN master");
+  std::string statement;
+  EXPECT_FALSE(
+      net::DecodeExecute(Slice(payload.data(), payload.size() - 3),
+                         &statement)
+          .ok());
+
+  Notification note;
+  note.branch_name = "dev";
+  std::string notify;
+  net::EncodeNotify(&notify, note);
+  Notification out;
+  EXPECT_FALSE(
+      net::DecodeNotify(Slice(notify.data(), notify.size() - 1), &out).ok());
+
+  // Unknown / empty message types.
+  EXPECT_FALSE(net::PayloadType(Slice("")).ok());
+  const char junk[] = {42};
+  EXPECT_FALSE(net::PayloadType(Slice(junk, 1)).ok());
+}
+
+// ------------------------------------------------------------ publisher
+
+TEST(PublisherTest, DeliversInOrderToSubscriber) {
+  CommitPublisher pub;
+  std::mutex mu;
+  std::vector<CommitId> seen;
+  pub.Subscribe(1, [&](const CommitEvent& e) {
+    std::lock_guard<std::mutex> lock(mu);
+    seen.push_back(e.commit);
+  });
+  for (CommitId c = 1; c <= 100; ++c) {
+    CommitEvent e;
+    e.branch = 1;
+    e.commit = c;
+    pub.Publish(e);
+  }
+  pub.Drain();
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(seen.size(), 100u);
+  for (CommitId c = 1; c <= 100; ++c) EXPECT_EQ(seen[c - 1], c);
+}
+
+TEST(PublisherTest, DropsEventsWithNoSubscriber) {
+  CommitPublisher pub;
+  CommitEvent e;
+  e.branch = 7;
+  pub.Publish(e);
+  EXPECT_EQ(pub.events_published(), 0u);  // dropped at enqueue
+
+  std::atomic<int> other_branch{0};
+  pub.Subscribe(1, [&](const CommitEvent&) { other_branch++; });
+  pub.Publish(e);  // branch 7 still has no subscriber
+  pub.Drain();
+  EXPECT_EQ(other_branch.load(), 0);
+}
+
+TEST(PublisherTest, UnsubscribeStopsDelivery) {
+  CommitPublisher pub;
+  std::atomic<int> count{0};
+  const uint64_t token =
+      pub.Subscribe(1, [&](const CommitEvent&) { count++; });
+  CommitEvent e;
+  e.branch = 1;
+  pub.Publish(e);
+  pub.Drain();
+  EXPECT_EQ(count.load(), 1);
+  pub.Unsubscribe(token);
+  pub.Publish(e);
+  pub.Drain();
+  EXPECT_EQ(count.load(), 1);
+  EXPECT_EQ(pub.num_subscriptions(), 0u);
+}
+
+// --------------------------------------------------------------- server
+
+class NetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<ScratchDir>("net");
+    auto db = Decibel::Open(dir_->path() + "/db", Schema::MakeBenchmark(2),
+                            DecibelOptions{});
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(db).MoveValueUnsafe();
+    ServerOptions opts;
+    opts.worker_threads = 4;
+    auto server = Server::Start(db_.get(), opts);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    server_ = std::move(server).MoveValueUnsafe();
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Stop();
+  }
+
+  Client MustConnect() {
+    auto client = Client::Connect("127.0.0.1", server_->port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(client).MoveValueUnsafe();
+  }
+
+  /// Executes a statement that must succeed server-side.
+  WireResult MustExecute(Client* client, const std::string& statement) {
+    auto wr = client->Execute(statement);
+    EXPECT_TRUE(wr.ok()) << wr.status().ToString();
+    EXPECT_TRUE(wr->ok()) << statement << " -> " << wr->message;
+    return std::move(wr).MoveValueUnsafe();
+  }
+
+  std::unique_ptr<ScratchDir> dir_;
+  std::unique_ptr<Decibel> db_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(NetTest, ExecuteRoundTripWithTypedResults) {
+  Client client = MustConnect();
+  MustExecute(&client, "INSERT master 1 10 100");
+  MustExecute(&client, "INSERT master 2 20 200");
+  const WireResult select = MustExecute(&client, "SELECT pk, c1 FROM master");
+  EXPECT_EQ(select.rows, 2u);
+  ASSERT_EQ(select.columns.size(), 2u);
+  EXPECT_EQ(select.columns[0].name, "pk");
+  EXPECT_EQ(select.columns[0].type, FieldType::kInt64);
+  EXPECT_EQ(select.columns[1].name, "c1");
+  EXPECT_EQ(select.columns[1].type, FieldType::kInt32);
+  ASSERT_EQ(select.typed_rows.size(), 2u);
+  EXPECT_EQ(select.typed_rows[0][0].i, 1);
+  EXPECT_EQ(select.typed_rows[0][1].i, 10);
+  EXPECT_EQ(select.typed_rows[1][0].i, 2);
+  EXPECT_EQ(select.typed_rows[1][1].i, 20);
+}
+
+TEST_F(NetTest, PingPong) {
+  Client client = MustConnect();
+  ASSERT_OK(client.Ping());
+  ASSERT_OK(client.Ping());
+}
+
+TEST_F(NetTest, StatementErrorsComeBackAsStatusNotDisconnect) {
+  Client client = MustConnect();
+  const char* bad[] = {
+      "FROB everything",
+      "SELECT FROM",
+      "SELECT pk FROM no_such_branch",
+      "MERGE master",
+      "MERGE master master SIDEWAYS",
+      "DIFF onlyone",
+      "INSERT master not_a_pk 1 2",
+      "SELECT pk FROM master LIMIT 0",
+      "SUBSCRIBE",
+      "RETIRE master",
+  };
+  for (const char* statement : bad) {
+    auto wr = client.Execute(statement);
+    ASSERT_TRUE(wr.ok()) << statement;  // the connection survives
+    EXPECT_FALSE(wr->ok()) << statement;
+  }
+  // And the session still works afterwards.
+  MustExecute(&client, "INSERT master 1 10 100");
+}
+
+TEST_F(NetTest, ConcurrentSessionsOnDisjointBranches) {
+  // Each thread owns a connection and a branch: fork, write, commit,
+  // merge back. The facade's locking is the only synchronization.
+  constexpr int kAgents = 8;
+  Client setup = MustConnect();
+  MustExecute(&setup, "INSERT master 1 10 100");
+  MustExecute(&setup, "COMMIT master");
+  std::atomic<int> failures{0};
+  std::vector<std::thread> agents;
+  agents.reserve(kAgents);
+  for (int a = 0; a < kAgents; ++a) {
+    agents.emplace_back([&, a] {
+      auto client = Client::Connect("127.0.0.1", server_->port());
+      if (!client.ok()) {
+        failures++;
+        return;
+      }
+      const std::string branch = "agent" + std::to_string(a);
+      const std::string pk = std::to_string(100 + a);
+      const char* steps[4] = {nullptr};
+      const std::string s0 = "BRANCH " + branch + " FROM master";
+      const std::string s1 = "INSERT " + branch + " " + pk + " 1 1";
+      const std::string s2 = "COMMIT " + branch;
+      const std::string s3 = "MERGE master " + branch + " THREEWAY LEFT";
+      steps[0] = s0.c_str();
+      steps[1] = s1.c_str();
+      steps[2] = s2.c_str();
+      steps[3] = s3.c_str();
+      for (const char* statement : steps) {
+        auto wr = client->Execute(statement);
+        if (!wr.ok() || !wr->ok()) {
+          failures++;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : agents) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Every agent's row made it to master.
+  const WireResult scan = MustExecute(&setup, "SCAN master");
+  EXPECT_EQ(scan.rows, 1u + kAgents);
+}
+
+TEST_F(NetTest, PerSessionTransactionIsolation) {
+  Client writer = MustConnect();
+  Client reader = MustConnect();
+  MustExecute(&writer, "INSERT master 1 10 100");
+  MustExecute(&writer, "BEGIN master");
+  MustExecute(&writer, "INSERT master 2 20 200");  // staged, not applied
+  // The reader's session must not see the writer's staged ops — and must
+  // not be able to COMMIT the writer's transaction.
+  const WireResult scan = MustExecute(&reader, "SCAN master");
+  EXPECT_EQ(scan.rows, 1u);
+  auto foreign_commit = reader.Execute("COMMIT TX");
+  ASSERT_TRUE(foreign_commit.ok());
+  EXPECT_FALSE(foreign_commit->ok());  // no transaction on *this* session
+  MustExecute(&writer, "COMMIT TX");
+  const WireResult after = MustExecute(&reader, "SCAN master");
+  EXPECT_EQ(after.rows, 2u);
+}
+
+TEST_F(NetTest, DisconnectAbortsOpenTransaction) {
+  {
+    Client writer = MustConnect();
+    MustExecute(&writer, "BEGIN master");
+    MustExecute(&writer, "INSERT master 7 7 7");
+    writer.Close();  // vanish mid-transaction
+  }
+  // The staged op must never surface.
+  Client reader = MustConnect();
+  for (int i = 0; i < 50; ++i) {
+    const WireResult scan = MustExecute(&reader, "SCAN master");
+    ASSERT_EQ(scan.rows, 0u);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+TEST_F(NetTest, SubscriptionDeliversCommit) {
+  Client watcher = MustConnect();
+  Client writer = MustConnect();
+  MustExecute(&writer, "BRANCH dev FROM master");
+  ASSERT_OK(watcher.Subscribe("dev"));
+  MustExecute(&writer, "INSERT dev 1 10 100");
+  MustExecute(&writer, "INSERT dev 2 20 200");
+  MustExecute(&writer, "COMMIT dev");
+  auto note = watcher.WaitNotification(5000);
+  ASSERT_TRUE(note.ok()) << note.status().ToString();
+  EXPECT_EQ(note->branch_name, "dev");
+  EXPECT_EQ(note->records, 2u);
+  EXPECT_FALSE(note->merge);
+}
+
+TEST_F(NetTest, SubscriptionDeliversMerge) {
+  Client watcher = MustConnect();
+  Client writer = MustConnect();
+  MustExecute(&writer, "COMMIT master");
+  MustExecute(&writer, "BRANCH dev FROM master");
+  ASSERT_OK(watcher.Subscribe("master"));
+  MustExecute(&writer, "INSERT dev 1 10 100");
+  MustExecute(&writer, "MERGE master dev THREEWAY LEFT");
+  // The merge may be preceded by nothing else on master; the first
+  // notification is the merge commit itself.
+  auto note = watcher.WaitNotification(5000);
+  ASSERT_TRUE(note.ok()) << note.status().ToString();
+  EXPECT_EQ(note->branch_name, "master");
+  EXPECT_TRUE(note->merge);
+  EXPECT_EQ(note->records, 1u);
+}
+
+TEST_F(NetTest, NotificationsArriveInCommitOrder) {
+  Client watcher = MustConnect();
+  Client writer = MustConnect();
+  ASSERT_OK(watcher.Subscribe("master"));
+  for (int i = 0; i < 5; ++i) {
+    MustExecute(&writer,
+                "INSERT master " + std::to_string(i + 1) + " 1 1");
+    MustExecute(&writer, "COMMIT master");
+  }
+  uint64_t last = 0;
+  for (int i = 0; i < 5; ++i) {
+    auto note = watcher.WaitNotification(5000);
+    ASSERT_TRUE(note.ok()) << note.status().ToString();
+    EXPECT_GT(note->commit, last);
+    last = note->commit;
+  }
+}
+
+TEST_F(NetTest, UnsubscribeStopsNotifications) {
+  Client watcher = MustConnect();
+  Client writer = MustConnect();
+  ASSERT_OK(watcher.Subscribe("master"));
+  MustExecute(&writer, "INSERT master 1 1 1");
+  MustExecute(&writer, "COMMIT master");
+  ASSERT_TRUE(watcher.WaitNotification(5000).ok());
+  ASSERT_OK(watcher.Unsubscribe("master"));
+  MustExecute(&writer, "INSERT master 2 2 2");
+  MustExecute(&writer, "COMMIT master");
+  auto note = watcher.WaitNotification(300);
+  EXPECT_FALSE(note.ok());  // nothing may arrive after UNSUBSCRIBE's ack
+}
+
+TEST_F(NetTest, SubscribeValidation) {
+  Client client = MustConnect();
+  EXPECT_FALSE(client.Subscribe("no_such_branch").ok());
+  EXPECT_FALSE(client.Unsubscribe("master").ok());  // never subscribed
+  ASSERT_OK(client.Subscribe("master"));
+  ASSERT_OK(client.Subscribe("master"));  // idempotent
+  ASSERT_OK(client.Unsubscribe("master"));
+}
+
+TEST_F(NetTest, OversizedFrameDropsConnectionCleanly) {
+  ASSERT_OK_AND_ASSIGN(Socket raw,
+                       Socket::Connect("127.0.0.1", server_->port()));
+  // Length prefix far past the 32 MiB cap; the body never follows.
+  std::string header;
+  PutFixed32(&header, 1u << 30);
+  PutFixed32(&header, 0);
+  ASSERT_OK(raw.SendAll(header));
+  ASSERT_OK(raw.SetRecvTimeout(5000));
+  char buf[16];
+  ASSERT_OK_AND_ASSIGN(size_t got, raw.Recv(buf, sizeof(buf)));
+  EXPECT_EQ(got, 0u);  // server closed without crashing or ballooning
+  // The server is still healthy for other sessions.
+  Client client = MustConnect();
+  MustExecute(&client, "INSERT master 1 1 1");
+}
+
+TEST_F(NetTest, GarbageFrameDropsConnectionCleanly) {
+  ASSERT_OK_AND_ASSIGN(Socket raw,
+                       Socket::Connect("127.0.0.1", server_->port()));
+  // Plausible length, wrong CRC.
+  std::string frame;
+  PutFixed32(&frame, 12);
+  PutFixed32(&frame, 0xabad1dea);
+  frame.append(12, '\x5a');
+  ASSERT_OK(raw.SendAll(frame));
+  ASSERT_OK(raw.SetRecvTimeout(5000));
+  char buf[16];
+  ASSERT_OK_AND_ASSIGN(size_t got, raw.Recv(buf, sizeof(buf)));
+  EXPECT_EQ(got, 0u);
+  Client client = MustConnect();
+  MustExecute(&client, "SCAN master");
+}
+
+TEST_F(NetTest, TornFrameThenDisconnectIsHarmless) {
+  {
+    ASSERT_OK_AND_ASSIGN(Socket raw,
+                         Socket::Connect("127.0.0.1", server_->port()));
+    std::string payload;
+    net::EncodeExecute(&payload, "INSERT master 999 9 9");
+    std::string frame;
+    WrapFrame(&frame, payload);
+    // Half a frame, then vanish.
+    ASSERT_OK(raw.SendAll(Slice(frame.data(), frame.size() / 2)));
+  }
+  Client client = MustConnect();
+  const WireResult scan = MustExecute(&client, "SCAN master");
+  EXPECT_EQ(scan.rows, 0u);  // the torn INSERT never executed
+}
+
+TEST_F(NetTest, SessionCountTracksConnections) {
+  EXPECT_EQ(server_->num_sessions(), 0u);
+  Client a = MustConnect();
+  Client b = MustConnect();
+  ASSERT_OK(a.Ping());  // forces accept to have happened
+  ASSERT_OK(b.Ping());
+  EXPECT_EQ(server_->num_sessions(), 2u);
+  b.Close();
+  // The event loop reaps closed peers asynchronously.
+  for (int i = 0; i < 100 && server_->num_sessions() != 1u; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server_->num_sessions(), 1u);
+}
+
+TEST_F(NetTest, ShutdownWithLiveSessions) {
+  Client a = MustConnect();
+  Client b = MustConnect();
+  ASSERT_OK(a.Subscribe("master"));
+  MustExecute(&b, "INSERT master 1 1 1");
+  server_->Stop();
+  EXPECT_EQ(server_->num_sessions(), 0u);
+  // Clients see a clean connection-level error, not a hang.
+  auto after = b.Execute("SCAN master");
+  EXPECT_FALSE(after.ok());
+  EXPECT_TRUE(after.status().IsIOError()) << after.status().ToString();
+  server_->Stop();  // idempotent
+}
+
+TEST_F(NetTest, PipelinedRequestsKeepOrder) {
+  // Raw socket: fire N execute frames back-to-back without reading, then
+  // collect N responses — they must come back in order (one in-flight
+  // statement per session, queued FIFO).
+  ASSERT_OK_AND_ASSIGN(Socket raw,
+                       Socket::Connect("127.0.0.1", server_->port()));
+  constexpr int kN = 20;
+  std::string burst;
+  for (int i = 0; i < kN; ++i) {
+    std::string payload;
+    net::EncodeExecute(&payload,
+                       "INSERT master " + std::to_string(i + 1) + " 1 1");
+    WrapFrame(&burst, payload);
+  }
+  ASSERT_OK(raw.SendAll(burst));
+  ASSERT_OK(raw.SetRecvTimeout(10000));
+  std::string rbuf;
+  int seen = 0;
+  char buf[4096];
+  while (seen < kN) {
+    ASSERT_OK_AND_ASSIGN(size_t got, raw.Recv(buf, sizeof(buf)));
+    ASSERT_GT(got, 0u);
+    rbuf.append(buf, got);
+    for (;;) {
+      std::string payload;
+      ASSERT_OK_AND_ASSIGN(
+          size_t n,
+          TryDecodeFrame(Slice(rbuf), net::kDefaultMaxFrameBytes, &payload));
+      if (n == 0) break;
+      rbuf.erase(0, n);
+      WireResult wr;
+      ASSERT_OK(net::DecodeResult(payload, &wr));
+      EXPECT_TRUE(wr.ok()) << wr.message;
+      ++seen;
+    }
+  }
+  // All N inserts landed.
+  Client client = MustConnect();
+  const WireResult scan = MustExecute(&client, "SCAN master");
+  EXPECT_EQ(scan.rows, static_cast<uint64_t>(kN));
+}
+
+TEST_F(NetTest, InfoAndRetireOverTheWire) {
+  Client client = MustConnect();
+  MustExecute(&client, "COMMIT master");
+  MustExecute(&client, "BRANCH dev FROM master");
+  const WireResult info = MustExecute(&client, "INFO");
+  EXPECT_NE(info.output.find("active_branches: 2"), std::string::npos)
+      << info.output;
+  MustExecute(&client, "RETIRE dev");
+  const WireResult after = MustExecute(&client, "INFO");
+  EXPECT_NE(after.output.find("active_branches: 1"), std::string::npos)
+      << after.output;
+  // Retiring twice is an error, carried over the wire.
+  auto again = client.Execute("RETIRE dev");
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->ok());
+}
+
+TEST_F(NetTest, StatsCountSubscriptions) {
+  Client watcher = MustConnect();
+  ASSERT_OK(watcher.Subscribe("master"));
+  EXPECT_EQ(db_->Stats().subscriptions, 1u);
+  watcher.Close();
+  for (int i = 0; i < 100 && db_->Stats().subscriptions != 0u; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(db_->Stats().subscriptions, 0u);  // close dropped the sub
+}
+
+}  // namespace
+}  // namespace decibel

@@ -502,6 +502,90 @@ TEST_F(VquelTest, TransactionAbortDiscards) {
   EXPECT_NE(out.find("1 | 10 | 20"), std::string::npos);
 }
 
+TEST_F(VquelTest, MalformedStatementsReturnInvalidArgument) {
+  // Statements with broken grammar must come back as InvalidArgument —
+  // never a crash, a hang, or a partial mutation.
+  const char* malformed[] = {
+      // MERGE: arity, unknown flags, flag soup.
+      "MERGE",
+      "MERGE master",
+      "MERGE master dev SIDEWAYS",
+      "MERGE master dev THREEWAY LEFT EXTRA",
+      "MERGE master dev PREVIEW OURS",
+      // DIFF: arity and bad commit ids.
+      "DIFF",
+      "DIFF dev",
+      "DIFF COMMIT",
+      "DIFF COMMIT 1",
+      "DIFF COMMIT one two",
+      // SELECT: dangling clauses, bad columns, bad literals.
+      "SELECT ,, FROM master",
+      "SELECT pk FROM master WHERE",
+      "SELECT pk FROM master WHERE c1 >",
+      "SELECT pk FROM master WHERE c1 >> 5",
+      "SELECT pk FROM master WHERE c1 > abc",
+      "SELECT pk FROM master LIMIT -3",
+      // SCAN / writes: bad arity and bad values.
+      "SCAN",
+      "SCAN master WHERE c1",
+      "INSERT",
+      "INSERT master",
+      "INSERT master 1 2 3 4 5 6",
+      "UPDATE master x 1 1",
+      "DELETE master",
+      "DELETE master notanint",
+      // Branch / metadata verbs.
+      "BRANCH",
+      "BRANCH dev FROM",
+      "BRANCH dev OF master",
+      "RETIRE",
+      "RETIRE master extra",
+      "INFO extra",
+      "LOG",
+      // SUBSCRIBE needs a live server session, never the library path.
+      "SUBSCRIBE",
+      "SUBSCRIBE master",
+      "UNSUBSCRIBE master",
+      // Junk.
+      "\t  ",
+      "; DROP TABLE",
+      "MERGE MERGE MERGE MERGE",
+  };
+  for (const char* statement : malformed) {
+    auto result = vquel::Execute(db_.get(), statement);
+    ASSERT_FALSE(result.ok()) << statement;
+    EXPECT_TRUE(result.status().IsInvalidArgument() ||
+                result.status().IsNotFound())
+        << statement << " -> " << result.status().ToString();
+  }
+  // The database is untouched by the whole battery.
+  EXPECT_NE(Exec("SCAN master").find("(0 rows)"), std::string::npos);
+}
+
+TEST_F(VquelTest, RetireBranchLifecycle) {
+  Exec("INSERT master 1 1 1");
+  Exec("COMMIT master");
+  Exec("BRANCH dev FROM master");
+  EXPECT_NE(Exec("BRANCHES").find("dev"), std::string::npos);
+  EXPECT_NE(Exec("RETIRE dev").find("retired"), std::string::npos);
+  // Inactive branches are flagged in BRANCHES and cannot be retired again.
+  EXPECT_NE(Exec("BRANCHES").find("(retired)"), std::string::npos);
+  EXPECT_FALSE(vquel::Execute(db_.get(), "RETIRE dev").ok());
+  EXPECT_FALSE(vquel::Execute(db_.get(), "RETIRE master").ok());
+  EXPECT_FALSE(vquel::Execute(db_.get(), "RETIRE no_such_branch").ok());
+}
+
+TEST_F(VquelTest, InfoReportsEngineAndGraphCounters) {
+  Exec("INSERT master 1 1 1");
+  Exec("COMMIT master");
+  Exec("BRANCH dev FROM master");
+  const std::string info = Exec("INFO");
+  EXPECT_NE(info.find("branches: 2"), std::string::npos) << info;
+  EXPECT_NE(info.find("active_branches: 2"), std::string::npos) << info;
+  EXPECT_NE(info.find("durable: false"), std::string::npos) << info;
+  EXPECT_NE(info.find("engine.num_records:"), std::string::npos) << info;
+}
+
 TEST_F(VquelTest, TransactionGuardsAndErrors) {
   vquel::Interpreter interp(db_.get());
   // No open transaction: COMMIT TX / ABORT are errors.
