@@ -67,9 +67,11 @@ struct ScopedDb {
   }
 };
 
-/// Opens a fresh database for \p engine under /tmp.
+/// Opens a fresh database for \p engine under /tmp. \p compress_pages
+/// routes sealed pages through the columnar page codec.
 inline Result<ScopedDb> FreshDb(EngineType engine, const std::string& tag,
-                                int scan_threads = 0) {
+                                int scan_threads = 0,
+                                bool compress_pages = false) {
   static int counter = 0;
   ScopedDb scoped;
   scoped.path = "/tmp/decibel_bench_" + std::to_string(::getpid()) + "_" +
@@ -80,6 +82,7 @@ inline Result<ScopedDb> FreshDb(EngineType engine, const std::string& tag,
   options.page_size = 64 << 10;  // 64 KiB pages at this record scale
   options.buffer_pool_bytes = 64 << 20;
   options.scan_threads = scan_threads;
+  options.compress_pages = compress_pages;
   DECIBEL_ASSIGN_OR_RETURN(scoped.db,
                            Decibel::Open(scoped.path, BenchSchema(), options));
   return scoped;

@@ -1,0 +1,73 @@
+#ifndef DECIBEL_COLUMNAR_PAGE_CODEC_H_
+#define DECIBEL_COLUMNAR_PAGE_CODEC_H_
+
+/// \file page_codec.h
+/// Adaptive page compression — the encoding layer of the columnar
+/// subsystem. A sealed heap page holds `count` fixed-width records in
+/// row-major order; the codec decides at seal time how to store them:
+///
+///   kRaw      row-major payload verbatim (the v1 format, and the tail's
+///             only format — the tail is rewritten in place).
+///   kColumnar the payload transposed into per-column strips, each strip
+///             independently tagged plain / value-RLE / dictionary /
+///             byte-RLE (common/rle.cc), smallest wins per strip.
+///   kLz       lz::Compress (common/lz.cc) over the whole row-major
+///             payload — the fallback for pages whose redundancy is
+///             cross-column rather than per-column.
+///
+/// EncodePage tries kColumnar and kLz and keeps whichever beats raw;
+/// incompressible pages stay kRaw so worst-case decode cost is zero.
+///
+/// kColumnar pages support predicate evaluation *before* decoding:
+/// CountMatchesCompressed tests each comparison once per RLE run or
+/// dictionary code instead of once per row, so a scan can prove "no row
+/// in this page matches" — and skip the decode entirely — from the
+/// compressed bytes.
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "query/predicate.h"
+#include "storage/schema.h"
+
+namespace decibel {
+namespace columnar {
+
+/// On-disk page encoding, stored in the page header's format byte.
+enum class PageFormat : uint8_t {
+  kRaw = 0,
+  kColumnar = 1,
+  kLz = 2,
+};
+
+const char* PageFormatName(PageFormat format);
+
+/// Encodes \p count records of row-major \p payload. Returns the chosen
+/// format; \p encoded holds the stored bytes for kColumnar/kLz and is
+/// left empty for kRaw (the caller stores the payload verbatim).
+PageFormat EncodePage(const Schema& schema, const char* payload,
+                      uint32_t count, std::string* encoded);
+
+/// Reconstructs the row-major payload (`count * record_size` bytes,
+/// appended to \p payload) from a page stored as \p format. Fails with
+/// Corruption on malformed stored bytes.
+Status DecodePage(const Schema& schema, PageFormat format, Slice stored,
+                  uint32_t count, std::string* payload);
+
+/// Counts live (non-tombstone) rows satisfying every comparison in
+/// \p cmps, evaluated directly on the compressed strips of a kColumnar
+/// page. Sets *exact=true when the count is authoritative; for formats
+/// without direct evaluation (kRaw, kLz) sets *exact=false and returns 0
+/// — the caller must decode and evaluate on raw bytes. A malformed page
+/// also reports *exact=false (the decode path will surface Corruption).
+uint64_t CountMatchesCompressed(const Schema& schema, PageFormat format,
+                                Slice stored, uint32_t count,
+                                const std::vector<Comparison>& cmps,
+                                bool* exact);
+
+}  // namespace columnar
+}  // namespace decibel
+
+#endif  // DECIBEL_COLUMNAR_PAGE_CODEC_H_

@@ -1,0 +1,219 @@
+#include "columnar/simd_filter.h"
+
+#include <cstring>
+
+#if defined(DECIBEL_HAVE_AVX2_TARGET)
+#include <immintrin.h>
+#endif
+
+namespace decibel {
+namespace columnar {
+
+namespace {
+
+bool g_force_scalar = false;
+
+template <typename T>
+void FilterScalar(const char* base, uint32_t stride, uint32_t n, CompareOp op,
+                  T rhs, uint8_t* mask) {
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!mask[i]) continue;
+    T v;
+    memcpy(&v, base + static_cast<size_t>(i) * stride, sizeof(v));
+    if (!ApplyCompareOp<T>(op, v, rhs)) mask[i] = 0;
+  }
+}
+
+#if defined(DECIBEL_HAVE_AVX2_TARGET)
+
+bool CpuHasAvx2() {
+  static const bool has = __builtin_cpu_supports("avx2");
+  return has;
+}
+
+__attribute__((target("avx2"))) void FilterI32Avx2(const char* base,
+                                                   uint32_t stride, uint32_t n,
+                                                   CompareOp op, int32_t rhs,
+                                                   uint8_t* mask) {
+  const __m256i vrhs = _mm256_set1_epi32(rhs);
+  const __m256i voff = _mm256_setr_epi32(
+      0, static_cast<int>(stride), static_cast<int>(2 * stride),
+      static_cast<int>(3 * stride), static_cast<int>(4 * stride),
+      static_cast<int>(5 * stride), static_cast<int>(6 * stride),
+      static_cast<int>(7 * stride));
+  uint32_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i v = _mm256_i32gather_epi32(
+        reinterpret_cast<const int*>(base + static_cast<size_t>(i) * stride),
+        voff, 1);
+    uint32_t bits = 0;
+    switch (op) {
+      case CompareOp::kEq:
+        bits = static_cast<uint32_t>(
+            _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(v, vrhs))));
+        break;
+      case CompareOp::kNe:
+        bits = ~static_cast<uint32_t>(_mm256_movemask_ps(
+            _mm256_castsi256_ps(_mm256_cmpeq_epi32(v, vrhs))));
+        break;
+      case CompareOp::kGt:
+        bits = static_cast<uint32_t>(
+            _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpgt_epi32(v, vrhs))));
+        break;
+      case CompareOp::kLe:
+        bits = ~static_cast<uint32_t>(_mm256_movemask_ps(
+            _mm256_castsi256_ps(_mm256_cmpgt_epi32(v, vrhs))));
+        break;
+      case CompareOp::kLt:
+        bits = static_cast<uint32_t>(
+            _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpgt_epi32(vrhs, v))));
+        break;
+      case CompareOp::kGe:
+        bits = ~static_cast<uint32_t>(_mm256_movemask_ps(
+            _mm256_castsi256_ps(_mm256_cmpgt_epi32(vrhs, v))));
+        break;
+    }
+    for (int k = 0; k < 8; ++k) mask[i + k] &= (bits >> k) & 1;
+  }
+  if (i < n) FilterScalar<int32_t>(base + static_cast<size_t>(i) * stride,
+                                   stride, n - i, op, rhs, mask + i);
+}
+
+__attribute__((target("avx2"))) void FilterI64Avx2(const char* base,
+                                                   uint32_t stride, uint32_t n,
+                                                   CompareOp op, int64_t rhs,
+                                                   uint8_t* mask) {
+  const __m256i vrhs = _mm256_set1_epi64x(rhs);
+  const __m256i voff = _mm256_setr_epi64x(0, stride, 2ll * stride, 3ll * stride);
+  uint32_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v = _mm256_i64gather_epi64(
+        reinterpret_cast<const long long*>(base +
+                                           static_cast<size_t>(i) * stride),
+        voff, 1);
+    uint32_t bits = 0;
+    switch (op) {
+      case CompareOp::kEq:
+        bits = static_cast<uint32_t>(
+            _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(v, vrhs))));
+        break;
+      case CompareOp::kNe:
+        bits = ~static_cast<uint32_t>(_mm256_movemask_pd(
+            _mm256_castsi256_pd(_mm256_cmpeq_epi64(v, vrhs))));
+        break;
+      case CompareOp::kGt:
+        bits = static_cast<uint32_t>(
+            _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpgt_epi64(v, vrhs))));
+        break;
+      case CompareOp::kLe:
+        bits = ~static_cast<uint32_t>(_mm256_movemask_pd(
+            _mm256_castsi256_pd(_mm256_cmpgt_epi64(v, vrhs))));
+        break;
+      case CompareOp::kLt:
+        bits = static_cast<uint32_t>(
+            _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpgt_epi64(vrhs, v))));
+        break;
+      case CompareOp::kGe:
+        bits = ~static_cast<uint32_t>(_mm256_movemask_pd(
+            _mm256_castsi256_pd(_mm256_cmpgt_epi64(vrhs, v))));
+        break;
+    }
+    for (int k = 0; k < 4; ++k) mask[i + k] &= (bits >> k) & 1;
+  }
+  if (i < n) FilterScalar<int64_t>(base + static_cast<size_t>(i) * stride,
+                                   stride, n - i, op, rhs, mask + i);
+}
+
+__attribute__((target("avx2"))) void FilterF64Avx2(const char* base,
+                                                   uint32_t stride, uint32_t n,
+                                                   CompareOp op, double rhs,
+                                                   uint8_t* mask) {
+  const __m256d vrhs = _mm256_set1_pd(rhs);
+  const __m256i voff = _mm256_setr_epi64x(0, stride, 2ll * stride, 3ll * stride);
+  uint32_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_i64gather_pd(
+        reinterpret_cast<const double*>(base + static_cast<size_t>(i) * stride),
+        voff, 1);
+    __m256d cmp;
+    // Ordered compares (NaN fails) except kNe, where NaN != x is true —
+    // exactly C's operator semantics, keeping SIMD and scalar identical.
+    switch (op) {
+      case CompareOp::kEq:
+        cmp = _mm256_cmp_pd(v, vrhs, _CMP_EQ_OQ);
+        break;
+      case CompareOp::kNe:
+        cmp = _mm256_cmp_pd(v, vrhs, _CMP_NEQ_UQ);
+        break;
+      case CompareOp::kLt:
+        cmp = _mm256_cmp_pd(v, vrhs, _CMP_LT_OQ);
+        break;
+      case CompareOp::kLe:
+        cmp = _mm256_cmp_pd(v, vrhs, _CMP_LE_OQ);
+        break;
+      case CompareOp::kGt:
+        cmp = _mm256_cmp_pd(v, vrhs, _CMP_GT_OQ);
+        break;
+      case CompareOp::kGe:
+        cmp = _mm256_cmp_pd(v, vrhs, _CMP_GE_OQ);
+        break;
+      default:
+        cmp = _mm256_setzero_pd();
+        break;
+    }
+    const auto bits = static_cast<uint32_t>(_mm256_movemask_pd(cmp));
+    for (int k = 0; k < 4; ++k) mask[i + k] &= (bits >> k) & 1;
+  }
+  if (i < n) FilterScalar<double>(base + static_cast<size_t>(i) * stride,
+                                  stride, n - i, op, rhs, mask + i);
+}
+
+#endif  // DECIBEL_HAVE_AVX2_TARGET
+
+}  // namespace
+
+bool SimdEnabled() {
+#if defined(DECIBEL_HAVE_AVX2_TARGET)
+  return !g_force_scalar && CpuHasAvx2();
+#else
+  return false;
+#endif
+}
+
+void ForceScalarForTest(bool force) { g_force_scalar = force; }
+
+void FilterStridedI32(const char* base, uint32_t stride, uint32_t n,
+                      CompareOp op, int32_t rhs, uint8_t* mask) {
+#if defined(DECIBEL_HAVE_AVX2_TARGET)
+  if (SimdEnabled()) {
+    FilterI32Avx2(base, stride, n, op, rhs, mask);
+    return;
+  }
+#endif
+  FilterScalar<int32_t>(base, stride, n, op, rhs, mask);
+}
+
+void FilterStridedI64(const char* base, uint32_t stride, uint32_t n,
+                      CompareOp op, int64_t rhs, uint8_t* mask) {
+#if defined(DECIBEL_HAVE_AVX2_TARGET)
+  if (SimdEnabled()) {
+    FilterI64Avx2(base, stride, n, op, rhs, mask);
+    return;
+  }
+#endif
+  FilterScalar<int64_t>(base, stride, n, op, rhs, mask);
+}
+
+void FilterStridedF64(const char* base, uint32_t stride, uint32_t n,
+                      CompareOp op, double rhs, uint8_t* mask) {
+#if defined(DECIBEL_HAVE_AVX2_TARGET)
+  if (SimdEnabled()) {
+    FilterF64Avx2(base, stride, n, op, rhs, mask);
+    return;
+  }
+#endif
+  FilterScalar<double>(base, stride, n, op, rhs, mask);
+}
+
+}  // namespace columnar
+}  // namespace decibel

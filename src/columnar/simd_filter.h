@@ -1,0 +1,47 @@
+#ifndef DECIBEL_COLUMNAR_SIMD_FILTER_H_
+#define DECIBEL_COLUMNAR_SIMD_FILTER_H_
+
+/// \file simd_filter.h
+/// Vectorized compare-then-mask over one column of a raw (row-major)
+/// page: for n records starting at `base` with `stride` bytes between
+/// them, AND each record's comparison outcome into `mask[i]`. This is
+/// the batch form of PreparedPredicate::Matches — instead of walking
+/// record-by-record, a cursor pins a page, runs one FilterStrided* call
+/// per comparison, and then emits only the surviving mask positions.
+///
+/// AVX2 kernels (strided gather + packed compare) are compiled per-
+/// function via the `target("avx2")` attribute when the toolchain
+/// supports it (CMake sets DECIBEL_HAVE_AVX2_TARGET), and selected at
+/// runtime via cpuid — the build never requires -mavx2 globally, and a
+/// scalar fallback always exists. Results are bit-identical between the
+/// two paths (integer compares are exact; double compares use ordered
+/// semantics matching C's operators on NaN).
+
+#include <cstdint>
+
+#include "query/predicate.h"
+
+namespace decibel {
+namespace columnar {
+
+/// True when the AVX2 kernels are compiled in and the CPU supports them
+/// (and tests haven't forced the scalar path).
+bool SimdEnabled();
+
+/// Test hook: force the scalar fallback regardless of CPU support, so
+/// both paths can be compared on the same machine. Not thread-safe —
+/// call only from single-threaded test setup.
+void ForceScalarForTest(bool force);
+
+/// For i in [0, n): mask[i] &= (value_at(base + i*stride) <op> rhs).
+void FilterStridedI32(const char* base, uint32_t stride, uint32_t n,
+                      CompareOp op, int32_t rhs, uint8_t* mask);
+void FilterStridedI64(const char* base, uint32_t stride, uint32_t n,
+                      CompareOp op, int64_t rhs, uint8_t* mask);
+void FilterStridedF64(const char* base, uint32_t stride, uint32_t n,
+                      CompareOp op, double rhs, uint8_t* mask);
+
+}  // namespace columnar
+}  // namespace decibel
+
+#endif  // DECIBEL_COLUMNAR_SIMD_FILTER_H_

@@ -1,0 +1,239 @@
+#include "columnar/zone_map.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace decibel {
+namespace columnar {
+
+namespace {
+
+// Bit flags in the encoded header varint.
+constexpr uint64_t kHasRowsBit = 1;
+
+inline void FoldI64(ColumnStats* s, int64_t v) {
+  if (!s->has_values) {
+    s->has_values = true;
+    s->min_i64 = s->max_i64 = v;
+  } else {
+    s->min_i64 = std::min(s->min_i64, v);
+    s->max_i64 = std::max(s->max_i64, v);
+  }
+}
+
+inline void FoldDouble(ColumnStats* s, double v) {
+  if (v != v) return;  // NaN never helps a range; MayMatch stays sound
+  if (!s->has_values) {
+    s->has_values = true;
+    s->min_d = s->max_d = v;
+  } else {
+    s->min_d = std::min(s->min_d, v);
+    s->max_d = std::max(s->max_d, v);
+  }
+}
+
+}  // namespace
+
+void ZoneMap::Update(const Schema& schema, const char* record) {
+  if (cols_.size() != schema.num_columns()) cols_.resize(schema.num_columns());
+
+  int64_t pk;
+  memcpy(&pk, record + schema.offset(0), sizeof(pk));
+  if (rows_ == 0) {
+    min_pk_ = max_pk_ = pk;
+  } else {
+    min_pk_ = std::min(min_pk_, pk);
+    max_pk_ = std::max(max_pk_, pk);
+  }
+  ++rows_;
+
+  const bool tombstone =
+      (static_cast<uint8_t>(record[0]) & kTombstoneFlag) != 0;
+  if (tombstone) {
+    // Tombstone payload columns are zeroed filler, not values: count the
+    // key for shadowing analysis but leave the column ranges alone.
+    ++tombstones_;
+    return;
+  }
+
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    const Column& col = schema.column(c);
+    const char* p = record + schema.offset(c);
+    switch (col.type) {
+      case FieldType::kInt32: {
+        int32_t v;
+        memcpy(&v, p, sizeof(v));
+        FoldI64(&cols_[c], v);
+        break;
+      }
+      case FieldType::kInt64: {
+        int64_t v;
+        memcpy(&v, p, sizeof(v));
+        FoldI64(&cols_[c], v);
+        break;
+      }
+      case FieldType::kDouble: {
+        double v;
+        memcpy(&v, p, sizeof(v));
+        FoldDouble(&cols_[c], v);
+        break;
+      }
+      case FieldType::kString:
+        break;  // strings are not summarized
+    }
+  }
+}
+
+void ZoneMap::UpdateBatch(const Schema& schema, const char* records,
+                          uint64_t count) {
+  const uint32_t rs = schema.record_size();
+  for (uint64_t i = 0; i < count; ++i) Update(schema, records + i * rs);
+}
+
+void ZoneMap::Merge(const ZoneMap& other) {
+  if (other.rows_ == 0) return;
+  if (rows_ == 0) {
+    *this = other;
+    return;
+  }
+  min_pk_ = std::min(min_pk_, other.min_pk_);
+  max_pk_ = std::max(max_pk_, other.max_pk_);
+  rows_ += other.rows_;
+  tombstones_ += other.tombstones_;
+  if (cols_.size() < other.cols_.size()) cols_.resize(other.cols_.size());
+  for (size_t c = 0; c < other.cols_.size(); ++c) {
+    const ColumnStats& o = other.cols_[c];
+    if (!o.has_values) continue;
+    ColumnStats& s = cols_[c];
+    if (!s.has_values) {
+      s = o;
+    } else {
+      s.min_i64 = std::min(s.min_i64, o.min_i64);
+      s.max_i64 = std::max(s.max_i64, o.max_i64);
+      s.min_d = std::min(s.min_d, o.min_d);
+      s.max_d = std::max(s.max_d, o.max_d);
+    }
+  }
+}
+
+namespace {
+
+// Range test shared by the int and double paths: could any v in
+// [min, max] satisfy `v <op> rhs`?
+template <typename T>
+bool RangeMayMatch(CompareOp op, T min, T max, T rhs) {
+  switch (op) {
+    case CompareOp::kEq:
+      return min <= rhs && rhs <= max;
+    case CompareOp::kNe:
+      return !(min == rhs && max == rhs);
+    case CompareOp::kLt:
+      return min < rhs;
+    case CompareOp::kLe:
+      return min <= rhs;
+    case CompareOp::kGt:
+      return max > rhs;
+    case CompareOp::kGe:
+      return max >= rhs;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ZoneMap::MayMatch(size_t column, FieldType type, CompareOp op,
+                       int64_t int_value, double double_value) const {
+  if (!has_live_rows()) return false;  // only tombstones: nothing to emit
+  if (column >= cols_.size()) return true;
+  const ColumnStats& s = cols_[column];
+  if (!s.has_values) {
+    // No live values folded for this column. If the zone has live rows
+    // it can only mean the column type is untracked (string) — answer
+    // conservatively.
+    return type == FieldType::kString;
+  }
+  switch (type) {
+    case FieldType::kInt32:
+    case FieldType::kInt64:
+      return RangeMayMatch<int64_t>(op, s.min_i64, s.max_i64, int_value);
+    case FieldType::kDouble:
+      return RangeMayMatch<double>(op, s.min_d, s.max_d, double_value);
+    case FieldType::kString:
+      return true;
+  }
+  return true;
+}
+
+bool ZoneMap::PkRangeOverlaps(const ZoneMap& other) const {
+  if (rows_ == 0 || other.rows_ == 0) return false;
+  return min_pk_ <= other.max_pk_ && other.min_pk_ <= max_pk_;
+}
+
+void ZoneMap::EncodeTo(std::string* dst) const {
+  uint64_t flags = rows_ > 0 ? kHasRowsBit : 0;
+  PutVarint64(dst, flags);
+  if (rows_ == 0) return;
+  PutVarint64(dst, rows_);
+  PutVarint64(dst, tombstones_);
+  PutVarint64(dst, ZigZagEncode(min_pk_));
+  PutVarint64(dst, ZigZagEncode(max_pk_));
+  PutVarint64(dst, cols_.size());
+  for (const ColumnStats& s : cols_) {
+    PutVarint64(dst, s.has_values ? 1 : 0);
+    if (!s.has_values) continue;
+    PutVarint64(dst, ZigZagEncode(s.min_i64));
+    PutVarint64(dst, ZigZagEncode(s.max_i64));
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(double), "double is 64-bit");
+    memcpy(&bits, &s.min_d, sizeof(bits));
+    PutFixed64(dst, bits);
+    memcpy(&bits, &s.max_d, sizeof(bits));
+    PutFixed64(dst, bits);
+  }
+}
+
+Result<ZoneMap> ZoneMap::DecodeFrom(Slice* input) {
+  auto corrupt = [] { return Status::Corruption("bad zone map encoding"); };
+  uint64_t flags;
+  if (!GetVarint64(input, &flags)) return corrupt();
+  ZoneMap zm;
+  if ((flags & kHasRowsBit) == 0) return zm;
+  uint64_t u;
+  if (!GetVarint64(input, &zm.rows_)) return corrupt();
+  if (zm.rows_ == 0) return corrupt();  // kHasRowsBit promised rows
+  if (!GetVarint64(input, &zm.tombstones_)) return corrupt();
+  if (zm.tombstones_ > zm.rows_) return corrupt();
+  if (!GetVarint64(input, &u)) return corrupt();
+  zm.min_pk_ = ZigZagDecode(u);
+  if (!GetVarint64(input, &u)) return corrupt();
+  zm.max_pk_ = ZigZagDecode(u);
+  if (zm.min_pk_ > zm.max_pk_) return corrupt();
+  uint64_t ncols;
+  if (!GetVarint64(input, &ncols)) return corrupt();
+  if (ncols > 1u << 20) return corrupt();
+  zm.cols_.resize(ncols);
+  for (uint64_t c = 0; c < ncols; ++c) {
+    uint64_t has;
+    if (!GetVarint64(input, &has)) return corrupt();
+    if (has > 1) return corrupt();
+    ColumnStats& s = zm.cols_[c];
+    s.has_values = has != 0;
+    if (!s.has_values) continue;
+    if (!GetVarint64(input, &u)) return corrupt();
+    s.min_i64 = ZigZagDecode(u);
+    if (!GetVarint64(input, &u)) return corrupt();
+    s.max_i64 = ZigZagDecode(u);
+    if (s.min_i64 > s.max_i64) return corrupt();
+    uint64_t bits;
+    if (!GetFixed64(input, &bits)) return corrupt();
+    memcpy(&s.min_d, &bits, sizeof(bits));
+    if (!GetFixed64(input, &bits)) return corrupt();
+    memcpy(&s.max_d, &bits, sizeof(bits));
+  }
+  return zm;
+}
+
+}  // namespace columnar
+}  // namespace decibel

@@ -1,0 +1,94 @@
+#ifndef DECIBEL_COLUMNAR_ZONE_MAP_H_
+#define DECIBEL_COLUMNAR_ZONE_MAP_H_
+
+/// \file zone_map.h
+/// Per-zone column statistics — the skipping layer of the columnar
+/// subsystem. A ZoneMap summarizes one contiguous run of records (a heap
+/// page, a segment file, or a file's mutable tail): per-column min/max for
+/// the numeric columns, the primary-key range, the record count and the
+/// tombstone count. Scans test a pushed-down comparison against the zone
+/// before touching bytes: MayMatch() == false proves no live record in
+/// the zone satisfies it, so the whole zone is skipped (OrpheusDB-style
+/// partition pruning applied to Decibel's versioned segments).
+///
+/// Semantics under versioning:
+///  - Tombstones count toward rows()/tombstones() and toward the pk
+///    range (a tombstone's key still shadows older versions), but their
+///    zeroed payload columns are EXCLUDED from the column min/max — a
+///    delete never widens a value range.
+///  - Zones are monotone supersets: updates append new versions, deletes
+///    append tombstones, nothing ever shrinks a range. A zone map loaded
+///    from a checkpoint therefore stays valid for every record it covered.
+///  - String columns are not summarized (MayMatch returns true for them).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "query/predicate.h"
+#include "storage/schema.h"
+
+namespace decibel {
+namespace columnar {
+
+/// Min/max summary of one numeric column within a zone.
+struct ColumnStats {
+  bool has_values = false;  ///< any live (non-tombstone) value recorded
+  int64_t min_i64 = 0;
+  int64_t max_i64 = 0;
+  double min_d = 0;
+  double max_d = 0;
+};
+
+class ZoneMap {
+ public:
+  ZoneMap() = default;
+  explicit ZoneMap(size_t num_columns) : cols_(num_columns) {}
+
+  /// Folds one serialized record (header + columns) into the zone.
+  void Update(const Schema& schema, const char* record);
+
+  /// Folds \p count packed records into the zone.
+  void UpdateBatch(const Schema& schema, const char* records, uint64_t count);
+
+  /// Widens this zone to also cover \p other.
+  void Merge(const ZoneMap& other);
+
+  uint64_t rows() const { return rows_; }
+  uint64_t tombstones() const { return tombstones_; }
+  /// True when the zone holds at least one live (non-tombstone) record.
+  bool has_live_rows() const { return rows_ > tombstones_; }
+  int64_t min_pk() const { return min_pk_; }
+  int64_t max_pk() const { return max_pk_; }
+  const ColumnStats& column(size_t i) const { return cols_[i]; }
+  size_t num_columns() const { return cols_.size(); }
+
+  /// Could any live record in this zone satisfy `column <op> value`?
+  /// Conservative: unknown columns (strings, zones built before the
+  /// column existed) answer true. A zone with no live rows answers false
+  /// — nothing in it can be emitted.
+  bool MayMatch(size_t column, FieldType type, CompareOp op, int64_t int_value,
+                double double_value) const;
+
+  /// True when [min_pk, max_pk] intersects \p other's pk range (both
+  /// zones non-empty). Tombstone keys count: the test is used to prove a
+  /// zone cannot shadow — or be shadowed by — records elsewhere.
+  bool PkRangeOverlaps(const ZoneMap& other) const;
+
+  void EncodeTo(std::string* dst) const;
+  static Result<ZoneMap> DecodeFrom(Slice* input);
+
+ private:
+  uint64_t rows_ = 0;
+  uint64_t tombstones_ = 0;
+  int64_t min_pk_ = 0;
+  int64_t max_pk_ = 0;
+  std::vector<ColumnStats> cols_;
+};
+
+}  // namespace columnar
+}  // namespace decibel
+
+#endif  // DECIBEL_COLUMNAR_ZONE_MAP_H_

@@ -159,6 +159,7 @@ Result<std::unique_ptr<Decibel>> Decibel::Open(const std::string& path,
   engine_options.verify_checksums = options.verify_checksums;
   engine_options.scan_threads = options.scan_threads;
   engine_options.write_stripes = options.write_stripes;
+  engine_options.compress_pages = options.compress_pages;
   if (have_manifest) engine_options.checkpoint_tag = manifest.checkpoint_tag;
   DECIBEL_ASSIGN_OR_RETURN(db->engine_,
                            MakeEngine(options.engine, schema, engine_options));

@@ -79,6 +79,11 @@ struct DecibelOptions {
   /// Engine write-lock stripes: transactions on branches that hash to
   /// different stripes commit concurrently (see EngineOptions).
   uint32_t write_stripes = 32;
+  /// Seal full heap pages through the adaptive columnar page codec
+  /// (RLE / dictionary / LZ behind a per-page format tag). Scans stay
+  /// byte-identical either way; predicates are evaluated against the
+  /// compressed strips before pages are decoded (see EngineOptions).
+  bool compress_pages = false;
 
   // ------------------------------------------------------------ durability
   //

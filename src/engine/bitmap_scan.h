@@ -9,6 +9,7 @@
 
 #include "bitmap/bitmap.h"
 #include "common/status.h"
+#include "engine/scan_spec.h"
 #include "storage/heap_file.h"
 #include "storage/record.h"
 
@@ -20,30 +21,58 @@ class BitmapScanner {
   BitmapScanner(HeapFile* heap, const Schema* schema, const Bitmap* bits)
       : heap_(heap), schema_(schema), bits_(bits) {}
 
+  /// Turns on zone-map page skipping: pages whose zone maps rule out
+  /// \p predicate (or whose compressed strips prove zero matches) are
+  /// stepped over without decoding. Sound because the bitmap already
+  /// resolved version visibility — skipped records were only ever going
+  /// to be filtered out. \p stats (optional) receives pages_skipped and
+  /// bytes_read. Both pointers must outlive the scanner.
+  void EnablePruning(const PreparedPredicate* predicate, ScanStats* stats) {
+    predicate_ = predicate;
+    stats_ = stats;
+  }
+
   /// Advances to the next selected record. Returns false at end or error.
   bool Next(RecordRef* out, uint64_t* index) {
     if (!status_.ok()) return false;
     const uint64_t limit = heap_->num_records();
-    uint64_t next = bits_->NextSet(pos_);
-    if (next == UINT64_MAX || next >= limit) return false;
-    pos_ = next + 1;
-    const uint64_t page_no = next / heap_->records_per_page();
-    if (page_no != pinned_page_no_) {
-      auto page = heap_->PinPage(page_no);
-      if (!page.ok()) {
-        status_ = page.status();
-        return false;
+    const uint64_t rpp = heap_->records_per_page();
+    for (;;) {
+      const uint64_t next = bits_->NextSet(pos_);
+      if (next == UINT64_MAX || next >= limit) return false;
+      pos_ = next + 1;
+      const uint64_t page_no = next / rpp;
+      if (page_no != pinned_page_no_) {
+        if (page_no == skip_page_no_) continue;
+        if (predicate_ != nullptr &&
+            !heap_->PageMayMatch(page_no, *predicate_)) {
+          skip_page_no_ = page_no;
+          if (stats_ != nullptr) ++stats_->pages_skipped;
+          continue;
+        }
+        bool no_matches = false;
+        auto page = heap_->PinPageCounted(page_no, predicate_, &no_matches);
+        if (!page.ok()) {
+          status_ = page.status();
+          return false;
+        }
+        if (stats_ != nullptr) stats_->bytes_read += page.value().io_bytes;
+        if (no_matches) {
+          skip_page_no_ = page_no;
+          if (stats_ != nullptr) ++stats_->pages_skipped;
+          continue;
+        }
+        page_ = std::move(page).MoveValueUnsafe();
+        pinned_page_no_ = page_no;
       }
-      page_ = std::move(page).MoveValueUnsafe();
-      pinned_page_no_ = page_no;
+      const uint64_t slot = next % rpp;
+      *out = RecordRef(
+          schema_,
+          Slice(page_.payload + slot * heap_->record_size(),
+                heap_->record_size()));
+      if (index != nullptr) *index = next;
+      return true;
     }
-    const uint64_t slot = next % heap_->records_per_page();
-    *out = RecordRef(
-        schema_,
-        Slice(page_.payload + slot * heap_->record_size(),
-              heap_->record_size()));
-    if (index != nullptr) *index = next;
-    return true;
   }
 
   const Status& status() const { return status_; }
@@ -52,9 +81,12 @@ class BitmapScanner {
   HeapFile* heap_;
   const Schema* schema_;
   const Bitmap* bits_;
+  const PreparedPredicate* predicate_ = nullptr;
+  ScanStats* stats_ = nullptr;
   uint64_t pos_ = 0;
   HeapFile::PinnedPage page_;
   uint64_t pinned_page_no_ = UINT64_MAX;
+  uint64_t skip_page_no_ = UINT64_MAX;
   Status status_;
 };
 

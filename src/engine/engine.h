@@ -50,10 +50,12 @@ const char* EngineTypeName(EngineType type);
 /// meta written by an incompatible layout fails with a clear
 /// "unsupported version" error instead of a misleading Corruption from
 /// half-way through the decode. v2 added per-segment checkpoint state
-/// and history sizes; v1 metas (pre-durability) had neither the header
-/// nor those fields and cannot be opened.
+/// and history sizes; v3 appends per-segment zone-map stats blobs
+/// (HeapFile::EncodeStats) in the segmented engines; v1 metas
+/// (pre-durability) had neither the header nor those fields and cannot
+/// be opened.
 inline constexpr uint32_t kEngineMetaMagic = 0x4d454244;  // "DBEM"
-inline constexpr uint32_t kEngineMetaVersion = 2;
+inline constexpr uint32_t kEngineMetaVersion = 3;
 
 /// Appends the engine.meta format header to \p meta.
 void PutEngineMetaHeader(std::string* meta);
@@ -84,6 +86,10 @@ struct EngineOptions {
   /// checkpoint captured, so a WAL tail can be replayed on top (crash
   /// recovery).
   std::string checkpoint_tag;
+  /// Seal full heap pages through the adaptive columnar/LZ page codec
+  /// (storage format v2's non-raw page formats). Scans stay byte-identical
+  /// either way; predicates evaluate on the compressed strips first.
+  bool compress_pages = false;
 };
 
 /// Multi-branch scans push each live record once, annotated with the
@@ -110,6 +116,11 @@ struct EngineStats {
   /// ScanCounters): live rows examined and their projected bytes.
   uint64_t rows_scanned = 0;
   uint64_t bytes_scanned = 0;
+  /// Stored bytes actually pinned from pages (post-skip, post-compression)
+  /// and the scan units zone maps let cursors step over entirely.
+  uint64_t bytes_read = 0;
+  uint64_t segments_skipped = 0;
+  uint64_t pages_skipped = 0;
 };
 
 class StorageEngine {

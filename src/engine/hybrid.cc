@@ -58,6 +58,8 @@ Result<uint32_t> HybridEngine::NewHeadSegment(BranchId owner) {
   HeapFile::Options hopts;
   hopts.page_size = options_.page_size;
   hopts.verify_checksums = options_.verify_checksums;
+  hopts.schema = &schema_;
+  hopts.compress_pages = options_.compress_pages;
   DECIBEL_ASSIGN_OR_RETURN(
       segment->file, HeapFile::Create(SegmentPath(segment->id),
                                       schema_.record_size(), hopts, &pool_));
@@ -97,6 +99,8 @@ Status HybridEngine::LoadExisting() {
   }
   HeapFile::Options hopts;
   hopts.verify_checksums = options_.verify_checksums;
+  hopts.schema = &schema_;
+  hopts.compress_pages = options_.compress_pages;
   for (uint64_t i = 0; i < num_segments; ++i) {
     auto segment = std::make_unique<Segment>();
     if (!GetVarint32(&input, &segment->id) ||
@@ -123,6 +127,10 @@ Status HybridEngine::LoadExisting() {
       return Status::Corruption("hybrid: truncated segment state");
     }
     cs.tail_crc = tail_crc;
+    Slice stats_blob;
+    if (!GetLengthPrefixed(&input, &stats_blob)) {
+      return Status::Corruption("hybrid: truncated segment stats blob");
+    }
     if (!tag.empty()) {
       DECIBEL_ASSIGN_OR_RETURN(
           segment->file,
@@ -133,6 +141,8 @@ Status HybridEngine::LoadExisting() {
           segment->file,
           HeapFile::Open(SegmentPath(segment->id), hopts, &pool_));
     }
+    DECIBEL_RETURN_NOT_OK(segment->file->LoadStats(stats_blob));
+    DECIBEL_RETURN_NOT_OK(segment->file->EnsureStats());
     segments_.push_back(std::move(segment));
   }
   uint64_t num_heads;
@@ -221,6 +231,9 @@ std::string HybridEngine::EncodeMeta() {
     const HeapFile::CheckpointState cs = segment->file->GetCheckpointState();
     PutVarint64(&meta, cs.num_records);
     PutVarint32(&meta, cs.tail_crc);
+    std::string stats_blob;
+    segment->file->EncodeStats(&stats_blob);
+    PutLengthPrefixed(&meta, stats_blob);
   }
   PutVarint64(&meta, head_seg_.size());
   for (const auto& [branch, seg] : head_seg_) {
@@ -554,13 +567,16 @@ Status HybridEngine::ApplyBatch(BranchId branch, const WriteBatch& batch) {
 class HybridEngine::PartsCursor : public ScanCursor {
  public:
   PartsCursor(const HybridEngine* engine, std::vector<ScanPart> parts,
-              std::vector<BranchId> branch_list, const ScanSpec& spec)
+              uint64_t segments_skipped, std::vector<BranchId> branch_list,
+              const ScanSpec& spec)
       : engine_(engine),
         parts_(std::move(parts)),
         branch_list_(std::move(branch_list)),
         prepared_(spec.predicate, engine->schema_),
         limit_(spec.limit),
-        row_bytes_(ProjectedRowBytes(engine->schema_, spec.projection)) {}
+        row_bytes_(ProjectedRowBytes(engine->schema_, spec.projection)) {
+    stats_.segments_skipped = segments_skipped;
+  }
   ~PartsCursor() override { engine_->scan_counters_.Add(stats_); }
 
   bool Next(ScanRow* out) override {
@@ -570,6 +586,7 @@ class HybridEngine::PartsCursor : public ScanCursor {
         if (next_part_ >= parts_.size()) return false;
         scanner_.emplace(parts_[next_part_].file, &engine_->schema_,
                          &parts_[next_part_].unioned);
+        scanner_->EnablePruning(&prepared_, &stats_);
       }
       RecordRef rec;
       uint64_t idx;
@@ -622,7 +639,7 @@ class HybridEngine::PartsCursor : public ScanCursor {
 };
 
 Result<std::vector<HybridEngine::ScanPart>> HybridEngine::BuildScanParts(
-    const ScanSpec& spec) {
+    const ScanSpec& spec, uint64_t* segments_skipped) {
   // Live-branch views materialize their bitmap copies under the branch's
   // stripe lock, so a snapshot always lands on a batch boundary; every
   // part also captures its segment's file pointer so the cursor streams
@@ -646,7 +663,7 @@ Result<std::vector<HybridEngine::ScanPart>> HybridEngine::BuildScanParts(
         part.unioned = segments_[seg]->local.MaterializeBranch(spec.branch);
         parts.push_back(std::move(part));
       }
-      return parts;
+      break;
     }
     case ScanView::kCommit: {
       std::vector<std::pair<uint32_t, Bitmap>> columns;
@@ -658,7 +675,7 @@ Result<std::vector<HybridEngine::ScanPart>> HybridEngine::BuildScanParts(
         part.unioned = std::move(bits);
         parts.push_back(std::move(part));
       }
-      return parts;
+      break;
     }
     case ScanView::kMulti: {
       // Segments relevant to any requested branch: a logical OR of rows
@@ -681,15 +698,35 @@ Result<std::vector<HybridEngine::ScanPart>> HybridEngine::BuildScanParts(
         }
         parts.push_back(std::move(part));
       });
-      return parts;
+      break;
     }
     default:
       return Status::InvalidArgument("hybrid: unsupported scan view");
   }
+  // Whole-segment skipping off the file-level zone (§3.4's segment index
+  // extended with statistics): a segment whose zone rules the predicate
+  // out cannot contribute a matching row, whatever the bitmaps selected.
+  // File zones only grow (they are supersets of any earlier snapshot the
+  // bitmaps were built against), so the test is safe lock-free here.
+  if (!spec.predicate.empty()) {
+    const PreparedPredicate prepared(spec.predicate, schema_);
+    std::vector<ScanPart> kept;
+    kept.reserve(parts.size());
+    for (ScanPart& part : parts) {
+      if (part.file->FileMayMatch(prepared)) {
+        kept.push_back(std::move(part));
+      } else if (segments_skipped != nullptr) {
+        ++*segments_skipped;
+      }
+    }
+    parts = std::move(kept);
+  }
+  return parts;
 }
 
 Result<std::unique_ptr<ScanCursor>> HybridEngine::ParallelScan(
-    std::vector<ScanPart> parts, const ScanSpec& spec, int threads) {
+    std::vector<ScanPart> parts, uint64_t segments_skipped,
+    const ScanSpec& spec, int threads) {
   // §3.4: the branch-segment bitmap "allows for parallelization of
   // segment scanning". Workers filter and project inside the scan, so
   // only matching rows are copied out of the pages; the cursor then
@@ -713,6 +750,7 @@ Result<std::unique_ptr<ScanCursor>> HybridEngine::ParallelScan(
         const ScanPart& part = parts[p];
         PartResult& result = results[p];
         BitmapScanner scanner(part.file, &schema_, &part.unioned);
+        scanner.EnablePruning(&prepared, &result.stats);
         RecordRef rec;
         uint64_t idx;
         std::vector<uint32_t> present;
@@ -742,6 +780,7 @@ Result<std::unique_ptr<ScanCursor>> HybridEngine::ParallelScan(
   auto cursor = std::make_unique<BufferedCursor>(&schema_, &scan_counters_);
   *cursor->mutable_branch_list() = spec.branches;
   ScanStats* stats = cursor->mutable_stats();
+  stats->segments_skipped = segments_skipped;
   for (PartResult& result : results) {
     if (!result.status.ok()) {
       cursor->set_status(result.status);
@@ -749,6 +788,8 @@ Result<std::unique_ptr<ScanCursor>> HybridEngine::ParallelScan(
     }
     stats->rows_scanned += result.stats.rows_scanned;
     stats->bytes_scanned += result.stats.bytes_scanned;
+    stats->bytes_read += result.stats.bytes_read;
+    stats->pages_skipped += result.stats.pages_skipped;
     for (size_t i = 0; i < result.rows.size(); ++i) {
       if (spec.limit != 0 && cursor->buffered() >= spec.limit) break;
       if (result.annotations.empty()) {
@@ -768,16 +809,19 @@ Result<std::unique_ptr<ScanCursor>> HybridEngine::NewScan(
   if (spec.view == ScanView::kDiff) {
     return MakeDiffScanCursor(this, spec, &scan_counters_);
   }
-  DECIBEL_ASSIGN_OR_RETURN(std::vector<ScanPart> parts, BuildScanParts(spec));
+  uint64_t segments_skipped = 0;
+  DECIBEL_ASSIGN_OR_RETURN(std::vector<ScanPart> parts,
+                           BuildScanParts(spec, &segments_skipped));
   const int threads =
       spec.parallelism != 0 ? spec.parallelism : options_.scan_threads;
   if (threads > 1 && parts.size() > 1) {
-    return ParallelScan(std::move(parts), spec, threads);
+    return ParallelScan(std::move(parts), segments_skipped, spec, threads);
   }
   std::vector<BranchId> branch_list =
       spec.view == ScanView::kMulti ? spec.branches : std::vector<BranchId>();
   return std::unique_ptr<ScanCursor>(
-      new PartsCursor(this, std::move(parts), std::move(branch_list), spec));
+      new PartsCursor(this, std::move(parts), segments_skipped,
+                      std::move(branch_list), spec));
 }
 
 Result<Record> HybridEngine::Get(BranchId branch, int64_t pk) {
@@ -1022,6 +1066,9 @@ EngineStats HybridEngine::Stats() const {
   stats.num_segments = segments_.size();
   stats.rows_scanned = scan_counters_.rows();
   stats.bytes_scanned = scan_counters_.bytes();
+  stats.bytes_read = scan_counters_.bytes_read();
+  stats.segments_skipped = scan_counters_.segments_skipped();
+  stats.pages_skipped = scan_counters_.pages_skipped();
   return stats;
 }
 

@@ -167,9 +167,16 @@ class HybridEngine : public StorageEngine {
     std::vector<Bitmap> cols;
   };
 
-  Result<std::vector<ScanPart>> BuildScanParts(const ScanSpec& spec);
+  /// Builds the scan units for \p spec's view, dropping segments whose
+  /// file-level zone map rules out the predicate entirely (each drop adds
+  /// one to *\p segments_skipped). Sound because the local bitmaps
+  /// resolve visibility — a dropped segment's selected rows could only
+  /// ever have failed the predicate.
+  Result<std::vector<ScanPart>> BuildScanParts(const ScanSpec& spec,
+                                               uint64_t* segments_skipped);
   Result<std::unique_ptr<ScanCursor>> ParallelScan(
-      std::vector<ScanPart> parts, const ScanSpec& spec, int threads);
+      std::vector<ScanPart> parts, uint64_t segments_skipped,
+      const ScanSpec& spec, int threads);
 
   class PartsCursor;
 };

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "columnar/simd_filter.h"
+
 namespace decibel {
 
 const std::vector<BranchId>& ScanCursor::branches() const {
@@ -58,9 +60,11 @@ uint32_t ProjectedRowBytes(const Schema& schema,
 
 PreparedPredicate::PreparedPredicate(const Predicate& predicate,
                                      const Schema& schema) {
+  raw_ = predicate.comparisons();
   comparisons_.reserve(predicate.comparisons().size());
   for (const Comparison& src : predicate.comparisons()) {
     Cmp cmp;
+    cmp.column = static_cast<uint32_t>(src.column);
     cmp.offset = schema.offset(src.column);
     cmp.width = schema.column(src.column).width;
     cmp.type = schema.column(src.column).type;
@@ -98,6 +102,72 @@ bool PreparedPredicate::MatchesOne(const Cmp& cmp, const char* record) {
     }
   }
   return false;
+}
+
+void PreparedPredicate::MatchBatch(const char* base, uint32_t n,
+                                   uint32_t stride, uint8_t* mask) const {
+  for (const Cmp& cmp : comparisons_) {
+    const char* col = base + cmp.offset;
+    switch (cmp.type) {
+      case FieldType::kInt32: {
+        // The scalar path compares in the int64 domain; a literal outside
+        // int32 range makes the comparison constant over every stored
+        // value, so resolve it here rather than truncate the rhs.
+        if (cmp.int_value > INT32_MAX || cmp.int_value < INT32_MIN) {
+          const bool rhs_high = cmp.int_value > INT32_MAX;
+          bool all = false;
+          switch (cmp.op) {
+            case CompareOp::kEq:
+              all = false;
+              break;
+            case CompareOp::kNe:
+              all = true;
+              break;
+            case CompareOp::kLt:
+            case CompareOp::kLe:
+              all = rhs_high;
+              break;
+            case CompareOp::kGt:
+            case CompareOp::kGe:
+              all = !rhs_high;
+              break;
+          }
+          if (!all) memset(mask, 0, n);
+          break;
+        }
+        columnar::FilterStridedI32(col, stride, n, cmp.op,
+                                   static_cast<int32_t>(cmp.int_value), mask);
+        break;
+      }
+      case FieldType::kInt64:
+        columnar::FilterStridedI64(col, stride, n, cmp.op, cmp.int_value,
+                                   mask);
+        break;
+      case FieldType::kDouble:
+        columnar::FilterStridedF64(col, stride, n, cmp.op, cmp.double_value,
+                                   mask);
+        break;
+      case FieldType::kString:
+        for (uint32_t i = 0; i < n; ++i) {
+          if (mask[i] &&
+              !MatchesOne(cmp, base + static_cast<size_t>(i) * stride)) {
+            mask[i] = 0;
+          }
+        }
+        break;
+    }
+  }
+}
+
+bool PreparedPredicate::MayMatch(const columnar::ZoneMap& zone) const {
+  if (!zone.has_live_rows()) return false;
+  for (const Cmp& cmp : comparisons_) {
+    if (!zone.MayMatch(cmp.column, cmp.type, cmp.op, cmp.int_value,
+                       cmp.double_value)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace decibel

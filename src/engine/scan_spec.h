@@ -27,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "columnar/zone_map.h"
 #include "common/result.h"
 #include "query/predicate.h"
 #include "storage/record.h"
@@ -164,8 +165,20 @@ struct ScanStats {
   uint64_t rows_scanned = 0;
   /// Rows that passed the predicate and were handed to the caller.
   uint64_t rows_emitted = 0;
-  /// Projected bytes of the examined rows.
+  /// Projected bytes of the examined rows (the *logical* work measure —
+  /// what a skip-free scan of the view would charge).
   uint64_t bytes_scanned = 0;
+  /// Bytes actually fetched from storage pages after zone-map and
+  /// compressed-page skipping: stored (possibly compressed) page bytes
+  /// for every page the cursor pinned or had to inspect. This is the
+  /// real-I/O measure the pushdown benchmarks gate on.
+  uint64_t bytes_read = 0;
+  /// Whole segment files proven irrelevant by their zone maps and never
+  /// opened by the cursor.
+  uint64_t segments_skipped = 0;
+  /// Pages skipped without decoding: zone-map misses plus compressed
+  /// pages whose strip evaluation proved zero matching rows.
+  uint64_t pages_skipped = 0;
 };
 
 /// One row from a cursor. The record view stays valid until the next
@@ -199,13 +212,29 @@ class ScanCounters {
   void Add(const ScanStats& stats) {
     rows_.fetch_add(stats.rows_scanned, std::memory_order_relaxed);
     bytes_.fetch_add(stats.bytes_scanned, std::memory_order_relaxed);
+    bytes_read_.fetch_add(stats.bytes_read, std::memory_order_relaxed);
+    segments_skipped_.fetch_add(stats.segments_skipped,
+                                std::memory_order_relaxed);
+    pages_skipped_.fetch_add(stats.pages_skipped, std::memory_order_relaxed);
   }
   uint64_t rows() const { return rows_.load(std::memory_order_relaxed); }
   uint64_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
+  uint64_t bytes_read() const {
+    return bytes_read_.load(std::memory_order_relaxed);
+  }
+  uint64_t segments_skipped() const {
+    return segments_skipped_.load(std::memory_order_relaxed);
+  }
+  uint64_t pages_skipped() const {
+    return pages_skipped_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<uint64_t> rows_{0};
   std::atomic<uint64_t> bytes_{0};
+  std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> segments_skipped_{0};
+  std::atomic<uint64_t> pages_skipped_{0};
 };
 
 /// A Predicate resolved against a schema for tight scan loops: column
@@ -227,8 +256,26 @@ class PreparedPredicate {
     return true;
   }
 
+  /// Batch form of Matches for pinned pages: for i in [0, n),
+  /// mask[i] &= Matches(record i). Records are packed with \p stride
+  /// bytes between them. Numeric comparisons go through the columnar
+  /// SIMD kernels (AVX2 when available); strings fall back to scalar.
+  /// The caller seeds the mask (typically all-ones) and is responsible
+  /// for tombstone exclusion.
+  void MatchBatch(const char* base, uint32_t n, uint32_t stride,
+                  uint8_t* mask) const;
+
+  /// Could any live record in \p zone satisfy this predicate? False
+  /// proves the zone (a page, segment, or tail) can be skipped whole.
+  bool MayMatch(const columnar::ZoneMap& zone) const;
+
+  /// The source comparisons, for evaluation on compressed pages
+  /// (columnar::CountMatchesCompressed).
+  const std::vector<Comparison>& raw_comparisons() const { return raw_; }
+
  private:
   struct Cmp {
+    uint32_t column = 0;
     uint32_t offset = 0;
     uint32_t width = 0;
     FieldType type = FieldType::kInt32;
@@ -241,6 +288,7 @@ class PreparedPredicate {
   static bool MatchesOne(const Cmp& cmp, const char* record);
 
   std::vector<Cmp> comparisons_;
+  std::vector<Comparison> raw_;
 };
 
 }  // namespace decibel

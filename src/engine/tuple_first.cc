@@ -32,7 +32,11 @@ class TupleFirstCursor : public ScanCursor {
         prepared_(spec.predicate, *schema),
         limit_(spec.limit),
         row_bytes_(ProjectedRowBytes(*schema, spec.projection)),
-        counters_(counters) {}
+        counters_(counters) {
+    // The bitmap already resolved visibility, so zone-map page skipping
+    // is always sound here (see StripedBitmapScanner::EnablePruning).
+    scanner_.EnablePruning(&prepared_, &stats_);
+  }
   ~TupleFirstCursor() override { counters_->Add(stats_); }
 
   bool Next(ScanRow* out) override {
@@ -110,6 +114,8 @@ Status TupleFirstEngine::InitFresh() {
   hopts.page_size = options_.page_size;
   hopts.verify_checksums = options_.verify_checksums;
   hopts.stripes = static_cast<uint32_t>(stripes_.count());
+  hopts.schema = &schema_;
+  hopts.compress_pages = options_.compress_pages;
   DECIBEL_ASSIGN_OR_RETURN(
       heap_, StripedHeap::Create(options_.directory, schema_.record_size(),
                                  hopts, &pool_));
@@ -124,6 +130,8 @@ Status TupleFirstEngine::LoadExisting() {
   const std::string& tag = options_.checkpoint_tag;
   StripedHeap::Options hopts;
   hopts.verify_checksums = options_.verify_checksums;
+  hopts.schema = &schema_;
+  hopts.compress_pages = options_.compress_pages;
   DECIBEL_ASSIGN_OR_RETURN(heap_,
                            StripedHeap::Open(options_.directory, hopts,
                                              &pool_, tag));
@@ -638,6 +646,9 @@ EngineStats TupleFirstEngine::Stats() const {
   stats.num_records = heap_->num_records();
   stats.rows_scanned = scan_counters_.rows();
   stats.bytes_scanned = scan_counters_.bytes();
+  stats.bytes_read = scan_counters_.bytes_read();
+  stats.segments_skipped = scan_counters_.segments_skipped();
+  stats.pages_skipped = scan_counters_.pages_skipped();
   return stats;
 }
 

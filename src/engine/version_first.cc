@@ -10,6 +10,16 @@ namespace decibel {
 
 namespace {
 
+/// Per-page scan decision for a planned branch scan (BranchScanCursor's
+/// skip planner). kScanExactPage marks a pk-disjoint page: its keys occur
+/// nowhere else in the scan, so proving it match-free (compressed-strip
+/// count) skips it without breaking shadowing.
+enum PageMode : uint8_t {
+  kScanPage = 0,
+  kScanExactPage = 1,
+  kSkipPage = 2,
+};
+
 /// Reads one segment's records [0, bound) newest-to-oldest, pinning one
 /// page at a time.
 class ReverseSegmentReader {
@@ -19,27 +29,62 @@ class ReverseSegmentReader {
         schema_(schema),
         next_(std::min(bound, file->num_records())) {}
 
+  /// Turns on page skipping and scan accounting: \p modes maps page
+  /// number to PageMode (pages past the vector's end scan normally),
+  /// kScanExactPage pages pin through the compressed-count fast path and
+  /// a proven zero-match page is stepped over whole. \p stats receives
+  /// pages_skipped and bytes_read. All pointers must outlive the reader
+  /// and may be null.
+  void EnablePruning(const std::vector<uint8_t>* modes,
+                     const PreparedPredicate* predicate, ScanStats* stats) {
+    modes_ = modes;
+    predicate_ = predicate;
+    stats_ = stats;
+  }
+
   /// Yields the next (older) record; false at the start of the segment or
   /// on error.
   bool Prev(RecordRef* out, uint64_t* index) {
-    if (!status_.ok() || next_ == 0) return false;
-    const uint64_t idx = --next_;
-    const uint64_t page_no = idx / file_->records_per_page();
-    if (page_no != pinned_page_no_) {
-      auto page = file_->PinPage(page_no);
-      if (!page.ok()) {
-        status_ = page.status();
-        return false;
+    if (!status_.ok()) return false;
+    const uint64_t rpp = file_->records_per_page();
+    while (next_ != 0) {
+      const uint64_t idx = next_ - 1;
+      const uint64_t page_no = idx / rpp;
+      if (page_no != pinned_page_no_) {
+        const uint8_t mode = modes_ != nullptr && page_no < modes_->size()
+                                 ? (*modes_)[page_no]
+                                 : static_cast<uint8_t>(kScanPage);
+        if (mode == kSkipPage) {
+          if (stats_ != nullptr) ++stats_->pages_skipped;
+          next_ = page_no * rpp;  // step below the page in one move
+          continue;
+        }
+        bool no_matches = false;
+        auto page = file_->PinPageCounted(
+            page_no, mode == kScanExactPage ? predicate_ : nullptr,
+            &no_matches);
+        if (!page.ok()) {
+          status_ = page.status();
+          return false;
+        }
+        if (stats_ != nullptr) stats_->bytes_read += page.value().io_bytes;
+        if (no_matches) {
+          if (stats_ != nullptr) ++stats_->pages_skipped;
+          next_ = page_no * rpp;
+          continue;
+        }
+        page_ = std::move(page).MoveValueUnsafe();
+        pinned_page_no_ = page_no;
       }
-      page_ = std::move(page).MoveValueUnsafe();
-      pinned_page_no_ = page_no;
+      next_ = idx;
+      const uint64_t slot = idx % rpp;
+      *out = RecordRef(schema_,
+                       Slice(page_.payload + slot * file_->record_size(),
+                             file_->record_size()));
+      if (index != nullptr) *index = idx;
+      return true;
     }
-    const uint64_t slot = idx % file_->records_per_page();
-    *out = RecordRef(schema_,
-                     Slice(page_.payload + slot * file_->record_size(),
-                           file_->record_size()));
-    if (index != nullptr) *index = idx;
-    return true;
+    return false;
   }
 
   const Status& status() const { return status_; }
@@ -47,6 +92,9 @@ class ReverseSegmentReader {
  private:
   HeapFile* file_;
   const Schema* schema_;
+  const std::vector<uint8_t>* modes_ = nullptr;
+  const PreparedPredicate* predicate_ = nullptr;
+  ScanStats* stats_ = nullptr;
   uint64_t next_;
   HeapFile::PinnedPage page_;
   uint64_t pinned_page_no_ = UINT64_MAX;
@@ -88,6 +136,8 @@ Result<uint32_t> VersionFirstEngine::NewSegment(
   HeapFile::Options hopts;
   hopts.page_size = options_.page_size;
   hopts.verify_checksums = options_.verify_checksums;
+  hopts.schema = &schema_;
+  hopts.compress_pages = options_.compress_pages;
   DECIBEL_ASSIGN_OR_RETURN(
       segment->file, HeapFile::Create(SegmentPath(segment->id),
                                       schema_.record_size(), hopts, &pool_));
@@ -98,6 +148,7 @@ Result<uint32_t> VersionFirstEngine::NewSegment(
 Status VersionFirstEngine::InitFresh() {
   DECIBEL_ASSIGN_OR_RETURN(uint32_t seg, NewSegment(kMasterBranch, {}));
   head_seg_[kMasterBranch] = seg;
+  pk_index_.try_emplace(kMasterBranch);
   return Status::OK();
 }
 
@@ -122,6 +173,8 @@ Status VersionFirstEngine::LoadExisting() {
   }
   HeapFile::Options hopts;
   hopts.verify_checksums = options_.verify_checksums;
+  hopts.schema = &schema_;
+  hopts.compress_pages = options_.compress_pages;
   for (uint64_t i = 0; i < num_segments; ++i) {
     auto segment = std::make_unique<Segment>();
     uint64_t num_parents;
@@ -152,6 +205,10 @@ Status VersionFirstEngine::LoadExisting() {
       return Status::Corruption("version-first: truncated segment state");
     }
     cs.tail_crc = tail_crc;
+    Slice stats_blob;
+    if (!GetLengthPrefixed(&input, &stats_blob)) {
+      return Status::Corruption("version-first: truncated segment stats blob");
+    }
     if (!tag.empty()) {
       // Branch heads resolve to file->num_records(), so post-checkpoint
       // appends must be physically discarded — roll the segment back to
@@ -165,6 +222,8 @@ Status VersionFirstEngine::LoadExisting() {
           segment->file, HeapFile::Open(SegmentPath(segment->id), hopts,
                                         &pool_));
     }
+    DECIBEL_RETURN_NOT_OK(segment->file->LoadStats(stats_blob));
+    DECIBEL_RETURN_NOT_OK(segment->file->EnsureStats());
     segments_.push_back(std::move(segment));
   }
   uint64_t num_heads, num_commits;
@@ -197,6 +256,27 @@ Status VersionFirstEngine::LoadExisting() {
     }
     commits_[commit] = root;
   }
+  // The pk indexes are memory-only: one multi-root winner-table pass over
+  // the union ancestry rebuilds every branch's map at once (shared
+  // ancestor segments are read once, not once per branch).
+  std::vector<BranchId> branch_ids;
+  std::vector<Root> roots;
+  branch_ids.reserve(head_seg_.size());
+  roots.reserve(head_seg_.size());
+  for (const auto& [branch, seg] : head_seg_) {
+    branch_ids.push_back(branch);
+    roots.push_back(Root{seg, segments_[seg]->file->num_records()});
+  }
+  std::vector<WinnerTable> tables;
+  DECIBEL_RETURN_NOT_OK(BuildWinnerTables(roots, &tables, nullptr));
+  for (size_t i = 0; i < branch_ids.size(); ++i) {
+    PkIndex& idx = pk_index_[branch_ids[i]];
+    idx.reserve(tables[i].size());
+    for (const auto& [pk, winner] : tables[i]) {
+      if (winner.tombstone) continue;
+      idx[pk] = Loc{winner.seg, winner.idx};
+    }
+  }
   return Status::OK();
 }
 
@@ -218,6 +298,9 @@ std::string VersionFirstEngine::EncodeMeta() {
     const HeapFile::CheckpointState cs = segment->file->GetCheckpointState();
     PutVarint64(&meta, cs.num_records);
     PutVarint32(&meta, cs.tail_crc);
+    std::string stats_blob;
+    segment->file->EncodeStats(&stats_blob);
+    PutLengthPrefixed(&meta, stats_blob);
   }
   PutVarint64(&meta, head_seg_.size());
   for (const auto& [branch, seg] : head_seg_) {
@@ -308,6 +391,26 @@ Status VersionFirstEngine::CreateBranch(BranchId child, BranchId parent,
   DECIBEL_ASSIGN_OR_RETURN(
       uint32_t seg, NewSegment(child, {ParentLink{base.seg, base.bound}}));
   head_seg_[child] = seg;
+  if (at_head) {
+    // The parent's pk index IS the child's starting state (both see the
+    // same records up to the branch point, and the parent's map is
+    // complete at its head).
+    pk_index_[child] = pk_index_[parent];
+    return Status::OK();
+  }
+  return RebuildPkIndex(child, base);
+}
+
+Status VersionFirstEngine::RebuildPkIndex(BranchId branch, const Root& root) {
+  std::vector<WinnerTable> tables;
+  DECIBEL_RETURN_NOT_OK(BuildWinnerTables({root}, &tables, nullptr));
+  PkIndex& idx = pk_index_[branch];
+  idx.clear();
+  idx.reserve(tables[0].size());
+  for (const auto& [pk, winner] : tables[0]) {
+    if (winner.tombstone) continue;
+    idx[pk] = Loc{winner.seg, winner.idx};
+  }
   return Status::OK();
 }
 
@@ -352,17 +455,32 @@ Status VersionFirstEngine::ApplyBatch(BranchId branch,
   // performed by inserting a new copy of the tuple with the same primary
   // key; branch scans will ignore the earlier copy" and "deletes require
   // a tombstone" (§3.3). A delete-free batch (the bulk-load shape) is
-  // one chunked heap append of the whole staged arena.
-  HeapFile* file = segments_[it->second]->file.get();
+  // one chunked heap append of the whole staged arena. The branch's pk
+  // index tracks the newest location per key; deletes erase blindly,
+  // preserving the layout's blind-tombstone semantics.
+  const uint32_t head = it->second;
+  HeapFile* file = segments_[head]->file.get();
+  PkIndex& pks = pk_index_[branch];
+  pks.reserve(pks.size() + batch.num_appends());
   if (batch.num_appends() == batch.size()) {
-    return file->AppendBatch(batch.arena(), batch.num_appends()).status();
+    DECIBEL_ASSIGN_OR_RETURN(
+        uint64_t first, file->AppendBatch(batch.arena(), batch.num_appends()));
+    uint64_t i = 0;
+    for (const WriteBatch::Op& op : batch.ops()) {
+      pks[batch.RecordAt(op).pk()] = Loc{head, first + i};
+      ++i;
+    }
+    return Status::OK();
   }
   for (const WriteBatch::Op& op : batch.ops()) {
     if (op.kind == WriteBatch::OpKind::kDelete) {
       const Record tombstone = MakeTombstone(&schema_, op.pk);
       DECIBEL_RETURN_NOT_OK(file->Append(tombstone.data()).status());
+      pks.erase(op.pk);
     } else {
-      DECIBEL_RETURN_NOT_OK(file->Append(batch.RecordAt(op).data()).status());
+      DECIBEL_ASSIGN_OR_RETURN(uint64_t idx,
+                               file->Append(batch.RecordAt(op).data()));
+      pks[batch.RecordAt(op).pk()] = Loc{head, idx};
     }
   }
   return Status::OK();
@@ -472,6 +590,8 @@ class VersionFirstEngine::BranchScanCursor : public ScanCursor {
   struct FileStep {
     HeapFile* file = nullptr;
     uint64_t bound = 0;
+    std::vector<uint8_t> modes;  ///< per-page PageMode from PlanSkips
+    bool skip_all = false;       ///< every page of the step is skippable
   };
 
   BranchScanCursor(const VersionFirstEngine* engine,
@@ -480,16 +600,23 @@ class VersionFirstEngine::BranchScanCursor : public ScanCursor {
         order_(std::move(order)),
         prepared_(spec.predicate, engine->schema_),
         limit_(spec.limit),
-        row_bytes_(ProjectedRowBytes(engine->schema_, spec.projection)) {}
+        row_bytes_(ProjectedRowBytes(engine->schema_, spec.projection)) {
+    if (!prepared_.empty()) PlanSkips();
+  }
   ~BranchScanCursor() override { engine_->scan_counters_.Add(stats_); }
 
   bool Next(ScanRow* out) override {
     if (limit_ != 0 && stats_.rows_emitted >= limit_) return false;
     for (;;) {
       if (!reader_.has_value()) {
+        while (step_ < order_.size() && order_[step_].skip_all) {
+          ++stats_.segments_skipped;
+          ++step_;
+        }
         if (step_ >= order_.size()) return false;
         const FileStep& step = order_[step_];
         reader_.emplace(step.file, &engine_->schema_, step.bound);
+        reader_->EnablePruning(&step.modes, &prepared_, &stats_);
       }
       RecordRef rec;
       if (!reader_->Prev(&rec, nullptr)) {
@@ -517,6 +644,81 @@ class VersionFirstEngine::BranchScanCursor : public ScanCursor {
   const ScanStats& stats() const override { return stats_; }
 
  private:
+  /// Plans page skipping against a zone-map snapshot taken at open.
+  ///
+  /// Version-first resolves versions by scan order — a record (live OR
+  /// tombstone, matching or not) shadows every older version of its key —
+  /// so a page whose zone fails the predicate still cannot be skipped
+  /// blindly: dropping it would un-suppress older versions of its keys.
+  /// A page is skippable iff BOTH hold:
+  ///   (a) its zone rules out the predicate (no emittable row), and
+  ///   (b) its pk range is disjoint from every other scan unit's, so its
+  ///       keys have no other versions anywhere in this scan.
+  /// Units are the sealed pages overlapping each step's bound plus one
+  /// unit for the step's tail span; disjointness is a sort-by-min-pk +
+  /// prefix-max sweep over all units of all steps. Zone pk ranges are
+  /// supersets of the visible records (bound-partial pages, tombstone
+  /// keys included), which only makes the test more conservative.
+  /// Disjoint pages that DO pass the zone test run in kScanExactPage
+  /// mode: the compressed-strip count may still prove them match-free.
+  void PlanSkips() {
+    struct Unit {
+      size_t step = 0;
+      uint64_t first_page = 0;
+      uint64_t last_page = 0;
+      int64_t min_pk = 0;
+      int64_t max_pk = 0;
+      bool may_match = true;
+    };
+    std::vector<Unit> units;
+    for (size_t s = 0; s < order_.size(); ++s) {
+      FileStep& step = order_[s];
+      if (step.bound == 0 || !step.file->stats_enabled()) continue;
+      const uint64_t rpp = step.file->records_per_page();
+      const uint64_t num_pages = (step.bound + rpp - 1) / rpp;
+      std::vector<HeapFile::PageStats> pages;
+      columnar::ZoneMap tail_zone;
+      step.file->SnapshotPageStats(&pages, &tail_zone);
+      step.modes.assign(num_pages, kScanPage);
+      const uint64_t sealed = std::min<uint64_t>(pages.size(), num_pages);
+      for (uint64_t p = 0; p < sealed; ++p) {
+        const columnar::ZoneMap& zone = pages[p].zone;
+        if (zone.rows() == 0) continue;  // defensive: sealed pages are full
+        units.push_back(Unit{s, p, p, zone.min_pk(), zone.max_pk(),
+                             prepared_.MayMatch(zone)});
+      }
+      if (num_pages > sealed && tail_zone.rows() != 0) {
+        units.push_back(Unit{s, sealed, num_pages - 1, tail_zone.min_pk(),
+                             tail_zone.max_pk(),
+                             prepared_.MayMatch(tail_zone)});
+      }
+    }
+    if (units.empty()) return;
+    std::sort(units.begin(), units.end(),
+              [](const Unit& a, const Unit& b) { return a.min_pk < b.min_pk; });
+    int64_t prefix_max = 0;
+    for (size_t i = 0; i < units.size(); ++i) {
+      const Unit& u = units[i];
+      const bool disjoint =
+          (i == 0 || prefix_max < u.min_pk) &&
+          (i + 1 == units.size() || u.max_pk < units[i + 1].min_pk);
+      if (disjoint) {
+        const uint8_t mode = u.may_match ? kScanExactPage : kSkipPage;
+        FileStep& step = order_[u.step];
+        for (uint64_t p = u.first_page; p <= u.last_page; ++p) {
+          step.modes[p] = mode;
+        }
+      }
+      prefix_max = i == 0 ? u.max_pk : std::max(prefix_max, u.max_pk);
+    }
+    for (FileStep& step : order_) {
+      step.skip_all =
+          !step.modes.empty() &&
+          std::all_of(step.modes.begin(), step.modes.end(),
+                      [](uint8_t m) { return m == kSkipPage; });
+    }
+  }
+
   const VersionFirstEngine* engine_;
   std::vector<FileStep> order_;
   size_t step_ = 0;
@@ -562,10 +764,33 @@ class VersionFirstEngine::MultiWinnerCursor : public ScanCursor {
       HeapFile* file = files_[loc.first];
       const uint64_t page_no = loc.second / file->records_per_page();
       if (loc.first != pinned_seg_ || page_no != pinned_page_no_) {
-        auto page = file->PinPage(page_no);
+        // Zone-map pruning is sound here: the winner table already
+        // resolved version visibility, so a skipped winner was only ever
+        // going to be filtered out by the predicate.
+        if (loc.first == skip_seg_ && page_no == skip_page_no_) {
+          ++next_;
+          continue;
+        }
+        if (!prepared_.empty() && !file->PageMayMatch(page_no, prepared_)) {
+          skip_seg_ = loc.first;
+          skip_page_no_ = page_no;
+          ++stats_.pages_skipped;
+          ++next_;
+          continue;
+        }
+        bool no_matches = false;
+        auto page = file->PinPageCounted(page_no, &prepared_, &no_matches);
         if (!page.ok()) {
           status_ = page.status();
           return false;
+        }
+        stats_.bytes_read += page.value().io_bytes;
+        if (no_matches) {
+          skip_seg_ = loc.first;
+          skip_page_no_ = page_no;
+          ++stats_.pages_skipped;
+          ++next_;
+          continue;
         }
         page_ = std::move(page).MoveValueUnsafe();
         pinned_seg_ = loc.first;
@@ -605,6 +830,8 @@ class VersionFirstEngine::MultiWinnerCursor : public ScanCursor {
   HeapFile::PinnedPage page_;
   uint32_t pinned_seg_ = UINT32_MAX;
   uint64_t pinned_page_no_ = UINT64_MAX;
+  uint32_t skip_seg_ = UINT32_MAX;
+  uint64_t skip_page_no_ = UINT64_MAX;
   ScanStats stats_;
   Status status_;
 };
@@ -619,7 +846,10 @@ Result<std::unique_ptr<ScanCursor>> VersionFirstEngine::NewScan(
   auto capture_order = [this](const Root& root) {
     std::vector<BranchScanCursor::FileStep> steps;
     for (const ScanStep& s : ComputeScanOrder(root)) {
-      steps.push_back({segments_[s.seg]->file.get(), s.bound});
+      BranchScanCursor::FileStep step;
+      step.file = segments_[s.seg]->file.get();
+      step.bound = s.bound;
+      steps.push_back(std::move(step));
     }
     return steps;
   };
@@ -676,32 +906,30 @@ Result<std::unique_ptr<ScanCursor>> VersionFirstEngine::NewScan(
 }
 
 Result<Record> VersionFirstEngine::Get(BranchId branch, int64_t pk) {
-  // No pk index in this layout (§3.3): walk the ancestry newest-to-oldest
-  // and stop at the first version of the key — the same resolution order
-  // as a branch scan, with early exit.
+  // Point lookup through the branch's pk index (a tombstoned or absent
+  // key is simply not in the map) — the old ancestry walk paid O(history)
+  // page reads per Get, the cost §3.3 conceded to the bitmap engines.
   std::shared_lock<std::shared_mutex> registry_lock(registry_mu_);
-  Root root;
+  Loc loc;
   {
     std::lock_guard<std::mutex> stripe_lock(stripes_.ForBranch(branch));
-    DECIBEL_ASSIGN_OR_RETURN(root, RootForBranch(branch));
-  }
-  for (const ScanStep& step : ComputeScanOrder(root)) {
-    ReverseSegmentReader reader(segments_[step.seg]->file.get(), &schema_,
-                                step.bound);
-    RecordRef rec;
-    while (reader.Prev(&rec, nullptr)) {
-      if (rec.pk() != pk) continue;
-      if (rec.tombstone()) {
-        return Status::NotFound("version-first: pk " + std::to_string(pk) +
-                                " deleted in branch " +
-                                std::to_string(branch));
-      }
-      return Record(&schema_, rec.data());
+    if (head_seg_.count(branch) == 0) {
+      return Status::NotFound("version-first: unknown branch " +
+                              std::to_string(branch));
     }
-    DECIBEL_RETURN_NOT_OK(reader.status());
+    auto branch_it = pk_index_.find(branch);
+    auto rec_it = branch_it == pk_index_.end() ? PkIndex::iterator()
+                                               : branch_it->second.find(pk);
+    if (branch_it == pk_index_.end() || rec_it == branch_it->second.end()) {
+      return Status::NotFound("version-first: no record with pk " +
+                              std::to_string(pk));
+    }
+    loc = rec_it->second;
   }
-  return Status::NotFound("version-first: no record with pk " +
-                          std::to_string(pk));
+  // Appended records are immutable; the read needs no lock.
+  std::string buf;
+  DECIBEL_RETURN_NOT_OK(FetchRecord(loc.seg, loc.idx, &buf));
+  return Record(&schema_, Slice(buf));
 }
 
 // ------------------------------------------------------------ winner tables
@@ -997,12 +1225,22 @@ EngineStats VersionFirstEngine::Stats() const {
   }
   stats.num_segments = segments_.size();
   {
+    // The pk indexes are per-branch state guarded by the stripes.
+    StripeLocks::AllGuard stripe_locks(stripes_);
+    for (const auto& [branch, pks] : pk_index_) {
+      stats.index_memory_bytes += pks.size() * 24;
+    }
+  }
+  {
     // Commits are (segment, offset) pairs — the whole registry is tiny.
     std::lock_guard<std::mutex> commit_lock(commit_mu_);
     stats.commit_store_bytes = commits_.size() * 20;
   }
   stats.rows_scanned = scan_counters_.rows();
   stats.bytes_scanned = scan_counters_.bytes();
+  stats.bytes_read = scan_counters_.bytes_read();
+  stats.segments_skipped = scan_counters_.segments_skipped();
+  stats.pages_skipped = scan_counters_.pages_skipped();
   return stats;
 }
 

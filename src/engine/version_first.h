@@ -114,6 +114,13 @@ class VersionFirstEngine : public StorageEngine {
   };
   using WinnerTable = std::unordered_map<int64_t, Winner>;
 
+  /// Physical record location, for the per-branch pk index.
+  struct Loc {
+    uint32_t seg = 0;
+    uint64_t idx = 0;
+  };
+  using PkIndex = std::unordered_map<int64_t, Loc>;
+
   VersionFirstEngine(const Schema& schema, const EngineOptions& options)
       : schema_(schema),
         options_(options),
@@ -151,6 +158,10 @@ class VersionFirstEngine : public StorageEngine {
   /// Reads record \p idx of segment \p seg into \p buf.
   Status FetchRecord(uint32_t seg, uint64_t idx, std::string* buf) const;
 
+  /// Rebuilds \p branch's pk index from its ancestry (one winner-table
+  /// pass). Caller holds registry_mu_ unique.
+  Status RebuildPkIndex(BranchId branch, const Root& root);
+
   Schema schema_;
   EngineOptions options_;
   BufferPool pool_;
@@ -172,6 +183,12 @@ class VersionFirstEngine : public StorageEngine {
   std::vector<std::unique_ptr<Segment>> segments_;
   std::unordered_map<BranchId, uint32_t> head_seg_;
   std::unordered_map<CommitId, Root> commits_;
+  /// pk -> live location at each branch head, making Get a point lookup
+  /// instead of an ancestry walk (the fix for §3.3's O(history) reads).
+  /// Memory-only: rebuilt on open from one multi-root winner-table pass.
+  /// A branch's entry is written under its stripe lock (ApplyBatch) or
+  /// the unique registry lock (CreateBranch, LoadExisting).
+  std::unordered_map<BranchId, PkIndex> pk_index_;
 
   class BranchScanCursor;
   class MultiWinnerCursor;

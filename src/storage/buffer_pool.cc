@@ -34,6 +34,28 @@ Result<PageRef> BufferPool::GetPage(uint64_t file_id, uint64_t page_no,
   return ref;
 }
 
+PageRef BufferPool::Peek(uint64_t file_id, uint64_t page_no) {
+  const Key key{file_id, page_no};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pages_.find(key);
+  if (it == pages_.end()) return nullptr;
+  ++hits_;
+  TouchLocked(it->second, key);
+  return it->second.page;
+}
+
+void BufferPool::Insert(uint64_t file_id, uint64_t page_no, PageRef page) {
+  const Key key{file_id, page_no};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = pages_.try_emplace(key);
+  if (!inserted) return;
+  lru_.push_front(key);
+  it->second.page = std::move(page);
+  it->second.lru_pos = lru_.begin();
+  resident_bytes_ += it->second.page->size();
+  EvictIfNeededLocked();
+}
+
 void BufferPool::TouchLocked(Entry& e, const Key& k) {
   lru_.erase(e.lru_pos);
   lru_.push_front(k);

@@ -48,6 +48,16 @@ class BufferPool {
   Result<PageRef> GetPage(uint64_t file_id, uint64_t page_no,
                           PageSource* source);
 
+  /// Returns the cached page, or null on miss — never loads. Lets a
+  /// caller that can serve itself from compressed stored bytes check for
+  /// an already-decoded copy first.
+  PageRef Peek(uint64_t file_id, uint64_t page_no);
+
+  /// Caches an already-materialized page (e.g. one the caller decoded
+  /// from compressed stored bytes). A page already cached under the key
+  /// is kept — both copies are equally valid, immutable decodings.
+  void Insert(uint64_t file_id, uint64_t page_no, PageRef page);
+
   /// Drops every cached page. Benchmarks call this between measured
   /// queries to approximate the paper's cold-cache methodology (§5).
   void EvictAll();

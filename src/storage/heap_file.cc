@@ -5,15 +5,27 @@
 #include "common/coding.h"
 #include "common/crc32.h"
 #include "common/logging.h"
+#include "engine/scan_spec.h"
 
 namespace decibel {
 
 namespace {
 
 constexpr uint32_t kMagic = 0x44424846;  // "DBHF"
-constexpr uint32_t kFormatVersion = 1;
+constexpr uint32_t kFormatVersion = 2;
 constexpr uint64_t kFileHeaderSize = 64;
-constexpr uint64_t kPageHeaderSize = 8;  // count u32 + masked crc u32
+// count u32 | masked crc u32 | format u8 | pad u8*3 | stored_len u32
+constexpr uint64_t kPageHeaderSize = 16;
+constexpr uint32_t kStatsBlobVersion = 1;
+
+void EncodePageHeader(char* dst, uint32_t count, uint32_t masked_crc,
+                      columnar::PageFormat format, uint32_t stored_len) {
+  EncodeFixed32(dst, count);
+  EncodeFixed32(dst + 4, masked_crc);
+  dst[8] = static_cast<char>(format);
+  dst[9] = dst[10] = dst[11] = '\0';
+  EncodeFixed32(dst + 12, stored_len);
+}
 
 Status ParseHeader(const RandomAccessFile& r, const std::string& path,
                    uint64_t* page_size, uint32_t* record_size) {
@@ -90,6 +102,16 @@ Result<std::unique_ptr<HeapFile>> HeapFile::Open(const std::string& path,
   uint64_t page_size = 0;
   uint32_t record_size = 0;
   DECIBEL_RETURN_NOT_OK(ParseHeader(r, path, &page_size, &record_size));
+  // Stats walk records with the schema's offsets; a caller schema whose
+  // record width disagrees with the file's would misread every page.
+  if (options.schema != nullptr &&
+      options.schema->record_size() != record_size) {
+    return Status::InvalidArgument(
+        "heapfile: schema record size " +
+        std::to_string(options.schema->record_size()) +
+        " does not match file record size " + std::to_string(record_size) +
+        " in " + path);
+  }
 
   Options opts = options;
   opts.page_size = page_size;
@@ -112,12 +134,28 @@ Result<std::unique_ptr<HeapFile>> HeapFile::Open(const std::string& path,
     if (count > file->records_per_page_) {
       return Status::Corruption("heapfile: bad page count in " + path);
     }
+    const auto format_byte = static_cast<uint8_t>(last[8]);
+    if (format_byte > static_cast<uint8_t>(columnar::PageFormat::kLz)) {
+      return Status::Corruption("heapfile: bad page format in " + path);
+    }
+    const auto format = static_cast<columnar::PageFormat>(format_byte);
+    const uint32_t stored_len = DecodeFixed32(last.data() + 12);
+    if (stored_len > page_size - kPageHeaderSize ||
+        (format == columnar::PageFormat::kRaw &&
+         stored_len != count * record_size)) {
+      return Status::Corruption("heapfile: bad page length in " + path);
+    }
     const uint32_t crc = UnmaskCrc(DecodeFixed32(last.data() + 4));
-    if (crc != Crc32(Slice(last.data() + kPageHeaderSize,
-                           count * record_size))) {
+    if (crc != Crc32(Slice(last.data() + kPageHeaderSize, stored_len))) {
       return Status::Corruption("heapfile: tail page checksum in " + path);
     }
     if (count < file->records_per_page_) {
+      if (format != columnar::PageFormat::kRaw) {
+        // Partial pages are the rewritten-in-place tail; only full-batch
+        // sealed pages compress. A compressed partial page is corruption.
+        return Status::Corruption("heapfile: compressed partial page in " +
+                                  path);
+      }
       file->sealed_pages_ = num_pages - 1;
       file->tail_.assign(last.data() + kPageHeaderSize,
                          count * record_size);
@@ -185,8 +223,9 @@ Result<std::unique_ptr<HeapFile>> HeapFile::OpenAtCheckpoint(
       std::string page(kPageHeaderSize, '\0');
       const Slice prefix(tail.data() + kPageHeaderSize,
                          static_cast<uint64_t>(tail_count) * record_size);
-      EncodeFixed32(page.data(), tail_count);
-      EncodeFixed32(page.data() + 4, MaskCrc(Crc32(prefix)));
+      EncodePageHeader(page.data(), tail_count, MaskCrc(Crc32(prefix)),
+                       columnar::PageFormat::kRaw,
+                       static_cast<uint32_t>(prefix.size()));
       page.append(prefix.data(), prefix.size());
       page.resize(page_size, '\0');
       DECIBEL_RETURN_NOT_OK(w.WriteAt(kFileHeaderSize + sealed * page_size,
@@ -238,6 +277,7 @@ Result<uint64_t> HeapFile::Append(Slice record) {
     tail_dirty_ = true;
     page_full = tail_count_ == records_per_page_;
   }
+  FoldTailRecords(record.data(), 1);
   num_records_.fetch_add(1);
   if (page_full) {
     DECIBEL_RETURN_NOT_OK(SealTailPage());
@@ -245,8 +285,27 @@ Result<uint64_t> HeapFile::Append(Slice record) {
   return index;
 }
 
+void HeapFile::FoldTailRecords(const char* records, uint64_t count) {
+  if (!stats_enabled()) return;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  tail_zone_.UpdateBatch(*options_.schema, records, count);
+  file_zone_.UpdateBatch(*options_.schema, records, count);
+}
+
 Status HeapFile::SealTailPage() {
+  // Pages sealed from the tail stay kRaw: the write below must preserve
+  // the byte prefix a checkpoint may have CRC'd (see OpenAtCheckpoint).
   DECIBEL_RETURN_NOT_OK(WriteTailPage());
+  if (stats_enabled()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    PageStats ps;
+    ps.zone = std::move(tail_zone_);
+    ps.format = columnar::PageFormat::kRaw;
+    ps.stored_bytes =
+        static_cast<uint32_t>(records_per_page_ * record_size_);
+    page_stats_.push_back(std::move(ps));
+    tail_zone_ = columnar::ZoneMap(options_.schema->num_columns());
+  }
   std::lock_guard<std::mutex> lock(tail_mu_);
   tail_.clear();
   tail_count_ = 0;
@@ -271,18 +330,50 @@ Result<uint64_t> HeapFile::AppendBatch(Slice records, uint64_t count) {
     // through tail_, one page buffer for the whole batch. The page is on
     // disk before sealed_pages_ advances (under tail_mu_, like
     // SealTailPage) and num_records_ advances last, so a concurrent
-    // reader never resolves these records to the (empty) tail.
+    // reader never resolves these records to the (empty) tail. This is
+    // also the only path that compresses: the slot it writes is past
+    // every record any checkpoint has referenced, so rewriting semantics
+    // never apply to it.
     if (tail_count_ == 0 && remaining >= records_per_page_) {
       const uint64_t payload_bytes = records_per_page_ * record_size_;
+      const char* payload = records.data() + offset;
+
+      columnar::ZoneMap page_zone;
+      if (stats_enabled()) {
+        page_zone = columnar::ZoneMap(options_.schema->num_columns());
+        page_zone.UpdateBatch(*options_.schema, payload, records_per_page_);
+      }
+      auto format = columnar::PageFormat::kRaw;
+      std::string encoded;
+      if (options_.compress_pages && stats_enabled()) {
+        format = columnar::EncodePage(
+            *options_.schema, payload,
+            static_cast<uint32_t>(records_per_page_), &encoded);
+        if (format != columnar::PageFormat::kRaw &&
+            encoded.size() > options_.page_size - kPageHeaderSize) {
+          format = columnar::PageFormat::kRaw;  // never outgrow the slot
+        }
+      }
+      const Slice stored = format == columnar::PageFormat::kRaw
+                               ? Slice(payload, payload_bytes)
+                               : Slice(encoded);
       page.resize(kPageHeaderSize);
-      EncodeFixed32(page.data(), static_cast<uint32_t>(records_per_page_));
-      EncodeFixed32(
-          page.data() + 4,
-          MaskCrc(Crc32(Slice(records.data() + offset, payload_bytes))));
-      page.append(records.data() + offset, payload_bytes);
+      EncodePageHeader(page.data(), static_cast<uint32_t>(records_per_page_),
+                       MaskCrc(Crc32(stored)), format,
+                       static_cast<uint32_t>(stored.size()));
+      page.append(stored.data(), stored.size());
       page.resize(options_.page_size, '\0');
       DECIBEL_RETURN_NOT_OK(
           writer_->WriteAt(PageOffset(sealed_pages_), page));
+      if (stats_enabled()) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        PageStats ps;
+        ps.zone = std::move(page_zone);
+        ps.format = format;
+        ps.stored_bytes = static_cast<uint32_t>(stored.size());
+        file_zone_.Merge(ps.zone);
+        page_stats_.push_back(std::move(ps));
+      }
       {
         std::lock_guard<std::mutex> lock(tail_mu_);
         ++sealed_pages_;
@@ -303,6 +394,7 @@ Result<uint64_t> HeapFile::AppendBatch(Slice records, uint64_t count) {
       tail_dirty_ = true;
       page_full = tail_count_ == records_per_page_;
     }
+    FoldTailRecords(records.data() + offset, take);
     num_records_.fetch_add(take);
     offset += take * record_size_;
     remaining -= take;
@@ -319,8 +411,9 @@ Status HeapFile::WriteTailPage() {
   {
     std::lock_guard<std::mutex> lock(tail_mu_);
     page.resize(kPageHeaderSize);
-    EncodeFixed32(page.data(), tail_count_);
-    EncodeFixed32(page.data() + 4, MaskCrc(Crc32(Slice(tail_))));
+    EncodePageHeader(page.data(), tail_count_, MaskCrc(Crc32(Slice(tail_))),
+                     columnar::PageFormat::kRaw,
+                     static_cast<uint32_t>(tail_.size()));
     page.append(tail_);
   }
   page.resize(options_.page_size, '\0');
@@ -379,7 +472,8 @@ bool HeapFile::SnapshotTailIfCurrent(uint64_t page_no, std::string* out,
   return true;
 }
 
-Status HeapFile::ReadPageFromDisk(uint64_t page_no, std::string* out) {
+Status HeapFile::ReadStoredPage(uint64_t page_no, std::string* stored,
+                                PageHeader* header) const {
   {
     std::lock_guard<std::mutex> lock(reader_mu_);
     if (!reader_.has_value()) {
@@ -389,20 +483,63 @@ Status HeapFile::ReadPageFromDisk(uint64_t page_no, std::string* out) {
       reader_.emplace(std::move(r));
     }
   }
+  std::string head;
   DECIBEL_RETURN_NOT_OK(
-      reader_->Read(PageOffset(page_no), options_.page_size, out));
-  const uint32_t count = DecodeFixed32(out->data());
-  if (count > records_per_page_) {
+      reader_->Read(PageOffset(page_no), kPageHeaderSize, &head));
+  header->count = DecodeFixed32(head.data());
+  if (header->count > records_per_page_) {
     return Status::Corruption("heapfile: bad page count in " + path_);
   }
+  const auto format_byte = static_cast<uint8_t>(head[8]);
+  if (format_byte > static_cast<uint8_t>(columnar::PageFormat::kLz)) {
+    return Status::Corruption("heapfile: bad page format in " + path_);
+  }
+  header->format = static_cast<columnar::PageFormat>(format_byte);
+  header->stored_len = DecodeFixed32(head.data() + 12);
+  if (header->stored_len > options_.page_size - kPageHeaderSize ||
+      (header->format == columnar::PageFormat::kRaw &&
+       header->stored_len != header->count * record_size_)) {
+    return Status::Corruption("heapfile: bad page length in " + path_);
+  }
+  // Read only the stored bytes — a compressed page costs its compressed
+  // size in I/O, not a full page slot.
+  DECIBEL_RETURN_NOT_OK(reader_->Read(PageOffset(page_no) + kPageHeaderSize,
+                                      header->stored_len, stored));
   if (options_.verify_checksums) {
-    const uint32_t crc = UnmaskCrc(DecodeFixed32(out->data() + 4));
-    if (crc != Crc32(Slice(out->data() + kPageHeaderSize,
-                           count * record_size_))) {
+    const uint32_t crc = UnmaskCrc(DecodeFixed32(head.data() + 4));
+    if (crc != Crc32(Slice(*stored))) {
       return Status::Corruption("heapfile: page " + std::to_string(page_no) +
                                 " checksum mismatch in " + path_);
     }
   }
+  return Status::OK();
+}
+
+Status HeapFile::ReadPageFromDisk(uint64_t page_no, std::string* out) {
+  PageHeader header;
+  std::string stored;
+  DECIBEL_RETURN_NOT_OK(ReadStoredPage(page_no, &stored, &header));
+  // Normalize to a decoded page: the v2 header (format and stored_len
+  // kept for I/O accounting) followed by the raw row-major payload at
+  // the usual offset, padded to the page size. Cached pages are always
+  // in this shape, so every consumer's payload arithmetic is unchanged.
+  out->clear();
+  out->reserve(options_.page_size);
+  out->resize(kPageHeaderSize, '\0');
+  EncodePageHeader(out->data(), header.count, 0, header.format,
+                   header.stored_len);
+  if (header.format == columnar::PageFormat::kRaw) {
+    out->append(stored);
+  } else {
+    if (!stats_enabled()) {
+      return Status::Corruption(
+          "heapfile: compressed page without schema in " + path_);
+    }
+    DECIBEL_RETURN_NOT_OK(columnar::DecodePage(*options_.schema,
+                                               header.format, Slice(stored),
+                                               header.count, out));
+  }
+  out->resize(options_.page_size, '\0');
   return Status::OK();
 }
 
@@ -441,12 +578,77 @@ Result<HeapFile::PinnedPage> HeapFile::PinPage(uint64_t page_no) {
   if (SnapshotTailIfCurrent(page_no, &out.tail, &count)) {
     out.payload = out.tail.data();
     out.count = count;
+    out.io_bytes = out.tail.size();
     return out;
   }
   DECIBEL_ASSIGN_OR_RETURN(out.pin,
                            pool_->GetPage(file_id_, page_no, this));
   out.payload = out.pin->data() + kPageHeaderSize;
   out.count = DecodeFixed32(out.pin->data());
+  out.io_bytes = kPageHeaderSize + DecodeFixed32(out.pin->data() + 12);
+  return out;
+}
+
+Result<HeapFile::PinnedPage> HeapFile::PinPageCounted(
+    uint64_t page_no, const PreparedPredicate* predicate, bool* no_matches) {
+  *no_matches = false;
+  PinnedPage out;
+  uint32_t count;
+  if (SnapshotTailIfCurrent(page_no, &out.tail, &count)) {
+    out.payload = out.tail.data();
+    out.count = count;
+    out.io_bytes = out.tail.size();
+    return out;
+  }
+  if (PageRef cached = pool_->Peek(file_id_, page_no)) {
+    out.pin = std::move(cached);
+    out.payload = out.pin->data() + kPageHeaderSize;
+    out.count = DecodeFixed32(out.pin->data());
+    out.io_bytes = kPageHeaderSize + DecodeFixed32(out.pin->data() + 12);
+    return out;
+  }
+  PageHeader header;
+  std::string stored;
+  DECIBEL_RETURN_NOT_OK(ReadStoredPage(page_no, &stored, &header));
+  out.io_bytes = kPageHeaderSize + header.stored_len;
+  if (predicate != nullptr && stats_enabled() &&
+      header.format == columnar::PageFormat::kColumnar &&
+      !predicate->raw_comparisons().empty()) {
+    // Try to prove the page empty of matches from the compressed strips:
+    // one comparison per RLE run / dictionary code, no decode, and the
+    // buffer pool stays unpolluted by a page nobody will read.
+    bool exact = false;
+    const uint64_t matches = columnar::CountMatchesCompressed(
+        *options_.schema, header.format, Slice(stored), header.count,
+        predicate->raw_comparisons(), &exact);
+    if (exact && matches == 0) {
+      *no_matches = true;
+      out.count = header.count;
+      return out;  // payload-less: caller must skip, not read
+    }
+  }
+  auto page = std::make_shared<std::string>();
+  page->reserve(options_.page_size);
+  page->resize(kPageHeaderSize, '\0');
+  EncodePageHeader(page->data(), header.count, 0, header.format,
+                   header.stored_len);
+  if (header.format == columnar::PageFormat::kRaw) {
+    page->append(stored);
+  } else {
+    if (!stats_enabled()) {
+      return Status::Corruption(
+          "heapfile: compressed page without schema in " + path_);
+    }
+    DECIBEL_RETURN_NOT_OK(columnar::DecodePage(*options_.schema,
+                                               header.format, Slice(stored),
+                                               header.count, page.get()));
+  }
+  page->resize(options_.page_size, '\0');
+  PageRef ref = std::move(page);
+  pool_->Insert(file_id_, page_no, ref);
+  out.pin = std::move(ref);
+  out.payload = out.pin->data() + kPageHeaderSize;
+  out.count = header.count;
   return out;
 }
 
@@ -454,6 +656,135 @@ uint64_t HeapFile::SizeBytes() const {
   std::lock_guard<std::mutex> lock(tail_mu_);
   const uint64_t pages = sealed_pages_ + (tail_count_ > 0 ? 1 : 0);
   return kFileHeaderSize + pages * options_.page_size;
+}
+
+// ---------------------------------------------------------------- zone maps
+
+bool HeapFile::PageMayMatch(uint64_t page_no,
+                            const PreparedPredicate& predicate) const {
+  if (!stats_enabled()) return true;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (page_no < page_stats_.size()) {
+    return predicate.MayMatch(page_stats_[page_no].zone);
+  }
+  return predicate.MayMatch(tail_zone_);
+}
+
+bool HeapFile::FileMayMatch(const PreparedPredicate& predicate) const {
+  if (!stats_enabled()) return true;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return predicate.MayMatch(file_zone_);
+}
+
+void HeapFile::SnapshotPageStats(std::vector<PageStats>* pages,
+                                 columnar::ZoneMap* tail_zone) const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  *pages = page_stats_;
+  *tail_zone = tail_zone_;
+}
+
+columnar::ZoneMap HeapFile::FileZone() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return file_zone_;
+}
+
+void HeapFile::EncodeStats(std::string* dst) const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  PutVarint32(dst, kStatsBlobVersion);
+  PutVarint64(dst, page_stats_.size());
+  for (const PageStats& ps : page_stats_) {
+    dst->push_back(static_cast<char>(ps.format));
+    PutVarint32(dst, ps.stored_bytes);
+    ps.zone.EncodeTo(dst);
+  }
+}
+
+Status HeapFile::LoadStats(Slice input) {
+  uint32_t version;
+  if (!GetVarint32(&input, &version) || version != kStatsBlobVersion) {
+    return Status::Corruption("heapfile: bad stats blob in " + path_);
+  }
+  uint64_t n;
+  if (!GetVarint64(&input, &n)) {
+    return Status::Corruption("heapfile: bad stats blob in " + path_);
+  }
+  uint64_t sealed;
+  {
+    std::lock_guard<std::mutex> lock(tail_mu_);
+    sealed = sealed_pages_;
+  }
+  std::vector<PageStats> loaded;
+  loaded.reserve(std::min(n, sealed));
+  for (uint64_t i = 0; i < n; ++i) {
+    if (input.empty()) {
+      return Status::Corruption("heapfile: truncated stats blob in " + path_);
+    }
+    const auto format_byte = static_cast<uint8_t>(input[0]);
+    if (format_byte > static_cast<uint8_t>(columnar::PageFormat::kLz)) {
+      return Status::Corruption("heapfile: bad stats format in " + path_);
+    }
+    input.RemovePrefix(1);
+    PageStats ps;
+    ps.format = static_cast<columnar::PageFormat>(format_byte);
+    if (!GetVarint32(&input, &ps.stored_bytes)) {
+      return Status::Corruption("heapfile: truncated stats blob in " + path_);
+    }
+    DECIBEL_ASSIGN_OR_RETURN(ps.zone, columnar::ZoneMap::DecodeFrom(&input));
+    // Entries past the current sealed range describe pages a recovery
+    // rolled back; EnsureStats would recompute them from thin air, so
+    // drop them here.
+    if (i < sealed) loaded.push_back(std::move(ps));
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  page_stats_ = std::move(loaded);
+  return Status::OK();
+}
+
+Status HeapFile::EnsureStats() {
+  if (!stats_enabled()) return Status::OK();
+  const Schema& schema = *options_.schema;
+  uint64_t sealed;
+  {
+    std::lock_guard<std::mutex> lock(tail_mu_);
+    sealed = sealed_pages_;
+  }
+  uint64_t have;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    have = page_stats_.size();
+  }
+  // Rebuild stats for sealed pages the persisted blob didn't cover (an
+  // un-checkpointed suffix, or a file opened without any blob at all).
+  for (uint64_t page_no = have; page_no < sealed; ++page_no) {
+    DECIBEL_ASSIGN_OR_RETURN(PinnedPage page, PinPage(page_no));
+    // A page claiming more records than fit under this schema is either
+    // a file written with a different record width or a corrupt header;
+    // walking it would read past the payload.
+    if (page.count > records_per_page_) {
+      return Status::Corruption(
+          "heapfile: page record count exceeds schema capacity in " + path_);
+    }
+    PageStats ps;
+    ps.zone = columnar::ZoneMap(schema.num_columns());
+    ps.zone.UpdateBatch(schema, page.payload, page.count);
+    // Normalized pages carry the on-disk format/stored_len through their
+    // header even after decoding.
+    ps.format = static_cast<columnar::PageFormat>(
+        static_cast<uint8_t>((*page.pin)[8]));
+    ps.stored_bytes = DecodeFixed32(page.pin->data() + 12);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    page_stats_.push_back(std::move(ps));
+  }
+  // The tail zone always rebuilds from the live tail; the file zone is
+  // the union of everything.
+  std::lock_guard<std::mutex> tail_lock(tail_mu_);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  tail_zone_ = columnar::ZoneMap(schema.num_columns());
+  tail_zone_.UpdateBatch(schema, tail_.data(), tail_count_);
+  file_zone_ = columnar::ZoneMap(schema.num_columns());
+  for (const PageStats& ps : page_stats_) file_zone_.Merge(ps.zone);
+  file_zone_.Merge(tail_zone_);
+  return Status::OK();
 }
 
 // ------------------------------------------------------------------ Scanner

@@ -6,35 +6,68 @@
 /// Decibel engines: the tuple-first engine keeps one big heap file, the
 /// version-first and hybrid engines keep one per segment (§3).
 ///
-/// Records are fixed-width (see schema.h), packed into fixed-size pages:
+/// Records are fixed-width (see schema.h), packed into fixed-size pages
+/// (format v2):
 ///
 ///   file   := header page | page*
 ///   header := magic u32 | version u32 | page_size u64 | record_size u32 |
 ///             reserved | crc u32                          (64 bytes)
-///   page   := count u32 | masked_crc u32 | record*count | zero padding
+///   page   := count u32 | masked_crc u32 | format u8 | pad u8*3 |
+///             stored_len u32 | stored bytes | zero padding
+///
+/// `format` is a columnar::PageFormat tag; `stored_len` counts the stored
+/// bytes, and the CRC covers exactly those bytes. A kRaw page stores the
+/// `count` records verbatim (stored_len == count * record_size); compressed
+/// formats store the page_codec encoding and are decoded on read, with the
+/// BufferPool caching the *decoded* page. Pages occupy fixed page_size
+/// slots on disk either way — compression buys read I/O and pre-decode
+/// predicate evaluation, not disk footprint.
 ///
 /// Appends accumulate in an in-memory tail page; a page is written to disk
 /// when it fills (or on Flush, which rewrites the partial tail in place).
-/// Sealed (full) pages are immutable and cached by the BufferPool. Record
-/// index <-> page/slot mapping is arithmetic.
+/// The tail and pages sealed *from* the tail are always kRaw: the tail
+/// slot is rewritten in place, and crash recovery relies on a reseal
+/// preserving the already-checkpointed byte prefix — recompressing it
+/// would not. Only AppendBatch's full-page fast path (which writes a page
+/// slot no checkpoint has referenced) compresses. Sealed (full) pages are
+/// immutable and cached by the BufferPool. Record index <-> page/slot
+/// mapping is arithmetic.
+///
+/// When Options::schema is set, the file also maintains columnar zone
+/// maps — per sealed page, for the tail, and for the whole file — kept
+/// strictly ahead of num_records_ so any record a reader can see is
+/// already folded into the stats. Engines persist them via EncodeStats /
+/// LoadStats and consult them through PageMayMatch / FileMayMatch to skip
+/// pages and files without touching bytes.
 
 #include <atomic>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "columnar/page_codec.h"
+#include "columnar/zone_map.h"
 #include "common/io.h"
 #include "common/result.h"
 #include "storage/buffer_pool.h"
 
 namespace decibel {
 
+class PreparedPredicate;
+
 class HeapFile : public PageSource {
  public:
   struct Options {
     uint64_t page_size = 1 << 20;  ///< paper uses 4 MB; tests use smaller
     bool verify_checksums = true;
+    /// Record layout, enabling zone-map maintenance and (with
+    /// compress_pages) adaptive page encoding. Must outlive the file;
+    /// null disables statistics (degraded mode for raw-file tests).
+    const Schema* schema = nullptr;
+    /// Encode full-batch pages with the page codec when it wins.
+    bool compress_pages = false;
   };
 
   /// Creates a new heap file at \p path. A pre-existing file there is
@@ -140,12 +173,71 @@ class HeapFile : public PageSource {
     std::string tail;     // tail snapshot (empty for sealed pages)
     const char* payload = nullptr;
     uint32_t count = 0;   // records in this page
+    /// Stored bytes behind this pin (page header + stored_len for sealed
+    /// pages, tail bytes for the tail) — what ScanStats::bytes_read
+    /// charges. Compressed pages charge their compressed size.
+    uint64_t io_bytes = 0;
   };
 
   /// Pins page \p page_no (snapshotting the in-memory tail if that is the
   /// requested page). Used by the version-first engine's newest-to-oldest
   /// segment scans.
   Result<PinnedPage> PinPage(uint64_t page_no);
+
+  /// PinPage variant that may prove the page irrelevant without decoding:
+  /// if the page is stored columnar-compressed and not yet cached, the
+  /// predicate is evaluated on the compressed strips first; zero matches
+  /// sets *no_matches and returns an empty (payload-less) pin whose
+  /// io_bytes still charges the stored bytes inspected. Only callers
+  /// whose version resolution is external (bitmap engines) may treat
+  /// *no_matches as permission to skip — the page's records still exist.
+  Result<PinnedPage> PinPageCounted(uint64_t page_no,
+                                    const PreparedPredicate* predicate,
+                                    bool* no_matches);
+
+  // ------------------------------------------------------- zone maps
+
+  /// Per-sealed-page statistics (zone map + storage format).
+  struct PageStats {
+    columnar::ZoneMap zone;
+    columnar::PageFormat format = columnar::PageFormat::kRaw;
+    uint32_t stored_bytes = 0;  ///< stored_len of the page on disk
+  };
+
+  bool stats_enabled() const { return options_.schema != nullptr; }
+
+  /// Could any live record of page \p page_no match? Pages beyond the
+  /// sealed range test the tail zone. Always true with stats disabled.
+  bool PageMayMatch(uint64_t page_no, const PreparedPredicate& predicate) const;
+
+  /// Could any live record of the whole file match? False lets a scan
+  /// drop the file without opening a cursor on it.
+  bool FileMayMatch(const PreparedPredicate& predicate) const;
+
+  /// Copies the per-page stats and the tail zone, consistent with each
+  /// other. Cursors snapshot once at open and plan skipping against the
+  /// snapshot (concurrent appends only add pages the caller's record
+  /// bound excludes anyway).
+  void SnapshotPageStats(std::vector<PageStats>* pages,
+                         columnar::ZoneMap* tail_zone) const;
+
+  /// Zone covering every record in the file (sealed pages + tail).
+  columnar::ZoneMap FileZone() const;
+
+  /// Serializes the per-page stats for engine metadata persistence. Call
+  /// with writers quiesced (checkpoint time).
+  void EncodeStats(std::string* dst) const;
+
+  /// Restores stats persisted by EncodeStats. Entries beyond the current
+  /// sealed-page count (metadata newer than a rolled-back file) are
+  /// dropped; missing entries are rebuilt by EnsureStats.
+  Status LoadStats(Slice input);
+
+  /// Computes stats for any sealed page lacking them (reading the page)
+  /// and rebuilds the tail and file zones. No-op with stats disabled.
+  /// Engines call this after open so skipping never depends on how fresh
+  /// the persisted blob was.
+  Status EnsureStats();
 
   /// Sequential scanner over record indexes [begin, end). Pins one page at
   /// a time through the buffer pool.
@@ -177,8 +269,23 @@ class HeapFile : public PageSource {
   HeapFile(std::string path, uint32_t record_size, const Options& options,
            BufferPool* pool);
 
+  /// Parsed v2 page header.
+  struct PageHeader {
+    uint32_t count = 0;
+    columnar::PageFormat format = columnar::PageFormat::kRaw;
+    uint32_t stored_len = 0;
+  };
+
   Status WriteHeader();
   Status WriteTailPage();
+  /// Reads and validates a sealed page's stored bytes (header + exactly
+  /// stored_len payload bytes — compressed pages read less than a full
+  /// page slot).
+  Status ReadStoredPage(uint64_t page_no, std::string* stored,
+                        PageHeader* header) const;
+  /// Folds one staged record into the tail/file zones (call before
+  /// publishing num_records_).
+  void FoldTailRecords(const char* records, uint64_t count);
   /// Writes the full tail page to disk and resets the tail for the next
   /// page — the seal step shared by Append and AppendBatch.
   Status SealTailPage();
@@ -211,6 +318,16 @@ class HeapFile : public PageSource {
   mutable std::mutex tail_mu_;
   std::string tail_;        // payload bytes of the partial page
   uint32_t tail_count_ = 0;
+
+  /// Leaf lock guarding the zone-map state; never held across I/O or
+  /// pool calls. Ordering: stats entries for a page are published before
+  /// sealed_pages_ counts it, and tail/file zones fold a record before
+  /// num_records_ publishes it — a reader that can see a record can see
+  /// its stats.
+  mutable std::mutex stats_mu_;
+  std::vector<PageStats> page_stats_;  // one entry per sealed page
+  columnar::ZoneMap tail_zone_;        // records currently staged in tail_
+  columnar::ZoneMap file_zone_;        // every record ever appended
 
   friend class Scanner;
 };

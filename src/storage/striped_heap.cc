@@ -3,14 +3,17 @@
 #include <algorithm>
 
 #include "common/coding.h"
+#include "engine/scan_spec.h"
 
 namespace decibel {
 
 namespace {
 constexpr uint32_t kManifestMagic = 0x53485053;  // "SPHS"
 // v2 appends per-stripe checkpoint state (record count + tail CRC) so a
-// tagged manifest can roll stripe files back to its exact moment.
-constexpr uint32_t kManifestVersion = 2;
+// tagged manifest can roll stripe files back to its exact moment. v3
+// appends per-stripe zone-map stats blobs (HeapFile::EncodeStats) so a
+// reopen can skip pages without rescanning them first.
+constexpr uint32_t kManifestVersion = 3;
 }  // namespace
 
 StripedHeap::StripedHeap(std::string dir, uint32_t record_size,
@@ -38,6 +41,8 @@ Result<std::unique_ptr<StripedHeap>> StripedHeap::Create(
   HeapFile::Options hopts;
   hopts.page_size = options.page_size;
   hopts.verify_checksums = options.verify_checksums;
+  hopts.schema = options.schema;
+  hopts.compress_pages = options.compress_pages;
   heap->stripes_.resize(stripes);
   for (uint32_t s = 0; s < stripes; ++s) {
     DECIBEL_ASSIGN_OR_RETURN(
@@ -61,7 +66,15 @@ Result<std::unique_ptr<StripedHeap>> StripedHeap::Open(
       ReadFileToString(heap->ManifestPath(checkpoint_tag)));
   DECIBEL_RETURN_NOT_OK(
       heap->LoadManifest(Slice(manifest), !checkpoint_tag.empty()));
+  DECIBEL_RETURN_NOT_OK(heap->EnsureStats());
   return heap;
+}
+
+Status StripedHeap::EnsureStats() {
+  for (StripeState& st : stripes_) {
+    DECIBEL_RETURN_NOT_OK(st.file->EnsureStats());
+  }
+  return Status::OK();
 }
 
 Status StripedHeap::LoadManifest(Slice input, bool recover) {
@@ -73,7 +86,8 @@ Status StripedHeap::LoadManifest(Slice input, bool recover) {
   }
   if (version != kManifestVersion) {
     // A well-formed manifest from another release: say so instead of the
-    // misleading generic corruption (v2 added per-extent stripe layout).
+    // misleading generic corruption (v2 added per-extent stripe layout,
+    // v3 per-stripe zone-map stats).
     return Status::InvalidArgument(
         "striped heap: unsupported manifest format version " +
         std::to_string(version) + " (expected " +
@@ -119,8 +133,20 @@ Status StripedHeap::LoadManifest(Slice input, bool recover) {
     states[s].tail_crc = crc;
   }
 
+  // v3: per-stripe zone-map stats blobs. Parsed before the files open
+  // (they follow the stripe states in the encoding), applied after.
+  std::vector<Slice> stats_blobs(stripes_.size());
+  for (size_t s = 0; s < stripes_.size(); ++s) {
+    if (!GetLengthPrefixed(&input, &stats_blobs[s])) {
+      return Status::Corruption("striped heap: truncated stats blob in " +
+                                dir_);
+    }
+  }
+
   HeapFile::Options hopts;
   hopts.verify_checksums = options_.verify_checksums;
+  hopts.schema = options_.schema;
+  hopts.compress_pages = options_.compress_pages;
   for (uint32_t s = 0; s < stripes_.size(); ++s) {
     if (recover) {
       DECIBEL_ASSIGN_OR_RETURN(
@@ -130,6 +156,7 @@ Status StripedHeap::LoadManifest(Slice input, bool recover) {
       DECIBEL_ASSIGN_OR_RETURN(stripes_[s].file,
                                HeapFile::Open(StripePath(s), hopts, pool_));
     }
+    DECIBEL_RETURN_NOT_OK(stripes_[s].file->LoadStats(stats_blobs[s]));
   }
 
   // The last extent of each stripe may still be open: records appended
@@ -177,6 +204,11 @@ std::string StripedHeap::EncodeManifest() {
     const HeapFile::CheckpointState cs = st.file->GetCheckpointState();
     PutVarint64(&out, cs.num_records);
     PutVarint32(&out, cs.tail_crc);
+  }
+  for (const StripeState& st : stripes_) {
+    std::string blob;
+    st.file->EncodeStats(&blob);
+    PutLengthPrefixed(&out, Slice(blob));
   }
   return out;
 }
@@ -315,38 +347,59 @@ bool StripedHeap::Mapping::Resolve(uint64_t global, HeapFile** file,
 
 bool StripedBitmapScanner::Next(RecordRef* out, uint64_t* index) {
   if (!status_.ok()) return false;
-  const uint64_t next = bits_->NextSet(pos_);
-  if (next == UINT64_MAX || next >= mapping_.bound()) return false;
-  pos_ = next + 1;
-  HeapFile* file = nullptr;
-  uint64_t local = 0;
-  if (!mapping_.Resolve(next, &file, &local)) {
-    // A bit inside the snapshot's bound always has a covering extent.
-    status_ = Status::Corruption("striped heap: set bit outside extents");
-    return false;
-  }
-  if (local >= file->num_records()) {
-    // Bit set for a record the snapshot's stripe file has not appended —
-    // cannot happen for a bitmap materialized before the mapping.
-    status_ = Status::Corruption("striped heap: set bit beyond stripe end");
-    return false;
-  }
-  const uint64_t page_no = local / file->records_per_page();
-  if (file != pinned_file_ || page_no != pinned_page_no_) {
-    auto page = file->PinPage(page_no);
-    if (!page.ok()) {
-      status_ = page.status();
+  for (;;) {
+    const uint64_t next = bits_->NextSet(pos_);
+    if (next == UINT64_MAX || next >= mapping_.bound()) return false;
+    pos_ = next + 1;
+    HeapFile* file = nullptr;
+    uint64_t local = 0;
+    if (!mapping_.Resolve(next, &file, &local)) {
+      // A bit inside the snapshot's bound always has a covering extent.
+      status_ = Status::Corruption("striped heap: set bit outside extents");
       return false;
     }
-    page_ = std::move(page).MoveValueUnsafe();
-    pinned_file_ = file;
-    pinned_page_no_ = page_no;
+    if (local >= file->num_records()) {
+      // Bit set for a record the snapshot's stripe file has not appended —
+      // cannot happen for a bitmap materialized before the mapping.
+      status_ = Status::Corruption("striped heap: set bit beyond stripe end");
+      return false;
+    }
+    const uint64_t page_no = local / file->records_per_page();
+    if (file != pinned_file_ || page_no != pinned_page_no_) {
+      // The bitmap already resolved visibility, so a page the zone map
+      // (or its compressed strips) rules out can be stepped over — every
+      // bit landing on it is remembered as skipped until the scan moves
+      // to another page.
+      if (file == skip_file_ && page_no == skip_page_no_) continue;
+      if (predicate_ != nullptr && !file->PageMayMatch(page_no, *predicate_)) {
+        skip_file_ = file;
+        skip_page_no_ = page_no;
+        if (stats_ != nullptr) ++stats_->pages_skipped;
+        continue;
+      }
+      bool no_matches = false;
+      auto page = file->PinPageCounted(page_no, predicate_, &no_matches);
+      if (!page.ok()) {
+        status_ = page.status();
+        return false;
+      }
+      if (stats_ != nullptr) stats_->bytes_read += page.value().io_bytes;
+      if (no_matches) {
+        skip_file_ = file;
+        skip_page_no_ = page_no;
+        if (stats_ != nullptr) ++stats_->pages_skipped;
+        continue;
+      }
+      page_ = std::move(page).MoveValueUnsafe();
+      pinned_file_ = file;
+      pinned_page_no_ = page_no;
+    }
+    const uint64_t slot = local % file->records_per_page();
+    *out = RecordRef(schema_, Slice(page_.payload + slot * file->record_size(),
+                                    file->record_size()));
+    if (index != nullptr) *index = next;
+    return true;
   }
-  const uint64_t slot = local % file->records_per_page();
-  *out = RecordRef(schema_, Slice(page_.payload + slot * file->record_size(),
-                                  file->record_size()));
-  if (index != nullptr) *index = next;
-  return true;
 }
 
 }  // namespace decibel

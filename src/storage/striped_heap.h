@@ -54,6 +54,12 @@ class StripedHeap {
     /// worth of records (keeps the extent table small without letting
     /// open-extent holes outgrow a page per stripe).
     uint64_t extent_records = 0;
+    /// Record layout forwarded to every stripe file — enables zone maps
+    /// (and, with compress_pages, adaptive page encoding). Must outlive
+    /// the heap; null disables statistics.
+    const Schema* schema = nullptr;
+    /// Forwarded to every stripe file's HeapFile::Options.
+    bool compress_pages = false;
   };
 
   /// A contiguous range of global indices assigned by one AppendBatch.
@@ -148,6 +154,12 @@ class StripedHeap {
   /// Deletes the tagged manifest written by Checkpoint(tag).
   Status RemoveCheckpoint(const std::string& tag);
 
+  /// Rebuilds any missing per-page zone maps on every stripe file (see
+  /// HeapFile::EnsureStats). Open() calls this after loading the
+  /// manifest's persisted stats so skipping never depends on how fresh
+  /// the persisted blobs were. No-op with stats disabled.
+  Status EnsureStats();
+
   /// An immutable snapshot of the global->(file, local) translation.
   /// Cheap to copy around; resolves monotonically-increasing lookups in
   /// amortized O(1) via a cursor hint. Taken AFTER materializing the
@@ -217,6 +229,8 @@ class StripedHeap {
   std::atomic<uint64_t> num_records_{0};
 };
 
+struct ScanStats;
+
 /// Iterates heap records selected by a bitmap through a Mapping snapshot —
 /// the striped counterpart of BitmapScanner. Lock-free: the bitmap is the
 /// caller's materialized copy and the mapping never changes.
@@ -227,6 +241,17 @@ class StripedBitmapScanner {
                        const Bitmap* bits)
       : mapping_(std::move(mapping)), schema_(schema), bits_(bits) {}
 
+  /// Turns on zone-map page skipping: pages whose zone maps rule out
+  /// \p predicate (or whose compressed strips prove zero matches) are
+  /// stepped over without pinning. Sound here because the bitmap already
+  /// resolved version visibility — a skipped page's records were only
+  /// ever going to be filtered out. \p stats (optional) receives
+  /// pages_skipped and bytes_read; both pointers must outlive the scanner.
+  void EnablePruning(const PreparedPredicate* predicate, ScanStats* stats) {
+    predicate_ = predicate;
+    stats_ = stats;
+  }
+
   bool Next(RecordRef* out, uint64_t* index);
   const Status& status() const { return status_; }
 
@@ -234,10 +259,14 @@ class StripedBitmapScanner {
   StripedHeap::Mapping mapping_;
   const Schema* schema_;
   const Bitmap* bits_;
+  const PreparedPredicate* predicate_ = nullptr;
+  ScanStats* stats_ = nullptr;
   uint64_t pos_ = 0;
   HeapFile* pinned_file_ = nullptr;
   uint64_t pinned_page_no_ = UINT64_MAX;
   HeapFile::PinnedPage page_;
+  HeapFile* skip_file_ = nullptr;
+  uint64_t skip_page_no_ = UINT64_MAX;
   Status status_;
 };
 

@@ -220,6 +220,44 @@ TEST(RleTest, DecodeXorIntoAppliesDelta) {
   EXPECT_EQ(state, after);
 }
 
+TEST(RleTest, EmptyAndSingleInputs) {
+  // Empty input.
+  std::string enc;
+  rle::Encode("", &enc);
+  auto dec = rle::Decode(enc);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_TRUE(dec->empty());
+  // Single byte.
+  enc.clear();
+  rle::Encode("x", &enc);
+  dec = rle::Decode(enc);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_EQ(*dec, "x");
+  // One long run of a single value.
+  const std::string run(100000, '\7');
+  enc.clear();
+  rle::Encode(run, &enc);
+  EXPECT_LT(enc.size(), 64u);
+  dec = rle::Decode(enc);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_EQ(*dec, run);
+}
+
+TEST(RleTest, WorstCaseIncompressibleRoundTrips) {
+  // No byte repeats: every position breaks the run, the encoder must
+  // fall back to literals with bounded expansion and still round-trip.
+  std::string data;
+  for (int i = 0; i < 4096; ++i) {
+    data.push_back(static_cast<char>(i * 37 + (i >> 3)));
+  }
+  std::string enc;
+  rle::Encode(data, &enc);
+  EXPECT_LE(enc.size(), 2 * data.size() + 16);  // bounded worst case
+  auto dec = rle::Decode(enc);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_EQ(*dec, data);
+}
+
 TEST(RleTest, DecodeRejectsCorruption) {
   std::string enc;
   rle::Encode(std::string(100, 'z'), &enc);
@@ -285,6 +323,37 @@ TEST(LzTest, OverlappingCopies) {
 TEST(LzTest, RejectsCorruptStreams) {
   EXPECT_FALSE(lz::Decompress("\x01\x05\x05").ok());  // copy before start
   EXPECT_FALSE(lz::Decompress("\x09").ok());          // bad tag
+}
+
+TEST(LzTest, WorstCaseIncompressibleRoundTrips) {
+  // High-entropy input: no usable matches, only literal runs. The stream
+  // may expand slightly but must stay bounded and decode exactly.
+  Random rng(123);
+  std::string data;
+  for (int i = 0; i < 8192; ++i) {
+    data.push_back(static_cast<char>(rng.Uniform(256)));
+  }
+  std::string enc;
+  lz::Compress(data, &enc);
+  EXPECT_LE(enc.size(), data.size() + data.size() / 8 + 64);
+  auto dec = lz::Decompress(enc);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_EQ(*dec, data);
+}
+
+TEST(LzTest, RejectsTruncatedStreams) {
+  std::string data;
+  for (int i = 0; i < 100; ++i) data += "repetition breeds copies ";
+  std::string enc;
+  lz::Compress(data, &enc);
+  for (size_t keep = 1; keep < enc.size(); keep += 7) {
+    const auto dec = lz::Decompress(enc.substr(0, keep));
+    // A truncated stream either fails outright or yields a strict prefix
+    // — it must never fabricate bytes past what was stored.
+    if (dec.ok()) {
+      EXPECT_LT(dec->size(), data.size()) << "keep=" << keep;
+    }
+  }
 }
 
 // ------------------------------------------------------------------ random

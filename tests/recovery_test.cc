@@ -882,6 +882,126 @@ TEST_P(RecoveryTest, KilledChildLosesNoAcknowledgedCommit) {
   RemoveFile(progress).ok();
 }
 
+/// Zone-map statistics and the version-first pk index must come back
+/// after a kill-style crash: the child loads multi-page, pk-sorted data
+/// under compression, commits, and dies with _exit; the parent reopens
+/// and proves that predicate scans still skip pages, that the scanned
+/// rows are exact, and that point lookups resolve.
+TEST_P(RecoveryTest, StatsAndPkIndexSurviveCrashRecovery) {
+  ScratchDir dir("recov_stats");
+  constexpr int64_t kRows = 8000;  // ~3 pages at 64 KiB / 21 B records
+
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    DecibelOptions options =
+        DurableOptions(dir.path(), GetParam(), wal::SyncMode::kFsync);
+    options.compress_pages = true;
+    auto db = Decibel::Open(dir.path(), TestSchema(), options);
+    if (!db.ok()) _exit(3);
+    auto txn = (*db)->Begin(kMasterBranch);
+    if (!txn.ok()) _exit(4);
+    for (int64_t pk = 0; pk < kRows; ++pk) {
+      // pk-correlated c1 keeps page zones selective; c2 is a small
+      // domain so sealed pages actually compress.
+      Record rec(&(*db)->schema());
+      rec.SetPk(pk);
+      rec.SetInt32(1, static_cast<int32_t>(pk));
+      rec.SetInt32(2, static_cast<int32_t>(pk % 8));
+      rec.SetInt32(3, 1);
+      if (!txn->Insert(rec).ok()) _exit(5);
+    }
+    if (!txn->Commit().ok()) _exit(6);
+    // Delete near the tail: the tombstone's key stays inside the tail
+    // page's pk range, so earlier pages remain pk-disjoint (the
+    // version-first page-skip precondition).
+    if (!(*db)->DeleteFrom(kMasterBranch, kRows - 10).ok()) _exit(7);
+    if (!(*db)->CommitBranch(kMasterBranch).ok()) _exit(8);
+    _exit(42);  // kill -9 semantics: no destructors, no final checkpoint
+  }
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFEXITED(wstatus));
+  ASSERT_EQ(WEXITSTATUS(wstatus), 42) << "child failed before the crash";
+
+  DecibelOptions options =
+      DurableOptions(dir.path(), GetParam(), wal::SyncMode::kFsync);
+  options.compress_pages = true;
+  ASSERT_OK_AND_ASSIGN(auto db, Decibel::Open(dir.path(), options));
+
+  // Pushdown scan: exact rows, and the recovered zone maps skip pages.
+  auto pred =
+      Predicate::Compare(db->schema(), "c1", CompareOp::kGe,
+                         static_cast<int64_t>(kRows - 50));
+  ASSERT_OK(pred.status());
+  ASSERT_OK_AND_ASSIGN(
+      auto cursor,
+      db->NewScan(ScanSpec::Branch(kMasterBranch).Where(*pred)));
+  std::map<int64_t, int32_t> rows;
+  ScanRow row;
+  while (cursor->Next(&row)) rows[row.record.pk()] = row.record.GetInt32(1);
+  ASSERT_OK(cursor->status());
+  EXPECT_EQ(rows.size(), 49u);  // 50-row range minus the deleted key
+  EXPECT_EQ(rows.begin()->first, kRows - 50);
+  EXPECT_EQ(rows.count(kRows - 10), 0u);
+  EXPECT_GT(cursor->stats().pages_skipped, 0u)
+      << "zone maps did not survive recovery";
+  EXPECT_GT(cursor->stats().bytes_read, 0u);
+
+  // Point lookups resolve after recovery (for version-first this is the
+  // rebuilt pk index, not an ancestry walk), and the delete held.
+  ASSERT_OK_AND_ASSIGN(Record rec, db->Get(kMasterBranch, kRows / 2));
+  EXPECT_EQ(rec.ref().GetInt32(1), static_cast<int32_t>(kRows / 2));
+  EXPECT_TRUE(db->Get(kMasterBranch, kRows - 10).status().IsNotFound());
+  EXPECT_TRUE(db->Get(kMasterBranch, kRows + 5).status().IsNotFound());
+
+  // The recovered store keeps accepting writes and stays consistent.
+  ASSERT_OK(db->InsertInto(kMasterBranch,
+                           MakeRecord(db->schema(), kRows + 100, 7)));
+  ASSERT_OK_AND_ASSIGN(rec, db->Get(kMasterBranch, kRows + 100));
+  EXPECT_EQ(rec.ref().GetInt32(1), 7);
+}
+
+/// Same guarantee through the checkpoint path: a clean close persists
+/// the v3 engine meta (per-segment zone-map blobs); reopen must load
+/// them rather than rescanning, and skipping must work immediately.
+TEST_P(RecoveryTest, ZoneMapsSurviveCleanReopen) {
+  ScratchDir dir("recov_stats_clean");
+  constexpr int64_t kRows = 8000;
+  {
+    DecibelOptions options = DurableOptions(dir.path(), GetParam());
+    options.compress_pages = true;
+    ASSERT_OK_AND_ASSIGN(auto db,
+                         Decibel::Open(dir.path(), TestSchema(), options));
+    ASSERT_OK_AND_ASSIGN(Transaction txn, db->Begin(kMasterBranch));
+    for (int64_t pk = 0; pk < kRows; ++pk) {
+      Record rec(&db->schema());
+      rec.SetPk(pk);
+      rec.SetInt32(1, static_cast<int32_t>(pk));
+      ASSERT_OK(txn.Insert(rec));
+    }
+    ASSERT_OK(txn.Commit());
+    ASSERT_OK(db->CommitBranch(kMasterBranch).status());
+  }  // destructor checkpoints: stats travel via the engine meta
+
+  DecibelOptions options = DurableOptions(dir.path(), GetParam());
+  options.compress_pages = true;
+  ASSERT_OK_AND_ASSIGN(auto db, Decibel::Open(dir.path(), options));
+  auto pred = Predicate::Compare(db->schema(), "c1", CompareOp::kLt, 30);
+  ASSERT_OK(pred.status());
+  ASSERT_OK_AND_ASSIGN(
+      auto cursor,
+      db->NewScan(ScanSpec::Branch(kMasterBranch).Where(*pred)));
+  std::map<int64_t, int32_t> rows;
+  ScanRow row;
+  while (cursor->Next(&row)) rows[row.record.pk()] = row.record.GetInt32(1);
+  ASSERT_OK(cursor->status());
+  EXPECT_EQ(rows.size(), 30u);
+  EXPECT_GT(cursor->stats().pages_skipped, 0u);
+  ASSERT_OK_AND_ASSIGN(Record rec, db->Get(kMasterBranch, 4321));
+  EXPECT_EQ(rec.ref().GetInt32(1), 4321);
+}
+
 TEST_P(RecoveryTest, ConcurrentWritersSurviveBackgroundCheckpoints) {
   ScratchDir dir("recov_conc");
   DecibelOptions options = DurableOptions(dir.path(), GetParam());
